@@ -1,0 +1,432 @@
+//! The ROBDD manager: unique table, computed-table-cached `ite`, and the
+//! Boolean operators built on top of it.
+//!
+//! Nodes are stored in a flat arena with complement edges *not* used (plain
+//! ROBDD with two terminals folded into one constant node plus a polarity on
+//! references would be smaller, but the plain form is simpler to audit for an
+//! oracle).  Variables are identified by their order index (`u32`).
+
+use std::collections::HashMap;
+
+/// Reference to a BDD node inside a [`Manager`].
+///
+/// Equality of `Ref`s obtained from the *same* manager is functional
+/// equivalence (canonicity of ROBDDs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ref(u32);
+
+impl Ref {
+    /// Index into the manager's node arena.
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct Node {
+    /// Variable order index; terminals use `u32::MAX`.
+    var: u32,
+    low: Ref,
+    high: Ref,
+}
+
+const TERMINAL_VAR: u32 = u32::MAX;
+
+/// An ROBDD manager with a fixed (identity) variable order.
+#[derive(Debug, Clone)]
+pub struct Manager {
+    nodes: Vec<Node>,
+    unique: HashMap<Node, Ref>,
+    ite_cache: HashMap<(Ref, Ref, Ref), Ref>,
+}
+
+impl Default for Manager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Manager {
+    /// Creates a manager holding only the two terminal nodes.
+    pub fn new() -> Self {
+        let mut m = Manager {
+            nodes: Vec::new(),
+            unique: HashMap::new(),
+            ite_cache: HashMap::new(),
+        };
+        // Node 0 = constant false, node 1 = constant true.
+        m.nodes.push(Node { var: TERMINAL_VAR, low: Ref(0), high: Ref(0) });
+        m.nodes.push(Node { var: TERMINAL_VAR, low: Ref(1), high: Ref(1) });
+        m
+    }
+
+    /// The constant-false function.
+    pub fn zero(&self) -> Ref {
+        Ref(0)
+    }
+
+    /// The constant-true function.
+    pub fn one(&self) -> Ref {
+        Ref(1)
+    }
+
+    /// Returns `true` if `f` is one of the two constants.
+    pub fn is_constant(&self, f: Ref) -> bool {
+        f == self.zero() || f == self.one()
+    }
+
+    /// Number of nodes currently allocated (including the two terminals).
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The projection function of variable `var`.
+    pub fn var(&mut self, var: u32) -> Ref {
+        let one = self.one();
+        let zero = self.zero();
+        self.mk(var, zero, one)
+    }
+
+    /// The complemented projection function of variable `var`.
+    pub fn nvar(&mut self, var: u32) -> Ref {
+        let one = self.one();
+        let zero = self.zero();
+        self.mk(var, one, zero)
+    }
+
+    fn var_of(&self, f: Ref) -> u32 {
+        self.nodes[f.index()].var
+    }
+
+    fn mk(&mut self, var: u32, low: Ref, high: Ref) -> Ref {
+        if low == high {
+            return low;
+        }
+        let node = Node { var, low, high };
+        if let Some(&r) = self.unique.get(&node) {
+            return r;
+        }
+        let r = Ref(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.unique.insert(node, r);
+        r
+    }
+
+    /// If-then-else: `ite(f, g, h) = f·g + f'·h`.  All other operators are
+    /// expressed through this single cached recursion.
+    pub fn ite(&mut self, f: Ref, g: Ref, h: Ref) -> Ref {
+        // Terminal cases.
+        if f == self.one() {
+            return g;
+        }
+        if f == self.zero() {
+            return h;
+        }
+        if g == h {
+            return g;
+        }
+        if g == self.one() && h == self.zero() {
+            return f;
+        }
+        if let Some(&r) = self.ite_cache.get(&(f, g, h)) {
+            return r;
+        }
+        let top = [f, g, h]
+            .iter()
+            .map(|&x| self.var_of(x))
+            .filter(|&v| v != TERMINAL_VAR)
+            .min()
+            .expect("at least one operand is non-terminal");
+        let (f0, f1) = self.cofactors_at(f, top);
+        let (g0, g1) = self.cofactors_at(g, top);
+        let (h0, h1) = self.cofactors_at(h, top);
+        let low = self.ite(f0, g0, h0);
+        let high = self.ite(f1, g1, h1);
+        let r = self.mk(top, low, high);
+        self.ite_cache.insert((f, g, h), r);
+        r
+    }
+
+    fn cofactors_at(&self, f: Ref, var: u32) -> (Ref, Ref) {
+        let n = self.nodes[f.index()];
+        if n.var == var {
+            (n.low, n.high)
+        } else {
+            (f, f)
+        }
+    }
+
+    /// Boolean negation.
+    pub fn not(&mut self, f: Ref) -> Ref {
+        let zero = self.zero();
+        let one = self.one();
+        self.ite(f, zero, one)
+    }
+
+    /// Boolean conjunction.
+    pub fn and(&mut self, f: Ref, g: Ref) -> Ref {
+        let zero = self.zero();
+        self.ite(f, g, zero)
+    }
+
+    /// Boolean disjunction.
+    pub fn or(&mut self, f: Ref, g: Ref) -> Ref {
+        let one = self.one();
+        self.ite(f, one, g)
+    }
+
+    /// Exclusive or.
+    pub fn xor(&mut self, f: Ref, g: Ref) -> Ref {
+        let ng = self.not(g);
+        self.ite(f, ng, g)
+    }
+
+    /// Negated conjunction.
+    pub fn nand(&mut self, f: Ref, g: Ref) -> Ref {
+        let a = self.and(f, g);
+        self.not(a)
+    }
+
+    /// Negated disjunction.
+    pub fn nor(&mut self, f: Ref, g: Ref) -> Ref {
+        let a = self.or(f, g);
+        self.not(a)
+    }
+
+    /// Negated exclusive or.
+    pub fn xnor(&mut self, f: Ref, g: Ref) -> Ref {
+        let a = self.xor(f, g);
+        self.not(a)
+    }
+
+    /// Conjunction over an iterator of operands (`true` for an empty list).
+    pub fn and_many<I: IntoIterator<Item = Ref>>(&mut self, operands: I) -> Ref {
+        let mut acc = self.one();
+        for f in operands {
+            acc = self.and(acc, f);
+        }
+        acc
+    }
+
+    /// Disjunction over an iterator of operands (`false` for an empty list).
+    pub fn or_many<I: IntoIterator<Item = Ref>>(&mut self, operands: I) -> Ref {
+        let mut acc = self.zero();
+        for f in operands {
+            acc = self.or(acc, f);
+        }
+        acc
+    }
+
+    /// Exclusive-or over an iterator of operands (`false` for an empty list).
+    pub fn xor_many<I: IntoIterator<Item = Ref>>(&mut self, operands: I) -> Ref {
+        let mut acc = self.zero();
+        for f in operands {
+            acc = self.xor(acc, f);
+        }
+        acc
+    }
+
+    /// Positive or negative cofactor of `f` with respect to variable `var`.
+    pub fn cofactor(&mut self, f: Ref, var: u32, value: bool) -> Ref {
+        if self.is_constant(f) {
+            return f;
+        }
+        let n = self.nodes[f.index()];
+        if n.var > var {
+            // Variable does not appear (order is increasing along paths).
+            return f;
+        }
+        if n.var == var {
+            return if value { n.high } else { n.low };
+        }
+        let low = self.cofactor(n.low, var, value);
+        let high = self.cofactor(n.high, var, value);
+        self.mk(n.var, low, high)
+    }
+
+    /// Evaluates `f` under a complete assignment: `assignment[i]` is the
+    /// value of variable `i`.  Variables beyond the slice default to `false`.
+    pub fn eval(&self, f: Ref, assignment: &[bool]) -> bool {
+        let mut cur = f;
+        loop {
+            if cur == self.one() {
+                return true;
+            }
+            if cur == self.zero() {
+                return false;
+            }
+            let n = self.nodes[cur.index()];
+            let v = assignment.get(n.var as usize).copied().unwrap_or(false);
+            cur = if v { n.high } else { n.low };
+        }
+    }
+
+    /// Number of satisfying assignments of `f` over `num_vars` variables.
+    pub fn sat_count(&self, f: Ref, num_vars: u32) -> f64 {
+        fn rec(m: &Manager, f: Ref, from_var: u32, num_vars: u32, memo: &mut HashMap<(Ref, u32), f64>) -> f64 {
+            if f == m.zero() {
+                return 0.0;
+            }
+            if f == m.one() {
+                return 2f64.powi((num_vars - from_var) as i32);
+            }
+            if let Some(&c) = memo.get(&(f, from_var)) {
+                return c;
+            }
+            let n = m.nodes[f.index()];
+            let skipped = 2f64.powi((n.var - from_var) as i32);
+            let low = rec(m, n.low, n.var + 1, num_vars, memo);
+            let high = rec(m, n.high, n.var + 1, num_vars, memo);
+            let c = skipped * (low + high);
+            memo.insert((f, from_var), c);
+            c
+        }
+        rec(self, f, 0, num_vars, &mut HashMap::new())
+    }
+
+    /// Number of BDD nodes reachable from `f` (a size measure for reports).
+    pub fn size(&self, f: Ref) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        let mut stack = vec![f];
+        while let Some(x) = stack.pop() {
+            if !seen.insert(x) || self.is_constant(x) {
+                continue;
+            }
+            let n = self.nodes[x.index()];
+            stack.push(n.low);
+            stack.push(n.high);
+        }
+        seen.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_and_vars() {
+        let mut m = Manager::new();
+        assert_ne!(m.zero(), m.one());
+        let a = m.var(0);
+        let na = m.nvar(0);
+        let not_a = m.not(a);
+        assert_eq!(na, not_a);
+        assert!(m.is_constant(m.zero()));
+        assert!(!m.is_constant(a));
+    }
+
+    #[test]
+    fn canonical_equality() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        // a & b == !( !a | !b )
+        let f = m.and(a, b);
+        let na = m.not(a);
+        let nb = m.not(b);
+        let o = m.or(na, nb);
+        let g = m.not(o);
+        assert_eq!(f, g);
+        // xor expressed two ways
+        let x1 = m.xor(a, b);
+        let anb = m.and(a, nb);
+        let nab = m.and(na, b);
+        let x2 = m.or(anb, nab);
+        assert_eq!(x1, x2);
+    }
+
+    #[test]
+    fn de_morgan_n_ary() {
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..4).map(|i| m.var(i)).collect();
+        let conj = m.and_many(vars.iter().copied());
+        let nconj = m.not(conj);
+        let nvars: Vec<Ref> = (0..4).map(|i| m.nvar(i)).collect();
+        let disj = m.or_many(nvars.iter().copied());
+        assert_eq!(nconj, disj);
+    }
+
+    #[test]
+    fn eval_matches_semantics() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let f = m.or(ab, c); // f = ab + c
+        for bits in 0..8u32 {
+            let assignment = [(bits & 1) != 0, (bits & 2) != 0, (bits & 4) != 0];
+            let expect = (assignment[0] && assignment[1]) || assignment[2];
+            assert_eq!(m.eval(f, &assignment), expect);
+        }
+    }
+
+    #[test]
+    fn cofactor_shannon_expansion() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let bc = m.xor(b, c);
+        let f = m.and(a, bc);
+        let f0 = m.cofactor(f, 0, false);
+        let f1 = m.cofactor(f, 0, true);
+        assert_eq!(f0, m.zero());
+        assert_eq!(f1, bc);
+        // Shannon: f = a·f1 + a'·f0
+        let rebuilt = m.ite(a, f1, f0);
+        assert_eq!(rebuilt, f);
+        // Cofactor w.r.t. a variable not in the support is identity.
+        assert_eq!(m.cofactor(bc, 0, true), bc);
+    }
+
+    #[test]
+    fn sat_count_small_functions() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert_eq!(m.sat_count(f, 2), 1.0);
+        let g = m.or(a, b);
+        assert_eq!(m.sat_count(g, 2), 3.0);
+        let x = m.xor(a, b);
+        assert_eq!(m.sat_count(x, 2), 2.0);
+        assert_eq!(m.sat_count(m.one(), 3), 8.0);
+        assert_eq!(m.sat_count(m.zero(), 3), 0.0);
+    }
+
+    #[test]
+    fn xor_chain_size_is_linear() {
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..16).map(|i| m.var(i)).collect();
+        let f = m.xor_many(vars.iter().copied());
+        // Parity has 2 nodes per level in an ROBDD.
+        assert!(m.size(f) <= 2 * 16 + 2);
+        assert_eq!(m.sat_count(f, 16), 2f64.powi(15));
+    }
+
+    #[test]
+    fn nand_nor_xnor() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let nand = m.nand(a, b);
+        let and = m.and(a, b);
+        assert_eq!(m.not(and), nand);
+        let nor = m.nor(a, b);
+        let or = m.or(a, b);
+        assert_eq!(m.not(or), nor);
+        let xnor = m.xnor(a, b);
+        let xor = m.xor(a, b);
+        assert_eq!(m.not(xor), xnor);
+    }
+
+    #[test]
+    fn empty_n_ary_identities() {
+        let mut m = Manager::new();
+        assert_eq!(m.and_many(std::iter::empty()), m.one());
+        assert_eq!(m.or_many(std::iter::empty()), m.zero());
+        assert_eq!(m.xor_many(std::iter::empty()), m.zero());
+    }
+}

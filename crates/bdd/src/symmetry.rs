@@ -1,0 +1,164 @@
+//! Classical cofactor-based symmetry detection (the baseline / oracle).
+//!
+//! §2 of the paper defines, for a function `f` over inputs `x_i`, `x_j`:
+//!
+//! * **NES** (non-equivalence symmetry): `f_{x_i x̄_j} = f_{x̄_i x_j}` —
+//!   exchanging the two inputs leaves `f` unchanged.
+//! * **ES** (equivalence symmetry): `f_{x_i x_j} = f_{x̄_i x̄_j}` —
+//!   exchanging one input with the complement of the other leaves `f`
+//!   unchanged.
+//!
+//! NES corresponds to a *non-inverting* pin swap and ES to an *inverting*
+//! swap (§4).  These checks are exact but require building the function's
+//! BDD, which is what the paper's structural method avoids; here they serve
+//! as the verification oracle for the structural detector.
+
+use crate::manager::{Manager, Ref};
+
+/// Kind of functional symmetry between two inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymmetryKind {
+    /// Non-equivalence symmetric only (swap without inverters).
+    NonEquivalence,
+    /// Equivalence symmetric only (swap with inverters).
+    Equivalence,
+    /// Both NES and ES hold (e.g. XOR inputs).
+    Both,
+    /// Neither symmetry holds.
+    None,
+}
+
+/// Returns `true` if inputs `xi` and `xj` are non-equivalence symmetric
+/// (NES) in `f`: `f_{x_i=1, x_j=0} == f_{x_i=0, x_j=1}`.
+pub fn are_nonequivalence_symmetric(manager: &mut Manager, f: Ref, xi: u32, xj: u32) -> bool {
+    let f_i1 = manager.cofactor(f, xi, true);
+    let f_i1_j0 = manager.cofactor(f_i1, xj, false);
+    let f_i0 = manager.cofactor(f, xi, false);
+    let f_i0_j1 = manager.cofactor(f_i0, xj, true);
+    f_i1_j0 == f_i0_j1
+}
+
+/// Returns `true` if inputs `xi` and `xj` are equivalence symmetric (ES) in
+/// `f`: `f_{x_i=1, x_j=1} == f_{x_i=0, x_j=0}`.
+pub fn are_equivalence_symmetric(manager: &mut Manager, f: Ref, xi: u32, xj: u32) -> bool {
+    let f_i1 = manager.cofactor(f, xi, true);
+    let f_i1_j1 = manager.cofactor(f_i1, xj, true);
+    let f_i0 = manager.cofactor(f, xi, false);
+    let f_i0_j0 = manager.cofactor(f_i0, xj, false);
+    f_i1_j1 == f_i0_j0
+}
+
+/// Classifies the symmetry between two inputs of `f`.
+pub fn classify_symmetry(manager: &mut Manager, f: Ref, xi: u32, xj: u32) -> SymmetryKind {
+    let nes = are_nonequivalence_symmetric(manager, f, xi, xj);
+    let es = are_equivalence_symmetric(manager, f, xi, xj);
+    match (nes, es) {
+        (true, true) => SymmetryKind::Both,
+        (true, false) => SymmetryKind::NonEquivalence,
+        (false, true) => SymmetryKind::Equivalence,
+        (false, false) => SymmetryKind::None,
+    }
+}
+
+/// All unordered input pairs `(i, j)` of `f` (over `num_vars` variables) that
+/// exhibit NES — the classical "symmetric pairs" report.
+pub fn nes_pairs(manager: &mut Manager, f: Ref, num_vars: u32) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for i in 0..num_vars {
+        for j in (i + 1)..num_vars {
+            if are_nonequivalence_symmetric(manager, f, i, j) {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_inputs_are_nes_not_es() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.and(a, b);
+        assert!(are_nonequivalence_symmetric(&mut m, f, 0, 1));
+        assert!(!are_equivalence_symmetric(&mut m, f, 0, 1));
+        assert_eq!(classify_symmetry(&mut m, f, 0, 1), SymmetryKind::NonEquivalence);
+    }
+
+    #[test]
+    fn xor_inputs_are_both() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let f = m.xor(a, b);
+        assert_eq!(classify_symmetry(&mut m, f, 0, 1), SymmetryKind::Both);
+    }
+
+    #[test]
+    fn and_with_inverted_input_is_es() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let nb = m.not(b);
+        // f = a & !b : exchanging a and b changes f, but exchanging a with
+        // the complement of b (ES) does not.
+        let f = m.and(a, nb);
+        assert!(!are_nonequivalence_symmetric(&mut m, f, 0, 1));
+        assert!(are_equivalence_symmetric(&mut m, f, 0, 1));
+        assert_eq!(classify_symmetry(&mut m, f, 0, 1), SymmetryKind::Equivalence);
+    }
+
+    #[test]
+    fn asymmetric_function() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        // f = a & (b | c): a is not symmetric with b.
+        let bc = m.or(b, c);
+        let f = m.and(a, bc);
+        assert_eq!(classify_symmetry(&mut m, f, 0, 1), SymmetryKind::None);
+        // but b and c are NES.
+        assert!(are_nonequivalence_symmetric(&mut m, f, 1, 2));
+    }
+
+    #[test]
+    fn nes_pairs_of_majority() {
+        let mut m = Manager::new();
+        let a = m.var(0);
+        let b = m.var(1);
+        let c = m.var(2);
+        let ab = m.and(a, b);
+        let ac = m.and(a, c);
+        let bc = m.and(b, c);
+        let t = m.or(ab, ac);
+        let maj = m.or(t, bc);
+        let pairs = nes_pairs(&mut m, maj, 3);
+        assert_eq!(pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn totally_symmetric_parity() {
+        let mut m = Manager::new();
+        let vars: Vec<Ref> = (0..5).map(|i| m.var(i)).collect();
+        let f = m.xor_many(vars.iter().copied());
+        let pairs = nes_pairs(&mut m, f, 5);
+        assert_eq!(pairs.len(), 10);
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                assert_eq!(classify_symmetry(&mut m, f, i, j), SymmetryKind::Both);
+            }
+        }
+    }
+
+    #[test]
+    fn constants_are_trivially_symmetric() {
+        let mut m = Manager::new();
+        let one = m.one();
+        assert_eq!(classify_symmetry(&mut m, one, 0, 1), SymmetryKind::Both);
+    }
+}

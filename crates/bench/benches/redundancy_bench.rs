@@ -1,0 +1,25 @@
+//! Fig. 1 / Table 1 column 14: redundancies found during supergate
+//! extraction.  Measures the scan on suite circuits.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rapids_circuits::benchmark;
+use rapids_core::redundancy::find_redundancies;
+use rapids_core::supergate::extract_supergates;
+
+fn bench_redundancy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("redundancy_scan");
+    for name in ["c432", "c1908", "i8"] {
+        let network = benchmark(name).expect("suite benchmark");
+        let extraction = extract_supergates(&network);
+        let findings = find_redundancies(&extraction);
+        eprintln!("{name}: {} redundancies found during extraction", findings.len());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &extraction, |b, ex| {
+            b.iter(|| find_redundancies(std::hint::black_box(ex)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_redundancy);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! §3.2 claim: supergate extraction is linear time.  Measures extraction on
+//! suite circuits of increasing size; the per-gate cost should stay flat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rapids_circuits::benchmark;
+use rapids_core::supergate::extract_supergates;
+
+fn bench_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("supergate_extraction");
+    for name in ["c432", "c1908", "c3540"] {
+        let network = benchmark(name).expect("suite benchmark");
+        group.throughput(criterion::Throughput::Elements(network.logic_gate_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &network, |b, n| {
+            b.iter(|| extract_supergates(std::hint::black_box(n)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_extraction);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Cost of a full static timing analysis with the star/Elmore interconnect
+//! model — the inner loop of every optimizer pass (§5/§6 run-time claims).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use rapids_celllib::Library;
+use rapids_circuits::benchmark;
+use rapids_placement::{place, PlacerConfig};
+use rapids_timing::{Sta, TimingConfig};
+
+fn bench_sta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("static_timing_analysis");
+    let library = Library::standard_035um();
+    for name in ["c432", "c1908"] {
+        let network = benchmark(name).expect("suite benchmark");
+        let placement = place(&network, &library, &PlacerConfig::fast(), 5);
+        group.throughput(criterion::Throughput::Elements(network.logic_gate_count() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(name), &network, |b, n| {
+            b.iter(|| Sta::analyze(std::hint::black_box(n), &library, &placement, &TimingConfig::default()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sta);
+criterion_main!(benches);

@@ -1,0 +1,72 @@
+//! Regenerates Table 1 of the paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p rapids-bench --release --bin table1              # full 19-benchmark suite
+//! cargo run -p rapids-bench --release --bin table1 -- --fast    # reduced effort
+//! cargo run -p rapids-bench --release --bin table1 -- alu2 c432 # selected benchmarks
+//! cargo run -p rapids-bench --release --bin table1 -- --json out.json
+//! ```
+
+use std::io::Write as _;
+
+use rapids_bench::table1::{all_names, format_table, run_benchmark, FlowConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut config = FlowConfig::default();
+    let mut json_path: Option<String> = None;
+    let mut names: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => config = FlowConfig::fast(),
+            "--json" => json_path = iter.next(),
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+    let selected: Vec<&str> = if names.is_empty() {
+        all_names()
+    } else {
+        names.iter().map(|s| s.as_str()).collect()
+    };
+
+    println!("RAPIDS reproduction — Table 1 (fast={})", config.placer.moves_per_gate < 20);
+    println!(
+        "columns: circuit, gates, initial delay (ns), delay improvement %% of gsg / GS / gsg+GS,"
+    );
+    println!("         CPU s of gsg / GS / gsg+GS, area %% of GS / gsg+GS, coverage %%, L, redundancies");
+    println!();
+
+    let mut results = Vec::new();
+    for name in &selected {
+        eprint!("running {name} ... ");
+        let _ = std::io::stderr().flush();
+        match run_benchmark(name, &config) {
+            Some(result) => {
+                eprintln!(
+                    "done (init {:.2} ns, gsg {:.1}%, GS {:.1}%, gsg+GS {:.1}%)",
+                    result.initial_delay_ns,
+                    result.gsg_percent,
+                    result.gs_percent,
+                    result.combined_percent
+                );
+                results.push(result);
+            }
+            None => eprintln!("unknown benchmark, skipped"),
+        }
+    }
+
+    println!("{}", format_table(&results));
+
+    if let Some(path) = json_path {
+        let json = serde_json::to_string_pretty(&results).expect("results serialize");
+        std::fs::write(&path, json).expect("write JSON report");
+        println!("JSON report written to {path}");
+    }
+}

@@ -1,0 +1,215 @@
+//! The full evaluation flow for one benchmark and for the whole suite
+//! (Table 1 of the paper).
+
+use serde::Serialize;
+
+use rapids_celllib::Library;
+use rapids_circuits::{benchmark, suite_names};
+use rapids_core::{
+    BenchmarkRow, OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind,
+};
+use rapids_placement::{place, PlacerConfig};
+use rapids_timing::{Sta, TimingConfig};
+
+/// Effort configuration of the evaluation flow.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Placer configuration.
+    pub placer: PlacerConfig,
+    /// Timing model configuration.
+    pub timing: TimingConfig,
+    /// Optimizer passes etc. (the `kind` field is overridden per run).
+    pub optimizer: OptimizerConfig,
+    /// Placement seed (kept fixed so the three optimizers see the same
+    /// placement, as in the paper).
+    pub seed: u64,
+}
+
+impl Default for FlowConfig {
+    fn default() -> Self {
+        FlowConfig {
+            // Pad-limited die (low row utilization): wire lengths reach the
+            // millimetre range, so interconnect is a first-order term of the
+            // critical path — the regime the paper's experiments target.
+            placer: PlacerConfig { utilization: 0.15, ..PlacerConfig::default() },
+            timing: TimingConfig::default(),
+            optimizer: OptimizerConfig::default(),
+            seed: 2000,
+        }
+    }
+}
+
+impl FlowConfig {
+    /// Reduced-effort configuration (used by tests and smoke benches).
+    pub fn fast() -> Self {
+        FlowConfig {
+            placer: PlacerConfig::fast(),
+            optimizer: OptimizerConfig::fast(OptimizerKind::Combined),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of running the three optimizers on one benchmark.
+#[derive(Debug, Clone, Serialize)]
+pub struct FlowResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Mapped gate count.
+    pub gate_count: usize,
+    /// Initial (post-placement) critical delay, ns.
+    pub initial_delay_ns: f64,
+    /// gsg delay improvement, %.
+    pub gsg_percent: f64,
+    /// GS delay improvement, %.
+    pub gs_percent: f64,
+    /// gsg+GS delay improvement, %.
+    pub combined_percent: f64,
+    /// CPU seconds for each optimizer.
+    pub gsg_cpu_s: f64,
+    /// CPU seconds for GS.
+    pub gs_cpu_s: f64,
+    /// CPU seconds for gsg+GS.
+    pub combined_cpu_s: f64,
+    /// GS area change, %.
+    pub gs_area_percent: f64,
+    /// gsg+GS area change, %.
+    pub combined_area_percent: f64,
+    /// Supergate coverage, %.
+    pub coverage_percent: f64,
+    /// Largest supergate input count.
+    pub largest_inputs: usize,
+    /// Redundancies found during extraction.
+    pub redundancy_count: usize,
+    /// Number of swaps applied by gsg.
+    pub gsg_swaps: usize,
+    /// Wire-length change of gsg, %.
+    pub gsg_hpwl_percent: f64,
+}
+
+impl FlowResult {
+    /// Converts into the Table 1 row structure.
+    pub fn to_row(&self) -> BenchmarkRow {
+        BenchmarkRow {
+            name: self.name.clone(),
+            gate_count: self.gate_count,
+            initial_delay_ns: self.initial_delay_ns,
+            gsg_improvement_percent: self.gsg_percent,
+            gs_improvement_percent: self.gs_percent,
+            combined_improvement_percent: self.combined_percent,
+            gsg_cpu_s: self.gsg_cpu_s,
+            gs_cpu_s: self.gs_cpu_s,
+            combined_cpu_s: self.combined_cpu_s,
+            gs_area_percent: self.gs_area_percent,
+            combined_area_percent: self.combined_area_percent,
+            coverage_percent: self.coverage_percent,
+            largest_inputs: self.largest_inputs,
+            redundancy_count: self.redundancy_count,
+        }
+    }
+}
+
+/// Runs the full flow (generate, map, place, time, optimize three ways) for
+/// one named benchmark.
+///
+/// Returns `None` for an unknown benchmark name.
+pub fn run_benchmark(name: &str, config: &FlowConfig) -> Option<FlowResult> {
+    let network = benchmark(name)?;
+    let library = Library::standard_035um();
+    let placement = place(&network, &library, &config.placer, config.seed);
+    let initial = Sta::analyze(&network, &library, &placement, &config.timing);
+    let initial_delay_ns = initial.critical_delay_ns();
+
+    let run = |kind: OptimizerKind| -> OptimizationOutcome {
+        let mut working = network.clone();
+        let optimizer_config = OptimizerConfig { kind, ..config.optimizer.clone() };
+        Optimizer::new(optimizer_config).optimize(&mut working, &library, &placement, &config.timing)
+    };
+    let gsg = run(OptimizerKind::Rewiring);
+    let gs = run(OptimizerKind::Sizing);
+    let combined = run(OptimizerKind::Combined);
+
+    Some(FlowResult {
+        name: name.to_string(),
+        gate_count: network.logic_gate_count(),
+        initial_delay_ns,
+        gsg_percent: gsg.delay_improvement_percent(),
+        gs_percent: gs.delay_improvement_percent(),
+        combined_percent: combined.delay_improvement_percent(),
+        gsg_cpu_s: gsg.cpu_seconds,
+        gs_cpu_s: gs.cpu_seconds,
+        combined_cpu_s: combined.cpu_seconds,
+        gs_area_percent: gs.area_change_percent(),
+        combined_area_percent: combined.area_change_percent(),
+        coverage_percent: gsg.statistics.coverage_percent(),
+        largest_inputs: gsg.statistics.largest_inputs,
+        redundancy_count: gsg.statistics.redundancy_count,
+        gsg_swaps: gsg.swaps_applied,
+        gsg_hpwl_percent: gsg.hpwl_change_percent(),
+    })
+}
+
+/// Runs the flow over a list of benchmark names (use
+/// [`rapids_circuits::suite_names`] for the full Table 1).
+pub fn run_suite(names: &[&str], config: &FlowConfig) -> Vec<FlowResult> {
+    names
+        .iter()
+        .filter_map(|name| run_benchmark(name, config))
+        .collect()
+}
+
+/// Formats a set of flow results as the paper-style table, including the
+/// average row.
+pub fn format_table(results: &[FlowResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&BenchmarkRow::table_header());
+    out.push('\n');
+    let rows: Vec<BenchmarkRow> = results.iter().map(FlowResult::to_row).collect();
+    for row in &rows {
+        out.push_str(&row.to_table_line());
+        out.push('\n');
+    }
+    out.push_str(&BenchmarkRow::average(&rows).to_table_line());
+    out.push('\n');
+    out
+}
+
+/// Convenience: every Table 1 benchmark name.
+pub fn all_names() -> Vec<&'static str> {
+    suite_names()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_benchmark_flow_produces_sane_numbers() {
+        let result = run_benchmark("c432", &FlowConfig::fast()).unwrap();
+        assert!(result.initial_delay_ns > 0.0);
+        assert!(result.gsg_percent >= 0.0);
+        assert!(result.gs_percent >= 0.0);
+        assert!(result.combined_percent >= 0.0);
+        assert!(result.coverage_percent > 0.0 && result.coverage_percent <= 100.0);
+        assert!(result.largest_inputs >= 2);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_none() {
+        assert!(run_benchmark("nope", &FlowConfig::fast()).is_none());
+    }
+
+    #[test]
+    fn table_formatting_includes_average_row() {
+        let results = run_suite(&["c432"], &FlowConfig::fast());
+        let table = format_table(&results);
+        assert!(table.contains("c432"));
+        assert!(table.contains("ave."));
+        assert_eq!(table.lines().count(), 3);
+    }
+
+    #[test]
+    fn all_names_matches_suite() {
+        assert_eq!(all_names().len(), 19);
+    }
+}

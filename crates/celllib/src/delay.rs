@@ -1,0 +1,135 @@
+//! Pin-to-pin load-dependent cell delay model with rise/fall parameters.
+//!
+//! The paper states: *"We use a pin-to-pin load-dependent model for gate
+//! delay with both rise and fall parameters."*  The classic linear model is
+//! used here:
+//!
+//! ```text
+//! delay(transition) = intrinsic(transition) + drive_resistance * load_capacitance
+//! ```
+//!
+//! with the load capacitance being the sum of wire capacitance (from the star
+//! model) and the input-pin capacitances of the fan-out cells.
+
+use crate::cell::Cell;
+
+/// Signal transition direction at the cell output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Transition {
+    /// Output rising (0 → 1).
+    Rise,
+    /// Output falling (1 → 0).
+    Fall,
+}
+
+impl Transition {
+    /// Both transitions.
+    pub const BOTH: [Transition; 2] = [Transition::Rise, Transition::Fall];
+
+    /// The opposite transition (used when propagating through inverting
+    /// cells).
+    pub fn invert(self) -> Transition {
+        match self {
+            Transition::Rise => Transition::Fall,
+            Transition::Fall => Transition::Rise,
+        }
+    }
+}
+
+/// Rise and fall pin-to-pin delays of one cell arc, in ns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CellDelay {
+    /// Delay for a rising output transition, ns.
+    pub rise_ns: f64,
+    /// Delay for a falling output transition, ns.
+    pub fall_ns: f64,
+}
+
+impl CellDelay {
+    /// The worse (larger) of the two delays.
+    pub fn worst(&self) -> f64 {
+        self.rise_ns.max(self.fall_ns)
+    }
+
+    /// Delay of a specific transition.
+    pub fn of(&self, transition: Transition) -> f64 {
+        match transition {
+            Transition::Rise => self.rise_ns,
+            Transition::Fall => self.fall_ns,
+        }
+    }
+}
+
+/// Computes the pin-to-pin delay of `cell` when driving `load_pf` picofarads.
+///
+/// The same arc delay applies from every input pin of the cell; input-pin
+/// asymmetry is second-order for the optimization studied here and the paper
+/// does not model it either.
+pub fn cell_delay(cell: &Cell, load_pf: f64) -> CellDelay {
+    let load = load_pf.max(0.0);
+    CellDelay {
+        rise_ns: cell.intrinsic_rise_ns + cell.drive_resistance_kohm * load,
+        fall_ns: cell.intrinsic_fall_ns + cell.drive_resistance_kohm * load,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::DriveStrength;
+    use rapids_netlist::GateType;
+
+    fn cell(res: f64) -> Cell {
+        Cell {
+            function: GateType::Nand,
+            input_count: 2,
+            drive: DriveStrength::X1,
+            area_um2: 20.0,
+            input_capacitance_pf: 0.01,
+            drive_resistance_kohm: res,
+            intrinsic_rise_ns: 0.10,
+            intrinsic_fall_ns: 0.08,
+        }
+    }
+
+    #[test]
+    fn delay_is_linear_in_load() {
+        let c = cell(2.0);
+        let d0 = cell_delay(&c, 0.0);
+        let d1 = cell_delay(&c, 0.05);
+        let d2 = cell_delay(&c, 0.10);
+        assert!((d1.rise_ns - d0.rise_ns - 0.1).abs() < 1e-12);
+        assert!((d2.rise_ns - d1.rise_ns - 0.1).abs() < 1e-12);
+        assert_eq!(d0.rise_ns, 0.10);
+        assert_eq!(d0.fall_ns, 0.08);
+    }
+
+    #[test]
+    fn negative_load_clamped() {
+        let c = cell(2.0);
+        let d = cell_delay(&c, -1.0);
+        assert_eq!(d.rise_ns, c.intrinsic_rise_ns);
+    }
+
+    #[test]
+    fn worst_and_of() {
+        let d = CellDelay { rise_ns: 0.3, fall_ns: 0.5 };
+        assert_eq!(d.worst(), 0.5);
+        assert_eq!(d.of(Transition::Rise), 0.3);
+        assert_eq!(d.of(Transition::Fall), 0.5);
+    }
+
+    #[test]
+    fn transition_invert() {
+        assert_eq!(Transition::Rise.invert(), Transition::Fall);
+        assert_eq!(Transition::Fall.invert(), Transition::Rise);
+    }
+
+    #[test]
+    fn stronger_cell_is_faster_under_load() {
+        let weak = cell(2.0);
+        let strong = cell(0.5);
+        let load = 0.2;
+        assert!(cell_delay(&strong, load).worst() < cell_delay(&weak, load).worst());
+    }
+}

@@ -1,0 +1,58 @@
+//! # rapids-celllib
+//!
+//! Synthetic 0.35 µm standard-cell library modelled on the one used in §6 of
+//! the RAPIDS paper: `INV`, `BUF`, `NAND`, `NOR`, `XOR`, `XNOR` cells with
+//! 2–4 inputs and **four drive-strength implementations** per function, plus
+//! a pin-to-pin load-dependent delay model with separate rise and fall
+//! parameters.
+//!
+//! The paper's interconnect constants are exposed as
+//! [`UNIT_CAPACITANCE_PF_PER_CM`] (2 pF/cm) and
+//! [`UNIT_RESISTANCE_KOHM_PER_CM`] (2.4 kΩ/cm).
+//!
+//! The absolute numbers are synthetic (derived from classic 0.35 µm textbook
+//! figures); only relative delays and areas matter for the percentages the
+//! experiments report, as discussed in `DESIGN.md`.
+//!
+//! ```
+//! use rapids_celllib::{Library, DriveStrength};
+//! use rapids_netlist::GateType;
+//!
+//! let lib = Library::standard_035um();
+//! let nand2_x1 = lib.cell(GateType::Nand, 2, DriveStrength::X1).unwrap();
+//! let nand2_x4 = lib.cell(GateType::Nand, 2, DriveStrength::X4).unwrap();
+//! assert!(nand2_x4.area_um2 > nand2_x1.area_um2);
+//! assert!(nand2_x4.drive_resistance_kohm < nand2_x1.drive_resistance_kohm);
+//! ```
+
+pub mod cell;
+pub mod delay;
+pub mod library;
+
+pub use cell::{Cell, DriveStrength};
+pub use delay::{cell_delay, CellDelay, Transition};
+pub use library::Library;
+
+/// Unit wire capacitance used by the paper's interconnect model: 2 pF/cm.
+pub const UNIT_CAPACITANCE_PF_PER_CM: f64 = 2.0;
+
+/// Unit wire resistance used by the paper's interconnect model: 2.4 kΩ/cm.
+pub const UNIT_RESISTANCE_KOHM_PER_CM: f64 = 2.4;
+
+/// Standard-cell row height for the 0.35 µm library, in µm.  Used by the
+/// row-based placer.
+pub const ROW_HEIGHT_UM: f64 = 13.0;
+
+/// Horizontal placement grid (site width), in µm.
+pub const SITE_WIDTH_UM: f64 = 0.8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_paper() {
+        assert_eq!(UNIT_CAPACITANCE_PF_PER_CM, 2.0);
+        assert_eq!(UNIT_RESISTANCE_KOHM_PER_CM, 2.4);
+    }
+}

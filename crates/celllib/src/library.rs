@@ -1,0 +1,294 @@
+//! The standard-cell library: a catalogue of [`Cell`]s indexed by function,
+//! fan-in count and drive strength.
+
+use std::collections::HashMap;
+
+use rapids_netlist::{Gate, GateType};
+
+use crate::cell::{Cell, DriveStrength};
+
+/// Key used for cell lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CellKey {
+    function: GateType,
+    input_count: usize,
+    drive: DriveStrength,
+}
+
+/// A technology library: the set of available cells plus lookup helpers.
+///
+/// Use [`Library::standard_035um`] for the synthetic 0.35 µm library that
+/// mirrors the one in the paper's evaluation (INV/BUF/NAND/NOR/XOR/XNOR,
+/// 2–4 inputs, 4 drive strengths).  AND/OR/XNOR-free netlists produced by the
+/// technology mapper only use those cells, but the library also characterizes
+/// AND/OR cells so that hand-built example networks can be timed directly.
+#[derive(Debug, Clone)]
+pub struct Library {
+    name: String,
+    cells: HashMap<CellKey, Cell>,
+}
+
+impl Library {
+    /// Creates an empty library.
+    pub fn new(name: impl Into<String>) -> Self {
+        Library { name: name.into(), cells: HashMap::new() }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` if the library holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Adds (or replaces) a cell.
+    pub fn add_cell(&mut self, cell: Cell) {
+        let key = CellKey {
+            function: cell.function,
+            input_count: cell.input_count,
+            drive: cell.drive,
+        };
+        self.cells.insert(key, cell);
+    }
+
+    /// Looks up a cell by function, fan-in count and drive strength.
+    pub fn cell(&self, function: GateType, input_count: usize, drive: DriveStrength) -> Option<&Cell> {
+        self.cells.get(&CellKey { function, input_count, drive })
+    }
+
+    /// Returns the cell that implements a netlist gate given its current
+    /// `size_class`, falling back to the nearest available fan-in count if the
+    /// exact arity is not characterized (e.g. 6-input AND in a hand-built
+    /// example network).
+    pub fn cell_for_gate(&self, gate: &Gate) -> Option<&Cell> {
+        let drive = DriveStrength::from_size_class(gate.size_class);
+        let n = gate.fanin_count().max(1);
+        if let Some(c) = self.cell(gate.gtype, n, drive) {
+            return Some(c);
+        }
+        // Fall back to the largest characterized arity of the same function.
+        (1..=n)
+            .rev()
+            .find_map(|k| self.cell(gate.gtype, k, drive))
+    }
+
+    /// All drive strengths available for a (function, arity) pair, weakest
+    /// first.  This is the candidate set explored by gate sizing.
+    pub fn available_drives(&self, function: GateType, input_count: usize) -> Vec<DriveStrength> {
+        DriveStrength::ALL
+            .iter()
+            .copied()
+            .filter(|&d| self.cell(function, input_count, d).is_some())
+            .collect()
+    }
+
+    /// Total standard-cell area of a network's live logic gates under their
+    /// current drive-strength assignment, in µm².  Gates without a library
+    /// cell (e.g. very wide hand-built gates) contribute a nominal 25 µm².
+    pub fn network_area_um2(&self, network: &rapids_netlist::Network) -> f64 {
+        network
+            .iter_logic()
+            .map(|g| {
+                self.cell_for_gate(network.gate(g))
+                    .map(|c| c.area_um2)
+                    .unwrap_or(25.0)
+            })
+            .sum()
+    }
+
+    /// Builds the synthetic 0.35 µm library described in `DESIGN.md`.
+    ///
+    /// Base parameters (X1):
+    /// * INV: area 13 µm², pin cap 0.008 pF, drive 1.6 kΩ, intrinsic 0.05/0.04 ns
+    /// * NAND/NOR 2–4 inputs: area grows with arity, NOR slightly slower
+    ///   (series PMOS), XOR/XNOR roughly 2× a NAND of the same arity.
+    ///
+    /// For each higher drive strength, area and pin capacitance scale with
+    /// the drive factor while drive resistance scales with its inverse —
+    /// the standard constant-RC-product idealization.
+    pub fn standard_035um() -> Library {
+        let mut lib = Library::new("rapids-0.35um");
+        struct Proto {
+            function: GateType,
+            inputs: usize,
+            area: f64,
+            cin: f64,
+            rd: f64,
+            rise: f64,
+            fall: f64,
+        }
+        let mut protos: Vec<Proto> = Vec::new();
+        // Unary cells.  Areas are full-cell footprints (row height × width)
+        // of a generous 0.35 µm library, which keeps die sides in the
+        // millimetre range for the Table 1 circuits so that interconnect is
+        // a first-order effect, as in the paper's experiments.
+        protos.push(Proto { function: GateType::Inv, inputs: 1, area: 55.0, cin: 0.008, rd: 1.6, rise: 0.050, fall: 0.040 });
+        protos.push(Proto { function: GateType::Buf, inputs: 1, area: 80.0, cin: 0.008, rd: 1.4, rise: 0.090, fall: 0.080 });
+        // Multi-input families; arity 2..=4.
+        for n in 2..=4usize {
+            let nf = n as f64;
+            protos.push(Proto {
+                function: GateType::Nand,
+                inputs: n,
+                area: 65.0 + 32.0 * nf,
+                cin: 0.009 + 0.001 * nf,
+                rd: 1.7 + 0.25 * nf,
+                rise: 0.055 + 0.012 * nf,
+                fall: 0.045 + 0.010 * nf,
+            });
+            protos.push(Proto {
+                function: GateType::Nor,
+                inputs: n,
+                area: 65.0 + 36.0 * nf,
+                cin: 0.009 + 0.001 * nf,
+                rd: 1.9 + 0.35 * nf,
+                rise: 0.065 + 0.016 * nf,
+                fall: 0.045 + 0.010 * nf,
+            });
+            protos.push(Proto {
+                function: GateType::And,
+                inputs: n,
+                area: 95.0 + 32.0 * nf,
+                cin: 0.009 + 0.001 * nf,
+                rd: 1.8 + 0.25 * nf,
+                rise: 0.095 + 0.014 * nf,
+                fall: 0.085 + 0.012 * nf,
+            });
+            protos.push(Proto {
+                function: GateType::Or,
+                inputs: n,
+                area: 95.0 + 36.0 * nf,
+                cin: 0.009 + 0.001 * nf,
+                rd: 1.9 + 0.30 * nf,
+                rise: 0.095 + 0.016 * nf,
+                fall: 0.085 + 0.013 * nf,
+            });
+            protos.push(Proto {
+                function: GateType::Xor,
+                inputs: n,
+                area: 145.0 + 56.0 * nf,
+                cin: 0.012 + 0.002 * nf,
+                rd: 2.2 + 0.40 * nf,
+                rise: 0.110 + 0.025 * nf,
+                fall: 0.100 + 0.022 * nf,
+            });
+            protos.push(Proto {
+                function: GateType::Xnor,
+                inputs: n,
+                area: 145.0 + 56.0 * nf,
+                cin: 0.012 + 0.002 * nf,
+                rd: 2.2 + 0.40 * nf,
+                rise: 0.112 + 0.025 * nf,
+                fall: 0.102 + 0.022 * nf,
+            });
+        }
+        for p in protos {
+            for drive in DriveStrength::ALL {
+                let k = drive.factor();
+                lib.add_cell(Cell {
+                    function: p.function,
+                    input_count: p.inputs,
+                    drive,
+                    area_um2: p.area * (0.6 + 0.4 * k),
+                    input_capacitance_pf: p.cin * (0.7 + 0.3 * k),
+                    drive_resistance_kohm: p.rd / k,
+                    intrinsic_rise_ns: p.rise,
+                    intrinsic_fall_ns: p.fall,
+                });
+            }
+        }
+        lib
+    }
+}
+
+impl Default for Library {
+    fn default() -> Self {
+        Library::standard_035um()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::Gate;
+
+    #[test]
+    fn standard_library_has_four_drives_per_function() {
+        let lib = Library::standard_035um();
+        for f in [GateType::Nand, GateType::Nor, GateType::Xor, GateType::Xnor] {
+            for n in 2..=4 {
+                assert_eq!(lib.available_drives(f, n).len(), 4, "{f} {n}");
+            }
+        }
+        assert_eq!(lib.available_drives(GateType::Inv, 1).len(), 4);
+        // 2 unary functions + 6 families * 3 arities, times 4 drives.
+        assert_eq!(lib.len(), (2 + 6 * 3) * 4);
+    }
+
+    #[test]
+    fn sizing_monotonicity() {
+        let lib = Library::standard_035um();
+        for n in 2..=4 {
+            let mut prev_area = 0.0;
+            let mut prev_res = f64::INFINITY;
+            for d in DriveStrength::ALL {
+                let c = lib.cell(GateType::Nand, n, d).unwrap();
+                assert!(c.area_um2 > prev_area);
+                assert!(c.drive_resistance_kohm < prev_res);
+                prev_area = c.area_um2;
+                prev_res = c.drive_resistance_kohm;
+            }
+        }
+    }
+
+    #[test]
+    fn xor_slower_than_nand() {
+        let lib = Library::standard_035um();
+        let nand = lib.cell(GateType::Nand, 2, DriveStrength::X1).unwrap();
+        let xor = lib.cell(GateType::Xor, 2, DriveStrength::X1).unwrap();
+        assert!(xor.intrinsic_rise_ns > nand.intrinsic_rise_ns);
+        assert!(xor.area_um2 > nand.area_um2);
+    }
+
+    #[test]
+    fn cell_for_gate_uses_size_class_and_falls_back() {
+        let lib = Library::standard_035um();
+        let mut g = Gate::new(GateType::Nand, vec![0.into(), 1.into()], "g");
+        g.size_class = 2;
+        let c = lib.cell_for_gate(&g).unwrap();
+        assert_eq!(c.drive, DriveStrength::X4);
+        assert_eq!(c.input_count, 2);
+        // 6-input AND is not in the library; falls back to AND4.
+        let wide = Gate::new(
+            GateType::And,
+            vec![0.into(), 1.into(), 2.into(), 3.into(), 4.into(), 5.into()],
+            "wide",
+        );
+        let c = lib.cell_for_gate(&wide).unwrap();
+        assert_eq!(c.input_count, 4);
+    }
+
+    #[test]
+    fn missing_cell_is_none() {
+        let lib = Library::standard_035um();
+        assert!(lib.cell(GateType::Nand, 7, DriveStrength::X1).is_none());
+        assert!(lib.cell(GateType::Input, 0, DriveStrength::X1).is_none());
+    }
+
+    #[test]
+    fn empty_and_default() {
+        let lib = Library::new("x");
+        assert!(lib.is_empty());
+        let d = Library::default();
+        assert!(!d.is_empty());
+        assert_eq!(d.name(), "rapids-0.35um");
+    }
+}

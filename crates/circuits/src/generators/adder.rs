@@ -1,0 +1,172 @@
+//! Ripple-carry and carry-select adders: the canonical "long critical path"
+//! arithmetic circuits used to exercise timing optimization.
+
+use rapids_netlist::{GateType, Network, NetworkBuilder};
+
+/// Builds an `n`-bit ripple-carry adder (`2n + 1` inputs, `n + 1` outputs).
+///
+/// Each bit is a textbook full adder: two XORs for the sum, two ANDs and an
+/// OR for the carry.
+///
+/// # Panics
+///
+/// Panics if `bits == 0`.
+pub fn ripple_carry_adder(bits: usize) -> Network {
+    assert!(bits > 0, "adder width must be positive");
+    let mut b = NetworkBuilder::new(format!("rca{bits}"));
+    b.input("cin");
+    for i in 0..bits {
+        b.input(format!("a{i}"));
+        b.input(format!("b{i}"));
+    }
+    let mut carry = "cin".to_string();
+    for i in 0..bits {
+        let a = format!("a{i}");
+        let bb = format!("b{i}");
+        let p = format!("p{i}");
+        let g = format!("g{i}");
+        let t = format!("t{i}");
+        let s = format!("sum{i}");
+        let c = format!("c{i}");
+        b.gate(&p, GateType::Xor, &[&a, &bb]);
+        b.gate(&g, GateType::And, &[&a, &bb]);
+        b.gate(&s, GateType::Xor, &[&p, &carry]);
+        b.gate(&t, GateType::And, &[&p, &carry]);
+        b.gate(&c, GateType::Or, &[&g, &t]);
+        b.output(&s);
+        carry = c;
+    }
+    b.output(&carry);
+    b.finish().expect("generated adder is structurally valid")
+}
+
+/// Builds an `n`-bit carry-select adder: the high half is computed twice
+/// (with carry-in 0 and 1) and selected, producing the wide multiplexer
+/// structures that give the rewiring engine OR-supergates to work with.
+///
+/// # Panics
+///
+/// Panics if `bits < 2`.
+pub fn carry_select_adder(bits: usize) -> Network {
+    assert!(bits >= 2, "carry-select adder needs at least 2 bits");
+    let low_bits = bits / 2;
+    let high_bits = bits - low_bits;
+    let mut b = NetworkBuilder::new(format!("csa{bits}"));
+    b.input("cin");
+    for i in 0..bits {
+        b.input(format!("a{i}"));
+        b.input(format!("b{i}"));
+    }
+
+    // Low half: plain ripple.
+    let mut carry = "cin".to_string();
+    for i in 0..low_bits {
+        let a = format!("a{i}");
+        let bb = format!("b{i}");
+        b.gate(format!("lp{i}"), GateType::Xor, &[&a, &bb]);
+        b.gate(format!("lg{i}"), GateType::And, &[&a, &bb]);
+        b.gate(format!("sum{i}"), GateType::Xor, &[&format!("lp{i}"), &carry]);
+        b.gate(format!("lt{i}"), GateType::And, &[&format!("lp{i}"), &carry]);
+        b.gate(format!("lc{i}"), GateType::Or, &[&format!("lg{i}"), &format!("lt{i}")]);
+        b.output(format!("sum{i}"));
+        carry = format!("lc{i}");
+    }
+    let select = carry;
+
+    // High half twice, with constant carry-in 0 and 1.
+    b.constant("zero", false);
+    b.constant("one", true);
+    for (tag, cin_name) in [("z", "zero"), ("o", "one")] {
+        let mut c = cin_name.to_string();
+        for i in 0..high_bits {
+            let bit = low_bits + i;
+            let a = format!("a{bit}");
+            let bb = format!("b{bit}");
+            b.gate(format!("{tag}p{i}"), GateType::Xor, &[&a, &bb]);
+            b.gate(format!("{tag}g{i}"), GateType::And, &[&a, &bb]);
+            b.gate(format!("{tag}s{i}"), GateType::Xor, &[&format!("{tag}p{i}"), &c]);
+            b.gate(format!("{tag}t{i}"), GateType::And, &[&format!("{tag}p{i}"), &c]);
+            b.gate(format!("{tag}c{i}"), GateType::Or, &[&format!("{tag}g{i}"), &format!("{tag}t{i}")]);
+            c = format!("{tag}c{i}");
+        }
+        b.gate(format!("{tag}cout"), GateType::Buf, &[&c]);
+    }
+
+    // Select between the two speculative halves.
+    b.gate("nsel", GateType::Inv, &["nselsrc"]);
+    b.gate("nselsrc", GateType::Buf, &[&select]);
+    for i in 0..high_bits {
+        let bit = low_bits + i;
+        b.gate(format!("m0_{i}"), GateType::And, &[&format!("zs{i}"), "nsel"]);
+        b.gate(format!("m1_{i}"), GateType::And, &[&format!("os{i}"), "nselsrc"]);
+        b.gate(format!("sum{bit}"), GateType::Or, &[&format!("m0_{i}"), &format!("m1_{i}")]);
+        b.output(format!("sum{bit}"));
+    }
+    b.gate("cm0", GateType::And, &["zcout", "nsel"]);
+    b.gate("cm1", GateType::And, &["ocout", "nselsrc"]);
+    b.gate("cout", GateType::Or, &["cm0", "cm1"]);
+    b.output("cout");
+    b.finish().expect("generated carry-select adder is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_sim::Simulator;
+
+    fn add_via_sim(n: &Network, bits: usize, a: u64, b: u64, cin: bool) -> u64 {
+        let sim = Simulator::new(n);
+        // Inputs were declared as cin, a0, b0, a1, b1, ...
+        let mut inputs = vec![cin];
+        for i in 0..bits {
+            inputs.push((a >> i) & 1 == 1);
+            inputs.push((b >> i) & 1 == 1);
+        }
+        let outs = sim.simulate_bools(n, &inputs);
+        // Outputs: sum0..sum{bits-1}, cout.
+        let mut value = 0u64;
+        for (i, &bit) in outs.iter().enumerate() {
+            if bit {
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    #[test]
+    fn ripple_carry_adds_correctly() {
+        let bits = 6;
+        let n = ripple_carry_adder(bits);
+        for (a, b, c) in [(0u64, 0u64, false), (13, 21, false), (63, 1, false), (33, 30, true), (63, 63, true)] {
+            let got = add_via_sim(&n, bits, a, b, c);
+            let expect = a + b + c as u64;
+            assert_eq!(got, expect, "{a}+{b}+{c}");
+        }
+    }
+
+    #[test]
+    fn carry_select_matches_ripple() {
+        let bits = 8;
+        let rca = ripple_carry_adder(bits);
+        let csa = carry_select_adder(bits);
+        for (a, b, c) in [(0u64, 0u64, false), (200, 55, true), (129, 126, false), (255, 255, true), (170, 85, false)] {
+            assert_eq!(
+                add_via_sim(&rca, bits, a, b, c),
+                add_via_sim(&csa, bits, a, b, c),
+                "{a}+{b}+{c}"
+            );
+        }
+    }
+
+    #[test]
+    fn sizes_scale_with_width() {
+        assert!(ripple_carry_adder(16).logic_gate_count() > ripple_carry_adder(4).logic_gate_count());
+        assert_eq!(ripple_carry_adder(4).logic_gate_count(), 20);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_width_rejected() {
+        let _ = ripple_carry_adder(0);
+    }
+}

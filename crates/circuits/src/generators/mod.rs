@@ -1,0 +1,7 @@
+//! Circuit generators, one module per structural family.
+
+pub mod adder;
+pub mod alu;
+pub mod multiplier;
+pub mod parity;
+pub mod random_logic;

@@ -1,0 +1,165 @@
+//! XOR-dominated circuits — the c499/c1355 family (single-error-correcting
+//! circuits built almost entirely from XOR trees) and plain parity trees.
+//!
+//! XOR supergates are the second symmetry class exploited by the paper
+//! (xor-reachable pins, Lemma 8), so these generators exist specifically to
+//! exercise that path.
+
+use rapids_netlist::{GateType, Network, NetworkBuilder};
+
+/// Builds a balanced XOR parity tree over `width` inputs with a single
+/// output.
+///
+/// # Panics
+///
+/// Panics if `width < 2`.
+pub fn parity_tree(width: usize) -> Network {
+    assert!(width >= 2, "parity tree needs at least 2 inputs");
+    let mut b = NetworkBuilder::new(format!("parity{width}"));
+    let mut level: Vec<String> = (0..width)
+        .map(|i| {
+            let name = format!("x{i}");
+            b.input(&name);
+            name
+        })
+        .collect();
+    let mut counter = 0usize;
+    while level.len() > 1 {
+        let mut next = Vec::new();
+        for pair in level.chunks(2) {
+            if pair.len() == 2 {
+                let name = format!("n{counter}");
+                counter += 1;
+                b.gate(&name, GateType::Xor, &[&pair[0], &pair[1]]);
+                next.push(name);
+            } else {
+                next.push(pair[0].clone());
+            }
+        }
+        level = next;
+    }
+    b.gate("parity", GateType::Buf, &[&level[0]]);
+    b.output("parity");
+    b.finish().expect("generated parity tree is structurally valid")
+}
+
+/// Builds a single-error-correcting style circuit in the spirit of c499:
+/// `data_words` data groups of `group_size` bits each are XOR-folded into a
+/// syndrome, the syndrome is decoded with AND gates, and the decoded lines
+/// correct (XOR) the data outputs.
+///
+/// # Panics
+///
+/// Panics if `data_words < 2` or `group_size < 2`.
+pub fn error_corrector(data_words: usize, group_size: usize) -> Network {
+    assert!(data_words >= 2 && group_size >= 2, "error corrector needs at least a 2x2 data block");
+    let mut b = NetworkBuilder::new(format!("ecc{data_words}x{group_size}"));
+    for w in 0..data_words {
+        for i in 0..group_size {
+            b.input(format!("d{w}_{i}"));
+        }
+    }
+    for i in 0..group_size {
+        b.input(format!("chk{i}"));
+    }
+
+    // Column syndromes: XOR down each bit position across words, then XOR
+    // with the check bit.
+    for i in 0..group_size {
+        let mut acc = format!("d0_{i}");
+        for w in 1..data_words {
+            let name = format!("col{i}_{w}");
+            b.gate(&name, GateType::Xor, &[&acc, &format!("d{w}_{i}")]);
+            acc = name;
+        }
+        b.gate(format!("syn{i}"), GateType::Xor, &[&acc, &format!("chk{i}")]);
+    }
+    // Row parities: XOR across each word.
+    for w in 0..data_words {
+        let mut acc = format!("d{w}_0");
+        for i in 1..group_size {
+            let name = format!("row{w}_{i}");
+            b.gate(&name, GateType::Xor, &[&acc, &format!("d{w}_{i}")]);
+            acc = name;
+        }
+        b.gate(format!("rowp{w}"), GateType::Buf, &[&acc]);
+    }
+    // Correction: data bit (w, i) flips when both its row parity and its
+    // column syndrome indicate an error.
+    for w in 0..data_words {
+        for i in 0..group_size {
+            b.gate(format!("hit{w}_{i}"), GateType::And, &[&format!("rowp{w}"), &format!("syn{i}")]);
+            b.gate(format!("out{w}_{i}"), GateType::Xor, &[&format!("d{w}_{i}"), &format!("hit{w}_{i}")]);
+            b.output(format!("out{w}_{i}"));
+        }
+    }
+    b.finish().expect("generated error corrector is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::NetworkStats;
+    use rapids_sim::Simulator;
+
+    #[test]
+    fn parity_matches_popcount() {
+        let width = 9;
+        let n = parity_tree(width);
+        let sim = Simulator::new(&n);
+        for value in [0u64, 1, 0b101, 0b111111111, 0b100100100, 0b011011011] {
+            let inputs: Vec<bool> = (0..width).map(|i| (value >> i) & 1 == 1).collect();
+            let out = sim.simulate_bools(&n, &inputs);
+            assert_eq!(out[0], value.count_ones() % 2 == 1, "value {value:b}");
+        }
+    }
+
+    #[test]
+    fn parity_tree_depth_is_logarithmic() {
+        let n = parity_tree(16);
+        let stats = NetworkStats::compute(&n);
+        assert_eq!(stats.gate_count, 16); // 15 XORs + 1 BUF
+        assert!(stats.depth <= 6);
+    }
+
+    #[test]
+    fn error_corrector_is_xor_dominated() {
+        let n = error_corrector(4, 8);
+        let stats = NetworkStats::compute(&n);
+        let xor_count = stats.count_of(GateType::Xor);
+        assert!(xor_count * 2 > stats.gate_count, "XOR should dominate: {stats}");
+        assert_eq!(n.outputs().len(), 32);
+    }
+
+    #[test]
+    fn error_corrector_passes_clean_data_through() {
+        let (words, group) = (2, 3);
+        let n = error_corrector(words, group);
+        let sim = Simulator::new(&n);
+        // Choose data; compute check bits = column parity so syndrome is 0.
+        let data = [[true, false, true], [false, true, true]];
+        let mut inputs = Vec::new();
+        for w in 0..words {
+            for i in 0..group {
+                inputs.push(data[w][i]);
+            }
+        }
+        for i in 0..group {
+            inputs.push(data[0][i] ^ data[1][i]);
+        }
+        let outs = sim.simulate_bools(&n, &inputs);
+        let mut k = 0;
+        for w in 0..words {
+            for i in 0..group {
+                assert_eq!(outs[k], data[w][i], "clean data must pass through unchanged");
+                k += 1;
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn tiny_parity_rejected() {
+        let _ = parity_tree(1);
+    }
+}

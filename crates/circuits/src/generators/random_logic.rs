@@ -1,0 +1,208 @@
+//! Random multi-level control logic — stands in for the MCNC control
+//! benchmarks (c432, c1908, c2670, x3, i8, k2, …) and for the ISCAS-89
+//! sequential circuits with their flip-flops removed (s5378, s13207, …,
+//! which the paper treats "as combinational ones with all sequential
+//! elements removed").
+//!
+//! The generator builds a layered DAG with a controllable gate-type mix,
+//! fan-in distribution and reconvergence, so the supergate extractor sees
+//! fanout-free regions of realistic shapes and sizes.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use rapids_netlist::{GateType, Network, NetworkBuilder};
+
+/// Parameters of the random-logic generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomLogicConfig {
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Number of primary outputs.
+    pub outputs: usize,
+    /// Target number of logic gates.
+    pub gates: usize,
+    /// Fraction of XOR/XNOR gates (arithmetic-ish flavour), `0.0 ..= 1.0`.
+    pub xor_fraction: f64,
+    /// Fraction of single-input gates (inverters/buffers), `0.0 ..= 1.0`.
+    pub inverter_fraction: f64,
+    /// Maximum fan-in of generated gates (clamped to 2..=4 for library
+    /// compatibility before mapping).
+    pub max_fanin: usize,
+    /// Locality of connections: probability that a fan-in is drawn from the
+    /// most recent window of gates rather than uniformly from all earlier
+    /// signals.  Higher values produce deeper, more chain-like circuits.
+    pub locality: f64,
+}
+
+impl Default for RandomLogicConfig {
+    fn default() -> Self {
+        RandomLogicConfig {
+            inputs: 32,
+            outputs: 16,
+            gates: 500,
+            xor_fraction: 0.08,
+            inverter_fraction: 0.12,
+            max_fanin: 4,
+            locality: 0.7,
+        }
+    }
+}
+
+impl RandomLogicConfig {
+    /// Convenience constructor targeting a gate count with default mix.
+    pub fn with_gates(gates: usize) -> Self {
+        let inputs = (gates / 12).clamp(8, 256);
+        let outputs = (gates / 20).clamp(4, 256);
+        RandomLogicConfig { inputs, outputs, gates, ..Self::default() }
+    }
+}
+
+/// Builds a random layered control-logic network.
+///
+/// The construction is deterministic for a given `(config, seed)` pair.
+///
+/// # Panics
+///
+/// Panics if `config.inputs == 0`, `config.outputs == 0` or
+/// `config.gates == 0`.
+pub fn random_logic(config: &RandomLogicConfig, seed: u64) -> Network {
+    assert!(config.inputs > 0 && config.outputs > 0 && config.gates > 0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = NetworkBuilder::new(format!("rand{}g", config.gates));
+    let mut signals: Vec<String> = Vec::with_capacity(config.inputs + config.gates);
+    for i in 0..config.inputs {
+        let name = format!("pi{i}");
+        b.input(&name);
+        signals.push(name);
+    }
+    let max_fanin = config.max_fanin.clamp(2, 4);
+    let window = (config.gates / 10).clamp(8, 200);
+
+    for g in 0..config.gates {
+        let name = format!("n{g}");
+        let r: f64 = rng.gen();
+        let gtype = if r < config.inverter_fraction {
+            if rng.gen_bool(0.8) {
+                GateType::Inv
+            } else {
+                GateType::Buf
+            }
+        } else if r < config.inverter_fraction + config.xor_fraction {
+            if rng.gen_bool(0.5) {
+                GateType::Xor
+            } else {
+                GateType::Xnor
+            }
+        } else {
+            match rng.gen_range(0..4) {
+                0 => GateType::And,
+                1 => GateType::Or,
+                2 => GateType::Nand,
+                _ => GateType::Nor,
+            }
+        };
+        let fanin_count = if gtype.is_identity() {
+            1
+        } else {
+            rng.gen_range(2..=max_fanin)
+        };
+        let mut fanins: Vec<String> = Vec::with_capacity(fanin_count);
+        while fanins.len() < fanin_count {
+            let pick = if rng.gen_bool(config.locality) && signals.len() > window {
+                let lo = signals.len() - window;
+                rng.gen_range(lo..signals.len())
+            } else {
+                rng.gen_range(0..signals.len())
+            };
+            let candidate = signals[pick].clone();
+            if !fanins.contains(&candidate) {
+                fanins.push(candidate);
+            } else if signals.len() <= fanin_count {
+                // Tiny signal pool: allow a repeat rather than looping forever.
+                fanins.push(candidate);
+            }
+        }
+        let fanin_refs: Vec<&str> = fanins.iter().map(|s| s.as_str()).collect();
+        b.gate(&name, gtype, &fanin_refs);
+        signals.push(name);
+    }
+
+    // Outputs: prefer late signals so most of the network is observable.
+    let total = signals.len();
+    for o in 0..config.outputs {
+        let idx = total - 1 - (o * 7) % (config.gates.min(total - config.inputs).max(1));
+        b.output(signals[idx].clone());
+    }
+    b.finish().expect("generated random logic is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::NetworkStats;
+
+    #[test]
+    fn respects_gate_count_and_interface() {
+        let cfg = RandomLogicConfig { inputs: 16, outputs: 8, gates: 300, ..Default::default() };
+        let n = random_logic(&cfg, 1);
+        assert_eq!(n.inputs().len(), 16);
+        assert_eq!(n.outputs().len(), 8);
+        assert_eq!(n.logic_gate_count(), 300);
+        assert!(n.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = RandomLogicConfig::with_gates(200);
+        let a = random_logic(&cfg, 9);
+        let b = random_logic(&cfg, 9);
+        let c = random_logic(&cfg, 10);
+        assert_eq!(
+            rapids_netlist::blif::write_string(&a),
+            rapids_netlist::blif::write_string(&b)
+        );
+        assert_ne!(
+            rapids_netlist::blif::write_string(&a),
+            rapids_netlist::blif::write_string(&c)
+        );
+    }
+
+    #[test]
+    fn xor_fraction_controls_mix() {
+        let base = RandomLogicConfig::with_gates(600);
+        let arithmetic = RandomLogicConfig { xor_fraction: 0.5, ..base.clone() };
+        let control = RandomLogicConfig { xor_fraction: 0.0, ..base };
+        let na = random_logic(&arithmetic, 3);
+        let nc = random_logic(&control, 3);
+        let sa = NetworkStats::compute(&na);
+        let sc = NetworkStats::compute(&nc);
+        let xa = sa.count_of(GateType::Xor) + sa.count_of(GateType::Xnor);
+        let xc = sc.count_of(GateType::Xor) + sc.count_of(GateType::Xnor);
+        assert!(xa > 10 * (xc + 1));
+    }
+
+    #[test]
+    fn max_fanin_respected() {
+        let cfg = RandomLogicConfig { max_fanin: 3, ..RandomLogicConfig::with_gates(250) };
+        let n = random_logic(&cfg, 4);
+        for g in n.iter_logic() {
+            assert!(n.fanins(g).len() <= 3);
+        }
+    }
+
+    #[test]
+    fn with_gates_scales_interface() {
+        let small = RandomLogicConfig::with_gates(100);
+        let large = RandomLogicConfig::with_gates(5000);
+        assert!(large.inputs > small.inputs);
+        assert!(large.outputs > small.outputs);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_gates_rejected() {
+        let cfg = RandomLogicConfig { gates: 0, ..Default::default() };
+        let _ = random_logic(&cfg, 0);
+    }
+}

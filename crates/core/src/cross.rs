@@ -1,0 +1,341 @@
+//! Cross-supergate swapping (Theorem 2, Fig. 3).
+//!
+//! Let SG1 and SG2 be AND/OR-family supergates with the same number of input
+//! pins whose outputs are symmetric (e.g. they drive two swappable pins of a
+//! common parent supergate).  Their whole fan-in *sets* can then be exchanged
+//! without moving either supergate's cells:
+//!
+//! * if the two supergates compute the same base function, the fan-in sets
+//!   are exchanged directly;
+//! * if they compute dual functions (one AND-like, one OR-like), each
+//!   supergate is first DeMorgan-transformed (Definition 4: inverters added
+//!   to all of its input pins and to its output — the internal gates are
+//!   untouched, so the transformed structure computes the *dual* function of
+//!   its inputs), after which the hardware of SG1 computes SG2's original
+//!   function of the transplanted fan-ins and vice versa.
+//!
+//! Because the parent pins receiving the two outputs are symmetric, having
+//! the two functions appear on exchanged parent pins preserves the overall
+//! network function.  The tests verify this with exhaustive equivalence
+//! checking on the paper's Fig. 3 configuration.
+
+use rapids_netlist::{BaseFunction, GateId, GateType, NetlistError, Network, PinRef};
+
+use crate::supergate::Supergate;
+
+/// Error conditions specific to cross-supergate swapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrossSwapError {
+    /// The two supergates have different numbers of input pins.
+    FaninCountMismatch {
+        /// Inputs of the first supergate.
+        first: usize,
+        /// Inputs of the second supergate.
+        second: usize,
+    },
+    /// One of the supergates is not an AND/OR-family supergate.
+    UnsupportedKind,
+    /// The supergates share gates (they must be disjoint).
+    Overlapping,
+    /// An underlying netlist edit failed.
+    Netlist(NetlistError),
+}
+
+impl std::fmt::Display for CrossSwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CrossSwapError::FaninCountMismatch { first, second } => {
+                write!(f, "fanin counts differ: {first} vs {second}")
+            }
+            CrossSwapError::UnsupportedKind => write!(f, "cross swapping requires AND/OR supergates"),
+            CrossSwapError::Overlapping => write!(f, "supergates overlap"),
+            CrossSwapError::Netlist(e) => write!(f, "netlist edit failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CrossSwapError {}
+
+impl From<NetlistError> for CrossSwapError {
+    fn from(value: NetlistError) -> Self {
+        CrossSwapError::Netlist(value)
+    }
+}
+
+/// Record of an applied cross-supergate swap (for reporting).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrossSwap {
+    /// Root of the first supergate.
+    pub root_a: GateId,
+    /// Root of the second supergate.
+    pub root_b: GateId,
+    /// Whether the DeMorgan transform was applied (dual-function case).
+    pub demorganized: bool,
+    /// Inverters inserted by the DeMorgan transforms.
+    pub inserted_inverters: usize,
+}
+
+/// Applies the DeMorgan transform of Definition 4 to a supergate: an
+/// inverter is inserted on every input pin and after the output.  The
+/// internal gates are untouched, so the transformed structure computes the
+/// **dual** function of its (pre-inverter) inputs: `DeMorgan(AND)(x) =
+/// ¬AND(¬x) = OR(x)` and vice versa.
+///
+/// Returns the ids of the inserted inverters (leaf inverters first, output
+/// inverter last).
+///
+/// # Errors
+///
+/// Returns [`CrossSwapError::UnsupportedKind`] if the supergate contains an
+/// XOR-family member, and propagates netlist errors otherwise.
+pub fn demorgan_transform(
+    network: &mut Network,
+    supergate: &Supergate,
+) -> Result<Vec<GateId>, CrossSwapError> {
+    for &member in &supergate.members {
+        if network.gate(member).gtype.is_xor_family() {
+            return Err(CrossSwapError::UnsupportedKind);
+        }
+    }
+    let mut inverters = Vec::new();
+    // Invert every input pin.
+    for leaf in &supergate.leaves {
+        let inv = network.insert_inverter(leaf.pin, format!("dm_in_{}", leaf.pin))?;
+        inverters.push(inv);
+    }
+    // Invert the output: create an inverter fed by the root and move all of
+    // the root's former sinks and output ports onto it.
+    let root = supergate.root;
+    let sinks: Vec<GateId> = network.fanouts(root).to_vec();
+    let out_inv = network.add_gate(GateType::Inv, &[root], format!("dm_out_{root}"))?;
+    for sink in sinks {
+        let pins: Vec<usize> = network
+            .fanins(sink)
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d == root)
+            .map(|(i, _)| i)
+            .collect();
+        for idx in pins {
+            network.replace_pin_driver(PinRef::new(sink, idx), out_inv)?;
+        }
+    }
+    network.redirect_output_ports(root, out_inv)?;
+    inverters.push(out_inv);
+    Ok(inverters)
+}
+
+/// Exchanges the fan-in sets of two symmetric supergates (Theorem 2).
+///
+/// The caller is responsible for having established that the two supergate
+/// *outputs* are symmetric (typically because they drive swappable pins of a
+/// common parent supergate).  Leaf `i` of `a` receives the driver of leaf `i`
+/// of `b` and vice versa; when the supergates compute dual base functions,
+/// both are DeMorgan-transformed first.
+///
+/// # Errors
+///
+/// See [`CrossSwapError`].
+pub fn cross_supergate_swap(
+    network: &mut Network,
+    a: &Supergate,
+    b: &Supergate,
+) -> Result<CrossSwap, CrossSwapError> {
+    if a.input_count() != b.input_count() {
+        return Err(CrossSwapError::FaninCountMismatch {
+            first: a.input_count(),
+            second: b.input_count(),
+        });
+    }
+    let kind_a = base_kind(network, a)?;
+    let kind_b = base_kind(network, b)?;
+    if a.members.iter().any(|m| b.members.contains(m)) {
+        return Err(CrossSwapError::Overlapping);
+    }
+    let mut inserted = 0usize;
+    let demorganized = kind_a != kind_b;
+    if demorganized {
+        inserted += demorgan_transform(network, a)?.len();
+        inserted += demorgan_transform(network, b)?.len();
+    }
+    // Exchange the external drivers of the paired leaves.  After a DeMorgan
+    // transform the leaf pins are fed through fresh inverters, so the pins to
+    // rewire are those inverters' inputs — either way the original external
+    // drivers are what gets exchanged.
+    for (la, lb) in a.leaves.iter().zip(&b.leaves) {
+        let pin_a = current_external_pin(network, la.pin, demorganized);
+        let pin_b = current_external_pin(network, lb.pin, demorganized);
+        network.swap_pin_drivers(pin_a, pin_b)?;
+    }
+    Ok(CrossSwap {
+        root_a: a.root,
+        root_b: b.root,
+        demorganized,
+        inserted_inverters: inserted,
+    })
+}
+
+/// After a DeMorgan transform the leaf pin is driven by a fresh inverter; the
+/// pin whose driver must then be exchanged is that inverter's input pin.
+fn current_external_pin(network: &Network, pin: PinRef, demorganized: bool) -> PinRef {
+    if !demorganized {
+        return pin;
+    }
+    let driver = network
+        .pin_driver(pin)
+        .expect("leaf pin exists after transform");
+    PinRef::new(driver, 0)
+}
+
+fn base_kind(network: &Network, sg: &Supergate) -> Result<BaseFunction, CrossSwapError> {
+    let base = network.gate(sg.root).gtype.base_function();
+    match base {
+        BaseFunction::And | BaseFunction::Or => Ok(base),
+        _ => Err(CrossSwapError::UnsupportedKind),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supergate::extract_supergates;
+    use rapids_netlist::NetworkBuilder;
+    use rapids_sim::check_equivalence_exhaustive;
+
+    /// Fig. 3 configuration: two 3-input supergates SG1 = AND(a, b, c) and
+    /// SG2 = OR(d, e, g) feeding the two (symmetric) pins of an XOR parent.
+    fn fig3() -> Network {
+        let mut builder = NetworkBuilder::new("fig3");
+        builder.inputs(["a", "b", "c", "d", "e", "g"]);
+        builder.gate("sg1", GateType::And, &["a", "b", "c"]);
+        builder.gate("sg2", GateType::Or, &["d", "e", "g"]);
+        builder.gate("parent", GateType::Xor, &["sg1", "sg2"]);
+        builder.output("parent");
+        builder.finish().unwrap()
+    }
+
+    #[test]
+    fn demorgan_transform_computes_the_dual_function() {
+        // Stand-alone AND(a, b, c) becomes OR(a, b, c) after the transform.
+        let mut builder = NetworkBuilder::new("dm");
+        builder.inputs(["a", "b", "c"]);
+        builder.gate("f", GateType::And, &["a", "b", "c"]);
+        builder.output("f");
+        let mut n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let sg = ex.supergate_of_root(n.find_by_name("f").unwrap()).unwrap().clone();
+        let inverters = demorgan_transform(&mut n, &sg).unwrap();
+        assert_eq!(inverters.len(), sg.input_count() + 1);
+        assert!(n.check_consistency().is_ok());
+
+        let mut reference_builder = NetworkBuilder::new("or");
+        reference_builder.inputs(["a", "b", "c"]);
+        reference_builder.gate("f", GateType::Or, &["a", "b", "c"]);
+        reference_builder.output("f");
+        let reference = reference_builder.finish().unwrap();
+        assert!(check_equivalence_exhaustive(&reference, &n).is_equivalent());
+    }
+
+    #[test]
+    fn cross_swap_between_dual_supergates_preserves_function() {
+        let reference = fig3();
+        let mut n = reference.clone();
+        let ex = extract_supergates(&n);
+        let sg1 = ex.supergate_of_root(n.find_by_name("sg1").unwrap()).unwrap().clone();
+        let sg2 = ex.supergate_of_root(n.find_by_name("sg2").unwrap()).unwrap().clone();
+        let record = cross_supergate_swap(&mut n, &sg1, &sg2).unwrap();
+        assert!(record.demorganized);
+        assert_eq!(record.inserted_inverters, 8);
+        assert!(check_equivalence_exhaustive(&reference, &n).is_equivalent());
+        assert!(n.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn cross_swap_between_same_kind_supergates_needs_no_inverters() {
+        let mut builder = NetworkBuilder::new("same");
+        builder.inputs(["a", "b", "c", "d"]);
+        builder.gate("sg1", GateType::And, &["a", "b"]);
+        builder.gate("sg2", GateType::And, &["c", "d"]);
+        builder.gate("parent", GateType::Xor, &["sg1", "sg2"]);
+        builder.output("parent");
+        let reference = builder.finish().unwrap();
+        let mut n = reference.clone();
+        let ex = extract_supergates(&n);
+        let sg1 = ex.supergate_of_root(n.find_by_name("sg1").unwrap()).unwrap().clone();
+        let sg2 = ex.supergate_of_root(n.find_by_name("sg2").unwrap()).unwrap().clone();
+        let record = cross_supergate_swap(&mut n, &sg1, &sg2).unwrap();
+        assert!(!record.demorganized);
+        assert_eq!(record.inserted_inverters, 0);
+        assert_eq!(n.live_gate_count(), reference.live_gate_count());
+        assert!(check_equivalence_exhaustive(&reference, &n).is_equivalent());
+    }
+
+    #[test]
+    fn nand_nor_duals_also_swap() {
+        // NAND and NOR roots: the parent's pins must be symmetric for both
+        // output polarities, which XNOR provides.
+        let mut builder = NetworkBuilder::new("inverted_forms");
+        builder.inputs(["a", "b", "c", "d"]);
+        builder.gate("sg1", GateType::Nand, &["a", "b"]);
+        builder.gate("sg2", GateType::Nor, &["c", "d"]);
+        builder.gate("parent", GateType::Xnor, &["sg1", "sg2"]);
+        builder.output("parent");
+        let reference = builder.finish().unwrap();
+        let mut n = reference.clone();
+        let ex = extract_supergates(&n);
+        let sg1 = ex.supergate_of_root(n.find_by_name("sg1").unwrap()).unwrap().clone();
+        let sg2 = ex.supergate_of_root(n.find_by_name("sg2").unwrap()).unwrap().clone();
+        let record = cross_supergate_swap(&mut n, &sg1, &sg2).unwrap();
+        assert!(record.demorganized);
+        assert!(check_equivalence_exhaustive(&reference, &n).is_equivalent());
+    }
+
+    #[test]
+    fn mismatched_fanin_counts_rejected() {
+        let mut builder = NetworkBuilder::new("bad");
+        builder.inputs(["a", "b", "c", "d", "e"]);
+        builder.gate("sg1", GateType::And, &["a", "b"]);
+        builder.gate("sg2", GateType::Or, &["c", "d", "e"]);
+        builder.gate("parent", GateType::Xor, &["sg1", "sg2"]);
+        builder.output("parent");
+        let mut n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let sg1 = ex.supergate_of_root(n.find_by_name("sg1").unwrap()).unwrap().clone();
+        let sg2 = ex.supergate_of_root(n.find_by_name("sg2").unwrap()).unwrap().clone();
+        let err = cross_supergate_swap(&mut n, &sg1, &sg2).unwrap_err();
+        assert!(matches!(err, CrossSwapError::FaninCountMismatch { first: 2, second: 3 }));
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn xor_supergates_rejected() {
+        let mut builder = NetworkBuilder::new("badkind");
+        builder.inputs(["a", "b", "c", "d"]);
+        builder.gate("sg1", GateType::Xor, &["a", "b"]);
+        builder.gate("sg2", GateType::Or, &["c", "d"]);
+        builder.gate("parent", GateType::And, &["sg1", "sg2"]);
+        builder.output("parent");
+        let mut n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let sg1 = ex.supergate_of_root(n.find_by_name("sg1").unwrap()).unwrap().clone();
+        let sg2 = ex.supergate_of_root(n.find_by_name("sg2").unwrap()).unwrap().clone();
+        let err = cross_supergate_swap(&mut n, &sg1, &sg2).unwrap_err();
+        assert_eq!(err, CrossSwapError::UnsupportedKind);
+    }
+
+    #[test]
+    fn demorgan_transform_handles_root_driving_primary_output() {
+        let mut builder = NetworkBuilder::new("po");
+        builder.inputs(["a", "b"]);
+        builder.gate("f", GateType::Or, &["a", "b"]);
+        builder.output("f");
+        let mut n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let sg = ex.supergate_of_root(n.find_by_name("f").unwrap()).unwrap().clone();
+        demorgan_transform(&mut n, &sg).unwrap();
+        // Output port must now be driven by the inserted output inverter.
+        let driver = n.outputs()[0].driver;
+        assert_eq!(n.gate(driver).gtype, GateType::Inv);
+        assert!(n.check_consistency().is_ok());
+    }
+}

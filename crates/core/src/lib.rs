@@ -1,0 +1,54 @@
+//! # rapids-core
+//!
+//! RAPIDS — *Rewiring After Placement usIng easily Detectable Symmetries* —
+//! the primary contribution of the DAC 2000 paper reproduced by this
+//! workspace.
+//!
+//! The crate implements, on top of the substrate crates:
+//!
+//! * **Direct backward implication** and controlling-value reasoning (§2) —
+//!   [`implication`].
+//! * **Generalized implication supergate (GISG) extraction** in linear time
+//!   by a reverse-topological traversal (§3.2) — [`supergate`].
+//! * **Symmetry identification** from and-or-reachability / xor-reachability
+//!   (Theorem 1) and the classification of swappable pins into non-inverting
+//!   (NES) and inverting (ES) swaps (Lemmas 6–8) — [`symmetry`], [`swap`].
+//! * **Cross-supergate swapping** under the DeMorgan transform (Theorem 2,
+//!   Fig. 3) — [`cross`].
+//! * **Redundancy identification** at fan-out stems during extraction
+//!   (Fig. 1) — [`redundancy`].
+//! * **Post-placement timing optimization** (§5): supergate rewiring cast as
+//!   a gate-sizing problem and driven by Coudert-style min-slack /
+//!   relaxation iterations; the three optimizers of the evaluation —
+//!   `gsg`, `GS` and `gsg+GS` — are in [`optimizer`].
+//! * **Experiment reporting** for the Table 1 columns — [`report`].
+//!
+//! ```
+//! use rapids_core::supergate::extract_supergates;
+//! use rapids_netlist::{GateType, NetworkBuilder};
+//!
+//! // f = AND(h, AND(k, m)) — one 3-input AND supergate.
+//! let mut b = NetworkBuilder::new("fig2");
+//! b.inputs(["h", "k", "m"]);
+//! b.gate("g1", GateType::And, &["k", "m"]);
+//! b.gate("f", GateType::And, &["h", "g1"]);
+//! b.output("f");
+//! let network = b.finish().unwrap();
+//! let extraction = extract_supergates(&network);
+//! let sg = extraction.supergate_of_root(network.find_by_name("f").unwrap()).unwrap();
+//! assert_eq!(sg.leaves.len(), 3);
+//! ```
+
+pub mod cross;
+pub mod implication;
+pub mod optimizer;
+pub mod redundancy;
+pub mod report;
+pub mod supergate;
+pub mod swap;
+pub mod symmetry;
+
+pub use optimizer::{Optimizer, OptimizerConfig, OptimizerKind, OptimizationOutcome};
+pub use report::{BenchmarkRow, SupergateStatistics};
+pub use supergate::{extract_supergates, Extraction, PinClass, Supergate, SupergateKind, SupergateLeaf};
+pub use swap::{SwapCandidate, SwapKind};

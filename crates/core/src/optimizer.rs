@@ -1,0 +1,668 @@
+//! Post-placement timing optimization (§5 of the paper).
+//!
+//! Supergate rewiring is cast as a gate-sizing problem on the supergate
+//! netlist: for every non-trivial supergate the set of symmetric pin
+//! permutations plays the role of a set of alternative library
+//! implementations, and a Coudert-style iteration — a **min-slack phase**
+//! that visits critical supergates and takes the best swap, alternating with
+//! a **relaxation phase** over the remaining supergates — drives the
+//! optimization.  Three optimizers are provided, matching the paper's
+//! evaluation:
+//!
+//! * [`OptimizerKind::Rewiring`] (`gsg`)   — supergate-based rewiring only;
+//! * [`OptimizerKind::Sizing`]   (`GS`)    — classical gate sizing only;
+//! * [`OptimizerKind::Combined`] (`gsg+GS`) — rewiring on gates covered by
+//!   non-trivial supergates, sizing restricted to gates covered by trivial
+//!   supergates — the minimum-perturbation combination the paper advocates.
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use rapids_celllib::Library;
+use rapids_netlist::{GateId, Network};
+use rapids_placement::Placement;
+use rapids_sim::check_equivalence_random;
+use rapids_sizing::{neighborhood_slack_ns, GateSizer, SizerConfig};
+use rapids_timing::{gate_output_delay, net_delays, Sta, TimingConfig, TimingReport};
+
+use crate::report::SupergateStatistics;
+use crate::supergate::{extract_supergates, Supergate};
+use crate::swap::{apply_swap, undo_swap, SwapCandidate};
+use crate::symmetry::swap_candidates;
+
+/// Which of the paper's three optimizers to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptimizerKind {
+    /// `gsg`: supergate-based rewiring only.
+    Rewiring,
+    /// `GS`: gate sizing only.
+    Sizing,
+    /// `gsg+GS`: rewiring on non-trivial supergates, sizing on the rest.
+    Combined,
+}
+
+impl std::fmt::Display for OptimizerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimizerKind::Rewiring => write!(f, "gsg"),
+            OptimizerKind::Sizing => write!(f, "GS"),
+            OptimizerKind::Combined => write!(f, "gsg+GS"),
+        }
+    }
+}
+
+/// Configuration of the post-placement optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizerConfig {
+    /// Which optimizer to run.
+    pub kind: OptimizerKind,
+    /// Maximum number of min-slack + relaxation passes.
+    pub max_passes: usize,
+    /// Gates within this margin of the worst slack count as critical, ns.
+    pub critical_margin_ns: f64,
+    /// Allow inverting (ES) swaps, which insert inverter pairs.
+    pub include_inverting_swaps: bool,
+    /// After every accepted batch of swaps, cross-check functional
+    /// equivalence against the pre-optimization network with random
+    /// simulation (a safety net; the structural theory guarantees it).
+    pub verify_with_simulation: bool,
+    /// Configuration of the embedded gate sizer (for `GS` and `gsg+GS`).
+    pub sizer: SizerConfig,
+}
+
+impl Default for OptimizerConfig {
+    fn default() -> Self {
+        OptimizerConfig {
+            kind: OptimizerKind::Combined,
+            max_passes: 4,
+            critical_margin_ns: 0.2,
+            include_inverting_swaps: false,
+            verify_with_simulation: false,
+            sizer: SizerConfig::default(),
+        }
+    }
+}
+
+impl OptimizerConfig {
+    /// Convenience constructor for a specific optimizer kind.
+    pub fn for_kind(kind: OptimizerKind) -> Self {
+        OptimizerConfig { kind, ..Self::default() }
+    }
+
+    /// Reduced-effort configuration for tests and smoke benchmarks.
+    pub fn fast(kind: OptimizerKind) -> Self {
+        OptimizerConfig {
+            kind,
+            max_passes: 2,
+            sizer: SizerConfig::fast(),
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of one optimization run (one cell of Table 1, essentially).
+#[derive(Debug, Clone, PartialEq)]
+pub struct OptimizationOutcome {
+    /// The optimizer that produced this outcome.
+    pub kind: OptimizerKind,
+    /// Critical-path delay before optimization, ns.
+    pub initial_delay_ns: f64,
+    /// Critical-path delay after optimization, ns.
+    pub final_delay_ns: f64,
+    /// Total cell area before optimization, µm².
+    pub initial_area_um2: f64,
+    /// Total cell area after optimization, µm².
+    pub final_area_um2: f64,
+    /// Total half-perimeter wire length before optimization, µm.
+    pub initial_hpwl_um: f64,
+    /// Total half-perimeter wire length after optimization, µm.
+    pub final_hpwl_um: f64,
+    /// Number of pin swaps applied.
+    pub swaps_applied: usize,
+    /// Number of gates whose drive strength changed.
+    pub gates_resized: usize,
+    /// Wall-clock run time, seconds.
+    pub cpu_seconds: f64,
+    /// Supergate statistics of the (pre-optimization) netlist.
+    pub statistics: SupergateStatistics,
+}
+
+impl OptimizationOutcome {
+    /// Delay improvement as a percentage of the initial delay.
+    pub fn delay_improvement_percent(&self) -> f64 {
+        if self.initial_delay_ns <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.initial_delay_ns - self.final_delay_ns) / self.initial_delay_ns
+    }
+
+    /// Area change as a percentage of the initial area (negative = smaller).
+    pub fn area_change_percent(&self) -> f64 {
+        if self.initial_area_um2 <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.final_area_um2 - self.initial_area_um2) / self.initial_area_um2
+    }
+
+    /// Wire-length change as a percentage of the initial HPWL.
+    pub fn hpwl_change_percent(&self) -> f64 {
+        if self.initial_hpwl_um <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.final_hpwl_um - self.initial_hpwl_um) / self.initial_hpwl_um
+    }
+}
+
+/// The post-placement optimizer.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// Creates an optimizer with the given configuration.
+    pub fn new(config: OptimizerConfig) -> Self {
+        Optimizer { config }
+    }
+
+    /// Runs the configured optimizer on `network` in place.  The placement is
+    /// never modified; only pin connections, drive strengths and (for
+    /// inverting swaps) inverters change.
+    pub fn optimize(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+    ) -> OptimizationOutcome {
+        let start = Instant::now();
+        let reference = if self.config.verify_with_simulation {
+            Some(network.clone())
+        } else {
+            None
+        };
+        let initial_report = Sta::analyze(network, library, placement, timing);
+        let initial_delay_ns = initial_report.critical_delay_ns();
+        let initial_area_um2 = library.network_area_um2(network);
+        let initial_hpwl_um = placement.total_hpwl_um(network);
+        let extraction = extract_supergates(network);
+        let statistics = SupergateStatistics::compute(network, &extraction);
+
+        let mut swaps_applied = 0usize;
+        let mut gates_resized = 0usize;
+        match self.config.kind {
+            OptimizerKind::Sizing => {
+                let outcome = GateSizer::new(self.config.sizer.clone())
+                    .optimize(network, library, placement, timing);
+                gates_resized = outcome.resized_gates;
+            }
+            OptimizerKind::Rewiring => {
+                swaps_applied = self.rewiring_loop(network, library, placement, timing, None);
+            }
+            OptimizerKind::Combined => {
+                // Gates covered by trivial supergates are the sizing domain.
+                let trivial_gates: HashSet<GateId> = extraction
+                    .supergates()
+                    .iter()
+                    .filter(|sg| sg.is_trivial())
+                    .flat_map(|sg| sg.members.iter().copied())
+                    .collect();
+                swaps_applied =
+                    self.rewiring_loop(network, library, placement, timing, Some(&trivial_gates));
+                gates_resized = self.restricted_sizing(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    &trivial_gates,
+                );
+            }
+        }
+
+        if let Some(reference) = &reference {
+            let check = check_equivalence_random(reference, network, 1024, 0xC0FFEE);
+            assert!(
+                check.is_equivalent(),
+                "optimization broke functional equivalence: {check:?}"
+            );
+        }
+
+        let final_report = Sta::analyze(network, library, placement, timing);
+        OptimizationOutcome {
+            kind: self.config.kind,
+            initial_delay_ns,
+            final_delay_ns: final_report.critical_delay_ns(),
+            initial_area_um2,
+            final_area_um2: library.network_area_um2(network),
+            initial_hpwl_um,
+            final_hpwl_um: placement.total_hpwl_um(network),
+            swaps_applied,
+            gates_resized,
+            cpu_seconds: start.elapsed().as_secs_f64(),
+            statistics,
+        }
+    }
+
+    /// The rewiring iteration: min-slack phase over critical supergates plus
+    /// a relaxation phase over the rest, repeated until no improvement.
+    /// When `sizing_domain` is given (`gsg+GS`), its gates are skipped here.
+    fn rewiring_loop(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+        sizing_domain: Option<&HashSet<GateId>>,
+    ) -> usize {
+        let mut total_swaps = 0usize;
+        let mut best_delay = f64::INFINITY;
+        for _ in 0..self.config.max_passes {
+            let report = Sta::analyze(network, library, placement, timing);
+            if report.critical_delay_ns() + 1e-6 >= best_delay && total_swaps > 0 {
+                break;
+            }
+            best_delay = best_delay.min(report.critical_delay_ns());
+            // Snapshot so a pass whose locally-scored swaps turn out to hurt
+            // the global critical path can be rolled back wholesale.
+            let pass_start_delay = report.critical_delay_ns();
+            let snapshot = network.clone();
+            let extraction = extract_supergates(network);
+            let worst_slack = report.worst_slack_ns();
+
+            // Min-slack phase: supergates touching critical gates, worst first.
+            let mut ordered: Vec<&Supergate> = extraction
+                .supergates()
+                .iter()
+                .filter(|sg| !sg.is_trivial())
+                .filter(|sg| {
+                    sizing_domain.is_none_or(|dom| !sg.members.iter().all(|m| dom.contains(m)))
+                })
+                .collect();
+            ordered.sort_by(|a, b| {
+                supergate_slack(&report, a)
+                    .partial_cmp(&supergate_slack(&report, b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let mut pass_swaps = 0usize;
+            for sg in &ordered {
+                let critical = supergate_slack(&report, sg)
+                    <= worst_slack + self.config.critical_margin_ns;
+                if !critical {
+                    continue;
+                }
+                if self.best_swap_for_supergate(network, library, placement, timing, &report, sg) {
+                    pass_swaps += 1;
+                }
+            }
+            // Relaxation phase: the remaining non-trivial supergates, aiming
+            // at total-slack (wire-length) recovery to escape local minima.
+            for sg in &ordered {
+                let critical = supergate_slack(&report, sg)
+                    <= worst_slack + self.config.critical_margin_ns;
+                if critical {
+                    continue;
+                }
+                if self.best_swap_for_supergate(network, library, placement, timing, &report, sg) {
+                    pass_swaps += 1;
+                }
+            }
+            if pass_swaps == 0 {
+                break;
+            }
+            let after = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+            if after > pass_start_delay + 1e-9 {
+                // The local metric misjudged this batch; restore and stop.
+                *network = snapshot;
+                break;
+            }
+            total_swaps += pass_swaps;
+        }
+        total_swaps
+    }
+
+    /// Evaluates every swap candidate of one supergate with the neighborhood
+    /// metric and keeps the best one if it improves on the current wiring.
+    /// Returns `true` if a swap was kept.
+    fn best_swap_for_supergate(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+        report: &TimingReport,
+        supergate: &Supergate,
+    ) -> bool {
+        let candidates = swap_candidates(supergate, self.config.include_inverting_swaps);
+        if candidates.is_empty() {
+            return false;
+        }
+        let baseline = swap_neighborhood_metric(network, library, placement, timing, report, supergate);
+        let mut best: Option<(SwapCandidate, SwapMetric)> = None;
+        for candidate in candidates {
+            let Ok(applied) = apply_swap(network, &candidate) else {
+                continue;
+            };
+            let metric =
+                swap_neighborhood_metric(network, library, placement, timing, report, supergate);
+            undo_swap(network, &applied).expect("undoing a just-applied swap succeeds");
+            if metric.improves_on(&baseline)
+                && best.as_ref().map_or(true, |(_, m)| metric.improves_on(m))
+            {
+                best = Some((candidate, metric));
+            }
+        }
+        if let Some((candidate, _)) = best {
+            apply_swap(network, &candidate).expect("re-applying the winning swap succeeds");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Coudert-style sizing restricted to a set of gates (the trivially
+    /// covered gates in `gsg+GS`).
+    fn restricted_sizing(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+        domain: &HashSet<GateId>,
+    ) -> usize {
+        let mut resized: HashSet<GateId> = HashSet::new();
+        for _ in 0..self.config.sizer.max_passes {
+            let report = Sta::analyze(network, library, placement, timing);
+            let pass_start_delay = report.critical_delay_ns();
+            let snapshot: Vec<(GateId, u8)> = domain
+                .iter()
+                .filter(|&&g| network.is_live(g))
+                .map(|&g| (g, network.gate(g).size_class))
+                .collect();
+            let worst = report.worst_slack_ns();
+            let mut changed = 0usize;
+            let mut gates: Vec<GateId> = domain
+                .iter()
+                .copied()
+                .filter(|&g| network.is_live(g) && !network.gate(g).gtype.is_source())
+                .collect();
+            gates.sort_by(|&a, &b| {
+                report
+                    .slack(a)
+                    .partial_cmp(&report.slack(b))
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for g in gates {
+                let is_critical = report.slack(g) <= worst + self.config.critical_margin_ns;
+                if !is_critical && !self.config.sizer.recover_area {
+                    continue;
+                }
+                if choose_best_drive_local(network, library, placement, timing, &report, g, !is_critical) {
+                    resized.insert(g);
+                    changed += 1;
+                }
+            }
+            if changed == 0 {
+                break;
+            }
+            let after = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+            if after > pass_start_delay + 1e-9 {
+                for (g, class) in snapshot {
+                    network.gate_mut(g).size_class = class;
+                }
+                break;
+            }
+        }
+        resized.len()
+    }
+}
+
+impl Default for Optimizer {
+    fn default() -> Self {
+        Optimizer::new(OptimizerConfig::default())
+    }
+}
+
+/// Worst slack over the member gates of a supergate.
+fn supergate_slack(report: &TimingReport, supergate: &Supergate) -> f64 {
+    supergate
+        .members
+        .iter()
+        .map(|&m| report.slack(m))
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Two-level swap-evaluation metric, compared lexicographically: first the
+/// minimum neighborhood slack (the quantity Coudert's min-slack phase
+/// maximizes), then the total neighborhood slack (the relaxation objective,
+/// which also captures pure wire-length recovery on non-critical nets).
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct SwapMetric {
+    min_slack_ns: f64,
+    total_slack_ns: f64,
+}
+
+impl SwapMetric {
+    fn improves_on(&self, other: &SwapMetric) -> bool {
+        if self.min_slack_ns > other.min_slack_ns + 1e-9 {
+            return true;
+        }
+        self.min_slack_ns > other.min_slack_ns - 1e-9
+            && self.total_slack_ns > other.total_slack_ns + 1e-9
+    }
+}
+
+/// Neighborhood metric of the current wiring of a supergate: the minimum
+/// (and total), over the supergate's members and the external drivers of its
+/// leaves, of `required − locally re-estimated arrival`.
+///
+/// The arrival estimates recompute the wire (star) and cell delays from the
+/// *current* network connectivity, so a candidate swap that shortens a
+/// critical branch or unloads a critical driver is rewarded.
+fn swap_neighborhood_metric(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    supergate: &Supergate,
+) -> SwapMetric {
+    let mut worst = f64::INFINITY;
+    let mut total = 0.0f64;
+    // External drivers: their load (and hence delay) changes with the swap.
+    let mut drivers: Vec<GateId> = supergate
+        .leaves
+        .iter()
+        .map(|l| {
+            network
+                .pin_driver(l.pin)
+                .expect("supergate leaf pins always exist")
+        })
+        .collect();
+    drivers.sort();
+    drivers.dedup();
+    for d in drivers {
+        if network.gate(d).gtype.is_source() {
+            continue;
+        }
+        let input_side = report.arrival(d).worst() - report.gate_delay(d).worst();
+        let fresh = gate_output_delay(network, library, placement, timing, d).worst();
+        let slack = report.required(d) - (input_side + fresh);
+        worst = worst.min(slack);
+        total += slack;
+    }
+    // Member gates: their input wire delays change with the swap.
+    for &m in &supergate.members {
+        let est = member_arrival_estimate(network, library, placement, timing, report, m);
+        let slack = report.required(m) - est;
+        worst = worst.min(slack);
+        total += slack;
+    }
+    SwapMetric { min_slack_ns: worst, total_slack_ns: total }
+}
+
+/// Local arrival estimate of a member gate using fresh wire/cell delays but
+/// frozen upstream arrivals.
+fn member_arrival_estimate(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    gate: GateId,
+) -> f64 {
+    let own = gate_output_delay(network, library, placement, timing, gate).worst();
+    let mut worst_in = 0.0f64;
+    for &f in network.fanins(gate) {
+        let star = rapids_placement::net_star(network, placement, f);
+        let wires = net_delays(network, library, &star, timing);
+        let wire = wires.delay_to_ns(gate).unwrap_or(0.0);
+        let driver_input_side = report.arrival(f).worst() - report.gate_delay(f).worst();
+        let driver_delay = gate_output_delay(network, library, placement, timing, f).worst();
+        let arrival_f = if network.gate(f).gtype.is_source() {
+            0.0
+        } else {
+            driver_input_side + driver_delay
+        };
+        worst_in = worst_in.max(arrival_f + wire);
+    }
+    worst_in + own
+}
+
+/// Tries every drive strength for one gate using the published neighborhood
+/// slack helper; keeps the best.  Mirrors the logic of the stand-alone sizer
+/// but operates on an arbitrary gate subset.
+fn choose_best_drive_local(
+    network: &mut Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    gate: GateId,
+    prefer_small: bool,
+) -> bool {
+    let g = network.gate(gate);
+    let drives = library.available_drives(g.gtype, g.fanin_count());
+    if drives.len() <= 1 {
+        return false;
+    }
+    let original = g.size_class;
+    let baseline = neighborhood_slack_ns(network, library, placement, timing, report, gate);
+    let mut best_class = original;
+    let mut best_metric = f64::NEG_INFINITY;
+    for drive in drives {
+        network.gate_mut(gate).size_class = drive.size_class();
+        let slack = neighborhood_slack_ns(network, library, placement, timing, report, gate);
+        let area = library
+            .cell(network.gate(gate).gtype, network.gate(gate).fanin_count(), drive)
+            .map(|c| c.area_um2)
+            .unwrap_or(0.0);
+        let metric = if prefer_small {
+            if slack + 1e-9 < baseline.min(0.0) {
+                f64::NEG_INFINITY
+            } else {
+                -area
+            }
+        } else {
+            slack
+        };
+        if metric > best_metric {
+            best_metric = metric;
+            best_class = drive.size_class();
+        }
+    }
+    network.gate_mut(gate).size_class = best_class;
+    best_class != original
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_circuits::benchmark;
+    use rapids_placement::{place, PlacerConfig};
+    use rapids_sim::check_equivalence_random;
+
+    fn setup(name: &str) -> (Network, Library, Placement, TimingConfig) {
+        let network = benchmark(name).expect("known benchmark");
+        let library = Library::standard_035um();
+        let placement = place(&network, &library, &PlacerConfig::fast(), 7);
+        (network, library, placement, TimingConfig::default())
+    }
+
+    #[test]
+    fn rewiring_never_degrades_delay_and_preserves_function() {
+        let (reference, library, placement, timing) = setup("c432");
+        let mut network = reference.clone();
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Rewiring))
+            .optimize(&mut network, &library, &placement, &timing);
+        assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+        assert!(check_equivalence_random(&reference, &network, 512, 3).is_equivalent());
+        // gsg never resizes and never adds gates (non-inverting swaps only).
+        assert_eq!(outcome.gates_resized, 0);
+        assert_eq!(network.live_gate_count(), reference.live_gate_count());
+        assert!(outcome.statistics.coverage_percent() > 0.0);
+    }
+
+    #[test]
+    fn sizing_kind_delegates_to_gate_sizer() {
+        let (reference, library, placement, timing) = setup("c432");
+        let mut network = reference.clone();
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Sizing))
+            .optimize(&mut network, &library, &placement, &timing);
+        assert_eq!(outcome.kind, OptimizerKind::Sizing);
+        assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+        assert_eq!(outcome.swaps_applied, 0);
+        assert!(check_equivalence_random(&reference, &network, 512, 3).is_equivalent());
+    }
+
+    #[test]
+    fn combined_optimizer_improves_at_least_as_much_as_nothing() {
+        let (reference, library, placement, timing) = setup("alu2");
+        let mut network = reference.clone();
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Combined))
+            .optimize(&mut network, &library, &placement, &timing);
+        assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+        assert!(outcome.delay_improvement_percent() >= 0.0);
+        assert!(check_equivalence_random(&reference, &network, 512, 9).is_equivalent());
+        assert!(outcome.cpu_seconds > 0.0);
+    }
+
+    #[test]
+    fn verification_mode_accepts_correct_optimization() {
+        let (_, library, placement, timing) = setup("c432");
+        let mut network = benchmark("c432").unwrap();
+        let config = OptimizerConfig {
+            verify_with_simulation: true,
+            ..OptimizerConfig::fast(OptimizerKind::Rewiring)
+        };
+        let outcome = Optimizer::new(config).optimize(&mut network, &library, &placement, &timing);
+        assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+    }
+
+    #[test]
+    fn outcome_percentages() {
+        let outcome = OptimizationOutcome {
+            kind: OptimizerKind::Rewiring,
+            initial_delay_ns: 10.0,
+            final_delay_ns: 9.0,
+            initial_area_um2: 100.0,
+            final_area_um2: 100.0,
+            initial_hpwl_um: 1000.0,
+            final_hpwl_um: 950.0,
+            swaps_applied: 3,
+            gates_resized: 0,
+            cpu_seconds: 0.1,
+            statistics: SupergateStatistics {
+                gate_count: 10,
+                supergate_count: 5,
+                nontrivial_count: 2,
+                covered_gates: 5,
+                largest_inputs: 4,
+                redundancy_count: 0,
+            },
+            };
+        assert!((outcome.delay_improvement_percent() - 10.0).abs() < 1e-9);
+        assert_eq!(outcome.area_change_percent(), 0.0);
+        assert!((outcome.hpwl_change_percent() + 5.0).abs() < 1e-9);
+        assert_eq!(OptimizerKind::Combined.to_string(), "gsg+GS");
+    }
+}

@@ -1,0 +1,218 @@
+//! Reporting structures for the paper's evaluation (Table 1 columns).
+
+use rapids_netlist::Network;
+
+use crate::redundancy::find_redundancies;
+use crate::supergate::Extraction;
+
+/// Supergate statistics of a network (columns 12–14 of Table 1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupergateStatistics {
+    /// Number of live logic gates.
+    pub gate_count: usize,
+    /// Number of supergates extracted.
+    pub supergate_count: usize,
+    /// Number of non-trivial supergates (covering more than one gate).
+    pub nontrivial_count: usize,
+    /// Number of gates covered by non-trivial supergates.
+    pub covered_gates: usize,
+    /// Largest supergate input count (column `L`).
+    pub largest_inputs: usize,
+    /// Redundancies found during extraction (column `# of red.`).
+    pub redundancy_count: usize,
+}
+
+impl SupergateStatistics {
+    /// Computes the statistics from a network and its extraction.
+    pub fn compute(network: &Network, extraction: &Extraction) -> Self {
+        let redundancy_count = find_redundancies(extraction).len();
+        SupergateStatistics {
+            gate_count: network.logic_gate_count(),
+            supergate_count: extraction.supergates().len(),
+            nontrivial_count: extraction
+                .supergates()
+                .iter()
+                .filter(|sg| !sg.is_trivial())
+                .count(),
+            covered_gates: extraction.covered_by_nontrivial(),
+            largest_inputs: extraction.largest_input_count(),
+            redundancy_count,
+        }
+    }
+
+    /// Percentage of gates covered by non-trivial supergates (column `gsg
+    /// cov (%)`; the paper reports 27.6 % on average).
+    pub fn coverage_percent(&self) -> f64 {
+        if self.gate_count == 0 {
+            return 0.0;
+        }
+        100.0 * self.covered_gates as f64 / self.gate_count as f64
+    }
+}
+
+impl std::fmt::Display for SupergateStatistics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gates={} supergates={} nontrivial={} coverage={:.1}% L={} redundancies={}",
+            self.gate_count,
+            self.supergate_count,
+            self.nontrivial_count,
+            self.coverage_percent(),
+            self.largest_inputs,
+            self.redundancy_count
+        )
+    }
+}
+
+/// One row of the reproduced Table 1.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchmarkRow {
+    /// Benchmark name.
+    pub name: String,
+    /// Number of logic gates in the mapped netlist.
+    pub gate_count: usize,
+    /// Initial critical-path delay after placement, ns.
+    pub initial_delay_ns: f64,
+    /// Delay improvement of supergate rewiring only, percent.
+    pub gsg_improvement_percent: f64,
+    /// Delay improvement of gate sizing only, percent.
+    pub gs_improvement_percent: f64,
+    /// Delay improvement of the combined optimizer, percent.
+    pub combined_improvement_percent: f64,
+    /// Run time of gsg, seconds.
+    pub gsg_cpu_s: f64,
+    /// Run time of GS, seconds.
+    pub gs_cpu_s: f64,
+    /// Run time of gsg+GS, seconds.
+    pub combined_cpu_s: f64,
+    /// Area change of GS, percent (negative = smaller).
+    pub gs_area_percent: f64,
+    /// Area change of gsg+GS, percent.
+    pub combined_area_percent: f64,
+    /// Percentage of gates covered by non-trivial supergates.
+    pub coverage_percent: f64,
+    /// Largest supergate input count.
+    pub largest_inputs: usize,
+    /// Redundancies found during extraction.
+    pub redundancy_count: usize,
+}
+
+impl BenchmarkRow {
+    /// Formats the row like the paper's table (tab-separated).
+    pub fn to_table_line(&self) -> String {
+        format!(
+            "{:<8}\t{:>6}\t{:>6.1}\t{:>5.1}\t{:>5.1}\t{:>5.1}\t{:>6.1}\t{:>6.1}\t{:>6.1}\t{:>5.1}\t{:>5.1}\t{:>5.1}\t{:>3}\t{:>4}",
+            self.name,
+            self.gate_count,
+            self.initial_delay_ns,
+            self.gsg_improvement_percent,
+            self.gs_improvement_percent,
+            self.combined_improvement_percent,
+            self.gsg_cpu_s,
+            self.gs_cpu_s,
+            self.combined_cpu_s,
+            self.gs_area_percent,
+            self.combined_area_percent,
+            self.coverage_percent,
+            self.largest_inputs,
+            self.redundancy_count
+        )
+    }
+
+    /// The table header matching [`BenchmarkRow::to_table_line`].
+    pub fn table_header() -> String {
+        format!(
+            "{:<8}\t{:>6}\t{:>6}\t{:>5}\t{:>5}\t{:>5}\t{:>6}\t{:>6}\t{:>6}\t{:>5}\t{:>5}\t{:>5}\t{:>3}\t{:>4}",
+            "ckt", "gates", "init", "gsg%", "GS%", "g+GS%", "gsgT", "GST", "g+GST", "GSa%", "g+GSa", "cov%", "L", "red"
+        )
+    }
+
+    /// Averages a set of rows into the "ave." row of Table 1 (only the
+    /// percentage columns are averaged, like the paper does).
+    pub fn average(rows: &[BenchmarkRow]) -> BenchmarkRow {
+        let n = rows.len().max(1) as f64;
+        let avg = |f: fn(&BenchmarkRow) -> f64| rows.iter().map(f).sum::<f64>() / n;
+        BenchmarkRow {
+            name: "ave.".to_string(),
+            gate_count: 0,
+            initial_delay_ns: 0.0,
+            gsg_improvement_percent: avg(|r| r.gsg_improvement_percent),
+            gs_improvement_percent: avg(|r| r.gs_improvement_percent),
+            combined_improvement_percent: avg(|r| r.combined_improvement_percent),
+            gsg_cpu_s: 0.0,
+            gs_cpu_s: 0.0,
+            combined_cpu_s: 0.0,
+            gs_area_percent: avg(|r| r.gs_area_percent),
+            combined_area_percent: avg(|r| r.combined_area_percent),
+            coverage_percent: avg(|r| r.coverage_percent),
+            largest_inputs: 0,
+            redundancy_count: 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supergate::extract_supergates;
+    use rapids_netlist::{GateType, NetworkBuilder};
+
+    #[test]
+    fn statistics_of_small_network() {
+        let mut b = NetworkBuilder::new("stats");
+        b.inputs(["a", "b", "c", "d"]);
+        b.gate("n1", GateType::And, &["a", "b"]);
+        b.gate("f", GateType::And, &["n1", "c"]);
+        b.gate("g", GateType::Xor, &["d", "f"]);
+        b.output("g");
+        let n = b.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let stats = SupergateStatistics::compute(&n, &ex);
+        assert_eq!(stats.gate_count, 3);
+        // f's supergate covers n1 and f; g is its own trivial supergate
+        // (g is an XOR whose fanins are a multi-fanout-free AND? f is
+        // fanout-free so the XOR supergate covers only g).
+        assert_eq!(stats.covered_gates, 2);
+        assert!(stats.coverage_percent() > 60.0);
+        assert_eq!(stats.redundancy_count, 0);
+        assert!(!stats.to_string().is_empty());
+    }
+
+    #[test]
+    fn empty_network_coverage_is_zero() {
+        let n = rapids_netlist::Network::new("empty");
+        let ex = extract_supergates(&n);
+        let stats = SupergateStatistics::compute(&n, &ex);
+        assert_eq!(stats.coverage_percent(), 0.0);
+    }
+
+    #[test]
+    fn row_formatting_and_average() {
+        let row = BenchmarkRow {
+            name: "alu2".into(),
+            gate_count: 516,
+            initial_delay_ns: 7.6,
+            gsg_improvement_percent: 6.9,
+            gs_improvement_percent: 2.7,
+            combined_improvement_percent: 9.7,
+            gsg_cpu_s: 3.5,
+            gs_cpu_s: 1.6,
+            combined_cpu_s: 6.8,
+            gs_area_percent: -2.7,
+            combined_area_percent: -2.1,
+            coverage_percent: 23.4,
+            largest_inputs: 9,
+            redundancy_count: 7,
+        };
+        let line = row.to_table_line();
+        assert!(line.starts_with("alu2"));
+        assert_eq!(
+            line.split('\t').count(),
+            BenchmarkRow::table_header().split('\t').count()
+        );
+        let avg = BenchmarkRow::average(&[row.clone(), row]);
+        assert!((avg.gsg_improvement_percent - 6.9).abs() < 1e-9);
+        assert_eq!(avg.name, "ave.");
+    }
+}

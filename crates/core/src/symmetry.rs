@@ -1,0 +1,241 @@
+//! Symmetry identification from supergate structure (Theorem 1, Lemmas 6–8).
+//!
+//! Within one generalized implication supergate every pair of leaves is
+//! functionally symmetric with respect to the supergate output:
+//!
+//! * two **and-or-reachable** leaves are *non-inverting* swappable when their
+//!   implied values agree and *inverting* swappable when they differ
+//!   (Lemma 7);
+//! * two **xor-reachable** leaves are both inverting and non-inverting
+//!   swappable (Lemma 8).
+//!
+//! The non-proper-containment requirement of Lemma 6 is satisfied by
+//! construction: a leaf's driver lies outside the supergate, so no leaf's
+//! root path can pass through another leaf pin.
+
+use rapids_netlist::{Logic, PinRef};
+
+use crate::supergate::{PinClass, Supergate};
+use crate::swap::{SwapCandidate, SwapKind};
+
+/// The symmetry relation between two leaves of the same supergate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairSymmetry {
+    /// Swappable without inverters (NES).
+    NonInverting,
+    /// Swappable with an inverter on each pin (ES).
+    Inverting,
+    /// Swappable either way (xor-reachable pins).
+    Both,
+}
+
+impl PairSymmetry {
+    /// Returns `true` if a plain (non-inverting) swap is permitted.
+    pub fn allows_non_inverting(self) -> bool {
+        matches!(self, PairSymmetry::NonInverting | PairSymmetry::Both)
+    }
+
+    /// Returns `true` if an inverting swap is permitted.
+    pub fn allows_inverting(self) -> bool {
+        matches!(self, PairSymmetry::Inverting | PairSymmetry::Both)
+    }
+}
+
+/// Classifies the symmetry between two leaves of the same supergate per
+/// Lemmas 7 and 8.  Returns `None` for a pin paired with itself.
+pub fn classify_pair(supergate: &Supergate, a: PinRef, b: PinRef) -> Option<PairSymmetry> {
+    if a == b {
+        return None;
+    }
+    let leaf_a = supergate.leaves.iter().find(|l| l.pin == a)?;
+    let leaf_b = supergate.leaves.iter().find(|l| l.pin == b)?;
+    match (leaf_a.class, leaf_b.class) {
+        (PinClass::AndOr { imp_value: va }, PinClass::AndOr { imp_value: vb }) => {
+            if va == vb {
+                Some(PairSymmetry::NonInverting)
+            } else {
+                Some(PairSymmetry::Inverting)
+            }
+        }
+        (PinClass::Xor { .. }, PinClass::Xor { .. }) => Some(PairSymmetry::Both),
+        // A supergate never mixes the two reachability kinds, but be safe.
+        _ => None,
+    }
+}
+
+/// Enumerates every swappable leaf pair of a supergate as concrete swap
+/// candidates.  When `include_inverting` is `false`, only non-inverting swaps
+/// are produced (the default of the optimizer, which keeps the placement
+/// perturbation at zero).
+pub fn swap_candidates(supergate: &Supergate, include_inverting: bool) -> Vec<SwapCandidate> {
+    let mut candidates = Vec::new();
+    let leaves = &supergate.leaves;
+    for i in 0..leaves.len() {
+        for j in (i + 1)..leaves.len() {
+            let a = leaves[i];
+            let b = leaves[j];
+            if a.driver == b.driver {
+                // Swapping two pins fed by the same signal changes nothing.
+                continue;
+            }
+            let Some(symmetry) = classify_pair(supergate, a.pin, b.pin) else {
+                continue;
+            };
+            if symmetry.allows_non_inverting() {
+                candidates.push(SwapCandidate {
+                    supergate_root: supergate.root,
+                    pin_a: a.pin,
+                    pin_b: b.pin,
+                    kind: SwapKind::NonInverting,
+                });
+            } else if include_inverting && symmetry.allows_inverting() {
+                candidates.push(SwapCandidate {
+                    supergate_root: supergate.root,
+                    pin_a: a.pin,
+                    pin_b: b.pin,
+                    kind: SwapKind::Inverting,
+                });
+            }
+        }
+    }
+    candidates
+}
+
+/// Groups the leaves of a supergate into symmetry classes of mutually
+/// non-inverting-swappable pins (and-or leaves split by implied value; xor
+/// leaves form a single class).
+pub fn symmetry_classes(supergate: &Supergate) -> Vec<Vec<PinRef>> {
+    let mut ones = Vec::new();
+    let mut zeros = Vec::new();
+    let mut xors = Vec::new();
+    for leaf in &supergate.leaves {
+        match leaf.class {
+            PinClass::AndOr { imp_value: Logic::One } => ones.push(leaf.pin),
+            PinClass::AndOr { imp_value: Logic::Zero } => zeros.push(leaf.pin),
+            PinClass::Xor { .. } => xors.push(leaf.pin),
+        }
+    }
+    [ones, zeros, xors].into_iter().filter(|c| !c.is_empty()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::supergate::extract_supergates;
+    use rapids_bdd::{are_equivalence_symmetric, are_nonequivalence_symmetric, build_output_bdds, Manager};
+    use rapids_netlist::{GateType, Network, NetworkBuilder};
+
+    /// f = NOR(NAND(a, b), INV(c)): one supergate whose leaves are a, b
+    /// (implied 1) and c (implied 1 through the inverter? no: NOR=1 ⇒ both
+    /// fanins 0 ⇒ NAND=0 ⇒ a=b=1; INV=0 ⇒ c=1).
+    fn mixed() -> Network {
+        let mut b = NetworkBuilder::new("mixed");
+        b.inputs(["a", "b", "c"]);
+        b.gate("n1", GateType::Nand, &["a", "b"]);
+        b.gate("n2", GateType::Inv, &["c"]);
+        b.gate("f", GateType::Nor, &["n1", "n2"]);
+        b.output("f");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn all_three_pins_mutually_non_inverting_swappable() {
+        let n = mixed();
+        let ex = extract_supergates(&n);
+        let f = n.find_by_name("f").unwrap();
+        let sg = ex.supergate_of_root(f).unwrap();
+        assert_eq!(sg.input_count(), 3);
+        let candidates = swap_candidates(sg, false);
+        assert_eq!(candidates.len(), 3);
+        assert!(candidates.iter().all(|c| c.kind == SwapKind::NonInverting));
+        let classes = symmetry_classes(sg);
+        assert_eq!(classes.len(), 1);
+        assert_eq!(classes[0].len(), 3);
+    }
+
+    #[test]
+    fn structural_symmetry_confirmed_by_bdd_oracle() {
+        // Verify Lemma 7 against the classical cofactor definition: the
+        // function is f = !(!(a·b) + !c) = a·b·c, totally symmetric.
+        let n = mixed();
+        let mut m = Manager::new();
+        let bdds = build_output_bdds(&mut m, &n);
+        let f = bdds.outputs[0];
+        for (i, j) in [(0u32, 1u32), (0, 2), (1, 2)] {
+            assert!(are_nonequivalence_symmetric(&mut m, f, i, j));
+        }
+    }
+
+    #[test]
+    fn mixed_polarity_gives_inverting_pairs() {
+        // f = AND(a, INV(b)): a implied 1, b implied 0 ⇒ inverting swap only.
+        let mut builder = NetworkBuilder::new("es");
+        builder.inputs(["a", "b"]);
+        builder.gate("nb", GateType::Inv, &["b"]);
+        builder.gate("f", GateType::And, &["a", "nb"]);
+        builder.output("f");
+        let n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let f = n.find_by_name("f").unwrap();
+        let sg = ex.supergate_of_root(f).unwrap();
+        let a_pin = sg.leaves.iter().find(|l| l.driver == n.find_by_name("a").unwrap()).unwrap().pin;
+        let b_pin = sg.leaves.iter().find(|l| l.driver == n.find_by_name("b").unwrap()).unwrap().pin;
+        assert_eq!(classify_pair(sg, a_pin, b_pin), Some(PairSymmetry::Inverting));
+        assert!(swap_candidates(sg, false).is_empty());
+        let with_inverting = swap_candidates(sg, true);
+        assert_eq!(with_inverting.len(), 1);
+        assert_eq!(with_inverting[0].kind, SwapKind::Inverting);
+        // Confirm with the BDD oracle: ES but not NES.
+        let mut m = Manager::new();
+        let bdds = build_output_bdds(&mut m, &n);
+        assert!(!are_nonequivalence_symmetric(&mut m, bdds.outputs[0], 0, 1));
+        assert!(are_equivalence_symmetric(&mut m, bdds.outputs[0], 0, 1));
+    }
+
+    #[test]
+    fn xor_leaves_are_both() {
+        let mut builder = NetworkBuilder::new("xs");
+        builder.inputs(["a", "b", "c"]);
+        builder.gate("x1", GateType::Xor, &["a", "b"]);
+        builder.gate("f", GateType::Xnor, &["x1", "c"]);
+        builder.output("f");
+        let n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let f = n.find_by_name("f").unwrap();
+        let sg = ex.supergate_of_root(f).unwrap();
+        assert_eq!(sg.input_count(), 3);
+        for i in 0..sg.leaves.len() {
+            for j in (i + 1)..sg.leaves.len() {
+                let s = classify_pair(sg, sg.leaves[i].pin, sg.leaves[j].pin).unwrap();
+                assert_eq!(s, PairSymmetry::Both);
+                assert!(s.allows_inverting() && s.allows_non_inverting());
+            }
+        }
+        assert_eq!(swap_candidates(sg, false).len(), 3);
+    }
+
+    #[test]
+    fn same_driver_pairs_skipped() {
+        let mut builder = NetworkBuilder::new("dup");
+        builder.inputs(["a", "b"]);
+        builder.gate("f", GateType::And, &["a", "a", "b"]);
+        builder.output("f");
+        let n = builder.finish().unwrap();
+        let ex = extract_supergates(&n);
+        let f = n.find_by_name("f").unwrap();
+        let sg = ex.supergate_of_root(f).unwrap();
+        let candidates = swap_candidates(sg, false);
+        // Only the (a, b) pairs survive, not (a, a).
+        assert_eq!(candidates.len(), 2);
+    }
+
+    #[test]
+    fn self_pair_is_none() {
+        let n = mixed();
+        let ex = extract_supergates(&n);
+        let f = n.find_by_name("f").unwrap();
+        let sg = ex.supergate_of_root(f).unwrap();
+        let p = sg.leaves[0].pin;
+        assert_eq!(classify_pair(sg, p, p), None);
+    }
+}

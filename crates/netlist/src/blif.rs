@@ -1,0 +1,290 @@
+//! A small BLIF-like structural text format.
+//!
+//! The paper's flow reads SIS-mapped BLIF netlists.  For portability this
+//! crate defines a compact structural dialect that captures exactly what the
+//! rewiring engine needs (typed gates, no truth tables):
+//!
+//! ```text
+//! .model adder4
+//! .inputs a0 a1 b0 b1
+//! .outputs s0 s1
+//! .gate xor s0 a0 b0
+//! .gate and c0 a0 b0
+//! .gate xor s1 a1 b1 c0
+//! .end
+//! ```
+//!
+//! Each `.gate` line is `TYPE OUTPUT INPUT...`; the writer emits one line per
+//! live logic gate in topological order so files round-trip.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateType};
+use crate::network::Network;
+use crate::topo;
+
+/// Serializes a network to the structural BLIF-like dialect.
+///
+/// Tomb-stoned gates are skipped; gates are emitted in topological order so
+/// the reader never sees a forward reference.
+pub fn write_string(network: &Network) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, ".model {}", network.name());
+    let input_names: Vec<&str> = network
+        .inputs()
+        .iter()
+        .map(|&i| network.gate(i).name.as_str())
+        .collect();
+    let _ = writeln!(out, ".inputs {}", input_names.join(" "));
+    let output_names: Vec<&str> = network.outputs().iter().map(|o| o.name.as_str()).collect();
+    let _ = writeln!(out, ".outputs {}", output_names.join(" "));
+    let order = topo::topological_order(network).expect("cannot serialize a cyclic network");
+    for g in order {
+        let gate = network.gate(g);
+        match gate.gtype {
+            GateType::Input => {}
+            GateType::Const0 | GateType::Const1 => {
+                let _ = writeln!(out, ".gate {} {}", gate.gtype.mnemonic(), gate.name);
+            }
+            t => {
+                let fanin_names: Vec<&str> = gate
+                    .fanins
+                    .iter()
+                    .map(|&f| network.gate(f).name.as_str())
+                    .collect();
+                let _ = writeln!(
+                    out,
+                    ".gate {} {} {}",
+                    t.mnemonic(),
+                    gate.name,
+                    fanin_names.join(" ")
+                );
+            }
+        }
+    }
+    // Output ports whose name differs from their driver need explicit buffers
+    // on read-back; emit them as .link lines.
+    for o in network.outputs() {
+        let driver_name = &network.gate(o.driver).name;
+        if driver_name != &o.name {
+            let _ = writeln!(out, ".link {} {}", o.name, driver_name);
+        }
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+/// Parses the structural BLIF-like dialect produced by [`write_string`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBlif`] with a line number for syntactic
+/// problems, and name/structural errors for semantic ones.
+pub fn parse_string(text: &str) -> Result<Network, NetlistError> {
+    let mut name = String::from("unnamed");
+    let mut inputs: Vec<String> = Vec::new();
+    let mut outputs: Vec<String> = Vec::new();
+    let mut gates: Vec<(usize, GateType, String, Vec<String>)> = Vec::new();
+    let mut links: Vec<(String, String)> = Vec::new();
+
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let lineno = lineno + 1;
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut tokens = line.split_whitespace();
+        let keyword = tokens.next().unwrap();
+        match keyword {
+            ".model" => {
+                name = tokens
+                    .next()
+                    .ok_or(NetlistError::ParseBlif {
+                        line: lineno,
+                        message: "missing model name".into(),
+                    })?
+                    .to_string();
+            }
+            ".inputs" => inputs.extend(tokens.map(|s| s.to_string())),
+            ".outputs" => outputs.extend(tokens.map(|s| s.to_string())),
+            ".gate" => {
+                let type_token = tokens.next().ok_or(NetlistError::ParseBlif {
+                    line: lineno,
+                    message: "missing gate type".into(),
+                })?;
+                let gtype = GateType::from_mnemonic(type_token).ok_or(NetlistError::ParseBlif {
+                    line: lineno,
+                    message: format!("unknown gate type `{type_token}`"),
+                })?;
+                let out = tokens
+                    .next()
+                    .ok_or(NetlistError::ParseBlif {
+                        line: lineno,
+                        message: "missing gate output name".into(),
+                    })?
+                    .to_string();
+                let fanins: Vec<String> = tokens.map(|s| s.to_string()).collect();
+                gates.push((lineno, gtype, out, fanins));
+            }
+            ".link" => {
+                let port = tokens.next().ok_or(NetlistError::ParseBlif {
+                    line: lineno,
+                    message: "missing link port".into(),
+                })?;
+                let driver = tokens.next().ok_or(NetlistError::ParseBlif {
+                    line: lineno,
+                    message: "missing link driver".into(),
+                })?;
+                links.push((port.to_string(), driver.to_string()));
+            }
+            ".end" => break,
+            other => {
+                return Err(NetlistError::ParseBlif {
+                    line: lineno,
+                    message: format!("unknown directive `{other}`"),
+                })
+            }
+        }
+    }
+
+    let mut network = Network::new(name);
+    let mut by_name: HashMap<String, GateId> = HashMap::new();
+    for i in &inputs {
+        if by_name.contains_key(i) {
+            return Err(NetlistError::DuplicateName(i.clone()));
+        }
+        let id = network.add_input(i.clone());
+        by_name.insert(i.clone(), id);
+    }
+
+    // Gates may reference signals defined later; resolve iteratively.
+    let mut remaining = gates;
+    while !remaining.is_empty() {
+        let before = remaining.len();
+        let mut next = Vec::new();
+        for (lineno, gtype, out, fanin_names) in remaining {
+            if by_name.contains_key(&out) {
+                return Err(NetlistError::DuplicateName(out));
+            }
+            let ready = fanin_names.iter().all(|n| by_name.contains_key(n));
+            if !ready {
+                next.push((lineno, gtype, out, fanin_names));
+                continue;
+            }
+            let id = match gtype {
+                GateType::Const0 => network.add_constant(false, out.clone()),
+                GateType::Const1 => network.add_constant(true, out.clone()),
+                t => {
+                    let fanins: Vec<GateId> = fanin_names.iter().map(|n| by_name[n]).collect();
+                    network.add_gate(t, &fanins, out.clone())?
+                }
+            };
+            by_name.insert(out, id);
+        }
+        if next.len() == before {
+            let missing = next
+                .iter()
+                .flat_map(|(_, _, _, f)| f.iter())
+                .find(|n| !by_name.contains_key(*n) && !next.iter().any(|(_, _, o, _)| o == *n))
+                .cloned()
+                .unwrap_or_else(|| next[0].3[0].clone());
+            return Err(NetlistError::UndefinedName(missing));
+        }
+        remaining = next;
+    }
+
+    let link_map: HashMap<String, String> = links.into_iter().collect();
+    for o in outputs {
+        let source = link_map.get(&o).unwrap_or(&o);
+        let id = by_name
+            .get(source)
+            .copied()
+            .ok_or_else(|| NetlistError::UndefinedName(source.clone()))?;
+        network.add_output(id, o);
+    }
+    Ok(network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+    use crate::gate::GateType;
+
+    fn sample() -> Network {
+        let mut b = NetworkBuilder::new("adder1");
+        b.inputs(["a", "b", "cin"]);
+        b.gate("s_ab", GateType::Xor, &["a", "b"]);
+        b.gate("sum", GateType::Xor, &["s_ab", "cin"]);
+        b.gate("c1", GateType::And, &["a", "b"]);
+        b.gate("c2", GateType::And, &["s_ab", "cin"]);
+        b.gate("cout", GateType::Or, &["c1", "c2"]);
+        b.output("sum");
+        b.output("cout");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let n = sample();
+        let text = write_string(&n);
+        let back = parse_string(&text).unwrap();
+        assert_eq!(back.name(), "adder1");
+        assert_eq!(back.logic_gate_count(), n.logic_gate_count());
+        assert_eq!(back.inputs().len(), n.inputs().len());
+        assert_eq!(back.outputs().len(), n.outputs().len());
+        assert!(back.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn parse_rejects_unknown_type() {
+        let text = ".model x\n.inputs a\n.outputs f\n.gate frob f a\n.end\n";
+        let err = parse_string(text).unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBlif { line: 4, .. }));
+    }
+
+    #[test]
+    fn parse_rejects_undefined_signal() {
+        let text = ".model x\n.inputs a\n.outputs f\n.gate and f a ghost\n.end\n";
+        let err = parse_string(text).unwrap_err();
+        assert!(matches!(err, NetlistError::UndefinedName(_)));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_definition() {
+        let text = ".model x\n.inputs a b\n.outputs f\n.gate and f a b\n.gate or f a b\n.end\n";
+        let err = parse_string(text).unwrap_err();
+        assert!(matches!(err, NetlistError::DuplicateName(_)));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# a comment\n\n.model x\n.inputs a b\n.outputs f\n.gate nand f a b\n.end\n";
+        let n = parse_string(text).unwrap();
+        assert_eq!(n.logic_gate_count(), 1);
+        assert_eq!(n.gate(n.find_by_name("f").unwrap()).gtype, GateType::Nand);
+    }
+
+    #[test]
+    fn out_of_order_gates_resolve() {
+        let text = ".model x\n.inputs a b c\n.outputs f\n.gate or f n1 c\n.gate and n1 a b\n.end\n";
+        let n = parse_string(text).unwrap();
+        assert_eq!(n.logic_gate_count(), 2);
+        assert!(n.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn constants_round_trip() {
+        let mut b = NetworkBuilder::new("c");
+        b.input("a");
+        b.constant("tie1", true);
+        b.gate("f", GateType::And, &["a", "tie1"]);
+        b.output("f");
+        let n = b.finish().unwrap();
+        let text = write_string(&n);
+        let back = parse_string(&text).unwrap();
+        assert_eq!(back.live_gate_count(), n.live_gate_count());
+    }
+}

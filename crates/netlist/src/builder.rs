@@ -1,0 +1,248 @@
+//! Ergonomic construction of networks by signal name.
+//!
+//! [`NetworkBuilder`] lets the figure reproductions and the circuit
+//! generators describe a network as a list of `(output, type, inputs)`
+//! statements without worrying about creation order: references may be
+//! forward, and the builder resolves them when [`NetworkBuilder::finish`]
+//! is called.
+
+use std::collections::HashMap;
+
+use crate::error::NetlistError;
+use crate::gate::{GateId, GateType};
+use crate::network::Network;
+
+#[derive(Debug, Clone)]
+struct PendingGate {
+    name: String,
+    gtype: GateType,
+    fanin_names: Vec<String>,
+}
+
+/// Builds a [`Network`] from named statements, resolving signal names to
+/// gate ids at the end so statements may appear in any order.
+///
+/// ```
+/// use rapids_netlist::{GateType, NetworkBuilder};
+///
+/// let mut b = NetworkBuilder::new("demo");
+/// b.input("a");
+/// b.input("b");
+/// // Forward reference to `n1` is fine.
+/// b.gate("f", GateType::Or, &["n1", "b"]);
+/// b.gate("n1", GateType::And, &["a", "b"]);
+/// b.output("f");
+/// let network = b.finish().unwrap();
+/// assert_eq!(network.logic_gate_count(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    name: String,
+    inputs: Vec<String>,
+    constants: Vec<(String, bool)>,
+    gates: Vec<PendingGate>,
+    outputs: Vec<String>,
+}
+
+impl NetworkBuilder {
+    /// Creates a builder for a design called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        NetworkBuilder {
+            name: name.into(),
+            inputs: Vec::new(),
+            constants: Vec::new(),
+            gates: Vec::new(),
+            outputs: Vec::new(),
+        }
+    }
+
+    /// Declares a primary input signal.
+    pub fn input(&mut self, name: impl Into<String>) -> &mut Self {
+        self.inputs.push(name.into());
+        self
+    }
+
+    /// Declares several primary inputs at once.
+    pub fn inputs<I, S>(&mut self, names: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        for n in names {
+            self.inputs.push(n.into());
+        }
+        self
+    }
+
+    /// Declares a constant signal.
+    pub fn constant(&mut self, name: impl Into<String>, value: bool) -> &mut Self {
+        self.constants.push((name.into(), value));
+        self
+    }
+
+    /// Declares a logic gate whose output signal is `name`.
+    pub fn gate(&mut self, name: impl Into<String>, gtype: GateType, fanins: &[&str]) -> &mut Self {
+        self.gates.push(PendingGate {
+            name: name.into(),
+            gtype,
+            fanin_names: fanins.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Declares a primary output driven by the signal `name`.
+    pub fn output(&mut self, name: impl Into<String>) -> &mut Self {
+        self.outputs.push(name.into());
+        self
+    }
+
+    /// Resolves all names and produces the network.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::DuplicateName`] if a signal is defined twice.
+    /// * [`NetlistError::UndefinedName`] if a fan-in or output references a
+    ///   signal that was never defined.
+    /// * Any structural error from [`Network::add_gate`] (bad arity, cycles).
+    pub fn finish(&self) -> Result<Network, NetlistError> {
+        let mut network = Network::new(self.name.clone());
+        let mut by_name: HashMap<String, GateId> = HashMap::new();
+
+        for name in &self.inputs {
+            if by_name.contains_key(name) {
+                return Err(NetlistError::DuplicateName(name.clone()));
+            }
+            let id = network.add_input(name.clone());
+            by_name.insert(name.clone(), id);
+        }
+        for (name, value) in &self.constants {
+            if by_name.contains_key(name) {
+                return Err(NetlistError::DuplicateName(name.clone()));
+            }
+            let id = network.add_constant(*value, name.clone());
+            by_name.insert(name.clone(), id);
+        }
+        for g in &self.gates {
+            if by_name.contains_key(&g.name) || self.gates.iter().filter(|o| o.name == g.name).count() > 1 {
+                if by_name.contains_key(&g.name) {
+                    return Err(NetlistError::DuplicateName(g.name.clone()));
+                }
+            }
+        }
+
+        // Topologically order the pending gates by resolving dependencies
+        // iteratively; this permits forward references.
+        let mut remaining: Vec<&PendingGate> = self.gates.iter().collect();
+        // Detect duplicate gate names among pending gates.
+        {
+            let mut seen = std::collections::HashSet::new();
+            for g in &remaining {
+                if !seen.insert(&g.name) {
+                    return Err(NetlistError::DuplicateName(g.name.clone()));
+                }
+            }
+        }
+        while !remaining.is_empty() {
+            let mut progressed = false;
+            let mut next_round = Vec::new();
+            for g in remaining {
+                let ready = g.fanin_names.iter().all(|n| by_name.contains_key(n));
+                if ready {
+                    let fanins: Vec<GateId> =
+                        g.fanin_names.iter().map(|n| by_name[n]).collect();
+                    let id = network.add_gate(g.gtype, &fanins, g.name.clone())?;
+                    by_name.insert(g.name.clone(), id);
+                    progressed = true;
+                } else {
+                    next_round.push(g);
+                }
+            }
+            if !progressed {
+                // Some fan-in name is genuinely undefined (or the statements
+                // form a cycle, which a combinational builder cannot express).
+                let missing = next_round
+                    .iter()
+                    .flat_map(|g| g.fanin_names.iter())
+                    .find(|n| !by_name.contains_key(*n) && !next_round.iter().any(|g| &g.name == *n))
+                    .cloned()
+                    .unwrap_or_else(|| next_round[0].fanin_names[0].clone());
+                return Err(NetlistError::UndefinedName(missing));
+            }
+            remaining = next_round;
+        }
+
+        for name in &self.outputs {
+            let id = by_name
+                .get(name)
+                .copied()
+                .ok_or_else(|| NetlistError::UndefinedName(name.clone()))?;
+            network.add_output(id, name.clone());
+        }
+        Ok(network)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_references_resolve() {
+        let mut b = NetworkBuilder::new("t");
+        b.inputs(["a", "b", "c"]);
+        b.gate("f", GateType::Or, &["n1", "c"]);
+        b.gate("n1", GateType::And, &["a", "b"]);
+        b.output("f");
+        let n = b.finish().unwrap();
+        assert_eq!(n.logic_gate_count(), 2);
+        assert!(n.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn duplicate_names_rejected() {
+        let mut b = NetworkBuilder::new("t");
+        b.input("a");
+        b.input("a");
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicateName(_))));
+
+        let mut b = NetworkBuilder::new("t");
+        b.input("a");
+        b.gate("x", GateType::Inv, &["a"]);
+        b.gate("x", GateType::Buf, &["a"]);
+        assert!(matches!(b.finish(), Err(NetlistError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn undefined_names_rejected() {
+        let mut b = NetworkBuilder::new("t");
+        b.input("a");
+        b.gate("f", GateType::And, &["a", "ghost"]);
+        b.output("f");
+        assert!(matches!(b.finish(), Err(NetlistError::UndefinedName(_))));
+
+        let mut b = NetworkBuilder::new("t");
+        b.input("a");
+        b.output("ghost");
+        assert!(matches!(b.finish(), Err(NetlistError::UndefinedName(_))));
+    }
+
+    #[test]
+    fn constants_supported() {
+        let mut b = NetworkBuilder::new("t");
+        b.input("a");
+        b.constant("one", true);
+        b.gate("f", GateType::And, &["a", "one"]);
+        b.output("f");
+        let n = b.finish().unwrap();
+        assert_eq!(n.logic_gate_count(), 1);
+    }
+
+    #[test]
+    fn bad_arity_propagates() {
+        let mut b = NetworkBuilder::new("t");
+        b.input("a");
+        b.gate("f", GateType::And, &["a"]);
+        b.output("f");
+        assert!(matches!(b.finish(), Err(NetlistError::InvalidFaninCount { .. })));
+    }
+}

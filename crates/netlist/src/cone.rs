@@ -1,0 +1,204 @@
+//! Fanout-free region and cone extraction.
+//!
+//! The theory of §3 is stated for *fanout-free networks* rooted at a gate
+//! `f`: every gate inside the region has a single fan-out.  The functions
+//! here carve those regions out of a general (multi-fanout) network, which is
+//! exactly how the GISG extraction bounds its traversal, and also extract
+//! input supports for exhaustive verification of small cones.
+
+use std::collections::HashMap;
+
+use crate::gate::{GateId, GateType};
+use crate::network::Network;
+use crate::topo;
+
+/// A single-rooted cone of a network, described by its member gates and the
+/// boundary signals feeding it (the cone "leaves").
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cone {
+    /// Root gate of the cone.
+    pub root: GateId,
+    /// Gates strictly inside the cone (includes the root, excludes leaves).
+    pub members: Vec<GateId>,
+    /// Boundary drivers: gates outside the cone whose outputs feed cone pins.
+    pub leaves: Vec<GateId>,
+}
+
+impl Cone {
+    /// Number of member gates.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Returns `true` if the given gate is a member of the cone.
+    pub fn contains(&self, id: GateId) -> bool {
+        self.members.contains(&id)
+    }
+}
+
+/// Extracts the *maximum fanout-free cone* (MFFC-like region restricted to
+/// single-fanout gates) rooted at `root`: the traversal descends through a
+/// fan-in only while that fan-in is fanout-free, is not a source, and — when
+/// `stop_at_multi_input_boundary` is false — regardless of its type.
+///
+/// This is the region within which Theorem 1 applies directly.
+pub fn fanout_free_cone(network: &Network, root: GateId) -> Cone {
+    let mut members = vec![root];
+    let mut leaves = Vec::new();
+    let mut seen_leaves = Vec::new();
+    let mut stack = vec![root];
+    let mut in_cone = vec![false; network.gate_count()];
+    in_cone[root.index()] = true;
+    while let Some(g) = stack.pop() {
+        for &f in network.fanins(g) {
+            let fg = network.gate(f);
+            let descend = !fg.gtype.is_source() && network.is_fanout_free(f);
+            if descend {
+                if !in_cone[f.index()] {
+                    in_cone[f.index()] = true;
+                    members.push(f);
+                    stack.push(f);
+                }
+            } else if !seen_leaves.contains(&f) {
+                seen_leaves.push(f);
+                leaves.push(f);
+            }
+        }
+    }
+    Cone { root, members, leaves }
+}
+
+/// Extracts the full transitive fan-in cone of `root` down to primary inputs
+/// and constants; leaves are the inputs/constants of the support.
+pub fn input_cone(network: &Network, root: GateId) -> Cone {
+    let all = topo::transitive_fanin(network, root);
+    let mut members = Vec::new();
+    let mut leaves = Vec::new();
+    for g in all {
+        if network.gate(g).gtype.is_source() {
+            leaves.push(g);
+        } else {
+            members.push(g);
+        }
+    }
+    Cone { root, members, leaves }
+}
+
+/// The support (set of primary inputs / constants) of a gate.
+pub fn support(network: &Network, root: GateId) -> Vec<GateId> {
+    input_cone(network, root).leaves
+}
+
+/// Evaluates the output of `root` for a full assignment of its support,
+/// given as a map from leaf gate to boolean value.  Intended for exhaustive
+/// equivalence checks of small cones in tests; general simulation lives in
+/// `rapids-sim`.
+///
+/// # Panics
+///
+/// Panics if a leaf value is missing from `assignment` or the cone is cyclic.
+pub fn evaluate_cone(
+    network: &Network,
+    root: GateId,
+    assignment: &HashMap<GateId, bool>,
+) -> bool {
+    let cone_gates = topo::transitive_fanin(network, root);
+    let order = topo::topological_order(network).expect("acyclic network required");
+    let mut value: HashMap<GateId, bool> = HashMap::new();
+    for g in order {
+        if !cone_gates.contains(&g) {
+            continue;
+        }
+        let gate = network.gate(g);
+        let v = match gate.gtype {
+            GateType::Input => *assignment
+                .get(&g)
+                .unwrap_or_else(|| panic!("missing assignment for input {g}")),
+            GateType::Const0 => false,
+            GateType::Const1 => true,
+            t => {
+                let ins: Vec<bool> = gate.fanins.iter().map(|f| value[f]).collect();
+                t.eval_bool(&ins)
+            }
+        };
+        value.insert(g, v);
+    }
+    value[&root]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateType;
+
+    /// Builds the supergate of Fig. 2: f = AND(h, AND(k, m)) shaped so that
+    /// everything is fanout-free under f.
+    fn fig2_like() -> (Network, GateId, GateId, GateId, GateId) {
+        let mut n = Network::new("fig2");
+        let h = n.add_input("h");
+        let k = n.add_input("k");
+        let m = n.add_input("m");
+        let g1 = n.add_gate(GateType::And, &[k, m], "g1").unwrap();
+        let f = n.add_gate(GateType::And, &[h, g1], "f").unwrap();
+        n.add_output(f, "f");
+        (n, h, k, g1, f)
+    }
+
+    #[test]
+    fn fanout_free_cone_descends_single_fanout() {
+        let (n, _h, _k, g1, f) = fig2_like();
+        let cone = fanout_free_cone(&n, f);
+        assert!(cone.contains(f));
+        assert!(cone.contains(g1));
+        assert_eq!(cone.size(), 2);
+        // Leaves are the three inputs.
+        assert_eq!(cone.leaves.len(), 3);
+    }
+
+    #[test]
+    fn fanout_free_cone_stops_at_multifanout() {
+        let mut n = Network::new("mf");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let shared = n.add_gate(GateType::And, &[a, b], "shared").unwrap();
+        let x = n.add_gate(GateType::Inv, &[shared], "x").unwrap();
+        let y = n.add_gate(GateType::Buf, &[shared], "y").unwrap();
+        let f = n.add_gate(GateType::Or, &[x, y], "f").unwrap();
+        n.add_output(f, "f");
+        let cone = fanout_free_cone(&n, f);
+        // shared has two fanouts so the cone must stop above it.
+        assert!(cone.contains(x));
+        assert!(cone.contains(y));
+        assert!(!cone.contains(shared));
+        assert!(cone.leaves.contains(&shared));
+    }
+
+    #[test]
+    fn input_cone_and_support() {
+        let (n, h, k, _g1, f) = fig2_like();
+        let cone = input_cone(&n, f);
+        assert_eq!(cone.members.len(), 2);
+        assert_eq!(cone.leaves.len(), 3);
+        let sup = support(&n, f);
+        assert!(sup.contains(&h));
+        assert!(sup.contains(&k));
+    }
+
+    #[test]
+    fn evaluate_cone_truth_table() {
+        let (n, h, k, _g1, f) = fig2_like();
+        let m = n.find_by_name("m").unwrap();
+        let mut assignment = HashMap::new();
+        for hv in [false, true] {
+            for kv in [false, true] {
+                for mv in [false, true] {
+                    assignment.insert(h, hv);
+                    assignment.insert(k, kv);
+                    assignment.insert(m, mv);
+                    let got = evaluate_cone(&n, f, &assignment);
+                    assert_eq!(got, hv && kv && mv);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Error type shared by all fallible netlist operations.
+
+use std::fmt;
+
+use crate::gate::GateId;
+
+/// Errors produced while constructing or editing a [`crate::Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetlistError {
+    /// A gate id referenced a vertex that does not exist in the network.
+    UnknownGate(GateId),
+    /// A gate was created with a fan-in count its type cannot accept
+    /// (e.g. a 3-input inverter, or a 1-input AND).
+    InvalidFaninCount {
+        /// The offending gate type.
+        gate_type: &'static str,
+        /// The number of fan-ins that was requested.
+        requested: usize,
+    },
+    /// A fan-in pin index was out of range for the gate it addresses.
+    InvalidPinIndex {
+        /// Gate whose pin was addressed.
+        gate: GateId,
+        /// Requested pin index.
+        index: usize,
+        /// Number of in-pins the gate actually has.
+        fanin_count: usize,
+    },
+    /// An edit would have created a combinational cycle.
+    WouldCreateCycle {
+        /// Gate whose fan-in was being rewired.
+        gate: GateId,
+        /// Driver that would have closed the cycle.
+        driver: GateId,
+    },
+    /// A name appeared twice where uniqueness is required (BLIF parsing).
+    DuplicateName(String),
+    /// A signal name was referenced before being defined (BLIF parsing).
+    UndefinedName(String),
+    /// A syntactic problem in a BLIF-like source file.
+    ParseBlif {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::UnknownGate(id) => write!(f, "unknown gate id {id}"),
+            NetlistError::InvalidFaninCount { gate_type, requested } => write!(
+                f,
+                "gate type {gate_type} cannot take {requested} fan-ins"
+            ),
+            NetlistError::InvalidPinIndex { gate, index, fanin_count } => write!(
+                f,
+                "pin index {index} out of range for gate {gate} with {fanin_count} fan-ins"
+            ),
+            NetlistError::WouldCreateCycle { gate, driver } => write!(
+                f,
+                "connecting driver {driver} to gate {gate} would create a combinational cycle"
+            ),
+            NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
+            NetlistError::UndefinedName(name) => write!(f, "undefined signal name `{name}`"),
+            NetlistError::ParseBlif { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase_start() {
+        let errors = [
+            NetlistError::UnknownGate(GateId(7)),
+            NetlistError::InvalidFaninCount { gate_type: "Inv", requested: 3 },
+            NetlistError::InvalidPinIndex { gate: GateId(1), index: 9, fanin_count: 2 },
+            NetlistError::WouldCreateCycle { gate: GateId(1), driver: GateId(2) },
+            NetlistError::DuplicateName("x".into()),
+            NetlistError::UndefinedName("y".into()),
+            NetlistError::ParseBlif { line: 3, message: "bad token".into() },
+        ];
+        for e in errors {
+            let s = e.to_string();
+            assert!(!s.is_empty());
+            assert!(s.chars().next().unwrap().is_lowercase() || s.starts_with("gate"));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,153 @@
+//! Structural statistics used by the experiment reports (Table 1 columns
+//! such as gate count) and by the circuit generators to validate that the
+//! synthetic benchmarks land in the intended size regime.
+
+use std::collections::BTreeMap;
+
+use crate::gate::GateType;
+use crate::network::Network;
+use crate::topo;
+
+/// Summary statistics of a network's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Number of primary inputs.
+    pub input_count: usize,
+    /// Number of primary outputs.
+    pub output_count: usize,
+    /// Number of live logic gates (excludes inputs/constants).
+    pub gate_count: usize,
+    /// Logic depth (maximum level over output drivers).
+    pub depth: usize,
+    /// Histogram of gate types.
+    pub type_histogram: BTreeMap<&'static str, usize>,
+    /// Maximum fan-out degree over all gates.
+    pub max_fanout: usize,
+    /// Average fan-out degree over logic gates and inputs.
+    pub avg_fanout: f64,
+    /// Number of gates with a single fan-out (candidates for supergate
+    /// membership).
+    pub fanout_free_gates: usize,
+}
+
+impl NetworkStats {
+    /// Computes statistics for a network.
+    pub fn compute(network: &Network) -> Self {
+        let mut type_histogram: BTreeMap<&'static str, usize> = BTreeMap::new();
+        let mut max_fanout = 0usize;
+        let mut fanout_sum = 0usize;
+        let mut fanout_free_gates = 0usize;
+        let mut counted = 0usize;
+        for id in network.iter_live() {
+            let g = network.gate(id);
+            if !g.gtype.is_source() {
+                *type_histogram.entry(g.gtype.mnemonic()).or_insert(0) += 1;
+            }
+            let deg = network.fanout_degree(id);
+            max_fanout = max_fanout.max(deg);
+            fanout_sum += deg;
+            counted += 1;
+            if !g.gtype.is_source() && deg == 1 {
+                fanout_free_gates += 1;
+            }
+        }
+        NetworkStats {
+            input_count: network.inputs().len(),
+            output_count: network.outputs().len(),
+            gate_count: network.logic_gate_count(),
+            depth: topo::depth(network),
+            type_histogram,
+            max_fanout,
+            avg_fanout: if counted == 0 { 0.0 } else { fanout_sum as f64 / counted as f64 },
+            fanout_free_gates,
+        }
+    }
+
+    /// Count of a given gate type (0 if absent).
+    pub fn count_of(&self, gtype: GateType) -> usize {
+        self.type_histogram.get(gtype.mnemonic()).copied().unwrap_or(0)
+    }
+
+    /// Fraction of logic gates that are inverters or buffers.
+    pub fn inverter_fraction(&self) -> f64 {
+        if self.gate_count == 0 {
+            return 0.0;
+        }
+        let inv = self.count_of(GateType::Inv) + self.count_of(GateType::Buf);
+        inv as f64 / self.gate_count as f64
+    }
+}
+
+impl std::fmt::Display for NetworkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "inputs={} outputs={} gates={} depth={} max_fanout={} avg_fanout={:.2}",
+            self.input_count,
+            self.output_count,
+            self.gate_count,
+            self.depth,
+            self.max_fanout,
+            self.avg_fanout
+        )?;
+        for (t, c) in &self.type_histogram {
+            writeln!(f, "  {t:>6}: {c}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NetworkBuilder;
+
+    #[test]
+    fn stats_of_full_adder() {
+        let mut b = NetworkBuilder::new("fa");
+        b.inputs(["a", "b", "cin"]);
+        b.gate("s1", GateType::Xor, &["a", "b"]);
+        b.gate("sum", GateType::Xor, &["s1", "cin"]);
+        b.gate("c1", GateType::And, &["a", "b"]);
+        b.gate("c2", GateType::And, &["s1", "cin"]);
+        b.gate("cout", GateType::Or, &["c1", "c2"]);
+        b.output("sum");
+        b.output("cout");
+        let n = b.finish().unwrap();
+        let s = NetworkStats::compute(&n);
+        assert_eq!(s.input_count, 3);
+        assert_eq!(s.output_count, 2);
+        assert_eq!(s.gate_count, 5);
+        // sum is at level 2; cout = OR(AND(a,b), AND(XOR(a,b), cin)) is at level 3.
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.count_of(GateType::Xor), 2);
+        assert_eq!(s.count_of(GateType::And), 2);
+        assert_eq!(s.count_of(GateType::Or), 1);
+        assert_eq!(s.count_of(GateType::Nand), 0);
+        // s1 drives two sinks, a and b and cin drive two sinks each.
+        assert_eq!(s.max_fanout, 2);
+        assert!(s.avg_fanout > 0.0);
+        assert!(!s.to_string().is_empty());
+    }
+
+    #[test]
+    fn inverter_fraction() {
+        let mut b = NetworkBuilder::new("inv");
+        b.input("a");
+        b.gate("x", GateType::Inv, &["a"]);
+        b.gate("y", GateType::Buf, &["x"]);
+        b.output("y");
+        let n = b.finish().unwrap();
+        let s = NetworkStats::compute(&n);
+        assert!((s.inverter_fraction() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_network() {
+        let n = Network::new("empty");
+        let s = NetworkStats::compute(&n);
+        assert_eq!(s.gate_count, 0);
+        assert_eq!(s.depth, 0);
+        assert_eq!(s.inverter_fraction(), 0.0);
+    }
+}

@@ -1,0 +1,135 @@
+//! A coarse congestion map: the placement region is divided into a grid of
+//! bins and every net's bounding box contributes demand to the bins it
+//! overlaps.  The paper motivates rewiring partly by congestion relief
+//! ("Congestion can also be relieved"), and the experiment reports use this
+//! map to show the effect of wire-length-driven swaps.
+
+use rapids_netlist::Network;
+
+use crate::geometry::Placement;
+
+/// Routing-demand estimate over a regular grid of bins.
+#[derive(Debug, Clone)]
+pub struct CongestionMap {
+    bins_x: usize,
+    bins_y: usize,
+    demand: Vec<f64>,
+}
+
+impl CongestionMap {
+    /// Builds a congestion map with `bins_x × bins_y` bins.
+    ///
+    /// Every net adds `hpwl / covered_bins` demand to each bin its bounding
+    /// box overlaps, a standard FLUTE-free estimate.
+    pub fn build(network: &Network, placement: &Placement, bins_x: usize, bins_y: usize) -> Self {
+        let bins_x = bins_x.max(1);
+        let bins_y = bins_y.max(1);
+        let mut demand = vec![0.0; bins_x * bins_y];
+        let region = placement.region();
+        let bin_w = region.width_um / bins_x as f64;
+        let bin_h = region.height_um / bins_y as f64;
+        for driver in network.iter_live() {
+            let sinks = network.fanouts(driver);
+            if sinks.is_empty() {
+                continue;
+            }
+            let mut min_x = f64::INFINITY;
+            let mut max_x = f64::NEG_INFINITY;
+            let mut min_y = f64::INFINITY;
+            let mut max_y = f64::NEG_INFINITY;
+            for p in std::iter::once(placement.position(driver))
+                .chain(sinks.iter().map(|&s| placement.position(s)))
+            {
+                min_x = min_x.min(p.x_um);
+                max_x = max_x.max(p.x_um);
+                min_y = min_y.min(p.y_um);
+                max_y = max_y.max(p.y_um);
+            }
+            let hpwl = (max_x - min_x) + (max_y - min_y);
+            let bx0 = ((min_x / bin_w).floor() as usize).min(bins_x - 1);
+            let bx1 = ((max_x / bin_w).floor() as usize).min(bins_x - 1);
+            let by0 = ((min_y / bin_h).floor() as usize).min(bins_y - 1);
+            let by1 = ((max_y / bin_h).floor() as usize).min(bins_y - 1);
+            let covered = ((bx1 - bx0 + 1) * (by1 - by0 + 1)) as f64;
+            let share = if hpwl > 0.0 { hpwl / covered } else { 0.1 / covered };
+            for bx in bx0..=bx1 {
+                for by in by0..=by1 {
+                    demand[by * bins_x + bx] += share;
+                }
+            }
+        }
+        CongestionMap { bins_x, bins_y, demand }
+    }
+
+    /// Demand of a specific bin.
+    pub fn demand(&self, bin_x: usize, bin_y: usize) -> f64 {
+        self.demand[bin_y * self.bins_x + bin_x]
+    }
+
+    /// Grid dimensions `(bins_x, bins_y)`.
+    pub fn dimensions(&self) -> (usize, usize) {
+        (self.bins_x, self.bins_y)
+    }
+
+    /// Maximum bin demand (the congestion hot spot).
+    pub fn peak_demand(&self) -> f64 {
+        self.demand.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Mean bin demand.
+    pub fn average_demand(&self) -> f64 {
+        if self.demand.is_empty() {
+            0.0
+        } else {
+            self.demand.iter().sum::<f64>() / self.demand.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::annealer::{place, PlacerConfig};
+    use rapids_celllib::Library;
+    use rapids_netlist::{GateType, NetworkBuilder};
+
+    fn net() -> Network {
+        let mut b = NetworkBuilder::new("c");
+        b.inputs(["a", "b", "c", "d"]);
+        b.gate("n1", GateType::Nand, &["a", "b"]);
+        b.gate("n2", GateType::Nand, &["c", "d"]);
+        b.gate("f", GateType::Nor, &["n1", "n2"]);
+        b.output("f");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn congestion_map_has_positive_demand() {
+        let n = net();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 3);
+        let map = CongestionMap::build(&n, &p, 4, 4);
+        assert_eq!(map.dimensions(), (4, 4));
+        assert!(map.peak_demand() >= map.average_demand());
+        assert!(map.average_demand() >= 0.0);
+    }
+
+    #[test]
+    fn single_bin_grid_collects_everything() {
+        let n = net();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 3);
+        let map = CongestionMap::build(&n, &p, 1, 1);
+        assert!((map.peak_demand() - map.average_demand()).abs() < 1e-9);
+        assert!(map.demand(0, 0) > 0.0);
+    }
+
+    #[test]
+    fn degenerate_bin_counts_are_clamped() {
+        let n = net();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 3);
+        let map = CongestionMap::build(&n, &p, 0, 0);
+        assert_eq!(map.dimensions(), (1, 1));
+    }
+}

@@ -1,0 +1,193 @@
+//! Placement geometry: points, the placement region and the per-gate
+//! location table.
+
+use rapids_netlist::{GateId, Network};
+
+/// A location in the placement region, in µm.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// Horizontal coordinate, µm.
+    pub x_um: f64,
+    /// Vertical coordinate, µm.
+    pub y_um: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x_um: f64, y_um: f64) -> Self {
+        Point { x_um, y_um }
+    }
+
+    /// Manhattan (rectilinear) distance to another point, in µm — the metric
+    /// used for wire-length estimation throughout the flow.
+    pub fn manhattan_distance_um(&self, other: &Point) -> f64 {
+        (self.x_um - other.x_um).abs() + (self.y_um - other.y_um).abs()
+    }
+}
+
+/// The rectangular placement region and its row structure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Region {
+    /// Region width, µm.
+    pub width_um: f64,
+    /// Region height, µm.
+    pub height_um: f64,
+    /// Standard-cell row height, µm.
+    pub row_height_um: f64,
+}
+
+impl Region {
+    /// Number of standard-cell rows that fit in the region.
+    pub fn row_count(&self) -> usize {
+        (self.height_um / self.row_height_um).floor().max(1.0) as usize
+    }
+
+    /// The y coordinate of the center of row `row`.
+    pub fn row_center_y_um(&self, row: usize) -> f64 {
+        (row as f64 + 0.5) * self.row_height_um
+    }
+
+    /// Clamps a point into the region.
+    pub fn clamp(&self, p: Point) -> Point {
+        Point {
+            x_um: p.x_um.clamp(0.0, self.width_um),
+            y_um: p.y_um.clamp(0.0, self.height_um),
+        }
+    }
+}
+
+/// A placed netlist: one location per gate slot (indexed by `GateId`).
+///
+/// Primary inputs and outputs are placed too (as pad-like points), because
+/// the star wire model needs coordinates for every net terminal.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    region: Region,
+    positions: Vec<Point>,
+}
+
+impl Placement {
+    /// Creates a placement with every gate at the origin.
+    pub fn new(region: Region, gate_slots: usize) -> Self {
+        Placement { region, positions: vec![Point::default(); gate_slots] }
+    }
+
+    /// The placement region.
+    pub fn region(&self) -> Region {
+        self.region
+    }
+
+    /// Location of a gate.
+    pub fn position(&self, gate: GateId) -> Point {
+        self.positions[gate.index()]
+    }
+
+    /// Moves a gate (used only by the placer itself; the rewiring flow never
+    /// calls this).
+    pub fn set_position(&mut self, gate: GateId, p: Point) {
+        self.positions[gate.index()] = self.region.clamp(p);
+    }
+
+    /// Number of gate slots covered.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if the placement covers no gates.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Half-perimeter wire length of the net driven by `driver`, in µm.
+    /// Returns 0 for nets with no sinks.
+    pub fn net_hpwl_um(&self, network: &Network, driver: GateId) -> f64 {
+        let mut min_x = f64::INFINITY;
+        let mut max_x = f64::NEG_INFINITY;
+        let mut min_y = f64::INFINITY;
+        let mut max_y = f64::NEG_INFINITY;
+        let mut terminals = 0;
+        let mut add = |p: Point| {
+            min_x = min_x.min(p.x_um);
+            max_x = max_x.max(p.x_um);
+            min_y = min_y.min(p.y_um);
+            max_y = max_y.max(p.y_um);
+        };
+        add(self.position(driver));
+        terminals += 1;
+        for &s in network.fanouts(driver) {
+            add(self.position(s));
+            terminals += 1;
+        }
+        if terminals <= 1 {
+            return 0.0;
+        }
+        (max_x - min_x) + (max_y - min_y)
+    }
+
+    /// Total half-perimeter wire length of all nets, in µm.
+    pub fn total_hpwl_um(&self, network: &Network) -> f64 {
+        network
+            .iter_live()
+            .map(|g| self.net_hpwl_um(network, g))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::{GateType, NetworkBuilder};
+
+    #[test]
+    fn manhattan_distance() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.manhattan_distance_um(&b), 7.0);
+        assert_eq!(b.manhattan_distance_um(&a), 7.0);
+    }
+
+    #[test]
+    fn region_rows_and_clamp() {
+        let r = Region { width_um: 100.0, height_um: 52.0, row_height_um: 13.0 };
+        assert_eq!(r.row_count(), 4);
+        assert_eq!(r.row_center_y_um(0), 6.5);
+        let p = r.clamp(Point::new(-5.0, 200.0));
+        assert_eq!(p.x_um, 0.0);
+        assert_eq!(p.y_um, 52.0);
+    }
+
+    #[test]
+    fn hpwl_of_simple_net() {
+        let mut b = NetworkBuilder::new("n");
+        b.inputs(["a", "b"]);
+        b.gate("f", GateType::And, &["a", "b"]);
+        b.output("f");
+        let n = b.finish().unwrap();
+        let region = Region { width_um: 100.0, height_um: 100.0, row_height_um: 10.0 };
+        let mut p = Placement::new(region, n.gate_count());
+        let a = n.find_by_name("a").unwrap();
+        let bq = n.find_by_name("b").unwrap();
+        let f = n.find_by_name("f").unwrap();
+        p.set_position(a, Point::new(0.0, 0.0));
+        p.set_position(bq, Point::new(10.0, 0.0));
+        p.set_position(f, Point::new(5.0, 5.0));
+        // Net a→f spans (0,0)-(5,5): HPWL 10; net b→f spans (10,0)-(5,5): 10.
+        assert_eq!(p.net_hpwl_um(&n, a), 10.0);
+        assert_eq!(p.net_hpwl_um(&n, bq), 10.0);
+        // f has no sinks.
+        assert_eq!(p.net_hpwl_um(&n, f), 0.0);
+        assert_eq!(p.total_hpwl_um(&n), 20.0);
+    }
+
+    #[test]
+    fn set_position_clamps_to_region() {
+        let region = Region { width_um: 10.0, height_um: 10.0, row_height_um: 5.0 };
+        let mut p = Placement::new(region, 1);
+        p.set_position(GateId(0), Point::new(100.0, -3.0));
+        let q = p.position(GateId(0));
+        assert_eq!(q.x_um, 10.0);
+        assert_eq!(q.y_um, 0.0);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 1);
+    }
+}

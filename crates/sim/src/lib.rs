@@ -1,0 +1,40 @@
+//! # rapids-sim
+//!
+//! Bit-parallel logic simulation and simulation-based equivalence checking
+//! for mapped Boolean networks.
+//!
+//! The rewiring engine uses simulation in two ways:
+//!
+//! * **Safety net** — after a batch of rewiring moves, random-vector (and for
+//!   small circuits exhaustive) simulation confirms the network still
+//!   computes the same primary-output functions as the original.
+//! * **Signatures** — per-gate 64-bit-word signatures provide a cheap
+//!   necessary condition for symmetry used by the test-suite to cross-check
+//!   the structural detector.
+//!
+//! ```
+//! use rapids_netlist::{GateType, NetworkBuilder};
+//! use rapids_sim::Simulator;
+//!
+//! let mut b = NetworkBuilder::new("mux");
+//! b.inputs(["s", "a", "b"]);
+//! b.gate("ns", GateType::Inv, &["s"]);
+//! b.gate("t0", GateType::And, &["ns", "a"]);
+//! b.gate("t1", GateType::And, &["s", "b"]);
+//! b.gate("y", GateType::Or, &["t0", "t1"]);
+//! b.output("y");
+//! let network = b.finish().unwrap();
+//! let sim = Simulator::new(&network);
+//! let out = sim.simulate_bools(&network, &[true, false, true]);
+//! assert_eq!(out, vec![true]);
+//! ```
+
+pub mod equiv;
+pub mod signatures;
+pub mod simulator;
+pub mod vectors;
+
+pub use equiv::{check_equivalence_exhaustive, check_equivalence_random, EquivalenceResult};
+pub use signatures::SignatureTable;
+pub use simulator::Simulator;
+pub use vectors::{exhaustive_words, random_words, PatternSet};

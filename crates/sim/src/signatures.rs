@@ -1,0 +1,139 @@
+//! Simulation signatures: per-gate random-pattern response vectors.
+//!
+//! A signature is a necessary-condition fingerprint: if two candidate pins
+//! were truly swappable, swapping them must leave every primary-output
+//! signature unchanged.  The test-suite uses signatures to cross-check the
+//! structural symmetry detector on generated circuits where BDDs would be
+//! too large.
+
+use rapids_netlist::{GateId, Network};
+
+use crate::simulator::Simulator;
+use crate::vectors::{random_words, PatternSet};
+
+/// Signatures of every gate of a network under a fixed random pattern set.
+#[derive(Debug, Clone)]
+pub struct SignatureTable {
+    patterns: PatternSet,
+    table: Vec<Vec<u64>>,
+}
+
+impl SignatureTable {
+    /// Simulates `pattern_count` random patterns (seeded) and records every
+    /// gate's response.
+    pub fn new(network: &Network, pattern_count: usize, seed: u64) -> Self {
+        let patterns = random_words(network.inputs().len(), pattern_count, seed);
+        let sim = Simulator::new(network);
+        let table = sim.simulate_patterns(network, &patterns);
+        SignatureTable { patterns, table }
+    }
+
+    /// The signature words of a gate.
+    pub fn signature(&self, gate: GateId) -> &[u64] {
+        &self.table[gate.index()]
+    }
+
+    /// Returns `true` if two gates have identical signatures (necessary for
+    /// functional equivalence of the two signals).
+    pub fn same_signature(&self, a: GateId, b: GateId) -> bool {
+        self.table[a.index()] == self.table[b.index()]
+    }
+
+    /// Returns `true` if gate `a`'s signature is the bitwise complement of
+    /// gate `b`'s (necessary for the two signals being inverses).
+    pub fn complementary_signature(&self, a: GateId, b: GateId) -> bool {
+        self.table[a.index()]
+            .iter()
+            .zip(&self.table[b.index()])
+            .all(|(&wa, &wb)| wa == !wb)
+    }
+
+    /// The pattern set the table was built from (useful for re-checks after
+    /// an edit, so both sides see identical stimuli).
+    pub fn patterns(&self) -> &PatternSet {
+        &self.patterns
+    }
+
+    /// Re-simulates the (possibly edited) network on the stored pattern set
+    /// and returns the primary-output signatures.
+    pub fn output_signatures(&self, network: &Network) -> Vec<Vec<u64>> {
+        let sim = Simulator::new(network);
+        let table = sim.simulate_patterns(network, &self.patterns);
+        network
+            .outputs()
+            .iter()
+            .map(|o| table[o.driver.index()].clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::{GateType, NetworkBuilder, PinRef};
+
+    fn net() -> Network {
+        let mut b = NetworkBuilder::new("sig");
+        b.inputs(["a", "b", "c", "d"]);
+        b.gate("and1", GateType::And, &["a", "b"]);
+        b.gate("and2", GateType::And, &["b", "a"]);
+        b.gate("n1", GateType::Nand, &["a", "b"]);
+        b.gate("x", GateType::Xor, &["c", "d"]);
+        b.gate("f", GateType::Or, &["and1", "x"]);
+        b.output("f");
+        b.output("n1");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn identical_functions_share_signature() {
+        let n = net();
+        let sigs = SignatureTable::new(&n, 512, 11);
+        let a1 = n.find_by_name("and1").unwrap();
+        let a2 = n.find_by_name("and2").unwrap();
+        assert!(sigs.same_signature(a1, a2));
+    }
+
+    #[test]
+    fn complementary_functions_detected() {
+        let n = net();
+        let sigs = SignatureTable::new(&n, 512, 11);
+        let a1 = n.find_by_name("and1").unwrap();
+        let n1 = n.find_by_name("n1").unwrap();
+        assert!(sigs.complementary_signature(a1, n1));
+        assert!(!sigs.same_signature(a1, n1));
+    }
+
+    #[test]
+    fn output_signatures_stable_under_symmetric_swap() {
+        let mut n = net();
+        let sigs = SignatureTable::new(&n, 512, 11);
+        let before = sigs.output_signatures(&n);
+        let x = n.find_by_name("x").unwrap();
+        n.swap_pin_drivers(PinRef::new(x, 0), PinRef::new(x, 1)).unwrap();
+        let after = sigs.output_signatures(&n);
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn output_signatures_change_under_bad_swap() {
+        let mut n = net();
+        let sigs = SignatureTable::new(&n, 512, 11);
+        let before = sigs.output_signatures(&n);
+        let x = n.find_by_name("x").unwrap();
+        let a1 = n.find_by_name("and1").unwrap();
+        n.swap_pin_drivers(PinRef::new(x, 0), PinRef::new(a1, 0)).unwrap();
+        let after = sigs.output_signatures(&n);
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn different_signals_differ() {
+        let n = net();
+        let sigs = SignatureTable::new(&n, 512, 3);
+        let a1 = n.find_by_name("and1").unwrap();
+        let x = n.find_by_name("x").unwrap();
+        assert!(!sigs.same_signature(a1, x));
+        assert!(!sigs.complementary_signature(a1, x));
+    }
+}

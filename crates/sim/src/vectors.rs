@@ -1,0 +1,122 @@
+//! Input pattern generation for bit-parallel simulation.
+//!
+//! Patterns are stored column-wise: a [`PatternSet`] holds, for every primary
+//! input, a vector of 64-bit words; bit `k` of word `w` is the value of that
+//! input in pattern `64·w + k`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A set of simulation patterns for a fixed number of primary inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternSet {
+    /// `words[i][w]` holds 64 pattern bits of input `i`.
+    pub words: Vec<Vec<u64>>,
+    /// Total number of valid patterns (≤ `64 * words[0].len()`).
+    pub pattern_count: usize,
+}
+
+impl PatternSet {
+    /// Number of primary inputs covered by the set.
+    pub fn input_count(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Number of 64-bit words per input.
+    pub fn word_count(&self) -> usize {
+        self.words.first().map_or(0, |w| w.len())
+    }
+
+    /// Returns the bit for input `input` in pattern `pattern`.
+    pub fn bit(&self, input: usize, pattern: usize) -> bool {
+        let word = pattern / 64;
+        let bit = pattern % 64;
+        (self.words[input][word] >> bit) & 1 == 1
+    }
+}
+
+/// Generates `pattern_count` uniformly random patterns for `input_count`
+/// inputs using a deterministic seed (reproducible experiments).
+pub fn random_words(input_count: usize, pattern_count: usize, seed: u64) -> PatternSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let word_count = pattern_count.div_ceil(64).max(1);
+    let words = (0..input_count)
+        .map(|_| (0..word_count).map(|_| rng.gen::<u64>()).collect())
+        .collect();
+    PatternSet { words, pattern_count: word_count * 64 }
+}
+
+/// Generates every one of the `2^input_count` input combinations.
+///
+/// # Panics
+///
+/// Panics if `input_count > 20` (that is more than a million patterns; use
+/// random simulation instead).
+pub fn exhaustive_words(input_count: usize) -> PatternSet {
+    assert!(input_count <= 20, "exhaustive simulation limited to 20 inputs");
+    let pattern_count = 1usize << input_count;
+    let word_count = pattern_count.div_ceil(64).max(1);
+    let mut words = vec![vec![0u64; word_count]; input_count];
+    for p in 0..pattern_count {
+        for (i, input_words) in words.iter_mut().enumerate() {
+            if (p >> i) & 1 == 1 {
+                input_words[p / 64] |= 1u64 << (p % 64);
+            }
+        }
+    }
+    // For fewer than 6 inputs the tail bits of the single word repeat the
+    // pattern space; they are harmless but we report the true count.
+    PatternSet { words, pattern_count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = random_words(4, 256, 7);
+        let b = random_words(4, 256, 7);
+        let c = random_words(4, 256, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a.input_count(), 4);
+        assert_eq!(a.word_count(), 4);
+    }
+
+    #[test]
+    fn exhaustive_covers_all_combinations() {
+        let p = exhaustive_words(3);
+        assert_eq!(p.pattern_count, 8);
+        let mut seen = std::collections::HashSet::new();
+        for pat in 0..8 {
+            let combo: Vec<bool> = (0..3).map(|i| p.bit(i, pat)).collect();
+            seen.insert(combo);
+        }
+        assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn exhaustive_bit_matches_binary_encoding() {
+        let p = exhaustive_words(4);
+        for pat in 0..16 {
+            for i in 0..4 {
+                assert_eq!(p.bit(i, pat), (pat >> i) & 1 == 1);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn exhaustive_rejects_huge_inputs() {
+        let _ = exhaustive_words(21);
+    }
+
+    #[test]
+    fn zero_inputs() {
+        let p = random_words(0, 64, 1);
+        assert_eq!(p.input_count(), 0);
+        let e = exhaustive_words(0);
+        assert_eq!(e.pattern_count, 1);
+    }
+}

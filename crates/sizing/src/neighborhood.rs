@@ -1,0 +1,162 @@
+//! Neighborhood (local) timing evaluation.
+//!
+//! Candidate implementation changes — a different drive strength in gate
+//! sizing, or a different pin permutation in supergate rewiring — are scored
+//! without a full timing analysis: the gate and its fan-in drivers are
+//! re-timed against the arrival and required times of the last full STA.
+//! This is the neighborhood search device of Coudert's sizing heuristic that
+//! §5 of the paper adopts.
+
+use rapids_celllib::Library;
+use rapids_netlist::{GateId, Network};
+use rapids_placement::Placement;
+use rapids_timing::{gate_output_delay, TimingConfig, TimingReport};
+
+/// Estimated worst arrival time at the output of `gate`, recomputed from the
+/// frozen arrival times of its fan-ins plus freshly evaluated wire and cell
+/// delays (which therefore reflect any locally changed size classes).
+pub fn estimated_arrival_ns(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    report: &TimingReport,
+    gate: GateId,
+) -> f64 {
+    let g = network.gate(gate);
+    if g.gtype.is_source() {
+        return 0.0;
+    }
+    let own_delay = gate_output_delay(network, library, placement, config, gate).worst();
+    let mut worst_input = 0.0f64;
+    for &f in &g.fanins {
+        let wire = report
+            .net(f)
+            .and_then(|nd| nd.delay_to_ns(gate))
+            .unwrap_or(0.0);
+        worst_input = worst_input.max(report.arrival(f).worst() + wire);
+    }
+    worst_input + own_delay
+}
+
+/// Worst slack over the neighborhood of `gate`: the gate itself and its
+/// logic fan-in drivers, each re-timed with [`estimated_arrival_ns`] against
+/// the required times of the last full analysis.
+///
+/// Changing the implementation of `gate` affects its own delay *and* the load
+/// seen by every fan-in driver (their pin capacitance changes), which is why
+/// the fan-ins are part of the neighborhood.
+pub fn neighborhood_slack_ns(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    report: &TimingReport,
+    gate: GateId,
+) -> f64 {
+    let mut worst = report.required(gate)
+        - estimated_arrival_ns(network, library, placement, config, report, gate);
+    for &f in network.fanins(gate) {
+        if network.gate(f).gtype.is_source() {
+            continue;
+        }
+        let slack_f = report.required(f)
+            - estimated_arrival_ns(network, library, placement, config, report, f);
+        worst = worst.min(slack_f);
+    }
+    worst
+}
+
+/// Sum of the neighborhood slacks (used by the relaxation phase, which
+/// maximizes total slack rather than the minimum).
+pub fn neighborhood_total_slack_ns(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    report: &TimingReport,
+    gate: GateId,
+) -> f64 {
+    let mut total = report.required(gate)
+        - estimated_arrival_ns(network, library, placement, config, report, gate);
+    for &f in network.fanins(gate) {
+        if network.gate(f).gtype.is_source() {
+            continue;
+        }
+        total += report.required(f)
+            - estimated_arrival_ns(network, library, placement, config, report, f);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_celllib::{DriveStrength, Library};
+    use rapids_netlist::{GateType, NetworkBuilder};
+    use rapids_placement::{place, PlacerConfig};
+    use rapids_timing::Sta;
+
+    fn setup() -> (Network, Library, Placement, TimingConfig) {
+        let mut b = NetworkBuilder::new("nb");
+        b.inputs(["a", "b", "c"]);
+        b.gate("n1", GateType::Nand, &["a", "b"]);
+        b.gate("n2", GateType::Nand, &["n1", "c"]);
+        b.gate("f", GateType::Nor, &["n2", "n1"]);
+        b.output("f");
+        let n = b.finish().unwrap();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 2);
+        (n, lib, p, TimingConfig::default())
+    }
+
+    #[test]
+    fn estimate_matches_full_sta_without_changes() {
+        let (n, lib, p, cfg) = setup();
+        let report = Sta::analyze(&n, &lib, &p, &cfg);
+        for g in n.iter_logic() {
+            let est = estimated_arrival_ns(&n, &lib, &p, &cfg, &report, g);
+            let real = report.arrival(g).worst();
+            // The estimate uses worst-case polarity mixing so it may be a bit
+            // conservative, but it must never be optimistic by more than
+            // floating-point noise and should be close.
+            assert!(est >= real - 1e-9, "estimate optimistic at {g}");
+            assert!(est <= real + 0.2, "estimate far off at {g}: {est} vs {real}");
+        }
+    }
+
+    #[test]
+    fn upsizing_improves_neighborhood_slack_of_loaded_gate() {
+        let (mut n, lib, p, cfg) = setup();
+        let report = Sta::analyze(&n, &lib, &p, &cfg);
+        let n1 = n.find_by_name("n1").unwrap();
+        let before = neighborhood_slack_ns(&n, &lib, &p, &cfg, &report, n1);
+        n.gate_mut(n1).size_class = DriveStrength::X8.size_class();
+        let after = neighborhood_slack_ns(&n, &lib, &p, &cfg, &report, n1);
+        assert!(after > before, "upsizing a multi-fanout gate should help: {before} -> {after}");
+    }
+
+    #[test]
+    fn source_gates_have_zero_estimated_arrival() {
+        let (n, lib, p, cfg) = setup();
+        let report = Sta::analyze(&n, &lib, &p, &cfg);
+        let a = n.find_by_name("a").unwrap();
+        assert_eq!(estimated_arrival_ns(&n, &lib, &p, &cfg, &report, a), 0.0);
+    }
+
+    #[test]
+    fn total_slack_bounded_by_min_slack_times_neighborhood_size() {
+        let (n, lib, p, cfg) = setup();
+        let report = Sta::analyze(&n, &lib, &p, &cfg);
+        let f = n.find_by_name("f").unwrap();
+        let members = 1 + n
+            .fanins(f)
+            .iter()
+            .filter(|&&d| !n.gate(d).gtype.is_source())
+            .count();
+        let min = neighborhood_slack_ns(&n, &lib, &p, &cfg, &report, f);
+        let total = neighborhood_total_slack_ns(&n, &lib, &p, &cfg, &report, f);
+        // Every member's slack is ≥ the minimum, so the sum is bounded below.
+        assert!(total >= min * members as f64 - 1e-9);
+    }
+}

@@ -1,0 +1,396 @@
+//! The gate sizing optimizer ("GS" in the paper's Table 1).
+
+use rapids_celllib::{DriveStrength, Library};
+use rapids_netlist::{GateId, Network};
+use rapids_placement::Placement;
+use rapids_timing::{Sta, TimingConfig, TimingReport};
+
+use crate::neighborhood::{neighborhood_slack_ns, neighborhood_total_slack_ns};
+
+/// Configuration of the sizing optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizerConfig {
+    /// Maximum number of (min-slack + relaxation) passes.
+    pub max_passes: usize,
+    /// Gates whose slack is within this margin of the worst slack are
+    /// considered critical and visited by the min-slack phase, ns.
+    pub critical_margin_ns: f64,
+    /// Minimum improvement of the critical-path delay required to start
+    /// another pass, ns.
+    pub convergence_threshold_ns: f64,
+    /// Whether the relaxation phase may downsize non-critical gates to
+    /// recover area.
+    pub recover_area: bool,
+}
+
+impl Default for SizerConfig {
+    fn default() -> Self {
+        SizerConfig {
+            max_passes: 6,
+            critical_margin_ns: 0.15,
+            convergence_threshold_ns: 1e-4,
+            recover_area: true,
+        }
+    }
+}
+
+impl SizerConfig {
+    /// A reduced-effort configuration for tests and smoke benchmarks.
+    pub fn fast() -> Self {
+        SizerConfig { max_passes: 2, ..Self::default() }
+    }
+}
+
+/// Summary of one sizing run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SizingOutcome {
+    /// Critical-path delay before optimization, ns.
+    pub initial_delay_ns: f64,
+    /// Critical-path delay after optimization, ns.
+    pub final_delay_ns: f64,
+    /// Total cell area before optimization, µm².
+    pub initial_area_um2: f64,
+    /// Total cell area after optimization, µm².
+    pub final_area_um2: f64,
+    /// Number of gates whose implementation changed.
+    pub resized_gates: usize,
+    /// Number of optimization passes executed.
+    pub passes: usize,
+}
+
+impl SizingOutcome {
+    /// Delay improvement as a percentage of the initial delay.
+    pub fn delay_improvement_percent(&self) -> f64 {
+        if self.initial_delay_ns <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.initial_delay_ns - self.final_delay_ns) / self.initial_delay_ns
+    }
+
+    /// Area change as a percentage of the initial area (negative = smaller).
+    pub fn area_change_percent(&self) -> f64 {
+        if self.initial_area_um2 <= 0.0 {
+            return 0.0;
+        }
+        100.0 * (self.final_area_um2 - self.initial_area_um2) / self.initial_area_um2
+    }
+}
+
+/// The gate sizing optimizer.
+#[derive(Debug, Clone)]
+pub struct GateSizer {
+    config: SizerConfig,
+}
+
+impl GateSizer {
+    /// Creates a sizer with the given configuration.
+    pub fn new(config: SizerConfig) -> Self {
+        GateSizer { config }
+    }
+
+    /// Runs sizing on `network` in place (only `size_class` fields change;
+    /// the structure and the placement are untouched) and reports the
+    /// before/after metrics.
+    pub fn optimize(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+    ) -> SizingOutcome {
+        let initial_report = Sta::analyze(network, library, placement, timing);
+        let initial_delay_ns = initial_report.critical_delay_ns();
+        let initial_area_um2 = library.network_area_um2(network);
+        let mut resized: std::collections::HashSet<GateId> = std::collections::HashSet::new();
+
+        let snapshot = |network: &Network| -> Vec<u8> {
+            (0..network.gate_count() as u32)
+                .map(|i| network.gate(GateId(i)).size_class)
+                .collect()
+        };
+        let restore = |network: &mut Network, classes: &[u8]| {
+            for (i, &class) in classes.iter().enumerate() {
+                network.gate_mut(GateId(i as u32)).size_class = class;
+            }
+        };
+
+        let mut best_delay = initial_delay_ns;
+        let mut passes = 0;
+        for _ in 0..self.config.max_passes {
+            passes += 1;
+            // The min-slack phase and the relaxation phase are checkpointed
+            // independently: a relaxation step that turns out to hurt the
+            // global critical path is rolled back without discarding the
+            // delay gains of the min-slack phase.
+            let before_min = snapshot(network);
+            let report = Sta::analyze(network, library, placement, timing);
+            let changed_min = self.min_slack_phase(network, library, placement, timing, &report, &mut resized);
+            let after_min = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+            if after_min > best_delay + 1e-9 {
+                restore(network, &before_min);
+                break;
+            }
+            let mut changed_relax = 0;
+            if self.config.recover_area {
+                let before_relax = snapshot(network);
+                let report = Sta::analyze(network, library, placement, timing);
+                changed_relax =
+                    self.relaxation_phase(network, library, placement, timing, &report, &mut resized);
+                let after_relax = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+                if after_relax > after_min + 1e-9 {
+                    restore(network, &before_relax);
+                    changed_relax = 0;
+                }
+            }
+            let after = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+            let improved = best_delay - after > self.config.convergence_threshold_ns;
+            if after < best_delay {
+                best_delay = after;
+            }
+            if changed_min + changed_relax == 0 || !improved {
+                break;
+            }
+        }
+
+        let final_report = Sta::analyze(network, library, placement, timing);
+        SizingOutcome {
+            initial_delay_ns,
+            final_delay_ns: final_report.critical_delay_ns(),
+            initial_area_um2,
+            final_area_um2: library.network_area_um2(network),
+            resized_gates: resized.len(),
+            passes,
+        }
+    }
+
+    /// Visits critical gates in order of increasing slack and greedily picks
+    /// the drive strength that maximizes the neighborhood min slack.
+    fn min_slack_phase(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+        report: &TimingReport,
+        resized: &mut std::collections::HashSet<GateId>,
+    ) -> usize {
+        let worst = report.worst_slack_ns();
+        let mut critical: Vec<GateId> = network
+            .iter_logic()
+            .filter(|&g| report.slack(g) <= worst + self.config.critical_margin_ns)
+            .collect();
+        critical.sort_by(|&a, &b| {
+            report
+                .slack(a)
+                .partial_cmp(&report.slack(b))
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        let mut changed = 0;
+        for g in critical {
+            if self.choose_best_drive(network, library, placement, timing, report, g, false) {
+                resized.insert(g);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Visits non-critical gates and picks the implementation maximizing the
+    /// neighborhood *total* slack, preferring smaller cells on ties — this is
+    /// the relaxation / area-recovery phase.
+    fn relaxation_phase(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+        report: &TimingReport,
+        resized: &mut std::collections::HashSet<GateId>,
+    ) -> usize {
+        let worst = report.worst_slack_ns();
+        let relaxed: Vec<GateId> = network
+            .iter_logic()
+            .filter(|&g| report.slack(g) > worst + self.config.critical_margin_ns)
+            .collect();
+        let mut changed = 0;
+        for g in relaxed {
+            if self.choose_best_drive(network, library, placement, timing, report, g, true) {
+                resized.insert(g);
+                changed += 1;
+            }
+        }
+        changed
+    }
+
+    /// Tries every available drive strength of `gate` and keeps the best one.
+    /// Returns `true` if the gate's implementation changed.
+    fn choose_best_drive(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        timing: &TimingConfig,
+        report: &TimingReport,
+        gate: GateId,
+        relaxation: bool,
+    ) -> bool {
+        let g = network.gate(gate);
+        let arity = g.fanin_count();
+        let function = g.gtype;
+        let original_class = g.size_class;
+        let drives = library.available_drives(function, arity);
+        if drives.len() <= 1 {
+            return false;
+        }
+        let baseline_slack =
+            neighborhood_slack_ns(network, library, placement, timing, report, gate);
+
+        let mut best_class = original_class;
+        let mut best_metric = f64::NEG_INFINITY;
+        let mut best_area = f64::INFINITY;
+        for drive in drives {
+            network.gate_mut(gate).size_class = drive.size_class();
+            let min_slack =
+                neighborhood_slack_ns(network, library, placement, timing, report, gate);
+            let area = library
+                .cell(function, arity, drive)
+                .map(|c| c.area_um2)
+                .unwrap_or(f64::INFINITY);
+            let metric = if relaxation {
+                // Relaxation / area recovery: pick the smallest implementation
+                // that does not push the neighborhood min slack below the
+                // do-no-harm floor (the baseline, clamped at zero so gates
+                // with abundant slack may give some of it up).  The total
+                // slack acts as a tie-breaker so that, area being equal, the
+                // globally faster choice wins.
+                let floor = baseline_slack.min(0.0);
+                if min_slack + 1e-9 < floor {
+                    f64::NEG_INFINITY
+                } else {
+                    let total = neighborhood_total_slack_ns(
+                        network, library, placement, timing, report, gate,
+                    );
+                    -area + total * 1e-6
+                }
+            } else {
+                min_slack
+            };
+            let better = metric > best_metric + 1e-9
+                || (metric > best_metric - 1e-9 && area < best_area);
+            if better {
+                best_metric = metric;
+                best_class = drive.size_class();
+                best_area = area;
+            }
+        }
+        network.gate_mut(gate).size_class = best_class;
+        best_class != original_class
+    }
+}
+
+impl Default for GateSizer {
+    fn default() -> Self {
+        GateSizer::new(SizerConfig::default())
+    }
+}
+
+/// Returns the drive strength currently assigned to a gate (helper for
+/// reports).
+pub fn assigned_drive(network: &Network, gate: GateId) -> DriveStrength {
+    DriveStrength::from_size_class(network.gate(gate).size_class)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_celllib::Library;
+    use rapids_netlist::{GateType, NetworkBuilder};
+    use rapids_placement::{place, PlacerConfig};
+    use rapids_sim::check_equivalence_random;
+
+    fn chain_with_fanout() -> Network {
+        let mut b = NetworkBuilder::new("load");
+        b.inputs(["a", "b"]);
+        b.gate("g0", GateType::Nand, &["a", "b"]);
+        for i in 1..8 {
+            b.gate(format!("g{i}"), GateType::Nand, &[&format!("g{}", i - 1), "b"]);
+        }
+        // Heavy fanout on g3 to give the sizer something to fix.
+        for i in 0..6 {
+            b.gate(format!("load{i}"), GateType::Inv, &["g3"]);
+            b.output(format!("load{i}"));
+        }
+        b.output("g7");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn sizing_reduces_or_preserves_delay() {
+        let mut n = chain_with_fanout();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 3);
+        let outcome = GateSizer::new(SizerConfig::default())
+            .optimize(&mut n, &lib, &p, &TimingConfig::default());
+        assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+        assert!(outcome.passes >= 1);
+        assert!(outcome.delay_improvement_percent() >= 0.0);
+    }
+
+    #[test]
+    fn sizing_changes_only_size_classes() {
+        let mut n = chain_with_fanout();
+        let reference = n.clone();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 3);
+        let _ = GateSizer::default().optimize(&mut n, &lib, &p, &TimingConfig::default());
+        // Structure unchanged.
+        assert_eq!(n.logic_gate_count(), reference.logic_gate_count());
+        for g in n.iter_live() {
+            assert_eq!(n.fanins(g), reference.fanins(g));
+            assert_eq!(n.gate(g).gtype, reference.gate(g).gtype);
+        }
+        // Functionality unchanged.
+        assert!(check_equivalence_random(&reference, &n, 256, 7).is_equivalent());
+    }
+
+    #[test]
+    fn heavily_loaded_gate_gets_upsized() {
+        let mut n = chain_with_fanout();
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 3);
+        let _ = GateSizer::default().optimize(&mut n, &lib, &p, &TimingConfig::default());
+        let g3 = n.find_by_name("g3").unwrap();
+        assert!(
+            n.gate(g3).size_class > 0,
+            "the gate driving 7 sinks should not stay at minimum size"
+        );
+    }
+
+    #[test]
+    fn outcome_percentages_are_consistent() {
+        let outcome = SizingOutcome {
+            initial_delay_ns: 10.0,
+            final_delay_ns: 9.0,
+            initial_area_um2: 1000.0,
+            final_area_um2: 980.0,
+            resized_gates: 5,
+            passes: 2,
+        };
+        assert!((outcome.delay_improvement_percent() - 10.0).abs() < 1e-9);
+        assert!((outcome.area_change_percent() + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_denominators_do_not_panic() {
+        let outcome = SizingOutcome {
+            initial_delay_ns: 0.0,
+            final_delay_ns: 0.0,
+            initial_area_um2: 0.0,
+            final_area_um2: 0.0,
+            resized_gates: 0,
+            passes: 0,
+        };
+        assert_eq!(outcome.delay_improvement_percent(), 0.0);
+        assert_eq!(outcome.area_change_percent(), 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Wire parasitics: converting star-segment lengths to lumped RC values
+//! using the paper's unit constants.
+
+use rapids_celllib::{UNIT_CAPACITANCE_PF_PER_CM, UNIT_RESISTANCE_KOHM_PER_CM};
+
+/// Interconnect technology constants used by timing analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimingConfig {
+    /// Wire capacitance per centimeter, pF/cm (paper: 2 pF/cm).
+    pub unit_capacitance_pf_per_cm: f64,
+    /// Wire resistance per centimeter, kΩ/cm (paper: 2.4 kΩ/cm).
+    pub unit_resistance_kohm_per_cm: f64,
+    /// Required arrival time at every primary output, ns.  `None` means the
+    /// analysis uses the critical delay itself as the required time (zero
+    /// worst slack), which is how the min-slack optimizers are driven.
+    pub required_time_ns: Option<f64>,
+    /// Load presented by a primary-output pad, pF.
+    pub output_load_pf: f64,
+}
+
+impl Default for TimingConfig {
+    fn default() -> Self {
+        TimingConfig {
+            unit_capacitance_pf_per_cm: UNIT_CAPACITANCE_PF_PER_CM,
+            unit_resistance_kohm_per_cm: UNIT_RESISTANCE_KOHM_PER_CM,
+            required_time_ns: None,
+            output_load_pf: 0.02,
+        }
+    }
+}
+
+const UM_PER_CM: f64 = 10_000.0;
+
+/// Capacitance of a wire segment of `length_um` micrometers, in pF.
+pub fn segment_capacitance_pf(length_um: f64, config: &TimingConfig) -> f64 {
+    config.unit_capacitance_pf_per_cm * (length_um.max(0.0) / UM_PER_CM)
+}
+
+/// Resistance of a wire segment of `length_um` micrometers, in kΩ.
+pub fn segment_resistance_kohm(length_um: f64, config: &TimingConfig) -> f64 {
+    config.unit_resistance_kohm_per_cm * (length_um.max(0.0) / UM_PER_CM)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_centimeter_wire_matches_unit_constants() {
+        let cfg = TimingConfig::default();
+        assert!((segment_capacitance_pf(10_000.0, &cfg) - 2.0).abs() < 1e-12);
+        assert!((segment_resistance_kohm(10_000.0, &cfg) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scaling_is_linear() {
+        let cfg = TimingConfig::default();
+        let c1 = segment_capacitance_pf(100.0, &cfg);
+        let c2 = segment_capacitance_pf(200.0, &cfg);
+        assert!((c2 - 2.0 * c1).abs() < 1e-15);
+        let r1 = segment_resistance_kohm(100.0, &cfg);
+        let r2 = segment_resistance_kohm(300.0, &cfg);
+        assert!((r2 - 3.0 * r1).abs() < 1e-15);
+    }
+
+    #[test]
+    fn negative_lengths_clamped() {
+        let cfg = TimingConfig::default();
+        assert_eq!(segment_capacitance_pf(-5.0, &cfg), 0.0);
+        assert_eq!(segment_resistance_kohm(-5.0, &cfg), 0.0);
+    }
+
+    #[test]
+    fn custom_config() {
+        let cfg = TimingConfig {
+            unit_capacitance_pf_per_cm: 4.0,
+            unit_resistance_kohm_per_cm: 1.2,
+            ..TimingConfig::default()
+        };
+        assert!((segment_capacitance_pf(10_000.0, &cfg) - 4.0).abs() < 1e-12);
+        assert!((segment_resistance_kohm(10_000.0, &cfg) - 1.2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,371 @@
+//! Static timing analysis over the placed netlist.
+//!
+//! The analysis propagates rise/fall arrival times forward through the
+//! network (inverting cells exchange the polarities), computes required
+//! times backward from the primary outputs, and reports per-gate slacks and
+//! the critical path.  It is a full-network analysis; the optimizers use the
+//! neighborhood evaluation trick of Coudert's sizing algorithm between full
+//! re-analyses, so `analyze` only needs to be fast, not incremental.
+
+use rapids_celllib::{CellDelay, Library};
+use rapids_netlist::{GateId, Network};
+use rapids_placement::{net_star, Placement};
+
+use crate::elmore::{net_delays, NetDelays};
+use crate::gate_delay::gate_output_delay;
+use crate::rc::TimingConfig;
+
+/// Rise/fall arrival time at a gate output, in ns.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ArrivalTime {
+    /// Arrival of the rising transition, ns.
+    pub rise_ns: f64,
+    /// Arrival of the falling transition, ns.
+    pub fall_ns: f64,
+}
+
+impl ArrivalTime {
+    /// The later (worst) of the two arrivals.
+    pub fn worst(&self) -> f64 {
+        self.rise_ns.max(self.fall_ns)
+    }
+}
+
+/// Result of a full static timing analysis.
+#[derive(Debug, Clone)]
+pub struct TimingReport {
+    arrival: Vec<ArrivalTime>,
+    required: Vec<f64>,
+    gate_delays: Vec<CellDelay>,
+    net_delays: Vec<Option<NetDelays>>,
+    critical_delay_ns: f64,
+    required_time_ns: f64,
+}
+
+impl TimingReport {
+    /// Arrival time at a gate's output.
+    pub fn arrival(&self, gate: GateId) -> ArrivalTime {
+        self.arrival[gate.index()]
+    }
+
+    /// Required time at a gate's output (worst over transitions), ns.
+    pub fn required(&self, gate: GateId) -> f64 {
+        self.required[gate.index()]
+    }
+
+    /// Slack of a gate: required − worst arrival, ns.
+    pub fn slack(&self, gate: GateId) -> f64 {
+        self.required[gate.index()] - self.arrival[gate.index()].worst()
+    }
+
+    /// The cell (pin-to-pin) delay used for a gate in this analysis.
+    pub fn gate_delay(&self, gate: GateId) -> CellDelay {
+        self.gate_delays[gate.index()]
+    }
+
+    /// Wire delays of the net driven by `gate`, if the gate is live.
+    pub fn net(&self, gate: GateId) -> Option<&NetDelays> {
+        self.net_delays[gate.index()].as_ref()
+    }
+
+    /// Worst (smallest) slack over all live gates, ns.
+    pub fn worst_slack_ns(&self) -> f64 {
+        self.arrival
+            .iter()
+            .zip(&self.required)
+            .filter(|(a, r)| !(a.worst() == 0.0 && **r == f64::INFINITY))
+            .map(|(a, r)| r - a.worst())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Critical path delay: the latest arrival over all primary outputs, ns.
+    pub fn critical_delay_ns(&self) -> f64 {
+        self.critical_delay_ns
+    }
+
+    /// The required time used at the primary outputs, ns.
+    pub fn required_time_ns(&self) -> f64 {
+        self.required_time_ns
+    }
+}
+
+/// Static timing analyzer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Sta;
+
+impl Sta {
+    /// Runs a full rise/fall static timing analysis of the placed network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is cyclic.
+    pub fn analyze(
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+        config: &TimingConfig,
+    ) -> TimingReport {
+        let slots = network.gate_count();
+        let order = rapids_netlist::topo::topological_order(network)
+            .expect("timing analysis requires an acyclic network");
+
+        // Net parasitics and cell delays, one per driver.
+        let mut nets: Vec<Option<NetDelays>> = vec![None; slots];
+        let mut gate_delays: Vec<CellDelay> = vec![CellDelay::default(); slots];
+        for &g in &order {
+            let star = net_star(network, placement, g);
+            nets[g.index()] = Some(net_delays(network, library, &star, config));
+            gate_delays[g.index()] = gate_output_delay(network, library, placement, config, g);
+        }
+
+        // Forward arrival propagation with polarity handling.
+        let mut arrival = vec![ArrivalTime::default(); slots];
+        for &g in &order {
+            let gate = network.gate(g);
+            if gate.gtype.is_source() {
+                arrival[g.index()] = ArrivalTime::default();
+                continue;
+            }
+            let d = gate_delays[g.index()];
+            let mut out = ArrivalTime { rise_ns: 0.0, fall_ns: 0.0 };
+            for &f in &gate.fanins {
+                let wire = nets[f.index()]
+                    .as_ref()
+                    .and_then(|nd| nd.delay_to_ns(g))
+                    .unwrap_or(0.0);
+                let in_rise = arrival[f.index()].rise_ns + wire;
+                let in_fall = arrival[f.index()].fall_ns + wire;
+                let (cand_rise, cand_fall) = if gate.gtype.is_xor_family() {
+                    // Either polarity of the input can cause either output
+                    // transition depending on the side inputs: be conservative.
+                    let worst_in = in_rise.max(in_fall);
+                    (worst_in + d.rise_ns, worst_in + d.fall_ns)
+                } else if gate.gtype.output_inverted() {
+                    (in_fall + d.rise_ns, in_rise + d.fall_ns)
+                } else {
+                    (in_rise + d.rise_ns, in_fall + d.fall_ns)
+                };
+                out.rise_ns = out.rise_ns.max(cand_rise);
+                out.fall_ns = out.fall_ns.max(cand_fall);
+            }
+            arrival[g.index()] = out;
+        }
+
+        // Critical delay over the primary outputs.
+        let critical_delay_ns = network
+            .outputs()
+            .iter()
+            .map(|o| arrival[o.driver.index()].worst())
+            .fold(0.0, f64::max);
+        let required_time_ns = config.required_time_ns.unwrap_or(critical_delay_ns);
+
+        // Backward required-time propagation (worst-case, single value).
+        let mut required = vec![f64::INFINITY; slots];
+        for o in network.outputs() {
+            let r = &mut required[o.driver.index()];
+            *r = r.min(required_time_ns);
+        }
+        for &g in order.iter().rev() {
+            let gate = network.gate(g);
+            let d = gate_delays[g.index()].worst();
+            for &f in &gate.fanins {
+                let wire = nets[f.index()]
+                    .as_ref()
+                    .and_then(|nd| nd.delay_to_ns(g))
+                    .unwrap_or(0.0);
+                let need = required[g.index()] - d - wire;
+                let rf = &mut required[f.index()];
+                *rf = rf.min(need);
+            }
+        }
+        // Gates that reach no primary output keep an infinite required time;
+        // clamp to the analysis horizon so slacks stay finite.
+        for r in &mut required {
+            if !r.is_finite() {
+                *r = required_time_ns;
+            }
+        }
+
+        TimingReport {
+            arrival,
+            required,
+            gate_delays,
+            net_delays: nets,
+            critical_delay_ns,
+            required_time_ns,
+        }
+    }
+
+    /// Traces one critical path from a worst primary output back to a source,
+    /// returned in source→output order.
+    pub fn critical_path(network: &Network, report: &TimingReport) -> Vec<GateId> {
+        let Some(worst_output) = network
+            .outputs()
+            .iter()
+            .max_by(|a, b| {
+                report
+                    .arrival(a.driver)
+                    .worst()
+                    .partial_cmp(&report.arrival(b.driver).worst())
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|o| o.driver)
+        else {
+            return Vec::new();
+        };
+        let mut path = vec![worst_output];
+        let mut current = worst_output;
+        loop {
+            let gate = network.gate(current);
+            if gate.gtype.is_source() || gate.fanins.is_empty() {
+                break;
+            }
+            let next = gate
+                .fanins
+                .iter()
+                .copied()
+                .max_by(|&a, &b| {
+                    let wa = report
+                        .net(a)
+                        .and_then(|nd| nd.delay_to_ns(current))
+                        .unwrap_or(0.0);
+                    let wb = report
+                        .net(b)
+                        .and_then(|nd| nd.delay_to_ns(current))
+                        .unwrap_or(0.0);
+                    (report.arrival(a).worst() + wa)
+                        .partial_cmp(&(report.arrival(b).worst() + wb))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .expect("non-source gate has fanins");
+            path.push(next);
+            current = next;
+        }
+        path.reverse();
+        path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_celllib::{DriveStrength, Library};
+    use rapids_netlist::{GateType, NetworkBuilder};
+    use rapids_placement::{place, PlacerConfig};
+
+    fn chain(depth: usize) -> Network {
+        let mut b = NetworkBuilder::new("chain");
+        b.inputs(["a", "b"]);
+        b.gate("g0", GateType::Nand, &["a", "b"]);
+        for i in 1..depth {
+            b.gate(format!("g{i}"), GateType::Nand, &[&format!("g{}", i - 1), "b"]);
+        }
+        b.output(format!("g{}", depth - 1));
+        b.finish().unwrap()
+    }
+
+    fn analyzed(n: &Network) -> (Placement, Library, TimingReport) {
+        let lib = Library::standard_035um();
+        let p = place(n, &lib, &PlacerConfig::fast(), 11);
+        let r = Sta::analyze(n, &lib, &p, &TimingConfig::default());
+        (p, lib, r)
+    }
+
+    #[test]
+    fn deeper_chains_are_slower() {
+        let short = chain(3);
+        let long = chain(12);
+        let (_, _, r_short) = analyzed(&short);
+        let (_, _, r_long) = analyzed(&long);
+        assert!(r_long.critical_delay_ns() > r_short.critical_delay_ns());
+    }
+
+    #[test]
+    fn arrival_monotone_along_chain() {
+        let n = chain(6);
+        let (_, _, r) = analyzed(&n);
+        let mut prev = 0.0;
+        for i in 0..6 {
+            let g = n.find_by_name(&format!("g{i}")).unwrap();
+            let a = r.arrival(g).worst();
+            assert!(a > prev, "arrival must increase along the chain");
+            prev = a;
+        }
+    }
+
+    #[test]
+    fn worst_slack_nonpositive_without_explicit_required_time() {
+        let n = chain(6);
+        let (_, _, r) = analyzed(&n);
+        // Required time defaults to the critical delay.  The critical output
+        // driver then has exactly zero slack; upstream gates may see slightly
+        // negative slack because the backward pass uses worst-case (rise/fall
+        // max) stage delays while the forward pass is polarity-aware.
+        let critical_driver = n.find_by_name("g5").unwrap();
+        assert!(r.slack(critical_driver).abs() < 1e-9);
+        assert!(r.worst_slack_ns() <= 1e-9);
+        assert!(r.worst_slack_ns() > -0.5 * r.critical_delay_ns());
+    }
+
+    #[test]
+    fn explicit_required_time_shifts_slack() {
+        let n = chain(6);
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 11);
+        let base = Sta::analyze(&n, &lib, &p, &TimingConfig::default());
+        let relaxed = Sta::analyze(
+            &n,
+            &lib,
+            &p,
+            &TimingConfig { required_time_ns: Some(base.critical_delay_ns() + 1.0), ..TimingConfig::default() },
+        );
+        let shift = relaxed.worst_slack_ns() - base.worst_slack_ns();
+        assert!((shift - 1.0).abs() < 1e-6, "slack should shift by exactly the budget, got {shift}");
+    }
+
+    #[test]
+    fn critical_path_ends_at_worst_output_and_starts_at_source() {
+        let n = chain(8);
+        let (_, _, r) = analyzed(&n);
+        let path = Sta::critical_path(&n, &r);
+        assert!(!path.is_empty());
+        let first = *path.first().unwrap();
+        let last = *path.last().unwrap();
+        assert!(n.gate(first).gtype.is_source());
+        assert!(n.drives_output(last));
+        // Arrivals increase along the path.
+        for w in path.windows(2) {
+            assert!(r.arrival(w[1]).worst() >= r.arrival(w[0]).worst());
+        }
+    }
+
+    #[test]
+    fn upsizing_a_critical_gate_reduces_delay() {
+        let mut n = chain(8);
+        let lib = Library::standard_035um();
+        let p = place(&n, &lib, &PlacerConfig::fast(), 11);
+        let cfg = TimingConfig::default();
+        let before = Sta::analyze(&n, &lib, &p, &cfg);
+        let path = Sta::critical_path(&n, &before);
+        // Upsize every logic gate on the critical path to maximum drive.
+        for &g in &path {
+            if !n.gate(g).gtype.is_source() {
+                n.gate_mut(g).size_class = DriveStrength::X8.size_class();
+            }
+        }
+        let after = Sta::analyze(&n, &lib, &p, &cfg);
+        assert!(after.critical_delay_ns() < before.critical_delay_ns());
+    }
+
+    #[test]
+    fn rise_fall_polarities_differ_through_inverting_chain() {
+        let n = chain(5);
+        let (_, _, r) = analyzed(&n);
+        let last = n.find_by_name("g4").unwrap();
+        let a = r.arrival(last);
+        // Rise and fall arrivals should both be positive and generally
+        // different because the NAND cell has asymmetric rise/fall.
+        assert!(a.rise_ns > 0.0 && a.fall_ns > 0.0);
+        assert!((a.rise_ns - a.fall_ns).abs() > 1e-9);
+    }
+}

@@ -1,0 +1,59 @@
+//! End-to-end functional-safety tests: every optimizer must leave the
+//! benchmark functions bit-identical.
+
+use rapids_celllib::Library;
+use rapids_circuits::benchmark;
+use rapids_core::{Optimizer, OptimizerConfig, OptimizerKind};
+use rapids_placement::{place, PlacerConfig};
+use rapids_sim::{check_equivalence_random, SignatureTable};
+use rapids_timing::TimingConfig;
+
+fn optimize_and_check(name: &str, kind: OptimizerKind) {
+    let reference = benchmark(name).unwrap();
+    let library = Library::standard_035um();
+    let placement = place(&reference, &library, &PlacerConfig::fast(), 17);
+    let mut network = reference.clone();
+    let outcome = Optimizer::new(OptimizerConfig::fast(kind)).optimize(
+        &mut network,
+        &library,
+        &placement,
+        &TimingConfig::default(),
+    );
+    assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9, "{name}/{kind}");
+    assert!(
+        check_equivalence_random(&reference, &network, 2048, 0xBEEF).is_equivalent(),
+        "{name}/{kind} broke functionality"
+    );
+    // Signature cross-check with a different seed.
+    let sigs = SignatureTable::new(&reference, 512, 99);
+    assert_eq!(
+        sigs.output_signatures(&reference),
+        sigs.output_signatures(&network),
+        "{name}/{kind} output signatures diverged"
+    );
+}
+
+#[test]
+fn rewiring_preserves_alu2() {
+    optimize_and_check("alu2", OptimizerKind::Rewiring);
+}
+
+#[test]
+fn rewiring_preserves_c499() {
+    optimize_and_check("c499", OptimizerKind::Rewiring);
+}
+
+#[test]
+fn sizing_preserves_c432() {
+    optimize_and_check("c432", OptimizerKind::Sizing);
+}
+
+#[test]
+fn combined_preserves_c432() {
+    optimize_and_check("c432", OptimizerKind::Combined);
+}
+
+#[test]
+fn combined_preserves_c1908() {
+    optimize_and_check("c1908", OptimizerKind::Combined);
+}

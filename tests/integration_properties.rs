@@ -1,0 +1,125 @@
+//! Property-based tests on the core invariants:
+//!
+//! * any non-inverting swap reported by the structural symmetry detector
+//!   preserves the network function (Theorem 1 + Lemma 7/8),
+//! * supergate extraction always partitions the logic gates,
+//! * the BLIF round-trip and the technology mapper preserve functionality,
+//! * pin-swap editing keeps the netlist internally consistent.
+
+use proptest::prelude::*;
+
+use rapids_circuits::generators::random_logic::{random_logic, RandomLogicConfig};
+use rapids_circuits::map_to_library;
+use rapids_core::supergate::extract_supergates;
+use rapids_core::swap::{apply_swap, undo_swap};
+use rapids_core::symmetry::swap_candidates;
+use rapids_netlist::blif;
+use rapids_sim::check_equivalence_random;
+
+fn arbitrary_config() -> impl Strategy<Value = (RandomLogicConfig, u64)> {
+    (
+        8usize..24,
+        3usize..10,
+        40usize..160,
+        0.0f64..0.4,
+        0.0f64..0.3,
+        2usize..5,
+        any::<u64>(),
+    )
+        .prop_map(|(inputs, outputs, gates, xor_fraction, inverter_fraction, max_fanin, seed)| {
+            (
+                RandomLogicConfig {
+                    inputs,
+                    outputs,
+                    gates,
+                    xor_fraction,
+                    inverter_fraction,
+                    max_fanin,
+                    locality: 0.6,
+                },
+                seed,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every non-inverting swap candidate on every supergate of a random
+    /// circuit preserves functionality (checked with 256 random vectors).
+    #[test]
+    fn structural_swaps_preserve_function((config, seed) in arbitrary_config()) {
+        let reference = random_logic(&config, seed);
+        let extraction = extract_supergates(&reference);
+        let mut tested = 0usize;
+        for sg in extraction.supergates() {
+            if sg.is_trivial() {
+                continue;
+            }
+            for candidate in swap_candidates(sg, false).into_iter().take(3) {
+                let mut network = reference.clone();
+                apply_swap(&mut network, &candidate).unwrap();
+                prop_assert!(
+                    check_equivalence_random(&reference, &network, 256, seed ^ 0x5eed).is_equivalent(),
+                    "swap {candidate:?} broke the function"
+                );
+                prop_assert!(network.check_consistency().is_ok());
+                tested += 1;
+                if tested > 20 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Extraction partitions the logic gates of any random circuit.
+    #[test]
+    fn extraction_is_a_partition((config, seed) in arbitrary_config()) {
+        let network = random_logic(&config, seed);
+        let extraction = extract_supergates(&network);
+        let member_total: usize = extraction.supergates().iter().map(|sg| sg.size()).sum();
+        prop_assert_eq!(member_total, network.logic_gate_count());
+        let mut seen = std::collections::HashSet::new();
+        for sg in extraction.supergates() {
+            for &m in &sg.members {
+                prop_assert!(seen.insert(m), "gate covered twice");
+            }
+        }
+    }
+
+    /// BLIF round-trip and technology mapping preserve functionality.
+    #[test]
+    fn serialization_and_mapping_preserve_function((config, seed) in arbitrary_config()) {
+        let network = random_logic(&config, seed);
+        let text = blif::write_string(&network);
+        let parsed = blif::parse_string(&text).unwrap();
+        prop_assert!(check_equivalence_random(&network, &parsed, 256, seed).is_equivalent());
+        let mapped = map_to_library(&network, 4).unwrap();
+        prop_assert!(check_equivalence_random(&network, &mapped, 256, seed).is_equivalent());
+    }
+
+    /// Applying and undoing a swap restores the exact original wiring.
+    #[test]
+    fn swap_undo_is_exact((config, seed) in arbitrary_config()) {
+        let reference = random_logic(&config, seed);
+        let extraction = extract_supergates(&reference);
+        let mut network = reference.clone();
+        let mut applied = Vec::new();
+        for sg in extraction.supergates() {
+            if let Some(candidate) = swap_candidates(sg, false).first().copied() {
+                if let Ok(record) = apply_swap(&mut network, &candidate) {
+                    applied.push(record);
+                }
+            }
+            if applied.len() >= 5 {
+                break;
+            }
+        }
+        for record in applied.iter().rev() {
+            undo_swap(&mut network, record).unwrap();
+        }
+        for g in reference.iter_live() {
+            prop_assert_eq!(reference.fanins(g), network.fanins(g));
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! Integration of placement and timing: the post-placement delay model
+//! behaves physically sensibly on generated benchmarks, which is what gives
+//! the optimizers something real to chase.
+
+use rapids_celllib::Library;
+use rapids_circuits::benchmark;
+use rapids_placement::{place, CongestionMap, PlacerConfig};
+use rapids_timing::{Sta, TimingConfig};
+
+#[test]
+fn wire_resistivity_increases_post_placement_delay() {
+    let network = benchmark("c432").unwrap();
+    let library = Library::standard_035um();
+    let placement = place(&network, &library, &PlacerConfig::fast(), 23);
+    let base = Sta::analyze(&network, &library, &placement, &TimingConfig::default());
+    let resistive = Sta::analyze(
+        &network,
+        &library,
+        &placement,
+        &TimingConfig {
+            unit_resistance_kohm_per_cm: 2.4 * 10.0,
+            unit_capacitance_pf_per_cm: 2.0 * 10.0,
+            ..TimingConfig::default()
+        },
+    );
+    assert!(resistive.critical_delay_ns() > base.critical_delay_ns());
+}
+
+#[test]
+fn better_placement_effort_does_not_hurt_wirelength() {
+    let network = benchmark("alu2").unwrap();
+    let library = Library::standard_035um();
+    let quick = place(&network, &library, &PlacerConfig::fast(), 3);
+    let thorough = place(
+        &network,
+        &library,
+        &PlacerConfig { moves_per_gate: 80, ..PlacerConfig::default() },
+        3,
+    );
+    let quick_hpwl = quick.total_hpwl_um(&network);
+    let thorough_hpwl = thorough.total_hpwl_um(&network);
+    assert!(
+        thorough_hpwl <= quick_hpwl * 1.05,
+        "more annealing effort should not make wire length much worse: {thorough_hpwl} vs {quick_hpwl}"
+    );
+}
+
+#[test]
+fn critical_path_is_a_connected_input_to_output_path() {
+    let network = benchmark("c1908").unwrap();
+    let library = Library::standard_035um();
+    let placement = place(&network, &library, &PlacerConfig::fast(), 23);
+    let report = Sta::analyze(&network, &library, &placement, &TimingConfig::default());
+    let path = Sta::critical_path(&network, &report);
+    assert!(path.len() >= 3);
+    for pair in path.windows(2) {
+        assert!(
+            network.fanins(pair[1]).contains(&pair[0]),
+            "critical path must follow fanin edges"
+        );
+    }
+    assert!(network.gate(path[0]).gtype.is_source());
+    assert!(network.drives_output(*path.last().unwrap()));
+}
+
+#[test]
+fn congestion_map_tracks_placement() {
+    let network = benchmark("c432").unwrap();
+    let library = Library::standard_035um();
+    let placement = place(&network, &library, &PlacerConfig::fast(), 23);
+    let map = CongestionMap::build(&network, &placement, 8, 8);
+    assert!(map.peak_demand() > 0.0);
+    assert!(map.peak_demand() >= map.average_demand());
+}
