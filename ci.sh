@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus hygiene, in fail-fast order (cheapest first).
+#
+# Usage: ./ci.sh
+#
+# Everything runs offline: external deps are vendored under vendor/
+# (see vendor/README.md), so no registry access is needed.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy (all targets, warnings are errors)"
+# No allowlist flags here: the few intentional lint exceptions are local
+# #[allow]s with justifying comments at the exact sites (eq_op oracle in
+# rapids-core, argument-heavy scorer in rapids-sizing, index-loop tests in
+# rapids-circuits).
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo build --benches (compile-only; benches are excluded from tier-1 runtime)"
+cargo build --benches
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> OK"

@@ -49,11 +49,8 @@ impl Default for Manager {
 impl Manager {
     /// Creates a manager holding only the two terminal nodes.
     pub fn new() -> Self {
-        let mut m = Manager {
-            nodes: Vec::new(),
-            unique: HashMap::new(),
-            ite_cache: HashMap::new(),
-        };
+        let mut m =
+            Manager { nodes: Vec::new(), unique: HashMap::new(), ite_cache: HashMap::new() };
         // Node 0 = constant false, node 1 = constant true.
         m.nodes.push(Node { var: TERMINAL_VAR, low: Ref(0), high: Ref(0) });
         m.nodes.push(Node { var: TERMINAL_VAR, low: Ref(1), high: Ref(1) });
@@ -263,7 +260,13 @@ impl Manager {
 
     /// Number of satisfying assignments of `f` over `num_vars` variables.
     pub fn sat_count(&self, f: Ref, num_vars: u32) -> f64 {
-        fn rec(m: &Manager, f: Ref, from_var: u32, num_vars: u32, memo: &mut HashMap<(Ref, u32), f64>) -> f64 {
+        fn rec(
+            m: &Manager,
+            f: Ref,
+            from_var: u32,
+            num_vars: u32,
+            memo: &mut HashMap<(Ref, u32), f64>,
+        ) -> f64 {
             if f == m.zero() {
                 return 0.0;
             }

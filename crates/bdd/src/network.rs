@@ -75,11 +75,7 @@ pub fn build_output_bdds(manager: &mut Manager, network: &Network) -> NetworkBdd
         };
         gate_functions.insert(g, f);
     }
-    let outputs = network
-        .outputs()
-        .iter()
-        .map(|o| gate_functions[&o.driver])
-        .collect();
+    let outputs = network.outputs().iter().map(|o| gate_functions[&o.driver]).collect();
     NetworkBdds { input_vars, gate_functions, outputs }
 }
 

@@ -21,13 +21,15 @@ fn bench_resistivity_sweep(c: &mut Criterion) {
     let network = benchmark("c432").expect("suite benchmark");
     let placement = place(&network, &library, &PlacerConfig::fast(), 11);
     for factor in [1.0_f64, 4.0] {
-        let timing = TimingConfig {
-            unit_resistance_kohm_per_cm: 2.4 * factor,
-            ..TimingConfig::default()
-        };
+        let timing =
+            TimingConfig { unit_resistance_kohm_per_cm: 2.4 * factor, ..TimingConfig::default() };
         let mut working = network.clone();
-        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Rewiring))
-            .optimize(&mut working, &library, &placement, &timing);
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Rewiring)).optimize(
+            &mut working,
+            &library,
+            &placement,
+            &timing,
+        );
         eprintln!(
             "resistance x{factor}: gsg improvement {:.2}% ({} swaps)",
             outcome.delay_improvement_percent(),

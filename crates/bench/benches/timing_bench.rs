@@ -16,7 +16,14 @@ fn bench_sta(c: &mut Criterion) {
         let placement = place(&network, &library, &PlacerConfig::fast(), 5);
         group.throughput(criterion::Throughput::Elements(network.logic_gate_count() as u64));
         group.bench_with_input(BenchmarkId::from_parameter(name), &network, |b, n| {
-            b.iter(|| Sta::analyze(std::hint::black_box(n), &library, &placement, &TimingConfig::default()));
+            b.iter(|| {
+                Sta::analyze(
+                    std::hint::black_box(n),
+                    &library,
+                    &placement,
+                    &TimingConfig::default(),
+                )
+            });
         });
     }
     group.finish();

@@ -11,7 +11,7 @@
 
 use std::io::Write as _;
 
-use rapids_bench::table1::{all_names, format_table, run_benchmark, FlowConfig};
+use rapids_bench::table1::{all_names, format_table, results_to_json, run_benchmark, FlowConfig};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,7 +22,13 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--fast" => config = FlowConfig::fast(),
-            "--json" => json_path = iter.next(),
+            "--json" => {
+                json_path = iter.next();
+                if json_path.is_none() {
+                    eprintln!("--json requires a file path");
+                    std::process::exit(2);
+                }
+            }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -30,17 +36,16 @@ fn main() {
             name => names.push(name.to_string()),
         }
     }
-    let selected: Vec<&str> = if names.is_empty() {
-        all_names()
-    } else {
-        names.iter().map(|s| s.as_str()).collect()
-    };
+    let selected: Vec<&str> =
+        if names.is_empty() { all_names() } else { names.iter().map(|s| s.as_str()).collect() };
 
     println!("RAPIDS reproduction — Table 1 (fast={})", config.placer.moves_per_gate < 20);
     println!(
         "columns: circuit, gates, initial delay (ns), delay improvement %% of gsg / GS / gsg+GS,"
     );
-    println!("         CPU s of gsg / GS / gsg+GS, area %% of GS / gsg+GS, coverage %%, L, redundancies");
+    println!(
+        "         CPU s of gsg / GS / gsg+GS, area %% of GS / gsg+GS, coverage %%, L, redundancies"
+    );
     println!();
 
     let mut results = Vec::new();
@@ -65,8 +70,7 @@ fn main() {
     println!("{}", format_table(&results));
 
     if let Some(path) = json_path {
-        let json = serde_json::to_string_pretty(&results).expect("results serialize");
-        std::fs::write(&path, json).expect("write JSON report");
+        std::fs::write(&path, results_to_json(&results)).expect("write JSON report");
         println!("JSON report written to {path}");
     }
 }

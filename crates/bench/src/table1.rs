@@ -1,57 +1,20 @@
 //! The full evaluation flow for one benchmark and for the whole suite
-//! (Table 1 of the paper).
+//! (Table 1 of the paper), layered on the workspace-wide
+//! [`rapids_flow::Pipeline`].
 
-use serde::Serialize;
-
-use rapids_celllib::Library;
-use rapids_circuits::{benchmark, suite_names};
-use rapids_core::{
-    BenchmarkRow, OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind,
-};
-use rapids_placement::{place, PlacerConfig};
-use rapids_timing::{Sta, TimingConfig};
+use rapids_circuits::suite_names;
+use rapids_core::BenchmarkRow;
+use rapids_flow::{CircuitSource, FlowComparison, Pipeline, PipelineError};
 
 /// Effort configuration of the evaluation flow.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FlowConfig {
-    /// Placer configuration.
-    pub placer: PlacerConfig,
-    /// Timing model configuration.
-    pub timing: TimingConfig,
-    /// Optimizer passes etc. (the `kind` field is overridden per run).
-    pub optimizer: OptimizerConfig,
-    /// Placement seed (kept fixed so the three optimizers see the same
-    /// placement, as in the paper).
-    pub seed: u64,
-}
-
-impl Default for FlowConfig {
-    fn default() -> Self {
-        FlowConfig {
-            // Pad-limited die (low row utilization): wire lengths reach the
-            // millimetre range, so interconnect is a first-order term of the
-            // critical path — the regime the paper's experiments target.
-            placer: PlacerConfig { utilization: 0.15, ..PlacerConfig::default() },
-            timing: TimingConfig::default(),
-            optimizer: OptimizerConfig::default(),
-            seed: 2000,
-        }
-    }
-}
-
-impl FlowConfig {
-    /// Reduced-effort configuration (used by tests and smoke benches).
-    pub fn fast() -> Self {
-        FlowConfig {
-            placer: PlacerConfig::fast(),
-            optimizer: OptimizerConfig::fast(OptimizerKind::Combined),
-            ..Self::default()
-        }
-    }
-}
+///
+/// The harness shares the pipeline's configuration type: the `placer`,
+/// `timing`, `optimizer` and `seed` fields drive the same stages here and
+/// everywhere else the flow runs.
+pub use rapids_flow::PipelineConfig as FlowConfig;
 
 /// Result of running the three optimizers on one benchmark.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct FlowResult {
     /// Benchmark name.
     pub name: String,
@@ -88,6 +51,31 @@ pub struct FlowResult {
 }
 
 impl FlowResult {
+    /// Collapses a pipeline three-way comparison into the Table 1 shape.
+    pub fn from_comparison(comparison: &FlowComparison) -> Self {
+        let gsg = &comparison.rewiring.outcome;
+        let gs = &comparison.sizing.outcome;
+        let combined = &comparison.combined.outcome;
+        FlowResult {
+            name: comparison.name.clone(),
+            gate_count: comparison.gate_count,
+            initial_delay_ns: comparison.initial_delay_ns,
+            gsg_percent: gsg.delay_improvement_percent(),
+            gs_percent: gs.delay_improvement_percent(),
+            combined_percent: combined.delay_improvement_percent(),
+            gsg_cpu_s: gsg.cpu_seconds,
+            gs_cpu_s: gs.cpu_seconds,
+            combined_cpu_s: combined.cpu_seconds,
+            gs_area_percent: gs.area_change_percent(),
+            combined_area_percent: combined.area_change_percent(),
+            coverage_percent: gsg.statistics.coverage_percent(),
+            largest_inputs: gsg.statistics.largest_inputs,
+            redundancy_count: gsg.statistics.redundancy_count,
+            gsg_swaps: gsg.swaps_applied,
+            gsg_hpwl_percent: gsg.hpwl_change_percent(),
+        }
+    }
+
     /// Converts into the Table 1 row structure.
     pub fn to_row(&self) -> BenchmarkRow {
         BenchmarkRow {
@@ -107,55 +95,103 @@ impl FlowResult {
             redundancy_count: self.redundancy_count,
         }
     }
+
+    /// Serializes the result as a JSON object.
+    ///
+    /// Hand-rolled because the build container has no registry access for
+    /// `serde`/`serde_json` (see `vendor/README.md`); the field set is small
+    /// and flat, and every name is a plain identifier.
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"gate_count\":{},\"initial_delay_ns\":{},",
+                "\"gsg_percent\":{},\"gs_percent\":{},\"combined_percent\":{},",
+                "\"gsg_cpu_s\":{},\"gs_cpu_s\":{},\"combined_cpu_s\":{},",
+                "\"gs_area_percent\":{},\"combined_area_percent\":{},",
+                "\"coverage_percent\":{},\"largest_inputs\":{},",
+                "\"redundancy_count\":{},\"gsg_swaps\":{},\"gsg_hpwl_percent\":{}}}"
+            ),
+            json_string(&self.name),
+            self.gate_count,
+            json_number(self.initial_delay_ns),
+            json_number(self.gsg_percent),
+            json_number(self.gs_percent),
+            json_number(self.combined_percent),
+            json_number(self.gsg_cpu_s),
+            json_number(self.gs_cpu_s),
+            json_number(self.combined_cpu_s),
+            json_number(self.gs_area_percent),
+            json_number(self.combined_area_percent),
+            json_number(self.coverage_percent),
+            self.largest_inputs,
+            self.redundancy_count,
+            self.gsg_swaps,
+            json_number(self.gsg_hpwl_percent),
+        )
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_number(x: f64) -> String {
+    // JSON has no NaN/Infinity; clamp to null like serde_json's lossy mode.
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Serializes a slice of results as a pretty-printed JSON array.
+pub fn results_to_json(results: &[FlowResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, result) in results.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&result.to_json());
+        if i + 1 != results.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push(']');
+    out
 }
 
 /// Runs the full flow (generate, map, place, time, optimize three ways) for
-/// one named benchmark.
+/// one named benchmark through the [`Pipeline`].
 ///
 /// Returns `None` for an unknown benchmark name.
 pub fn run_benchmark(name: &str, config: &FlowConfig) -> Option<FlowResult> {
-    let network = benchmark(name)?;
-    let library = Library::standard_035um();
-    let placement = place(&network, &library, &config.placer, config.seed);
-    let initial = Sta::analyze(&network, &library, &placement, &config.timing);
-    let initial_delay_ns = initial.critical_delay_ns();
-
-    let run = |kind: OptimizerKind| -> OptimizationOutcome {
-        let mut working = network.clone();
-        let optimizer_config = OptimizerConfig { kind, ..config.optimizer.clone() };
-        Optimizer::new(optimizer_config).optimize(&mut working, &library, &placement, &config.timing)
-    };
-    let gsg = run(OptimizerKind::Rewiring);
-    let gs = run(OptimizerKind::Sizing);
-    let combined = run(OptimizerKind::Combined);
-
-    Some(FlowResult {
-        name: name.to_string(),
-        gate_count: network.logic_gate_count(),
-        initial_delay_ns,
-        gsg_percent: gsg.delay_improvement_percent(),
-        gs_percent: gs.delay_improvement_percent(),
-        combined_percent: combined.delay_improvement_percent(),
-        gsg_cpu_s: gsg.cpu_seconds,
-        gs_cpu_s: gs.cpu_seconds,
-        combined_cpu_s: combined.cpu_seconds,
-        gs_area_percent: gs.area_change_percent(),
-        combined_area_percent: combined.area_change_percent(),
-        coverage_percent: gsg.statistics.coverage_percent(),
-        largest_inputs: gsg.statistics.largest_inputs,
-        redundancy_count: gsg.statistics.redundancy_count,
-        gsg_swaps: gsg.swaps_applied,
-        gsg_hpwl_percent: gsg.hpwl_change_percent(),
-    })
+    let pipeline = Pipeline::new(config.clone());
+    match pipeline.compare_optimizers(CircuitSource::suite(name)) {
+        Ok(comparison) => Some(FlowResult::from_comparison(&comparison)),
+        Err(PipelineError::UnknownBenchmark(_)) => None,
+        // Any other failure (mapping error, broken equivalence) is a bug in
+        // the flow itself, not a caller mistake — surface it loudly.
+        Err(e) => panic!("flow failed on `{name}`: {e}"),
+    }
 }
 
 /// Runs the flow over a list of benchmark names (use
 /// [`rapids_circuits::suite_names`] for the full Table 1).
 pub fn run_suite(names: &[&str], config: &FlowConfig) -> Vec<FlowResult> {
-    names
-        .iter()
-        .filter_map(|name| run_benchmark(name, config))
-        .collect()
+    names.iter().filter_map(|name| run_benchmark(name, config)).collect()
 }
 
 /// Formats a set of flow results as the paper-style table, including the
@@ -211,5 +247,23 @@ mod tests {
     #[test]
     fn all_names_matches_suite() {
         assert_eq!(all_names().len(), 19);
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let results = run_suite(&["c432"], &FlowConfig::fast());
+        let json = results_to_json(&results);
+        assert!(json.starts_with('[') && json.ends_with(']'));
+        assert!(json.contains("\"name\":\"c432\""));
+        assert!(json.contains("\"gsg_percent\":"));
+        // Balanced braces: one object per result.
+        assert_eq!(json.matches('{').count(), results.len());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(super::json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(super::json_number(f64::NAN), "null");
     }
 }

@@ -51,16 +51,18 @@ impl Library {
 
     /// Adds (or replaces) a cell.
     pub fn add_cell(&mut self, cell: Cell) {
-        let key = CellKey {
-            function: cell.function,
-            input_count: cell.input_count,
-            drive: cell.drive,
-        };
+        let key =
+            CellKey { function: cell.function, input_count: cell.input_count, drive: cell.drive };
         self.cells.insert(key, cell);
     }
 
     /// Looks up a cell by function, fan-in count and drive strength.
-    pub fn cell(&self, function: GateType, input_count: usize, drive: DriveStrength) -> Option<&Cell> {
+    pub fn cell(
+        &self,
+        function: GateType,
+        input_count: usize,
+        drive: DriveStrength,
+    ) -> Option<&Cell> {
         self.cells.get(&CellKey { function, input_count, drive })
     }
 
@@ -75,9 +77,7 @@ impl Library {
             return Some(c);
         }
         // Fall back to the largest characterized arity of the same function.
-        (1..=n)
-            .rev()
-            .find_map(|k| self.cell(gate.gtype, k, drive))
+        (1..=n).rev().find_map(|k| self.cell(gate.gtype, k, drive))
     }
 
     /// All drive strengths available for a (function, arity) pair, weakest
@@ -96,11 +96,7 @@ impl Library {
     pub fn network_area_um2(&self, network: &rapids_netlist::Network) -> f64 {
         network
             .iter_logic()
-            .map(|g| {
-                self.cell_for_gate(network.gate(g))
-                    .map(|c| c.area_um2)
-                    .unwrap_or(25.0)
-            })
+            .map(|g| self.cell_for_gate(network.gate(g)).map(|c| c.area_um2).unwrap_or(25.0))
             .sum()
     }
 
@@ -130,8 +126,24 @@ impl Library {
         // of a generous 0.35 µm library, which keeps die sides in the
         // millimetre range for the Table 1 circuits so that interconnect is
         // a first-order effect, as in the paper's experiments.
-        protos.push(Proto { function: GateType::Inv, inputs: 1, area: 55.0, cin: 0.008, rd: 1.6, rise: 0.050, fall: 0.040 });
-        protos.push(Proto { function: GateType::Buf, inputs: 1, area: 80.0, cin: 0.008, rd: 1.4, rise: 0.090, fall: 0.080 });
+        protos.push(Proto {
+            function: GateType::Inv,
+            inputs: 1,
+            area: 55.0,
+            cin: 0.008,
+            rd: 1.6,
+            rise: 0.050,
+            fall: 0.040,
+        });
+        protos.push(Proto {
+            function: GateType::Buf,
+            inputs: 1,
+            area: 80.0,
+            cin: 0.008,
+            rd: 1.4,
+            rise: 0.090,
+            fall: 0.080,
+        });
         // Multi-input families; arity 2..=4.
         for n in 2..=4usize {
             let nf = n as f64;

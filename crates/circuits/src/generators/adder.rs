@@ -86,7 +86,11 @@ pub fn carry_select_adder(bits: usize) -> Network {
             b.gate(format!("{tag}g{i}"), GateType::And, &[&a, &bb]);
             b.gate(format!("{tag}s{i}"), GateType::Xor, &[&format!("{tag}p{i}"), &c]);
             b.gate(format!("{tag}t{i}"), GateType::And, &[&format!("{tag}p{i}"), &c]);
-            b.gate(format!("{tag}c{i}"), GateType::Or, &[&format!("{tag}g{i}"), &format!("{tag}t{i}")]);
+            b.gate(
+                format!("{tag}c{i}"),
+                GateType::Or,
+                &[&format!("{tag}g{i}"), &format!("{tag}t{i}")],
+            );
             c = format!("{tag}c{i}");
         }
         b.gate(format!("{tag}cout"), GateType::Buf, &[&c]);
@@ -137,7 +141,9 @@ mod tests {
     fn ripple_carry_adds_correctly() {
         let bits = 6;
         let n = ripple_carry_adder(bits);
-        for (a, b, c) in [(0u64, 0u64, false), (13, 21, false), (63, 1, false), (33, 30, true), (63, 63, true)] {
+        for (a, b, c) in
+            [(0u64, 0u64, false), (13, 21, false), (63, 1, false), (33, 30, true), (63, 63, true)]
+        {
             let got = add_via_sim(&n, bits, a, b, c);
             let expect = a + b + c as u64;
             assert_eq!(got, expect, "{a}+{b}+{c}");
@@ -149,7 +155,13 @@ mod tests {
         let bits = 8;
         let rca = ripple_carry_adder(bits);
         let csa = carry_select_adder(bits);
-        for (a, b, c) in [(0u64, 0u64, false), (200, 55, true), (129, 126, false), (255, 255, true), (170, 85, false)] {
+        for (a, b, c) in [
+            (0u64, 0u64, false),
+            (200, 55, true),
+            (129, 126, false),
+            (255, 255, true),
+            (170, 85, false),
+        ] {
             assert_eq!(
                 add_via_sim(&rca, bits, a, b, c),
                 add_via_sim(&csa, bits, a, b, c),
@@ -160,7 +172,9 @@ mod tests {
 
     #[test]
     fn sizes_scale_with_width() {
-        assert!(ripple_carry_adder(16).logic_gate_count() > ripple_carry_adder(4).logic_gate_count());
+        assert!(
+            ripple_carry_adder(16).logic_gate_count() > ripple_carry_adder(4).logic_gate_count()
+        );
         assert_eq!(ripple_carry_adder(4).logic_gate_count(), 20);
     }
 

@@ -65,6 +65,9 @@ pub fn alu(width: usize) -> Network {
 }
 
 #[cfg(test)]
+// Index-based loops here mirror the bit-position math of the circuits under
+// test; iterator rewrites would obscure which bit is being checked.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use rapids_sim::Simulator;

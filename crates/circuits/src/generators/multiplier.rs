@@ -14,7 +14,13 @@ impl AdderCells {
     }
 
     /// Emits a full adder over three signals; returns `(sum, carry)` names.
-    fn full_adder(&mut self, b: &mut NetworkBuilder, x: &str, y: &str, z: &str) -> (String, String) {
+    fn full_adder(
+        &mut self,
+        b: &mut NetworkBuilder,
+        x: &str,
+        y: &str,
+        z: &str,
+    ) -> (String, String) {
         let id = self.count;
         self.count += 1;
         let p = format!("fa{id}_p");

@@ -88,8 +88,16 @@ pub fn error_corrector(data_words: usize, group_size: usize) -> Network {
     // column syndrome indicate an error.
     for w in 0..data_words {
         for i in 0..group_size {
-            b.gate(format!("hit{w}_{i}"), GateType::And, &[&format!("rowp{w}"), &format!("syn{i}")]);
-            b.gate(format!("out{w}_{i}"), GateType::Xor, &[&format!("d{w}_{i}"), &format!("hit{w}_{i}")]);
+            b.gate(
+                format!("hit{w}_{i}"),
+                GateType::And,
+                &[&format!("rowp{w}"), &format!("syn{i}")],
+            );
+            b.gate(
+                format!("out{w}_{i}"),
+                GateType::Xor,
+                &[&format!("d{w}_{i}"), &format!("hit{w}_{i}")],
+            );
             b.output(format!("out{w}_{i}"));
         }
     }
@@ -97,6 +105,9 @@ pub fn error_corrector(data_words: usize, group_size: usize) -> Network {
 }
 
 #[cfg(test)]
+// Index-based loops here mirror the bit-position math of the circuits under
+// test; iterator rewrites would obscure which bit is being checked.
+#[allow(clippy::needless_range_loop)]
 mod tests {
     use super::*;
     use rapids_netlist::NetworkStats;

@@ -102,11 +102,7 @@ pub fn random_logic(config: &RandomLogicConfig, seed: u64) -> Network {
                 _ => GateType::Nor,
             }
         };
-        let fanin_count = if gtype.is_identity() {
-            1
-        } else {
-            rng.gen_range(2..=max_fanin)
-        };
+        let fanin_count = if gtype.is_identity() { 1 } else { rng.gen_range(2..=max_fanin) };
         let mut fanins: Vec<String> = Vec::with_capacity(fanin_count);
         while fanins.len() < fanin_count {
             let pick = if rng.gen_bool(config.locality) && signals.len() > window {
@@ -158,14 +154,8 @@ mod tests {
         let a = random_logic(&cfg, 9);
         let b = random_logic(&cfg, 9);
         let c = random_logic(&cfg, 10);
-        assert_eq!(
-            rapids_netlist::blif::write_string(&a),
-            rapids_netlist::blif::write_string(&b)
-        );
-        assert_ne!(
-            rapids_netlist::blif::write_string(&a),
-            rapids_netlist::blif::write_string(&c)
-        );
+        assert_eq!(rapids_netlist::blif::write_string(&a), rapids_netlist::blif::write_string(&b));
+        assert_ne!(rapids_netlist::blif::write_string(&a), rapids_netlist::blif::write_string(&c));
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub fn map_to_library(network: &Network, max_fanin: usize) -> Result<Network, Ne
     let mut mapped = Network::new(format!("{}_mapped", network.name()));
     let mut translate: HashMap<GateId, GateId> = HashMap::new();
     let mut counter = 0usize;
-    let order = rapids_netlist::topo::topological_order(network)
-        .expect("cannot map a cyclic network");
+    let order =
+        rapids_netlist::topo::topological_order(network).expect("cannot map a cyclic network");
 
     for g in order {
         let gate = network.gate(g);
@@ -44,14 +44,7 @@ pub fn map_to_library(network: &Network, max_fanin: usize) -> Result<Network, Ne
             }
             t => {
                 let fanins: Vec<GateId> = gate.fanins.iter().map(|f| translate[f]).collect();
-                map_wide_gate(
-                    &mut mapped,
-                    t,
-                    &fanins,
-                    &gate.name,
-                    max_fanin,
-                    &mut counter,
-                )?
+                map_wide_gate(&mut mapped, t, &fanins, &gate.name, max_fanin, &mut counter)?
             }
         };
         translate.insert(g, new_id);
@@ -149,7 +142,12 @@ pub fn is_mapped(network: &Network, max_fanin: usize) -> bool {
         let gate = network.gate(g);
         let type_ok = matches!(
             gate.gtype,
-            GateType::Inv | GateType::Buf | GateType::Nand | GateType::Nor | GateType::Xor | GateType::Xnor
+            GateType::Inv
+                | GateType::Buf
+                | GateType::Nand
+                | GateType::Nor
+                | GateType::Xor
+                | GateType::Xnor
         );
         type_ok && gate.fanin_count() <= max_fanin
     })

@@ -49,25 +49,158 @@ pub struct BenchmarkSpec {
 
 /// All 19 benchmark rows of Table 1, in the paper's order.
 const SUITE: &[BenchmarkSpec] = &[
-    BenchmarkSpec { name: "alu2", paper_gate_count: 516, family: Family::Alu, xor_fraction: 0.0, size_parameter: 16, seed: 102 },
-    BenchmarkSpec { name: "alu4", paper_gate_count: 1004, family: Family::Alu, xor_fraction: 0.0, size_parameter: 32, seed: 104 },
-    BenchmarkSpec { name: "c432", paper_gate_count: 291, family: Family::Control, xor_fraction: 0.10, size_parameter: 200, seed: 432 },
-    BenchmarkSpec { name: "c499", paper_gate_count: 625, family: Family::ErrorCorrecting, xor_fraction: 0.0, size_parameter: 8, seed: 499 },
-    BenchmarkSpec { name: "c1355", paper_gate_count: 625, family: Family::ErrorCorrecting, xor_fraction: 0.0, size_parameter: 8, seed: 1355 },
-    BenchmarkSpec { name: "c1908", paper_gate_count: 730, family: Family::Control, xor_fraction: 0.15, size_parameter: 520, seed: 1908 },
-    BenchmarkSpec { name: "c2670", paper_gate_count: 911, family: Family::Control, xor_fraction: 0.05, size_parameter: 650, seed: 2670 },
-    BenchmarkSpec { name: "c3540", paper_gate_count: 1809, family: Family::Control, xor_fraction: 0.08, size_parameter: 1290, seed: 3540 },
-    BenchmarkSpec { name: "c5315", paper_gate_count: 2379, family: Family::Control, xor_fraction: 0.05, size_parameter: 1700, seed: 5315 },
-    BenchmarkSpec { name: "c6288", paper_gate_count: 5000, family: Family::Multiplier, xor_fraction: 0.0, size_parameter: 20, seed: 6288 },
-    BenchmarkSpec { name: "c7552", paper_gate_count: 2565, family: Family::Control, xor_fraction: 0.06, size_parameter: 1830, seed: 7552 },
-    BenchmarkSpec { name: "i10", paper_gate_count: 3397, family: Family::Control, xor_fraction: 0.04, size_parameter: 2430, seed: 10 },
-    BenchmarkSpec { name: "x3", paper_gate_count: 1010, family: Family::Control, xor_fraction: 0.02, size_parameter: 720, seed: 3 },
-    BenchmarkSpec { name: "i8", paper_gate_count: 1229, family: Family::Control, xor_fraction: 0.03, size_parameter: 880, seed: 8 },
-    BenchmarkSpec { name: "k2", paper_gate_count: 1484, family: Family::Control, xor_fraction: 0.02, size_parameter: 1060, seed: 2 },
-    BenchmarkSpec { name: "s5378", paper_gate_count: 1811, family: Family::Control, xor_fraction: 0.03, size_parameter: 1290, seed: 5378 },
-    BenchmarkSpec { name: "s13207", paper_gate_count: 2900, family: Family::Control, xor_fraction: 0.03, size_parameter: 2070, seed: 13207 },
-    BenchmarkSpec { name: "s15850", paper_gate_count: 4640, family: Family::Control, xor_fraction: 0.03, size_parameter: 3320, seed: 15850 },
-    BenchmarkSpec { name: "s38417", paper_gate_count: 10090, family: Family::Control, xor_fraction: 0.03, size_parameter: 7210, seed: 38417 },
+    BenchmarkSpec {
+        name: "alu2",
+        paper_gate_count: 516,
+        family: Family::Alu,
+        xor_fraction: 0.0,
+        size_parameter: 16,
+        seed: 102,
+    },
+    BenchmarkSpec {
+        name: "alu4",
+        paper_gate_count: 1004,
+        family: Family::Alu,
+        xor_fraction: 0.0,
+        size_parameter: 32,
+        seed: 104,
+    },
+    BenchmarkSpec {
+        name: "c432",
+        paper_gate_count: 291,
+        family: Family::Control,
+        xor_fraction: 0.10,
+        size_parameter: 200,
+        seed: 432,
+    },
+    BenchmarkSpec {
+        name: "c499",
+        paper_gate_count: 625,
+        family: Family::ErrorCorrecting,
+        xor_fraction: 0.0,
+        size_parameter: 8,
+        seed: 499,
+    },
+    BenchmarkSpec {
+        name: "c1355",
+        paper_gate_count: 625,
+        family: Family::ErrorCorrecting,
+        xor_fraction: 0.0,
+        size_parameter: 8,
+        seed: 1355,
+    },
+    BenchmarkSpec {
+        name: "c1908",
+        paper_gate_count: 730,
+        family: Family::Control,
+        xor_fraction: 0.15,
+        size_parameter: 520,
+        seed: 1908,
+    },
+    BenchmarkSpec {
+        name: "c2670",
+        paper_gate_count: 911,
+        family: Family::Control,
+        xor_fraction: 0.05,
+        size_parameter: 650,
+        seed: 2670,
+    },
+    BenchmarkSpec {
+        name: "c3540",
+        paper_gate_count: 1809,
+        family: Family::Control,
+        xor_fraction: 0.08,
+        size_parameter: 1290,
+        seed: 3540,
+    },
+    BenchmarkSpec {
+        name: "c5315",
+        paper_gate_count: 2379,
+        family: Family::Control,
+        xor_fraction: 0.05,
+        size_parameter: 1700,
+        seed: 5315,
+    },
+    BenchmarkSpec {
+        name: "c6288",
+        paper_gate_count: 5000,
+        family: Family::Multiplier,
+        xor_fraction: 0.0,
+        size_parameter: 20,
+        seed: 6288,
+    },
+    BenchmarkSpec {
+        name: "c7552",
+        paper_gate_count: 2565,
+        family: Family::Control,
+        xor_fraction: 0.06,
+        size_parameter: 1830,
+        seed: 7552,
+    },
+    BenchmarkSpec {
+        name: "i10",
+        paper_gate_count: 3397,
+        family: Family::Control,
+        xor_fraction: 0.04,
+        size_parameter: 2430,
+        seed: 10,
+    },
+    BenchmarkSpec {
+        name: "x3",
+        paper_gate_count: 1010,
+        family: Family::Control,
+        xor_fraction: 0.02,
+        size_parameter: 720,
+        seed: 3,
+    },
+    BenchmarkSpec {
+        name: "i8",
+        paper_gate_count: 1229,
+        family: Family::Control,
+        xor_fraction: 0.03,
+        size_parameter: 880,
+        seed: 8,
+    },
+    BenchmarkSpec {
+        name: "k2",
+        paper_gate_count: 1484,
+        family: Family::Control,
+        xor_fraction: 0.02,
+        size_parameter: 1060,
+        seed: 2,
+    },
+    BenchmarkSpec {
+        name: "s5378",
+        paper_gate_count: 1811,
+        family: Family::Control,
+        xor_fraction: 0.03,
+        size_parameter: 1290,
+        seed: 5378,
+    },
+    BenchmarkSpec {
+        name: "s13207",
+        paper_gate_count: 2900,
+        family: Family::Control,
+        xor_fraction: 0.03,
+        size_parameter: 2070,
+        seed: 13207,
+    },
+    BenchmarkSpec {
+        name: "s15850",
+        paper_gate_count: 4640,
+        family: Family::Control,
+        xor_fraction: 0.03,
+        size_parameter: 3320,
+        seed: 15850,
+    },
+    BenchmarkSpec {
+        name: "s38417",
+        paper_gate_count: 10090,
+        family: Family::Control,
+        xor_fraction: 0.03,
+        size_parameter: 7210,
+        seed: 38417,
+    },
 ];
 
 /// Names of all suite entries, in Table 1 order.

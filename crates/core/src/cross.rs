@@ -47,7 +47,9 @@ impl std::fmt::Display for CrossSwapError {
             CrossSwapError::FaninCountMismatch { first, second } => {
                 write!(f, "fanin counts differ: {first} vs {second}")
             }
-            CrossSwapError::UnsupportedKind => write!(f, "cross swapping requires AND/OR supergates"),
+            CrossSwapError::UnsupportedKind => {
+                write!(f, "cross swapping requires AND/OR supergates")
+            }
             CrossSwapError::Overlapping => write!(f, "supergates overlap"),
             CrossSwapError::Netlist(e) => write!(f, "netlist edit failed: {e}"),
         }
@@ -167,12 +169,7 @@ pub fn cross_supergate_swap(
         let pin_b = current_external_pin(network, lb.pin, demorganized);
         network.swap_pin_drivers(pin_a, pin_b)?;
     }
-    Ok(CrossSwap {
-        root_a: a.root,
-        root_b: b.root,
-        demorganized,
-        inserted_inverters: inserted,
-    })
+    Ok(CrossSwap { root_a: a.root, root_b: b.root, demorganized, inserted_inverters: inserted })
 }
 
 /// After a DeMorgan transform the leaf pin is driven by a fresh inverter; the
@@ -181,9 +178,7 @@ fn current_external_pin(network: &Network, pin: PinRef, demorganized: bool) -> P
     if !demorganized {
         return pin;
     }
-    let driver = network
-        .pin_driver(pin)
-        .expect("leaf pin exists after transform");
+    let driver = network.pin_driver(pin).expect("leaf pin exists after transform");
     PinRef::new(driver, 0)
 }
 

@@ -160,7 +160,11 @@ mod tests {
     fn enabling_values_are_consistent_with_backward_implication() {
         for t in GateType::LOGIC_TYPES {
             if let (Some(out), Some(inp)) = (enabling_output_value(t), enabling_input_value(t)) {
-                assert_eq!(backward_implication(t, out), BackwardImplication::AllInputs(inp), "{t}");
+                assert_eq!(
+                    backward_implication(t, out),
+                    BackwardImplication::AllInputs(inp),
+                    "{t}"
+                );
             }
         }
     }

@@ -48,7 +48,9 @@ pub mod supergate;
 pub mod swap;
 pub mod symmetry;
 
-pub use optimizer::{Optimizer, OptimizerConfig, OptimizerKind, OptimizationOutcome};
+pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind};
 pub use report::{BenchmarkRow, SupergateStatistics};
-pub use supergate::{extract_supergates, Extraction, PinClass, Supergate, SupergateKind, SupergateLeaf};
+pub use supergate::{
+    extract_supergates, Extraction, PinClass, Supergate, SupergateKind, SupergateLeaf,
+};
 pub use swap::{SwapCandidate, SwapKind};

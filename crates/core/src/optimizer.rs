@@ -22,7 +22,9 @@ use rapids_celllib::Library;
 use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
 use rapids_sim::check_equivalence_random;
-use rapids_sizing::{neighborhood_slack_ns, GateSizer, SizerConfig};
+use rapids_sizing::{
+    estimated_arrival_ns, fanin_min_slack_ns, neighborhood_slack_ns, GateSizer, SizerConfig,
+};
 use rapids_timing::{gate_output_delay, net_delays, Sta, TimingConfig, TimingReport};
 
 use crate::report::SupergateStatistics;
@@ -91,12 +93,7 @@ impl OptimizerConfig {
 
     /// Reduced-effort configuration for tests and smoke benchmarks.
     pub fn fast(kind: OptimizerKind) -> Self {
-        OptimizerConfig {
-            kind,
-            max_passes: 2,
-            sizer: SizerConfig::fast(),
-            ..Self::default()
-        }
+        OptimizerConfig { kind, max_passes: 2, sizer: SizerConfig::fast(), ..Self::default() }
     }
 }
 
@@ -176,11 +173,8 @@ impl Optimizer {
         timing: &TimingConfig,
     ) -> OptimizationOutcome {
         let start = Instant::now();
-        let reference = if self.config.verify_with_simulation {
-            Some(network.clone())
-        } else {
-            None
-        };
+        let reference =
+            if self.config.verify_with_simulation { Some(network.clone()) } else { None };
         let initial_report = Sta::analyze(network, library, placement, timing);
         let initial_delay_ns = initial_report.critical_delay_ns();
         let initial_area_um2 = library.network_area_um2(network);
@@ -209,22 +203,14 @@ impl Optimizer {
                     .collect();
                 swaps_applied =
                     self.rewiring_loop(network, library, placement, timing, Some(&trivial_gates));
-                gates_resized = self.restricted_sizing(
-                    network,
-                    library,
-                    placement,
-                    timing,
-                    &trivial_gates,
-                );
+                gates_resized =
+                    self.restricted_sizing(network, library, placement, timing, &trivial_gates);
             }
         }
 
         if let Some(reference) = &reference {
             let check = check_equivalence_random(reference, network, 1024, 0xC0FFEE);
-            assert!(
-                check.is_equivalent(),
-                "optimization broke functional equivalence: {check:?}"
-            );
+            assert!(check.is_equivalent(), "optimization broke functional equivalence: {check:?}");
         }
 
         let final_report = Sta::analyze(network, library, placement, timing);
@@ -285,8 +271,8 @@ impl Optimizer {
             });
             let mut pass_swaps = 0usize;
             for sg in &ordered {
-                let critical = supergate_slack(&report, sg)
-                    <= worst_slack + self.config.critical_margin_ns;
+                let critical =
+                    supergate_slack(&report, sg) <= worst_slack + self.config.critical_margin_ns;
                 if !critical {
                     continue;
                 }
@@ -297,8 +283,8 @@ impl Optimizer {
             // Relaxation phase: the remaining non-trivial supergates, aiming
             // at total-slack (wire-length) recovery to escape local minima.
             for sg in &ordered {
-                let critical = supergate_slack(&report, sg)
-                    <= worst_slack + self.config.critical_margin_ns;
+                let critical =
+                    supergate_slack(&report, sg) <= worst_slack + self.config.critical_margin_ns;
                 if critical {
                     continue;
                 }
@@ -336,7 +322,8 @@ impl Optimizer {
         if candidates.is_empty() {
             return false;
         }
-        let baseline = swap_neighborhood_metric(network, library, placement, timing, report, supergate);
+        let baseline =
+            swap_neighborhood_metric(network, library, placement, timing, report, supergate);
         let mut best: Option<(SwapCandidate, SwapMetric)> = None;
         for candidate in candidates {
             let Ok(applied) = apply_swap(network, &candidate) else {
@@ -346,7 +333,7 @@ impl Optimizer {
                 swap_neighborhood_metric(network, library, placement, timing, report, supergate);
             undo_swap(network, &applied).expect("undoing a just-applied swap succeeds");
             if metric.improves_on(&baseline)
-                && best.as_ref().map_or(true, |(_, m)| metric.improves_on(m))
+                && best.as_ref().is_none_or(|(_, m)| metric.improves_on(m))
             {
                 best = Some((candidate, metric));
             }
@@ -386,17 +373,22 @@ impl Optimizer {
                 .filter(|&g| network.is_live(g) && !network.gate(g).gtype.is_source())
                 .collect();
             gates.sort_by(|&a, &b| {
-                report
-                    .slack(a)
-                    .partial_cmp(&report.slack(b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                report.slack(a).partial_cmp(&report.slack(b)).unwrap_or(std::cmp::Ordering::Equal)
             });
             for g in gates {
                 let is_critical = report.slack(g) <= worst + self.config.critical_margin_ns;
                 if !is_critical && !self.config.sizer.recover_area {
                     continue;
                 }
-                if choose_best_drive_local(network, library, placement, timing, &report, g, !is_critical) {
+                if choose_best_drive_local(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    &report,
+                    g,
+                    !is_critical,
+                ) {
                     resized.insert(g);
                     changed += 1;
                 }
@@ -424,11 +416,7 @@ impl Default for Optimizer {
 
 /// Worst slack over the member gates of a supergate.
 fn supergate_slack(report: &TimingReport, supergate: &Supergate) -> f64 {
-    supergate
-        .members
-        .iter()
-        .map(|&m| report.slack(m))
-        .fold(f64::INFINITY, f64::min)
+    supergate.members.iter().map(|&m| report.slack(m)).fold(f64::INFINITY, f64::min)
 }
 
 /// Two-level swap-evaluation metric, compared lexicographically: first the
@@ -472,11 +460,7 @@ fn swap_neighborhood_metric(
     let mut drivers: Vec<GateId> = supergate
         .leaves
         .iter()
-        .map(|l| {
-            network
-                .pin_driver(l.pin)
-                .expect("supergate leaf pins always exist")
-        })
+        .map(|l| network.pin_driver(l.pin).expect("supergate leaf pins always exist"))
         .collect();
     drivers.sort();
     drivers.dedup();
@@ -518,11 +502,8 @@ fn member_arrival_estimate(
         let wire = wires.delay_to_ns(gate).unwrap_or(0.0);
         let driver_input_side = report.arrival(f).worst() - report.gate_delay(f).worst();
         let driver_delay = gate_output_delay(network, library, placement, timing, f).worst();
-        let arrival_f = if network.gate(f).gtype.is_source() {
-            0.0
-        } else {
-            driver_input_side + driver_delay
-        };
+        let arrival_f =
+            if network.gate(f).gtype.is_source() { 0.0 } else { driver_input_side + driver_delay };
         worst_in = worst_in.max(arrival_f + wire);
     }
     worst_in + own
@@ -547,6 +528,13 @@ fn choose_best_drive_local(
     }
     let original = g.size_class;
     let baseline = neighborhood_slack_ns(network, library, placement, timing, report, gate);
+    // Same do-no-harm floor as the stand-alone sizer's min-slack phase: a
+    // candidate may load the drivers harder only while none of them falls
+    // below the global worst slack (scoring the combined neighborhood
+    // minimum instead deadlocks on uniformly critical paths — see
+    // rapids_sizing::fanin_min_slack_ns).
+    let driver_floor = fanin_min_slack_ns(network, library, placement, timing, report, gate)
+        .min(report.worst_slack_ns());
     let mut best_class = original;
     let mut best_metric = f64::NEG_INFINITY;
     for drive in drives {
@@ -563,7 +551,13 @@ fn choose_best_drive_local(
                 -area
             }
         } else {
-            slack
+            let drivers = fanin_min_slack_ns(network, library, placement, timing, report, gate);
+            if drivers + 1e-9 < driver_floor {
+                f64::NEG_INFINITY
+            } else {
+                report.required(gate)
+                    - estimated_arrival_ns(network, library, placement, timing, report, gate)
+            }
         };
         if metric > best_metric {
             best_metric = metric;
@@ -592,8 +586,12 @@ mod tests {
     fn rewiring_never_degrades_delay_and_preserves_function() {
         let (reference, library, placement, timing) = setup("c432");
         let mut network = reference.clone();
-        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Rewiring))
-            .optimize(&mut network, &library, &placement, &timing);
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Rewiring)).optimize(
+            &mut network,
+            &library,
+            &placement,
+            &timing,
+        );
         assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
         assert!(check_equivalence_random(&reference, &network, 512, 3).is_equivalent());
         // gsg never resizes and never adds gates (non-inverting swaps only).
@@ -606,8 +604,12 @@ mod tests {
     fn sizing_kind_delegates_to_gate_sizer() {
         let (reference, library, placement, timing) = setup("c432");
         let mut network = reference.clone();
-        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Sizing))
-            .optimize(&mut network, &library, &placement, &timing);
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Sizing)).optimize(
+            &mut network,
+            &library,
+            &placement,
+            &timing,
+        );
         assert_eq!(outcome.kind, OptimizerKind::Sizing);
         assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
         assert_eq!(outcome.swaps_applied, 0);
@@ -618,8 +620,12 @@ mod tests {
     fn combined_optimizer_improves_at_least_as_much_as_nothing() {
         let (reference, library, placement, timing) = setup("alu2");
         let mut network = reference.clone();
-        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Combined))
-            .optimize(&mut network, &library, &placement, &timing);
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Combined)).optimize(
+            &mut network,
+            &library,
+            &placement,
+            &timing,
+        );
         assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
         assert!(outcome.delay_improvement_percent() >= 0.0);
         assert!(check_equivalence_random(&reference, &network, 512, 9).is_equivalent());
@@ -659,7 +665,7 @@ mod tests {
                 largest_inputs: 4,
                 redundancy_count: 0,
             },
-            };
+        };
         assert!((outcome.delay_improvement_percent() - 10.0).abs() < 1e-9);
         assert_eq!(outcome.area_change_percent(), 0.0);
         assert!((outcome.hpwl_change_percent() + 5.0).abs() < 1e-9);

@@ -93,11 +93,7 @@ pub fn find_in_supergate(supergate: &Supergate) -> Vec<Redundancy> {
 
 /// Scans every supergate of an extraction.
 pub fn find_redundancies(extraction: &Extraction) -> Vec<Redundancy> {
-    extraction
-        .supergates()
-        .iter()
-        .flat_map(find_in_supergate)
-        .collect()
+    extraction.supergates().iter().flat_map(find_in_supergate).collect()
 }
 
 /// Removes an *agreeing-implication* redundancy whose two pins sit on the
@@ -125,9 +121,7 @@ pub fn remove_same_gate_duplicate(network: &mut Network, finding: &Redundancy) -
         let new_gate = network
             .add_gate(replacement, &[survivor], format!("red_{gate}"))
             .expect("buffer insertion is always valid");
-        network
-            .replace_all_uses(gate, new_gate)
-            .expect("replacing a live gate's uses succeeds");
+        network.replace_all_uses(gate, new_gate).expect("replacing a live gate's uses succeeds");
         return true;
     }
     // Rebuild the gate without the duplicated pin.
@@ -141,32 +135,26 @@ pub fn remove_same_gate_duplicate(network: &mut Network, finding: &Redundancy) -
     let new_gate = network
         .add_gate(gtype, &kept, format!("red_{gate}"))
         .expect("reduced gate is structurally valid");
-    network
-        .replace_all_uses(gate, new_gate)
-        .expect("replacing a live gate's uses succeeds");
+    network.replace_all_uses(gate, new_gate).expect("replacing a live gate's uses succeeds");
     true
 }
 
 /// Convenience: count redundancies of each kind.
 pub fn count_by_kind(findings: &[Redundancy]) -> (usize, usize, usize) {
-    let conflicting = findings
-        .iter()
-        .filter(|f| f.kind == RedundancyKind::ConflictingImplication)
-        .count();
-    let agreeing = findings
-        .iter()
-        .filter(|f| f.kind == RedundancyKind::AgreeingImplication)
-        .count();
-    let xor = findings
-        .iter()
-        .filter(|f| f.kind == RedundancyKind::XorCancellation)
-        .count();
+    let conflicting =
+        findings.iter().filter(|f| f.kind == RedundancyKind::ConflictingImplication).count();
+    let agreeing =
+        findings.iter().filter(|f| f.kind == RedundancyKind::AgreeingImplication).count();
+    let xor = findings.iter().filter(|f| f.kind == RedundancyKind::XorCancellation).count();
     (conflicting, agreeing, xor)
 }
 
 /// Returns `true` if an agreeing-implication stem really is redundant, i.e.
 /// the supergate's function does not change when the duplicate requirement is
 /// collapsed.  (Used by tests as an oracle; always true by construction.)
+// The repeated operands are the whole point: this spells out the idempotence
+// laws the redundancy collapse relies on, as an executable oracle.
+#[allow(clippy::eq_op, clippy::nonminimal_bool)]
 pub fn duplicate_is_logically_redundant(value: Logic) -> bool {
     // x·x = x and x+x = x for either polarity of x.
     let x = value.to_bool();

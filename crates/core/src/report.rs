@@ -29,11 +29,7 @@ impl SupergateStatistics {
         SupergateStatistics {
             gate_count: network.logic_gate_count(),
             supergate_count: extraction.supergates().len(),
-            nontrivial_count: extraction
-                .supergates()
-                .iter()
-                .filter(|sg| !sg.is_trivial())
-                .count(),
+            nontrivial_count: extraction.supergates().iter().filter(|sg| !sg.is_trivial()).count(),
             covered_gates: extraction.covered_by_nontrivial(),
             largest_inputs: extraction.largest_input_count(),
             redundancy_count,
@@ -207,10 +203,7 @@ mod tests {
         };
         let line = row.to_table_line();
         assert!(line.starts_with("alu2"));
-        assert_eq!(
-            line.split('\t').count(),
-            BenchmarkRow::table_header().split('\t').count()
-        );
+        assert_eq!(line.split('\t').count(), BenchmarkRow::table_header().split('\t').count());
         let avg = BenchmarkRow::average(&[row.clone(), row]);
         assert!((avg.gsg_improvement_percent - 6.9).abs() < 1e-9);
         assert_eq!(avg.name, "ave.");

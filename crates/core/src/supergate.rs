@@ -127,11 +127,7 @@ impl Extraction {
 
     /// Number of logic gates covered by non-trivial supergates.
     pub fn covered_by_nontrivial(&self) -> usize {
-        self.supergates
-            .iter()
-            .filter(|sg| !sg.is_trivial())
-            .map(|sg| sg.size())
-            .sum()
+        self.supergates.iter().filter(|sg| !sg.is_trivial()).map(|sg| sg.size()).sum()
     }
 
     /// The largest supergate input count (`L` of Table 1), 0 if empty.
@@ -268,10 +264,8 @@ fn extract_xor(network: &Network, root: GateId, covered: &mut [bool]) -> Superga
         for (idx, &driver) in network.fanins(g).iter().enumerate() {
             let pin = PinRef::new(g, idx);
             let dtype = network.gate(driver).gtype;
-            let xor_like = matches!(
-                dtype.base_function(),
-                BaseFunction::Xor | BaseFunction::Identity
-            );
+            let xor_like =
+                matches!(dtype.base_function(), BaseFunction::Xor | BaseFunction::Identity);
             if xor_like && expandable(network, driver) && !covered[driver.index()] {
                 covered[driver.index()] = true;
                 members.push(driver);

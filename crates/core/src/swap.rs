@@ -55,12 +55,17 @@ impl AppliedSwap {
 /// Propagates structural errors (unknown pins, cycles) from the netlist
 /// layer; a candidate produced from a fresh extraction of the same network
 /// never fails.
-pub fn apply_swap(network: &mut Network, candidate: &SwapCandidate) -> Result<AppliedSwap, NetlistError> {
+pub fn apply_swap(
+    network: &mut Network,
+    candidate: &SwapCandidate,
+) -> Result<AppliedSwap, NetlistError> {
     network.swap_pin_drivers(candidate.pin_a, candidate.pin_b)?;
     let mut inverters = Vec::new();
     if candidate.kind == SwapKind::Inverting {
-        let inv_a = network.insert_inverter(candidate.pin_a, format!("swapinv_{}", candidate.pin_a))?;
-        let inv_b = network.insert_inverter(candidate.pin_b, format!("swapinv_{}", candidate.pin_b))?;
+        let inv_a =
+            network.insert_inverter(candidate.pin_a, format!("swapinv_{}", candidate.pin_a))?;
+        let inv_b =
+            network.insert_inverter(candidate.pin_b, format!("swapinv_{}", candidate.pin_b))?;
         inverters.push(inv_a);
         inverters.push(inv_b);
     }
@@ -78,9 +83,8 @@ pub fn undo_swap(network: &mut Network, applied: &AppliedSwap) -> Result<(), Net
     if applied.candidate.kind == SwapKind::Inverting {
         // Remove the inverters by reconnecting the pins to the inverter
         // inputs, then sweeping the dangling inverters.
-        for (&pin, &inv) in [applied.candidate.pin_a, applied.candidate.pin_b]
-            .iter()
-            .zip(&applied.inverters)
+        for (&pin, &inv) in
+            [applied.candidate.pin_a, applied.candidate.pin_b].iter().zip(&applied.inverters)
         {
             let source = network.fanins(inv)[0];
             network.replace_pin_driver(pin, source)?;

@@ -122,7 +122,9 @@ pub fn symmetry_classes(supergate: &Supergate) -> Vec<Vec<PinRef>> {
 mod tests {
     use super::*;
     use crate::supergate::extract_supergates;
-    use rapids_bdd::{are_equivalence_symmetric, are_nonequivalence_symmetric, build_output_bdds, Manager};
+    use rapids_bdd::{
+        are_equivalence_symmetric, are_nonequivalence_symmetric, build_output_bdds, Manager,
+    };
     use rapids_netlist::{GateType, Network, NetworkBuilder};
 
     /// f = NOR(NAND(a, b), INV(c)): one supergate whose leaves are a, b
@@ -178,8 +180,10 @@ mod tests {
         let ex = extract_supergates(&n);
         let f = n.find_by_name("f").unwrap();
         let sg = ex.supergate_of_root(f).unwrap();
-        let a_pin = sg.leaves.iter().find(|l| l.driver == n.find_by_name("a").unwrap()).unwrap().pin;
-        let b_pin = sg.leaves.iter().find(|l| l.driver == n.find_by_name("b").unwrap()).unwrap().pin;
+        let a_pin =
+            sg.leaves.iter().find(|l| l.driver == n.find_by_name("a").unwrap()).unwrap().pin;
+        let b_pin =
+            sg.leaves.iter().find(|l| l.driver == n.find_by_name("b").unwrap()).unwrap().pin;
         assert_eq!(classify_pair(sg, a_pin, b_pin), Some(PairSymmetry::Inverting));
         assert!(swap_candidates(sg, false).is_empty());
         let with_inverting = swap_candidates(sg, true);

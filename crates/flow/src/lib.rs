@@ -1,0 +1,40 @@
+//! # rapids-flow
+//!
+//! Facade crate of the RAPIDS workspace (reproduction of *"Fast
+//! Post-placement Rewiring Using Easily Detectable Functional Symmetries"*,
+//! DAC 2000): the [`Pipeline`] runs the end-to-end flow
+//!
+//! ```text
+//! generate → map-to-library → place → STA → optimize (gsg / GS / gsg+GS) → report
+//! ```
+//!
+//! as one configurable call, and the substrate crates are re-exported as
+//! modules so downstream code can depend on `rapids-flow` alone:
+//!
+//! ```
+//! use rapids_flow::{CircuitSource, Pipeline};
+//!
+//! let report = Pipeline::fast().run(CircuitSource::suite("alu2")).unwrap();
+//! println!(
+//!     "{}: {:.3} ns → {:.3} ns with {}",
+//!     report.name, report.initial_delay_ns, report.outcome.final_delay_ns, report.kind
+//! );
+//! ```
+
+pub mod pipeline;
+
+pub use pipeline::{
+    CircuitSource, FlowComparison, Pipeline, PipelineConfig, PipelineError, PipelineReport,
+    PreparedDesign, StageTimings,
+};
+
+// Substrate crates, re-exported under stable short names.
+pub use rapids_bdd as bdd;
+pub use rapids_celllib as celllib;
+pub use rapids_circuits as circuits;
+pub use rapids_core as core;
+pub use rapids_netlist as netlist;
+pub use rapids_placement as placement;
+pub use rapids_sim as sim;
+pub use rapids_sizing as sizing;
+pub use rapids_timing as timing;

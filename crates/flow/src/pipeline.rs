@@ -1,0 +1,475 @@
+//! The unified end-to-end RAPIDS flow.
+//!
+//! Every consumer of the workspace — the examples, the integration tests,
+//! the Table 1 harness — used to hand-wire the same five stages:
+//! resolve a circuit, map it onto the 0.35 µm library, place it, run static
+//! timing analysis, then run one of the paper's three optimizers.  The
+//! [`Pipeline`] owns that sequence behind one configurable call:
+//!
+//! ```
+//! use rapids_flow::{CircuitSource, Pipeline, PipelineConfig};
+//! use rapids_core::OptimizerKind;
+//!
+//! let pipeline = Pipeline::fast();
+//! let report = pipeline
+//!     .run_kind(CircuitSource::suite("c432"), OptimizerKind::Combined)
+//!     .unwrap();
+//! assert!(report.outcome.final_delay_ns <= report.initial_delay_ns + 1e-9);
+//! ```
+//!
+//! The flow is split at the natural reuse seam: [`Pipeline::prepare`] runs
+//! the placement-invariant front half (generate → map → place → STA) and
+//! returns a [`PreparedDesign`]; [`Pipeline::optimize`] runs one optimizer
+//! against it.  Sharing one `PreparedDesign` across several
+//! [`OptimizerKind`]s is exactly the paper's experimental setup (the three
+//! optimizers must see the *same* placement), and is packaged as
+//! [`Pipeline::compare_optimizers`].
+
+use std::time::Instant;
+
+use rapids_celllib::Library;
+use rapids_circuits::{benchmark, map_to_library};
+use rapids_core::{OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind};
+use rapids_netlist::{blif, NetlistError, Network};
+use rapids_placement::{place, Placement, PlacerConfig};
+use rapids_sim::check_equivalence_random;
+use rapids_timing::{Sta, TimingConfig, TimingReport};
+
+/// Where the pipeline's input circuit comes from.
+#[derive(Debug, Clone)]
+pub enum CircuitSource {
+    /// A named benchmark from the 19-entry Table 1 suite
+    /// ([`rapids_circuits::benchmark`]); arrives already mapped.
+    Suite(String),
+    /// A netlist that is already expressed in library gate types.
+    Mapped(Network),
+    /// A raw netlist that still needs technology mapping with the given
+    /// maximum fan-in.
+    Unmapped {
+        /// The raw network.
+        network: Network,
+        /// Maximum fan-in allowed after mapping.
+        max_fanin: usize,
+    },
+    /// BLIF text, parsed then mapped with the given maximum fan-in.
+    Blif {
+        /// BLIF source text ([`rapids_netlist::blif`] dialect).
+        text: String,
+        /// Maximum fan-in allowed after mapping.
+        max_fanin: usize,
+    },
+}
+
+impl CircuitSource {
+    /// Convenience constructor for a Table 1 suite benchmark.
+    pub fn suite(name: impl Into<String>) -> Self {
+        CircuitSource::Suite(name.into())
+    }
+}
+
+/// Everything the pipeline failed on.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The named benchmark is not part of the Table 1 suite.
+    UnknownBenchmark(String),
+    /// Parsing or mapping the input netlist failed.
+    Netlist(NetlistError),
+    /// The post-optimization simulation cross-check found a functional
+    /// difference — the rewiring/sizing engine produced a wrong network.
+    EquivalenceBroken {
+        /// Design name.
+        name: String,
+        /// The optimizer that broke it.
+        kind: OptimizerKind,
+    },
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::UnknownBenchmark(name) => {
+                write!(f, "unknown suite benchmark `{name}`")
+            }
+            PipelineError::Netlist(e) => write!(f, "netlist error: {e}"),
+            PipelineError::EquivalenceBroken { name, kind } => {
+                write!(f, "optimizer {kind} broke functional equivalence on `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+impl From<NetlistError> for PipelineError {
+    fn from(e: NetlistError) -> Self {
+        PipelineError::Netlist(e)
+    }
+}
+
+/// Configuration of the whole flow; one struct drives every stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Placer configuration.
+    pub placer: PlacerConfig,
+    /// Timing model configuration.
+    pub timing: TimingConfig,
+    /// Optimizer configuration; its `kind` is what [`Pipeline::run`] uses
+    /// and what the `run_kind`/`compare_optimizers` entry points override.
+    pub optimizer: OptimizerConfig,
+    /// Placement seed, kept fixed so optimizer variants see the same
+    /// placement (the paper's setup).
+    pub seed: u64,
+    /// Fan-in bound used when a [`CircuitSource`] needs technology mapping.
+    pub map_max_fanin: usize,
+    /// Run a random-vector equivalence check after every optimization and
+    /// fail the pipeline if it is violated.
+    pub verify_equivalence: bool,
+    /// Number of random vectors for the equivalence check.
+    pub verification_vectors: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            // Pad-limited die (low row utilization): wire lengths reach the
+            // millimetre range, so interconnect is a first-order term of the
+            // critical path — the regime the paper's experiments target.
+            placer: PlacerConfig { utilization: 0.15, ..PlacerConfig::default() },
+            timing: TimingConfig::default(),
+            optimizer: OptimizerConfig::default(),
+            seed: 2000,
+            map_max_fanin: 4,
+            verify_equivalence: false,
+            verification_vectors: 1024,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// Reduced-effort configuration for tests and smoke benchmarks.
+    pub fn fast() -> Self {
+        PipelineConfig {
+            placer: PlacerConfig::fast(),
+            optimizer: OptimizerConfig::fast(OptimizerKind::Combined),
+            ..Self::default()
+        }
+    }
+}
+
+/// Wall-clock cost of the front half of the flow, per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTimings {
+    /// Resolving / generating / parsing the circuit, seconds.
+    pub generate_s: f64,
+    /// Technology mapping (zero when the source was already mapped), seconds.
+    pub map_s: f64,
+    /// Placement, seconds.
+    pub place_s: f64,
+    /// Initial static timing analysis, seconds.
+    pub sta_s: f64,
+}
+
+/// Output of the placement-invariant front half of the flow.
+///
+/// Holds everything an optimizer run needs; cloning the network per
+/// optimizer kind is the caller-visible contract that lets several kinds be
+/// compared on identical placements.
+#[derive(Debug)]
+pub struct PreparedDesign {
+    /// Design name (from the suite entry or the netlist itself).
+    pub name: String,
+    /// The mapped, pre-optimization network.
+    pub network: Network,
+    /// The cell library every stage ran against.
+    pub library: Library,
+    /// The fixed placement.
+    pub placement: Placement,
+    /// STA of `network` on `placement`.
+    pub initial_timing: TimingReport,
+    /// Per-stage wall-clock cost.
+    pub timings: StageTimings,
+}
+
+impl PreparedDesign {
+    /// Critical-path delay before any optimization, ns.
+    pub fn initial_delay_ns(&self) -> f64 {
+        self.initial_timing.critical_delay_ns()
+    }
+}
+
+/// Result of one full pipeline run (front half + one optimizer).
+#[derive(Debug)]
+pub struct PipelineReport {
+    /// Design name.
+    pub name: String,
+    /// The optimizer that ran.
+    pub kind: OptimizerKind,
+    /// Critical-path delay before optimization, ns.
+    pub initial_delay_ns: f64,
+    /// The optimized network.
+    pub network: Network,
+    /// Full optimizer outcome (delays, area, wire length, swap counts,
+    /// supergate statistics).
+    pub outcome: OptimizationOutcome,
+    /// Whether the post-optimization equivalence check ran (and passed —
+    /// a failed check aborts the pipeline instead).
+    pub equivalence_verified: bool,
+    /// Per-stage cost of the shared front half.
+    pub stage_timings: StageTimings,
+}
+
+impl PipelineReport {
+    /// Delay improvement over the initial placement-only timing, %.
+    pub fn delay_improvement_percent(&self) -> f64 {
+        self.outcome.delay_improvement_percent()
+    }
+}
+
+/// Comparison of the paper's three optimizers on one shared placement —
+/// the shape of one Table 1 row.
+#[derive(Debug)]
+pub struct FlowComparison {
+    /// Design name.
+    pub name: String,
+    /// Mapped logic gate count.
+    pub gate_count: usize,
+    /// Critical-path delay after placement, before optimization, ns.
+    pub initial_delay_ns: f64,
+    /// `gsg` (rewiring-only) report.
+    pub rewiring: PipelineReport,
+    /// `GS` (sizing-only) report.
+    pub sizing: PipelineReport,
+    /// `gsg+GS` (combined) report.
+    pub combined: PipelineReport,
+}
+
+impl FlowComparison {
+    /// The report for a given optimizer kind.
+    pub fn report(&self, kind: OptimizerKind) -> &PipelineReport {
+        match kind {
+            OptimizerKind::Rewiring => &self.rewiring,
+            OptimizerKind::Sizing => &self.sizing,
+            OptimizerKind::Combined => &self.combined,
+        }
+    }
+}
+
+/// The unified generate → map → place → STA → optimize → report flow.
+#[derive(Debug, Clone, Default)]
+pub struct Pipeline {
+    config: PipelineConfig,
+}
+
+impl Pipeline {
+    /// A pipeline with the given configuration.
+    pub fn new(config: PipelineConfig) -> Self {
+        Pipeline { config }
+    }
+
+    /// A pipeline with the paper-fidelity default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(PipelineConfig::default())
+    }
+
+    /// A reduced-effort pipeline for tests and smoke runs.
+    pub fn fast() -> Self {
+        Self::new(PipelineConfig::fast())
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Stage 1+2: resolve `source` into a named, mapped network without
+    /// placing it (examples that only need the netlist use this).
+    pub fn build_network(&self, source: CircuitSource) -> Result<Network, PipelineError> {
+        self.resolve(source, &mut StageTimings::default())
+    }
+
+    /// Resolves a source into a mapped network, booking the resolve/parse
+    /// cost under `generate_s` and the technology-mapping cost under `map_s`.
+    fn resolve(
+        &self,
+        source: CircuitSource,
+        timings: &mut StageTimings,
+    ) -> Result<Network, PipelineError> {
+        let start = Instant::now();
+        match source {
+            CircuitSource::Suite(name) => {
+                // Suite circuits generate *and* map internally; the whole
+                // cost is generation from the caller's point of view.
+                let network = benchmark(&name).ok_or(PipelineError::UnknownBenchmark(name))?;
+                timings.generate_s = start.elapsed().as_secs_f64();
+                Ok(network)
+            }
+            CircuitSource::Mapped(network) => {
+                timings.generate_s = start.elapsed().as_secs_f64();
+                Ok(network)
+            }
+            CircuitSource::Unmapped { network, max_fanin } => {
+                timings.generate_s = start.elapsed().as_secs_f64();
+                let start = Instant::now();
+                let mut mapped = map_to_library(&network, max_fanin)?;
+                mapped.set_name(network.name());
+                timings.map_s = start.elapsed().as_secs_f64();
+                Ok(mapped)
+            }
+            CircuitSource::Blif { text, max_fanin } => {
+                let parsed = blif::parse_string(&text)?;
+                timings.generate_s = start.elapsed().as_secs_f64();
+                let start = Instant::now();
+                let mut mapped = map_to_library(&parsed, max_fanin)?;
+                mapped.set_name(parsed.name());
+                timings.map_s = start.elapsed().as_secs_f64();
+                Ok(mapped)
+            }
+        }
+    }
+
+    /// Stages 1–4: generate → map → place → STA, with per-stage timings.
+    pub fn prepare(&self, source: CircuitSource) -> Result<PreparedDesign, PipelineError> {
+        let mut timings = StageTimings::default();
+        let network = self.resolve(source, &mut timings)?;
+
+        let library = Library::standard_035um();
+
+        let start = Instant::now();
+        let placement = place(&network, &library, &self.config.placer, self.config.seed);
+        timings.place_s = start.elapsed().as_secs_f64();
+
+        let start = Instant::now();
+        let initial_timing = Sta::analyze(&network, &library, &placement, &self.config.timing);
+        timings.sta_s = start.elapsed().as_secs_f64();
+
+        Ok(PreparedDesign {
+            name: network.name().to_string(),
+            network,
+            library,
+            placement,
+            initial_timing,
+            timings,
+        })
+    }
+
+    /// Stage 5+6: run one optimizer kind against a prepared design and
+    /// (optionally) verify functional equivalence of the result.
+    pub fn optimize(
+        &self,
+        design: &PreparedDesign,
+        kind: OptimizerKind,
+    ) -> Result<PipelineReport, PipelineError> {
+        let mut working = design.network.clone();
+        let optimizer_config = OptimizerConfig { kind, ..self.config.optimizer.clone() };
+        let outcome = Optimizer::new(optimizer_config).optimize(
+            &mut working,
+            &design.library,
+            &design.placement,
+            &self.config.timing,
+        );
+
+        if self.config.verify_equivalence {
+            let verdict = check_equivalence_random(
+                &design.network,
+                &working,
+                self.config.verification_vectors,
+                self.config.seed ^ 0x5eed_cafe,
+            );
+            if !verdict.is_equivalent() {
+                return Err(PipelineError::EquivalenceBroken { name: design.name.clone(), kind });
+            }
+        }
+
+        Ok(PipelineReport {
+            name: design.name.clone(),
+            kind,
+            initial_delay_ns: design.initial_delay_ns(),
+            network: working,
+            outcome,
+            equivalence_verified: self.config.verify_equivalence,
+            stage_timings: design.timings,
+        })
+    }
+
+    /// The whole flow with the configured optimizer kind.
+    pub fn run(&self, source: CircuitSource) -> Result<PipelineReport, PipelineError> {
+        self.run_kind(source, self.config.optimizer.kind)
+    }
+
+    /// The whole flow with an explicit optimizer kind.
+    pub fn run_kind(
+        &self,
+        source: CircuitSource,
+        kind: OptimizerKind,
+    ) -> Result<PipelineReport, PipelineError> {
+        let design = self.prepare(source)?;
+        self.optimize(&design, kind)
+    }
+
+    /// Runs `gsg`, `GS` and `gsg+GS` on one shared placement — one Table 1
+    /// row's worth of experiments.
+    pub fn compare_optimizers(
+        &self,
+        source: CircuitSource,
+    ) -> Result<FlowComparison, PipelineError> {
+        let design = self.prepare(source)?;
+        let rewiring = self.optimize(&design, OptimizerKind::Rewiring)?;
+        let sizing = self.optimize(&design, OptimizerKind::Sizing)?;
+        let combined = self.optimize(&design, OptimizerKind::Combined)?;
+        Ok(FlowComparison {
+            name: design.name.clone(),
+            gate_count: design.network.logic_gate_count(),
+            initial_delay_ns: design.initial_delay_ns(),
+            rewiring,
+            sizing,
+            combined,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::{GateType, NetworkBuilder};
+
+    fn tiny_mapped() -> Network {
+        let mut b = NetworkBuilder::new("tiny");
+        b.inputs(["a", "b", "c"]);
+        b.gate("n1", GateType::Nand, &["a", "b"]);
+        b.gate("f", GateType::Nand, &["n1", "c"]);
+        b.output("f");
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn unknown_suite_name_is_reported() {
+        let err = Pipeline::fast().run(CircuitSource::suite("not_a_benchmark")).unwrap_err();
+        assert!(matches!(err, PipelineError::UnknownBenchmark(_)));
+    }
+
+    #[test]
+    fn mapped_source_runs_end_to_end() {
+        let report = Pipeline::fast()
+            .run_kind(CircuitSource::Mapped(tiny_mapped()), OptimizerKind::Rewiring)
+            .unwrap();
+        assert_eq!(report.name, "tiny");
+        assert!(report.initial_delay_ns > 0.0);
+        assert!(report.outcome.final_delay_ns <= report.initial_delay_ns + 1e-9);
+    }
+
+    #[test]
+    fn blif_source_round_trips_through_the_flow() {
+        let text = blif::write_string(&tiny_mapped());
+        let report = Pipeline::fast().run(CircuitSource::Blif { text, max_fanin: 4 }).unwrap();
+        assert!(report.initial_delay_ns > 0.0);
+    }
+
+    #[test]
+    fn prepared_design_is_shared_across_kinds() {
+        let pipeline = Pipeline::fast();
+        let design = pipeline.prepare(CircuitSource::suite("c432")).unwrap();
+        let a = pipeline.optimize(&design, OptimizerKind::Rewiring).unwrap();
+        let b = pipeline.optimize(&design, OptimizerKind::Sizing).unwrap();
+        assert_eq!(a.initial_delay_ns, b.initial_delay_ns);
+    }
+}

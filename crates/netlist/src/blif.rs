@@ -32,11 +32,8 @@ use crate::topo;
 pub fn write_string(network: &Network) -> String {
     let mut out = String::new();
     let _ = writeln!(out, ".model {}", network.name());
-    let input_names: Vec<&str> = network
-        .inputs()
-        .iter()
-        .map(|&i| network.gate(i).name.as_str())
-        .collect();
+    let input_names: Vec<&str> =
+        network.inputs().iter().map(|&i| network.gate(i).name.as_str()).collect();
     let _ = writeln!(out, ".inputs {}", input_names.join(" "));
     let output_names: Vec<&str> = network.outputs().iter().map(|o| o.name.as_str()).collect();
     let _ = writeln!(out, ".outputs {}", output_names.join(" "));
@@ -49,18 +46,10 @@ pub fn write_string(network: &Network) -> String {
                 let _ = writeln!(out, ".gate {} {}", gate.gtype.mnemonic(), gate.name);
             }
             t => {
-                let fanin_names: Vec<&str> = gate
-                    .fanins
-                    .iter()
-                    .map(|&f| network.gate(f).name.as_str())
-                    .collect();
-                let _ = writeln!(
-                    out,
-                    ".gate {} {} {}",
-                    t.mnemonic(),
-                    gate.name,
-                    fanin_names.join(" ")
-                );
+                let fanin_names: Vec<&str> =
+                    gate.fanins.iter().map(|&f| network.gate(f).name.as_str()).collect();
+                let _ =
+                    writeln!(out, ".gate {} {} {}", t.mnemonic(), gate.name, fanin_names.join(" "));
             }
         }
     }
@@ -236,6 +225,51 @@ mod tests {
         assert_eq!(back.inputs().len(), n.inputs().len());
         assert_eq!(back.outputs().len(), n.outputs().len());
         assert!(back.check_consistency().is_ok());
+    }
+
+    /// The per-gate shape of a network, keyed by instance name: gate type
+    /// plus the ordered fan-in driver names.  Two networks with equal
+    /// signatures and equal output ports are isomorphic (names are unique,
+    /// so the name map *is* the vertex bijection).
+    fn signature(n: &Network) -> std::collections::BTreeMap<String, (String, Vec<String>)> {
+        n.iter_live()
+            .map(|id| {
+                let gate = n.gate(id);
+                let fanin_names: Vec<String> =
+                    gate.fanins.iter().map(|&f| n.gate(f).name.clone()).collect();
+                (gate.name.clone(), (format!("{:?}", gate.gtype), fanin_names))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_is_isomorphic() {
+        let n = sample();
+        let back = parse_string(&write_string(&n)).unwrap();
+
+        assert_eq!(signature(&n), signature(&back));
+
+        let ports = |net: &Network| -> Vec<(String, String)> {
+            net.outputs()
+                .iter()
+                .map(|p| (p.name.clone(), net.gate(p.driver).name.clone()))
+                .collect()
+        };
+        assert_eq!(ports(&n), ports(&back));
+
+        let input_names = |net: &Network| -> Vec<String> {
+            net.inputs().iter().map(|&i| net.gate(i).name.clone()).collect()
+        };
+        assert_eq!(input_names(&n), input_names(&back));
+    }
+
+    #[test]
+    fn round_trip_is_a_fixpoint() {
+        // write(parse(write(n))) must reproduce the text byte for byte —
+        // a stronger (and cheaper to debug) form of the isomorphism check.
+        let first = write_string(&sample());
+        let second = write_string(&parse_string(&first).unwrap());
+        assert_eq!(first, second);
     }
 
     #[test]

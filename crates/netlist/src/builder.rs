@@ -122,9 +122,12 @@ impl NetworkBuilder {
             let id = network.add_constant(*value, name.clone());
             by_name.insert(name.clone(), id);
         }
-        for g in &self.gates {
-            if by_name.contains_key(&g.name) || self.gates.iter().filter(|o| o.name == g.name).count() > 1 {
-                if by_name.contains_key(&g.name) {
+        // Gate names may collide neither with input/constant names nor with
+        // each other.
+        {
+            let mut seen = std::collections::HashSet::new();
+            for g in &self.gates {
+                if by_name.contains_key(&g.name) || !seen.insert(&g.name) {
                     return Err(NetlistError::DuplicateName(g.name.clone()));
                 }
             }
@@ -133,23 +136,13 @@ impl NetworkBuilder {
         // Topologically order the pending gates by resolving dependencies
         // iteratively; this permits forward references.
         let mut remaining: Vec<&PendingGate> = self.gates.iter().collect();
-        // Detect duplicate gate names among pending gates.
-        {
-            let mut seen = std::collections::HashSet::new();
-            for g in &remaining {
-                if !seen.insert(&g.name) {
-                    return Err(NetlistError::DuplicateName(g.name.clone()));
-                }
-            }
-        }
         while !remaining.is_empty() {
             let mut progressed = false;
             let mut next_round = Vec::new();
             for g in remaining {
                 let ready = g.fanin_names.iter().all(|n| by_name.contains_key(n));
                 if ready {
-                    let fanins: Vec<GateId> =
-                        g.fanin_names.iter().map(|n| by_name[n]).collect();
+                    let fanins: Vec<GateId> = g.fanin_names.iter().map(|n| by_name[n]).collect();
                     let id = network.add_gate(g.gtype, &fanins, g.name.clone())?;
                     by_name.insert(g.name.clone(), id);
                     progressed = true;
@@ -163,7 +156,9 @@ impl NetworkBuilder {
                 let missing = next_round
                     .iter()
                     .flat_map(|g| g.fanin_names.iter())
-                    .find(|n| !by_name.contains_key(*n) && !next_round.iter().any(|g| &g.name == *n))
+                    .find(|n| {
+                        !by_name.contains_key(*n) && !next_round.iter().any(|g| &g.name == *n)
+                    })
                     .cloned()
                     .unwrap_or_else(|| next_round[0].fanin_names[0].clone());
                 return Err(NetlistError::UndefinedName(missing));

@@ -97,11 +97,7 @@ pub fn support(network: &Network, root: GateId) -> Vec<GateId> {
 /// # Panics
 ///
 /// Panics if a leaf value is missing from `assignment` or the cone is cyclic.
-pub fn evaluate_cone(
-    network: &Network,
-    root: GateId,
-    assignment: &HashMap<GateId, bool>,
-) -> bool {
+pub fn evaluate_cone(network: &Network, root: GateId, assignment: &HashMap<GateId, bool>) -> bool {
     let cone_gates = topo::transitive_fanin(network, root);
     let order = topo::topological_order(network).expect("acyclic network required");
     let mut value: HashMap<GateId, bool> = HashMap::new();
@@ -111,9 +107,9 @@ pub fn evaluate_cone(
         }
         let gate = network.gate(g);
         let v = match gate.gtype {
-            GateType::Input => *assignment
-                .get(&g)
-                .unwrap_or_else(|| panic!("missing assignment for input {g}")),
+            GateType::Input => {
+                *assignment.get(&g).unwrap_or_else(|| panic!("missing assignment for input {g}"))
+            }
             GateType::Const0 => false,
             GateType::Const1 => true,
             t => {

@@ -50,10 +50,9 @@ impl fmt::Display for NetlistError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             NetlistError::UnknownGate(id) => write!(f, "unknown gate id {id}"),
-            NetlistError::InvalidFaninCount { gate_type, requested } => write!(
-                f,
-                "gate type {gate_type} cannot take {requested} fan-ins"
-            ),
+            NetlistError::InvalidFaninCount { gate_type, requested } => {
+                write!(f, "gate type {gate_type} cannot take {requested} fan-ins")
+            }
             NetlistError::InvalidPinIndex { gate, index, fanin_count } => write!(
                 f,
                 "pin index {index} out of range for gate {gate} with {fanin_count} fan-ins"

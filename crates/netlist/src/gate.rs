@@ -189,10 +189,7 @@ impl GateType {
     /// Returns `true` if the output of the base function is inverted
     /// (NAND, NOR, XNOR, INV).
     pub fn output_inverted(self) -> bool {
-        matches!(
-            self,
-            GateType::Nand | GateType::Nor | GateType::Xnor | GateType::Inv
-        )
+        matches!(self, GateType::Nand | GateType::Nor | GateType::Xnor | GateType::Inv)
     }
 
     /// Returns the *controlling value* `cv(g)` of the gate, if one exists

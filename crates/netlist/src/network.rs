@@ -131,10 +131,7 @@ impl Network {
 
     /// Number of live logic gates (excludes inputs and constants).
     pub fn logic_gate_count(&self) -> usize {
-        self.gates
-            .iter()
-            .filter(|g| !g.removed && !g.gtype.is_source())
-            .count()
+        self.gates.iter().filter(|g| !g.removed && !g.gtype.is_source()).count()
     }
 
     /// Primary inputs in declaration order.
@@ -189,8 +186,7 @@ impl Network {
     /// Number of sink pins driven by this gate plus the number of primary
     /// outputs it drives (the net degree used by the star wire model).
     pub fn fanout_degree(&self, id: GateId) -> usize {
-        self.fanouts[id.index()].len()
-            + self.outputs.iter().filter(|o| o.driver == id).count()
+        self.fanouts[id.index()].len() + self.outputs.iter().filter(|o| o.driver == id).count()
     }
 
     /// Returns `true` if the gate drives at most one sink pin and no more
@@ -207,11 +203,7 @@ impl Network {
 
     /// Iterator over live gate ids.
     pub fn iter_live(&self) -> impl Iterator<Item = GateId> + '_ {
-        self.gates
-            .iter()
-            .enumerate()
-            .filter(|(_, g)| !g.removed)
-            .map(|(i, _)| GateId(i as u32))
+        self.gates.iter().enumerate().filter(|(_, g)| !g.removed).map(|(i, _)| GateId(i as u32))
     }
 
     /// Iterator over live logic-gate ids (excludes inputs and constants).
@@ -226,10 +218,7 @@ impl Network {
     /// Looks up a gate by instance name (linear scan; intended for tests and
     /// the BLIF reader, not hot paths).
     pub fn find_by_name(&self, name: &str) -> Option<GateId> {
-        self.gates
-            .iter()
-            .position(|g| !g.removed && g.name == name)
-            .map(|i| GateId(i as u32))
+        self.gates.iter().position(|g| !g.removed && g.name == name).map(|i| GateId(i as u32))
     }
 
     /// Driver connected to the given in-pin.
@@ -331,11 +320,14 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if the pin does not exist.
-    pub fn insert_inverter(&mut self, pin: PinRef, name: impl Into<String>) -> Result<GateId, NetlistError> {
+    pub fn insert_inverter(
+        &mut self,
+        pin: PinRef,
+        name: impl Into<String>,
+    ) -> Result<GateId, NetlistError> {
         let driver = self.pin_driver(pin)?;
-        let inv = self
-            .add_gate(GateType::Inv, &[driver], name)
-            .expect("inverter fanin is always valid");
+        let inv =
+            self.add_gate(GateType::Inv, &[driver], name).expect("inverter fanin is always valid");
         self.detach_fanout(driver, pin.gate);
         self.gates[pin.gate.index()].fanins[pin.index] = inv;
         self.fanouts[inv.index()].push(pin.gate);
@@ -449,7 +441,11 @@ impl Network {
     /// # Errors
     ///
     /// Returns an error if `to` is not a live gate.
-    pub fn redirect_output_ports(&mut self, from: GateId, to: GateId) -> Result<usize, NetlistError> {
+    pub fn redirect_output_ports(
+        &mut self,
+        from: GateId,
+        to: GateId,
+    ) -> Result<usize, NetlistError> {
         self.check_live(to)?;
         let mut moved = 0;
         for o in &mut self.outputs {

@@ -20,10 +20,8 @@ pub fn topological_order(network: &Network) -> Option<Vec<GateId>> {
         live[id.index()] = true;
         indegree[id.index()] = network.fanins(id).len();
     }
-    let mut queue: Vec<GateId> = network
-        .iter_live()
-        .filter(|&g| indegree[g.index()] == 0)
-        .collect();
+    let mut queue: Vec<GateId> =
+        network.iter_live().filter(|&g| indegree[g.index()] == 0).collect();
     let mut order = Vec::with_capacity(network.live_gate_count());
     let mut head = 0;
     while head < queue.len() {
@@ -68,12 +66,7 @@ pub fn levels(network: &Network) -> Vec<usize> {
     let order = topological_order(network).expect("levelization requires an acyclic network");
     let mut level = vec![0usize; network.gate_count()];
     for g in order {
-        let l = network
-            .fanins(g)
-            .iter()
-            .map(|f| level[f.index()] + 1)
-            .max()
-            .unwrap_or(0);
+        let l = network.fanins(g).iter().map(|f| level[f.index()] + 1).max().unwrap_or(0);
         level[g.index()] = l;
     }
     level
@@ -83,12 +76,7 @@ pub fn levels(network: &Network) -> Vec<usize> {
 /// the combinational network).
 pub fn depth(network: &Network) -> usize {
     let level = levels(network);
-    network
-        .outputs()
-        .iter()
-        .map(|o| level[o.driver.index()])
-        .max()
-        .unwrap_or(0)
+    network.outputs().iter().map(|o| level[o.driver.index()]).max().unwrap_or(0)
 }
 
 /// Gates in the transitive fan-in cone of `root`, including `root` itself.

@@ -102,7 +102,7 @@ fn initial_placement(network: &Network, region: Region) -> Placement {
         let pos_in_row = i % per_row;
         // Snake: odd rows run right-to-left for locality between rows.
         let frac = (pos_in_row as f64 + 0.5) / per_row as f64;
-        let x = if row % 2 == 0 { frac } else { 1.0 - frac } * region.width_um;
+        let x = if row.is_multiple_of(2) { frac } else { 1.0 - frac } * region.width_um;
         let y = region.row_center_y_um(row.min(rows.saturating_sub(1)));
         placement.set_position(*g, Point::new(x, y));
     }

@@ -49,10 +49,7 @@ impl Region {
 
     /// Clamps a point into the region.
     pub fn clamp(&self, p: Point) -> Point {
-        Point {
-            x_um: p.x_um.clamp(0.0, self.width_um),
-            y_um: p.y_um.clamp(0.0, self.height_um),
-        }
+        Point { x_um: p.x_um.clamp(0.0, self.width_um), y_um: p.y_um.clamp(0.0, self.height_um) }
     }
 }
 
@@ -126,10 +123,7 @@ impl Placement {
 
     /// Total half-perimeter wire length of all nets, in µm.
     pub fn total_hpwl_um(&self, network: &Network) -> f64 {
-        network
-            .iter_live()
-            .map(|g| self.net_hpwl_um(network, g))
-            .sum()
+        network.iter_live().map(|g| self.net_hpwl_um(network, g)).sum()
     }
 }
 

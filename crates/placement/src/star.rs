@@ -79,10 +79,7 @@ pub fn net_star(network: &Network, placement: &Placement, driver: GateId) -> Sta
     }
     let count = (sinks.len() + 1) as f64;
     let center = Point::new(sum_x / count, sum_y / count);
-    let trunk = StarSegment {
-        sink: None,
-        length_um: source.manhattan_distance_um(&center),
-    };
+    let trunk = StarSegment { sink: None, length_um: source.manhattan_distance_um(&center) };
     let branches = sinks
         .iter()
         .map(|&s| StarSegment {
@@ -95,10 +92,7 @@ pub fn net_star(network: &Network, placement: &Placement, driver: GateId) -> Sta
 
 /// Builds star decompositions for every live gate's output net.
 pub fn all_stars(network: &Network, placement: &Placement) -> Vec<StarNet> {
-    network
-        .iter_live()
-        .map(|g| net_star(network, placement, g))
-        .collect()
+    network.iter_live().map(|g| net_star(network, placement, g)).collect()
 }
 
 #[cfg(test)]

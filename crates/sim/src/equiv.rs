@@ -152,10 +152,7 @@ mod tests {
         b.gate("y", GateType::Inv, &["x"]);
         b.output("y");
         let b = b.finish().unwrap();
-        assert_eq!(
-            check_equivalence_exhaustive(&a, &b),
-            EquivalenceResult::InterfaceMismatch
-        );
+        assert_eq!(check_equivalence_exhaustive(&a, &b), EquivalenceResult::InterfaceMismatch);
     }
 
     #[test]

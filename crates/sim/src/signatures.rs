@@ -42,10 +42,7 @@ impl SignatureTable {
     /// Returns `true` if gate `a`'s signature is the bitwise complement of
     /// gate `b`'s (necessary for the two signals being inverses).
     pub fn complementary_signature(&self, a: GateId, b: GateId) -> bool {
-        self.table[a.index()]
-            .iter()
-            .zip(&self.table[b.index()])
-            .all(|(&wa, &wb)| wa == !wb)
+        self.table[a.index()].iter().zip(&self.table[b.index()]).all(|(&wa, &wb)| wa == !wb)
     }
 
     /// The pattern set the table was built from (useful for re-checks after
@@ -59,11 +56,7 @@ impl SignatureTable {
     pub fn output_signatures(&self, network: &Network) -> Vec<Vec<u64>> {
         let sim = Simulator::new(network);
         let table = sim.simulate_patterns(network, &self.patterns);
-        network
-            .outputs()
-            .iter()
-            .map(|o| table[o.driver.index()].clone())
-            .collect()
+        network.outputs().iter().map(|o| table[o.driver.index()].clone()).collect()
     }
 }
 

@@ -78,21 +78,13 @@ impl Simulator {
     pub fn simulate_bools(&self, network: &Network, inputs: &[bool]) -> Vec<bool> {
         let words: Vec<u64> = inputs.iter().map(|&b| if b { 1 } else { 0 }).collect();
         let values = self.simulate_word(network, &words);
-        network
-            .outputs()
-            .iter()
-            .map(|o| values[o.driver.index()] & 1 == 1)
-            .collect()
+        network.outputs().iter().map(|o| values[o.driver.index()] & 1 == 1).collect()
     }
 
     /// Primary-output value words extracted from a full value table produced
     /// by [`Simulator::simulate_word`].
     pub fn output_words(&self, network: &Network, values: &[u64]) -> Vec<u64> {
-        network
-            .outputs()
-            .iter()
-            .map(|o| values[o.driver.index()])
-            .collect()
+        network.outputs().iter().map(|o| values[o.driver.index()]).collect()
     }
 }
 

@@ -40,9 +40,8 @@ impl PatternSet {
 pub fn random_words(input_count: usize, pattern_count: usize, seed: u64) -> PatternSet {
     let mut rng = StdRng::seed_from_u64(seed);
     let word_count = pattern_count.div_ceil(64).max(1);
-    let words = (0..input_count)
-        .map(|_| (0..word_count).map(|_| rng.gen::<u64>()).collect())
-        .collect();
+    let words =
+        (0..input_count).map(|_| (0..word_count).map(|_| rng.gen::<u64>()).collect()).collect();
     PatternSet { words, pattern_count: word_count * 64 }
 }
 

@@ -34,5 +34,5 @@
 pub mod neighborhood;
 pub mod sizer;
 
-pub use neighborhood::{estimated_arrival_ns, neighborhood_slack_ns};
+pub use neighborhood::{estimated_arrival_ns, fanin_min_slack_ns, neighborhood_slack_ns};
 pub use sizer::{GateSizer, SizerConfig, SizingOutcome};

@@ -30,10 +30,7 @@ pub fn estimated_arrival_ns(
     let own_delay = gate_output_delay(network, library, placement, config, gate).worst();
     let mut worst_input = 0.0f64;
     for &f in &g.fanins {
-        let wire = report
-            .net(f)
-            .and_then(|nd| nd.delay_to_ns(gate))
-            .unwrap_or(0.0);
+        let wire = report.net(f).and_then(|nd| nd.delay_to_ns(gate)).unwrap_or(0.0);
         worst_input = worst_input.max(report.arrival(f).worst() + wire);
     }
     worst_input + own_delay
@@ -56,6 +53,36 @@ pub fn neighborhood_slack_ns(
 ) -> f64 {
     let mut worst = report.required(gate)
         - estimated_arrival_ns(network, library, placement, config, report, gate);
+    for &f in network.fanins(gate) {
+        if network.gate(f).gtype.is_source() {
+            continue;
+        }
+        let slack_f = report.required(f)
+            - estimated_arrival_ns(network, library, placement, config, report, f);
+        worst = worst.min(slack_f);
+    }
+    worst
+}
+
+/// Worst re-timed slack over the *logic fan-in drivers* of `gate` alone
+/// (`+INF` when every fan-in is a primary input or constant).
+///
+/// The min-slack phase uses this as a do-no-harm constraint: a candidate
+/// implementation of `gate` may load its drivers harder only as long as
+/// none of them falls below the current global worst slack.  Folding the
+/// drivers into a combined minimum instead (as an earlier version did)
+/// deadlocks on uniformly critical paths: every upsize degrades the
+/// equally-critical driver, so the combined minimum can never improve and
+/// no gate past the first ever gets upsized.
+pub fn fanin_min_slack_ns(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    report: &TimingReport,
+    gate: GateId,
+) -> f64 {
+    let mut worst = f64::INFINITY;
     for &f in network.fanins(gate) {
         if network.gate(f).gtype.is_source() {
             continue;
@@ -149,11 +176,7 @@ mod tests {
         let (n, lib, p, cfg) = setup();
         let report = Sta::analyze(&n, &lib, &p, &cfg);
         let f = n.find_by_name("f").unwrap();
-        let members = 1 + n
-            .fanins(f)
-            .iter()
-            .filter(|&&d| !n.gate(d).gtype.is_source())
-            .count();
+        let members = 1 + n.fanins(f).iter().filter(|&&d| !n.gate(d).gtype.is_source()).count();
         let min = neighborhood_slack_ns(&n, &lib, &p, &cfg, &report, f);
         let total = neighborhood_total_slack_ns(&n, &lib, &p, &cfg, &report, f);
         // Every member's slack is ≥ the minimum, so the sum is bounded below.

@@ -5,7 +5,9 @@ use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
 use rapids_timing::{Sta, TimingConfig, TimingReport};
 
-use crate::neighborhood::{neighborhood_slack_ns, neighborhood_total_slack_ns};
+use crate::neighborhood::{
+    estimated_arrival_ns, fanin_min_slack_ns, neighborhood_slack_ns, neighborhood_total_slack_ns,
+};
 
 /// Configuration of the sizing optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -104,9 +106,7 @@ impl GateSizer {
         let mut resized: std::collections::HashSet<GateId> = std::collections::HashSet::new();
 
         let snapshot = |network: &Network| -> Vec<u8> {
-            (0..network.gate_count() as u32)
-                .map(|i| network.gate(GateId(i)).size_class)
-                .collect()
+            (0..network.gate_count() as u32).map(|i| network.gate(GateId(i)).size_class).collect()
         };
         let restore = |network: &mut Network, classes: &[u8]| {
             for (i, &class) in classes.iter().enumerate() {
@@ -124,7 +124,8 @@ impl GateSizer {
             // delay gains of the min-slack phase.
             let before_min = snapshot(network);
             let report = Sta::analyze(network, library, placement, timing);
-            let changed_min = self.min_slack_phase(network, library, placement, timing, &report, &mut resized);
+            let changed_min =
+                self.min_slack_phase(network, library, placement, timing, &report, &mut resized);
             let after_min = Sta::analyze(network, library, placement, timing).critical_delay_ns();
             if after_min > best_delay + 1e-9 {
                 restore(network, &before_min);
@@ -134,9 +135,16 @@ impl GateSizer {
             if self.config.recover_area {
                 let before_relax = snapshot(network);
                 let report = Sta::analyze(network, library, placement, timing);
-                changed_relax =
-                    self.relaxation_phase(network, library, placement, timing, &report, &mut resized);
-                let after_relax = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+                changed_relax = self.relaxation_phase(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    &report,
+                    &mut resized,
+                );
+                let after_relax =
+                    Sta::analyze(network, library, placement, timing).critical_delay_ns();
                 if after_relax > after_min + 1e-9 {
                     restore(network, &before_relax);
                     changed_relax = 0;
@@ -164,7 +172,9 @@ impl GateSizer {
     }
 
     /// Visits critical gates in order of increasing slack and greedily picks
-    /// the drive strength that maximizes the neighborhood min slack.
+    /// the drive strength that maximizes the gate's own re-timed slack,
+    /// subject to the fan-in drivers staying above the do-no-harm floor
+    /// (see `choose_best_drive`).
     fn min_slack_phase(
         &self,
         network: &mut Network,
@@ -180,10 +190,7 @@ impl GateSizer {
             .filter(|&g| report.slack(g) <= worst + self.config.critical_margin_ns)
             .collect();
         critical.sort_by(|&a, &b| {
-            report
-                .slack(a)
-                .partial_cmp(&report.slack(b))
-                .unwrap_or(std::cmp::Ordering::Equal)
+            report.slack(a).partial_cmp(&report.slack(b)).unwrap_or(std::cmp::Ordering::Equal)
         });
         let mut changed = 0;
         for g in critical {
@@ -224,6 +231,9 @@ impl GateSizer {
 
     /// Tries every available drive strength of `gate` and keeps the best one.
     /// Returns `true` if the gate's implementation changed.
+    // Takes the full evaluation context by design: every argument is a
+    // distinct piece of the timing state a candidate must be scored against.
+    #[allow(clippy::too_many_arguments)]
     fn choose_best_drive(
         &self,
         network: &mut Network,
@@ -244,18 +254,24 @@ impl GateSizer {
         }
         let baseline_slack =
             neighborhood_slack_ns(network, library, placement, timing, report, gate);
+        // Do-no-harm floor for the min-slack phase: a candidate may load the
+        // fan-in drivers harder only while none of them drops below the
+        // current global worst slack (or below where they already are, if
+        // that is worse).  Scoring the gate's *own* re-timed slack under
+        // that constraint — rather than the combined neighborhood minimum —
+        // lets the upsizing frontier advance along uniformly critical paths,
+        // where any upsize necessarily costs its (equally critical) driver a
+        // little slack.
+        let driver_floor = fanin_min_slack_ns(network, library, placement, timing, report, gate)
+            .min(report.worst_slack_ns());
 
         let mut best_class = original_class;
         let mut best_metric = f64::NEG_INFINITY;
         let mut best_area = f64::INFINITY;
         for drive in drives {
             network.gate_mut(gate).size_class = drive.size_class();
-            let min_slack =
-                neighborhood_slack_ns(network, library, placement, timing, report, gate);
-            let area = library
-                .cell(function, arity, drive)
-                .map(|c| c.area_um2)
-                .unwrap_or(f64::INFINITY);
+            let area =
+                library.cell(function, arity, drive).map(|c| c.area_um2).unwrap_or(f64::INFINITY);
             let metric = if relaxation {
                 // Relaxation / area recovery: pick the smallest implementation
                 // that does not push the neighborhood min slack below the
@@ -263,6 +279,8 @@ impl GateSizer {
                 // with abundant slack may give some of it up).  The total
                 // slack acts as a tie-breaker so that, area being equal, the
                 // globally faster choice wins.
+                let min_slack =
+                    neighborhood_slack_ns(network, library, placement, timing, report, gate);
                 let floor = baseline_slack.min(0.0);
                 if min_slack + 1e-9 < floor {
                     f64::NEG_INFINITY
@@ -273,10 +291,16 @@ impl GateSizer {
                     -area + total * 1e-6
                 }
             } else {
-                min_slack
+                let drivers = fanin_min_slack_ns(network, library, placement, timing, report, gate);
+                if drivers + 1e-9 < driver_floor {
+                    f64::NEG_INFINITY
+                } else {
+                    report.required(gate)
+                        - estimated_arrival_ns(network, library, placement, timing, report, gate)
+                }
             };
-            let better = metric > best_metric + 1e-9
-                || (metric > best_metric - 1e-9 && area < best_area);
+            let better =
+                metric > best_metric + 1e-9 || (metric > best_metric - 1e-9 && area < best_area);
             if better {
                 best_metric = metric;
                 best_class = drive.size_class();
@@ -329,8 +353,12 @@ mod tests {
         let mut n = chain_with_fanout();
         let lib = Library::standard_035um();
         let p = place(&n, &lib, &PlacerConfig::fast(), 3);
-        let outcome = GateSizer::new(SizerConfig::default())
-            .optimize(&mut n, &lib, &p, &TimingConfig::default());
+        let outcome = GateSizer::new(SizerConfig::default()).optimize(
+            &mut n,
+            &lib,
+            &p,
+            &TimingConfig::default(),
+        );
         assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
         assert!(outcome.passes >= 1);
         assert!(outcome.delay_improvement_percent() >= 0.0);

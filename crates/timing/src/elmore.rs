@@ -35,29 +35,25 @@ pub struct NetDelays {
 impl NetDelays {
     /// Wire delay to a specific sink, if it is on this net.
     pub fn delay_to_ns(&self, sink: GateId) -> Option<f64> {
-        self.sink_delays_ns
-            .iter()
-            .find(|(s, _)| *s == sink)
-            .map(|(_, d)| *d)
+        self.sink_delays_ns.iter().find(|(s, _)| *s == sink).map(|(_, d)| *d)
     }
 
     /// The largest sink wire delay (0 for sink-less nets).
     pub fn worst_sink_delay_ns(&self) -> f64 {
-        self.sink_delays_ns
-            .iter()
-            .map(|(_, d)| *d)
-            .fold(0.0, f64::max)
+        self.sink_delays_ns.iter().map(|(_, d)| *d).fold(0.0, f64::max)
     }
 }
 
 /// Capacitance presented by the in-pins of `sink` that are driven by
 /// `driver` (a sink driving two pins of the same gate counts twice).
-fn sink_pin_capacitance_pf(network: &Network, library: &Library, driver: GateId, sink: GateId) -> f64 {
+fn sink_pin_capacitance_pf(
+    network: &Network,
+    library: &Library,
+    driver: GateId,
+    sink: GateId,
+) -> f64 {
     let gate = network.gate(sink);
-    let per_pin = library
-        .cell_for_gate(gate)
-        .map(|c| c.input_capacitance_pf)
-        .unwrap_or(0.01);
+    let per_pin = library.cell_for_gate(gate).map(|c| c.input_capacitance_pf).unwrap_or(0.01);
     let pin_count = gate.fanins.iter().filter(|&&d| d == driver).count().max(1);
     per_pin * pin_count as f64
 }

@@ -129,10 +129,7 @@ impl Sta {
             let d = gate_delays[g.index()];
             let mut out = ArrivalTime { rise_ns: 0.0, fall_ns: 0.0 };
             for &f in &gate.fanins {
-                let wire = nets[f.index()]
-                    .as_ref()
-                    .and_then(|nd| nd.delay_to_ns(g))
-                    .unwrap_or(0.0);
+                let wire = nets[f.index()].as_ref().and_then(|nd| nd.delay_to_ns(g)).unwrap_or(0.0);
                 let in_rise = arrival[f.index()].rise_ns + wire;
                 let in_fall = arrival[f.index()].fall_ns + wire;
                 let (cand_rise, cand_fall) = if gate.gtype.is_xor_family() {
@@ -152,11 +149,8 @@ impl Sta {
         }
 
         // Critical delay over the primary outputs.
-        let critical_delay_ns = network
-            .outputs()
-            .iter()
-            .map(|o| arrival[o.driver.index()].worst())
-            .fold(0.0, f64::max);
+        let critical_delay_ns =
+            network.outputs().iter().map(|o| arrival[o.driver.index()].worst()).fold(0.0, f64::max);
         let required_time_ns = config.required_time_ns.unwrap_or(critical_delay_ns);
 
         // Backward required-time propagation (worst-case, single value).
@@ -169,10 +163,7 @@ impl Sta {
             let gate = network.gate(g);
             let d = gate_delays[g.index()].worst();
             for &f in &gate.fanins {
-                let wire = nets[f.index()]
-                    .as_ref()
-                    .and_then(|nd| nd.delay_to_ns(g))
-                    .unwrap_or(0.0);
+                let wire = nets[f.index()].as_ref().and_then(|nd| nd.delay_to_ns(g)).unwrap_or(0.0);
                 let need = required[g.index()] - d - wire;
                 let rf = &mut required[f.index()];
                 *rf = rf.min(need);
@@ -225,14 +216,8 @@ impl Sta {
                 .iter()
                 .copied()
                 .max_by(|&a, &b| {
-                    let wa = report
-                        .net(a)
-                        .and_then(|nd| nd.delay_to_ns(current))
-                        .unwrap_or(0.0);
-                    let wb = report
-                        .net(b)
-                        .and_then(|nd| nd.delay_to_ns(current))
-                        .unwrap_or(0.0);
+                    let wa = report.net(a).and_then(|nd| nd.delay_to_ns(current)).unwrap_or(0.0);
+                    let wb = report.net(b).and_then(|nd| nd.delay_to_ns(current)).unwrap_or(0.0);
                     (report.arrival(a).worst() + wa)
                         .partial_cmp(&(report.arrival(b).worst() + wb))
                         .unwrap_or(std::cmp::Ordering::Equal)
@@ -317,10 +302,16 @@ mod tests {
             &n,
             &lib,
             &p,
-            &TimingConfig { required_time_ns: Some(base.critical_delay_ns() + 1.0), ..TimingConfig::default() },
+            &TimingConfig {
+                required_time_ns: Some(base.critical_delay_ns() + 1.0),
+                ..TimingConfig::default()
+            },
         );
         let shift = relaxed.worst_slack_ns() - base.worst_slack_ns();
-        assert!((shift - 1.0).abs() < 1e-6, "slack should shift by exactly the budget, got {shift}");
+        assert!(
+            (shift - 1.0).abs() < 1e-6,
+            "slack should shift by exactly the budget, got {shift}"
+        );
     }
 
     #[test]

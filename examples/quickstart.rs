@@ -1,15 +1,14 @@
 //! Quickstart: build a small netlist, extract its supergates, list the
-//! swappable pins, and run the post-placement optimizer end to end.
+//! swappable pins, and run the post-placement flow end to end through the
+//! unified [`Pipeline`].
 //!
-//! Run with: `cargo run -p rapids-core --example quickstart`
+//! Run with: `cargo run --example quickstart`
 
-use rapids_celllib::Library;
 use rapids_core::supergate::extract_supergates;
 use rapids_core::symmetry::swap_candidates;
-use rapids_core::{Optimizer, OptimizerConfig, OptimizerKind};
+use rapids_core::OptimizerKind;
+use rapids_flow::{CircuitSource, Pipeline};
 use rapids_netlist::{GateType, NetworkBuilder};
-use rapids_placement::{place, PlacerConfig};
-use rapids_timing::{Sta, TimingConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Describe a mapped netlist (a 2-bit carry chain with some glue).
@@ -25,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     builder.output("s0");
     builder.output("s1");
     builder.output("c1");
-    let mut network = builder.finish()?;
+    let network = builder.finish()?;
 
     // 2. Extract generalized implication supergates and report the rewiring
     //    freedom they expose.
@@ -43,27 +42,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // 3. Place the design, time it, and optimize it without touching the
-    //    placement.
-    let library = Library::standard_035um();
-    let placement = place(&network, &library, &PlacerConfig::default(), 1);
-    let timing = TimingConfig::default();
-    let before = Sta::analyze(&network, &library, &placement, &timing);
-    println!("\ninitial critical delay: {:.3} ns", before.critical_delay_ns());
-
-    let outcome = Optimizer::new(OptimizerConfig::for_kind(OptimizerKind::Combined))
-        .optimize(&mut network, &library, &placement, &timing);
+    // 3. Run place → STA → gsg+GS optimization as one pipeline call; the
+    //    placement never changes after it is made.
+    let report = Pipeline::with_defaults()
+        .run_kind(CircuitSource::Mapped(network), OptimizerKind::Combined)?;
+    println!("\ninitial critical delay: {:.3} ns", report.initial_delay_ns);
     println!(
         "after gsg+GS:           {:.3} ns  ({:.1}% better, {} swaps, {} resized gates)",
-        outcome.final_delay_ns,
-        outcome.delay_improvement_percent(),
-        outcome.swaps_applied,
-        outcome.gates_resized
+        report.outcome.final_delay_ns,
+        report.outcome.delay_improvement_percent(),
+        report.outcome.swaps_applied,
+        report.outcome.gates_resized
     );
     println!(
         "supergate coverage: {:.1}%  (largest supergate has {} inputs)",
-        outcome.statistics.coverage_percent(),
-        outcome.statistics.largest_inputs
+        report.outcome.statistics.coverage_percent(),
+        report.outcome.statistics.largest_inputs
     );
     Ok(())
 }

@@ -2,11 +2,11 @@
 //! generalized supergate extraction, then scans a generated Table 1
 //! benchmark and reports how many it finds (column 14 of Table 1).
 //!
-//! Run with: `cargo run -p rapids-core --example redundancy_scan [benchmark]`
+//! Run with: `cargo run --example redundancy_scan [benchmark]`
 
-use rapids_circuits::benchmark;
 use rapids_core::redundancy::{count_by_kind, find_redundancies, remove_same_gate_duplicate};
 use rapids_core::supergate::extract_supergates;
+use rapids_flow::{CircuitSource, Pipeline};
 use rapids_netlist::{GateType, NetworkBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,9 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let removed = remove_same_gate_duplicate(&mut fig1b, &findings[0]);
     println!("           same-gate duplicate removable here: {removed}");
 
-    // Scan a full benchmark (column 14 of Table 1).
+    // Scan a full benchmark (column 14 of Table 1), resolved through the
+    // pipeline's generate+map front end.
     let name = std::env::args().nth(1).unwrap_or_else(|| "i8".to_string());
-    let network = benchmark(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
+    let network = Pipeline::with_defaults().build_network(CircuitSource::suite(&name))?;
     let extraction = extract_supergates(&network);
     let findings = find_redundancies(&extraction);
     let (conflicting, agreeing, xor) = count_by_kind(&findings);

@@ -1,30 +1,22 @@
 //! Post-placement timing optimization on a generated Table 1 benchmark:
 //! compares the three optimizers of the paper (`gsg`, `GS`, `gsg+GS`) on the
-//! same placement, like one row of Table 1.
+//! same placement — one Table 1 row — through a single
+//! [`Pipeline::compare_optimizers`] call.
 //!
-//! Run with: `cargo run -p rapids-core --release --example timing_rewire [benchmark]`
+//! Run with: `cargo run --release --example timing_rewire [benchmark]`
 
-use rapids_celllib::Library;
-use rapids_circuits::benchmark;
-use rapids_core::{Optimizer, OptimizerConfig, OptimizerKind};
-use rapids_placement::{place, PlacerConfig};
-use rapids_timing::{Sta, TimingConfig};
+use rapids_core::OptimizerKind;
+use rapids_flow::{CircuitSource, Pipeline};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let name = std::env::args().nth(1).unwrap_or_else(|| "c432".to_string());
-    let network = benchmark(&name).ok_or_else(|| format!("unknown benchmark `{name}`"))?;
-    let library = Library::standard_035um();
-    println!("benchmark {name}: {} mapped gates", network.logic_gate_count());
+    let comparison = Pipeline::with_defaults().compare_optimizers(CircuitSource::suite(&name))?;
 
-    let placement = place(&network, &library, &PlacerConfig::default(), 2000);
-    let timing = TimingConfig::default();
-    let initial = Sta::analyze(&network, &library, &placement, &timing);
-    println!("initial critical delay after placement: {:.3} ns\n", initial.critical_delay_ns());
+    println!("benchmark {name}: {} mapped gates", comparison.gate_count);
+    println!("initial critical delay after placement: {:.3} ns\n", comparison.initial_delay_ns);
 
     for kind in [OptimizerKind::Rewiring, OptimizerKind::Sizing, OptimizerKind::Combined] {
-        let mut working = network.clone();
-        let outcome = Optimizer::new(OptimizerConfig::for_kind(kind))
-            .optimize(&mut working, &library, &placement, &timing);
+        let outcome = &comparison.report(kind).outcome;
         println!(
             "{:<7}  delay {:.3} ns  improvement {:>5.1}%  area {:>+5.1}%  wirelength {:>+5.1}%  swaps {:>3}  resized {:>4}  cpu {:.2}s",
             kind.to_string(),

@@ -1,34 +1,36 @@
 //! End-to-end functional-safety tests: every optimizer must leave the
-//! benchmark functions bit-identical.
+//! benchmark functions bit-identical.  The flow runs through the unified
+//! [`Pipeline`] with its equivalence safety net enabled, and the result is
+//! re-checked here with independent seeds and the signature table.
 
-use rapids_celllib::Library;
-use rapids_circuits::benchmark;
-use rapids_core::{Optimizer, OptimizerConfig, OptimizerKind};
-use rapids_placement::{place, PlacerConfig};
+use rapids_core::OptimizerKind;
+use rapids_flow::{CircuitSource, Pipeline, PipelineConfig};
 use rapids_sim::{check_equivalence_random, SignatureTable};
-use rapids_timing::TimingConfig;
 
 fn optimize_and_check(name: &str, kind: OptimizerKind) {
-    let reference = benchmark(name).unwrap();
-    let library = Library::standard_035um();
-    let placement = place(&reference, &library, &PlacerConfig::fast(), 17);
-    let mut network = reference.clone();
-    let outcome = Optimizer::new(OptimizerConfig::fast(kind)).optimize(
-        &mut network,
-        &library,
-        &placement,
-        &TimingConfig::default(),
-    );
-    assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9, "{name}/{kind}");
+    let pipeline = Pipeline::new(PipelineConfig {
+        seed: 17,
+        verify_equivalence: true,
+        ..PipelineConfig::fast()
+    });
+    let design = pipeline.prepare(CircuitSource::suite(name)).unwrap();
+    let reference = design.network.clone();
+    let report = pipeline.optimize(&design, kind).unwrap();
+
     assert!(
-        check_equivalence_random(&reference, &network, 2048, 0xBEEF).is_equivalent(),
+        report.outcome.final_delay_ns <= report.outcome.initial_delay_ns + 1e-9,
+        "{name}/{kind}"
+    );
+    assert!(report.equivalence_verified, "{name}/{kind} skipped the safety net");
+    assert!(
+        check_equivalence_random(&reference, &report.network, 2048, 0xBEEF).is_equivalent(),
         "{name}/{kind} broke functionality"
     );
     // Signature cross-check with a different seed.
     let sigs = SignatureTable::new(&reference, 512, 99);
     assert_eq!(
         sigs.output_signatures(&reference),
-        sigs.output_signatures(&network),
+        sigs.output_signatures(&report.network),
         "{name}/{kind} output signatures diverged"
     );
 }

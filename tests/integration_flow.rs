@@ -1,7 +1,9 @@
-//! Full-flow integration: the Table 1 harness produces internally
+//! Full-flow integration: the Table 1 harness (which runs on
+//! `rapids_flow::Pipeline::compare_optimizers`) produces internally
 //! consistent rows and the combined optimizer behaves like the paper claims
 //! (it is at least as good as the better of its two ingredients on most
-//! circuits, and never worse than doing nothing).
+//! circuits, and never worse than doing nothing).  Direct Pipeline-API
+//! coverage lives in `integration_pipeline.rs`.
 
 use rapids_bench::table1::{format_table, run_benchmark, run_suite, FlowConfig};
 

@@ -1,4 +1,7 @@
-//! Property-based tests on the core invariants:
+//! Property-style tests on the core invariants, driven by a deterministic
+//! seeded sweep of random circuit configurations (the build container has
+//! no crates.io access, so `proptest` is replaced by an explicit case loop
+//! over the vendored `rand` — same invariants, same case count):
 //!
 //! * any non-inverting swap reported by the structural symmetry detector
 //!   preserves the network function (Theorem 1 + Lemma 7/8),
@@ -6,7 +9,8 @@
 //! * the BLIF round-trip and the technology mapper preserve functionality,
 //! * pin-swap editing keeps the netlist internally consistent.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use rapids_circuits::generators::random_logic::{random_logic, RandomLogicConfig};
 use rapids_circuits::map_to_library;
@@ -16,91 +20,100 @@ use rapids_core::symmetry::swap_candidates;
 use rapids_netlist::blif;
 use rapids_sim::check_equivalence_random;
 
-fn arbitrary_config() -> impl Strategy<Value = (RandomLogicConfig, u64)> {
-    (
-        8usize..24,
-        3usize..10,
-        40usize..160,
-        0.0f64..0.4,
-        0.0f64..0.3,
-        2usize..5,
-        any::<u64>(),
-    )
-        .prop_map(|(inputs, outputs, gates, xor_fraction, inverter_fraction, max_fanin, seed)| {
+const CASES: usize = 24;
+
+/// Mirrors the old proptest strategy: a random generator configuration plus
+/// a circuit seed, both derived from one master seed so failures reproduce.
+fn arbitrary_cases() -> Vec<(RandomLogicConfig, u64)> {
+    let mut rng = StdRng::seed_from_u64(0xDAC2_2000);
+    (0..CASES)
+        .map(|_| {
             (
                 RandomLogicConfig {
-                    inputs,
-                    outputs,
-                    gates,
-                    xor_fraction,
-                    inverter_fraction,
-                    max_fanin,
+                    inputs: rng.gen_range(8..24usize),
+                    outputs: rng.gen_range(3..10usize),
+                    gates: rng.gen_range(40..160usize),
+                    xor_fraction: rng.gen_range(0.0..0.4),
+                    inverter_fraction: rng.gen_range(0.0..0.3),
+                    max_fanin: rng.gen_range(2..5usize),
                     locality: 0.6,
                 },
-                seed,
+                rng.gen::<u64>(),
             )
         })
+        .collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Every non-inverting swap candidate on every supergate of a random
-    /// circuit preserves functionality (checked with 256 random vectors).
-    #[test]
-    fn structural_swaps_preserve_function((config, seed) in arbitrary_config()) {
+/// Every non-inverting swap candidate on every supergate of a random
+/// circuit preserves functionality (checked with 256 random vectors).
+#[test]
+fn structural_swaps_preserve_function() {
+    for (case, (config, seed)) in arbitrary_cases().into_iter().enumerate() {
         let reference = random_logic(&config, seed);
         let extraction = extract_supergates(&reference);
         let mut tested = 0usize;
-        for sg in extraction.supergates() {
+        'supergates: for sg in extraction.supergates() {
             if sg.is_trivial() {
                 continue;
             }
             for candidate in swap_candidates(sg, false).into_iter().take(3) {
                 let mut network = reference.clone();
                 apply_swap(&mut network, &candidate).unwrap();
-                prop_assert!(
-                    check_equivalence_random(&reference, &network, 256, seed ^ 0x5eed).is_equivalent(),
-                    "swap {candidate:?} broke the function"
+                assert!(
+                    check_equivalence_random(&reference, &network, 256, seed ^ 0x5eed)
+                        .is_equivalent(),
+                    "case {case}: swap {candidate:?} broke the function"
                 );
-                prop_assert!(network.check_consistency().is_ok());
+                assert!(network.check_consistency().is_ok(), "case {case}");
                 tested += 1;
                 if tested > 20 {
-                    return Ok(());
+                    break 'supergates;
                 }
             }
         }
     }
+}
 
-    /// Extraction partitions the logic gates of any random circuit.
-    #[test]
-    fn extraction_is_a_partition((config, seed) in arbitrary_config()) {
+/// Extraction partitions the logic gates of any random circuit.
+#[test]
+fn extraction_is_a_partition() {
+    for (case, (config, seed)) in arbitrary_cases().into_iter().enumerate() {
         let network = random_logic(&config, seed);
         let extraction = extract_supergates(&network);
         let member_total: usize = extraction.supergates().iter().map(|sg| sg.size()).sum();
-        prop_assert_eq!(member_total, network.logic_gate_count());
+        assert_eq!(member_total, network.logic_gate_count(), "case {case}");
         let mut seen = std::collections::HashSet::new();
         for sg in extraction.supergates() {
             for &m in &sg.members {
-                prop_assert!(seen.insert(m), "gate covered twice");
+                assert!(seen.insert(m), "case {case}: gate covered twice");
             }
         }
     }
+}
 
-    /// BLIF round-trip and technology mapping preserve functionality.
-    #[test]
-    fn serialization_and_mapping_preserve_function((config, seed) in arbitrary_config()) {
+/// BLIF round-trip and technology mapping preserve functionality.
+#[test]
+fn serialization_and_mapping_preserve_function() {
+    for (case, (config, seed)) in arbitrary_cases().into_iter().enumerate() {
         let network = random_logic(&config, seed);
         let text = blif::write_string(&network);
         let parsed = blif::parse_string(&text).unwrap();
-        prop_assert!(check_equivalence_random(&network, &parsed, 256, seed).is_equivalent());
+        assert!(
+            check_equivalence_random(&network, &parsed, 256, seed).is_equivalent(),
+            "case {case}: BLIF round-trip changed the function"
+        );
         let mapped = map_to_library(&network, 4).unwrap();
-        prop_assert!(check_equivalence_random(&network, &mapped, 256, seed).is_equivalent());
+        assert!(
+            check_equivalence_random(&network, &mapped, 256, seed).is_equivalent(),
+            "case {case}: mapping changed the function"
+        );
     }
+}
 
-    /// Applying and undoing a swap restores the exact original wiring.
-    #[test]
-    fn swap_undo_is_exact((config, seed) in arbitrary_config()) {
+/// Applying and undoing a swap restores the exact original wiring.
+#[test]
+fn swap_undo_is_exact() {
+    for (case, (config, seed)) in arbitrary_cases().into_iter().enumerate() {
         let reference = random_logic(&config, seed);
         let extraction = extract_supergates(&reference);
         let mut network = reference.clone();
@@ -119,7 +132,7 @@ proptest! {
             undo_swap(&mut network, record).unwrap();
         }
         for g in reference.iter_live() {
-            prop_assert_eq!(reference.fanins(g), network.fanins(g));
+            assert_eq!(reference.fanins(g), network.fanins(g), "case {case}");
         }
     }
 }

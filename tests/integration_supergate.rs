@@ -1,13 +1,16 @@
 //! Cross-crate integration tests: supergate extraction against the BDD and
-//! simulation oracles on generated benchmark circuits.
+//! simulation oracles on generated benchmark circuits.  Circuits are
+//! resolved and mapped through the [`Pipeline`] front end.
 
-use rapids_bdd::{are_equivalence_symmetric, are_nonequivalence_symmetric, build_output_bdds, Manager};
+use rapids_bdd::{
+    are_equivalence_symmetric, are_nonequivalence_symmetric, build_output_bdds, Manager,
+};
 use rapids_circuits::generators::adder::ripple_carry_adder;
 use rapids_circuits::generators::parity::parity_tree;
-use rapids_circuits::{benchmark, map_to_library};
 use rapids_core::supergate::{extract_supergates, PinClass};
 use rapids_core::symmetry::{classify_pair, swap_candidates, PairSymmetry};
 use rapids_core::SupergateStatistics;
+use rapids_flow::{CircuitSource, Pipeline};
 
 /// Every structurally detected swappable pair of a small mapped adder is
 /// confirmed as functionally symmetric by the BDD cofactor oracle, checked
@@ -15,8 +18,9 @@ use rapids_core::SupergateStatistics;
 /// of internal sub-functions, not of the primary outputs).
 #[test]
 fn structural_symmetries_confirmed_by_bdd_cofactors() {
-    let raw = ripple_carry_adder(4);
-    let network = map_to_library(&raw, 4).unwrap();
+    let network = Pipeline::fast()
+        .build_network(CircuitSource::Unmapped { network: ripple_carry_adder(4), max_fanin: 4 })
+        .unwrap();
     let extraction = extract_supergates(&network);
     let mut manager = Manager::new();
     let bdds = build_output_bdds(&mut manager, &network);
@@ -77,8 +81,9 @@ fn structural_symmetries_confirmed_by_bdd_cofactors() {
 /// consistent.
 #[test]
 fn extraction_partitions_suite_circuits() {
+    let pipeline = Pipeline::fast();
     for name in ["alu2", "c499", "c1908"] {
-        let network = benchmark(name).unwrap();
+        let network = pipeline.build_network(CircuitSource::suite(name)).unwrap();
         let extraction = extract_supergates(&network);
         let member_total: usize = extraction.supergates().iter().map(|sg| sg.size()).sum();
         assert_eq!(member_total, network.logic_gate_count(), "{name}");
@@ -93,19 +98,13 @@ fn extraction_partitions_suite_circuits() {
 /// mutually swappable (Lemma 8), giving quadratically many candidates.
 #[test]
 fn parity_trees_form_large_xor_supergates() {
-    let raw = parity_tree(16);
-    let network = map_to_library(&raw, 2).unwrap();
-    let extraction = extract_supergates(&network);
-    let largest = extraction
-        .supergates()
-        .iter()
-        .max_by_key(|sg| sg.input_count())
+    let network = Pipeline::fast()
+        .build_network(CircuitSource::Unmapped { network: parity_tree(16), max_fanin: 2 })
         .unwrap();
+    let extraction = extract_supergates(&network);
+    let largest = extraction.supergates().iter().max_by_key(|sg| sg.input_count()).unwrap();
     assert!(largest.input_count() >= 16, "XOR tree should collapse into one supergate");
-    assert!(largest
-        .leaves
-        .iter()
-        .all(|l| matches!(l.class, PinClass::Xor { .. })));
+    assert!(largest.leaves.iter().all(|l| matches!(l.class, PinClass::Xor { .. })));
     let candidates = swap_candidates(largest, false);
     let n = largest.input_count();
     assert_eq!(candidates.len(), n * (n - 1) / 2);

@@ -1,44 +1,46 @@
 //! Integration of placement and timing: the post-placement delay model
 //! behaves physically sensibly on generated benchmarks, which is what gives
-//! the optimizers something real to chase.
+//! the optimizers something real to chase.  Placement and STA both run
+//! through the [`Pipeline`] front half ([`Pipeline::prepare`]).
 
-use rapids_celllib::Library;
-use rapids_circuits::benchmark;
-use rapids_placement::{place, CongestionMap, PlacerConfig};
+use rapids_flow::{CircuitSource, Pipeline, PipelineConfig};
+use rapids_placement::{CongestionMap, PlacerConfig};
 use rapids_timing::{Sta, TimingConfig};
+
+fn fast_pipeline_with_seed(seed: u64) -> Pipeline {
+    Pipeline::new(PipelineConfig { seed, ..PipelineConfig::fast() })
+}
 
 #[test]
 fn wire_resistivity_increases_post_placement_delay() {
-    let network = benchmark("c432").unwrap();
-    let library = Library::standard_035um();
-    let placement = place(&network, &library, &PlacerConfig::fast(), 23);
-    let base = Sta::analyze(&network, &library, &placement, &TimingConfig::default());
+    let pipeline = fast_pipeline_with_seed(23);
+    let design = pipeline.prepare(CircuitSource::suite("c432")).unwrap();
+    // Re-time the *same* placement with 10× more resistive interconnect.
     let resistive = Sta::analyze(
-        &network,
-        &library,
-        &placement,
+        &design.network,
+        &design.library,
+        &design.placement,
         &TimingConfig {
             unit_resistance_kohm_per_cm: 2.4 * 10.0,
             unit_capacitance_pf_per_cm: 2.0 * 10.0,
             ..TimingConfig::default()
         },
     );
-    assert!(resistive.critical_delay_ns() > base.critical_delay_ns());
+    assert!(resistive.critical_delay_ns() > design.initial_delay_ns());
 }
 
 #[test]
 fn better_placement_effort_does_not_hurt_wirelength() {
-    let network = benchmark("alu2").unwrap();
-    let library = Library::standard_035um();
-    let quick = place(&network, &library, &PlacerConfig::fast(), 3);
-    let thorough = place(
-        &network,
-        &library,
-        &PlacerConfig { moves_per_gate: 80, ..PlacerConfig::default() },
-        3,
-    );
-    let quick_hpwl = quick.total_hpwl_um(&network);
-    let thorough_hpwl = thorough.total_hpwl_um(&network);
+    let quick = fast_pipeline_with_seed(3).prepare(CircuitSource::suite("alu2")).unwrap();
+    let thorough = Pipeline::new(PipelineConfig {
+        placer: PlacerConfig { moves_per_gate: 80, ..PlacerConfig::default() },
+        seed: 3,
+        ..PipelineConfig::default()
+    })
+    .prepare(CircuitSource::suite("alu2"))
+    .unwrap();
+    let quick_hpwl = quick.placement.total_hpwl_um(&quick.network);
+    let thorough_hpwl = thorough.placement.total_hpwl_um(&thorough.network);
     assert!(
         thorough_hpwl <= quick_hpwl * 1.05,
         "more annealing effort should not make wire length much worse: {thorough_hpwl} vs {quick_hpwl}"
@@ -47,28 +49,23 @@ fn better_placement_effort_does_not_hurt_wirelength() {
 
 #[test]
 fn critical_path_is_a_connected_input_to_output_path() {
-    let network = benchmark("c1908").unwrap();
-    let library = Library::standard_035um();
-    let placement = place(&network, &library, &PlacerConfig::fast(), 23);
-    let report = Sta::analyze(&network, &library, &placement, &TimingConfig::default());
-    let path = Sta::critical_path(&network, &report);
+    let design = fast_pipeline_with_seed(23).prepare(CircuitSource::suite("c1908")).unwrap();
+    let path = Sta::critical_path(&design.network, &design.initial_timing);
     assert!(path.len() >= 3);
     for pair in path.windows(2) {
         assert!(
-            network.fanins(pair[1]).contains(&pair[0]),
+            design.network.fanins(pair[1]).contains(&pair[0]),
             "critical path must follow fanin edges"
         );
     }
-    assert!(network.gate(path[0]).gtype.is_source());
-    assert!(network.drives_output(*path.last().unwrap()));
+    assert!(design.network.gate(path[0]).gtype.is_source());
+    assert!(design.network.drives_output(*path.last().unwrap()));
 }
 
 #[test]
 fn congestion_map_tracks_placement() {
-    let network = benchmark("c432").unwrap();
-    let library = Library::standard_035um();
-    let placement = place(&network, &library, &PlacerConfig::fast(), 23);
-    let map = CongestionMap::build(&network, &placement, 8, 8);
+    let design = fast_pipeline_with_seed(23).prepare(CircuitSource::suite("c432")).unwrap();
+    let map = CongestionMap::build(&design.network, &design.placement, 8, 8);
     assert!(map.peak_demand() > 0.0);
     assert!(map.peak_demand() >= map.average_demand());
 }

@@ -1,0 +1,251 @@
+//! Offline, API-compatible subset of the `criterion` benchmark harness.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the slice of criterion's surface its benches use: `Criterion`,
+//! `benchmark_group` / `BenchmarkGroup` (with `sample_size`, `throughput`,
+//! `bench_with_input`, `bench_function`, `finish`), `Bencher::iter`,
+//! `BenchmarkId`, `Throughput`, `black_box` and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — a short warm-up followed by
+//! `sample_size` timed samples, reporting min / mean / max — because these
+//! benches exist to track relative regressions of the RAPIDS claims
+//! (linear-time extraction, STA cost), not to produce publication-quality
+//! statistics.  Swapping the real criterion back in later only requires
+//! changing the path dependency in the workspace manifest.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Throughput annotation for a benchmark (reported, not rate-normalized).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Number of logical elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier of one benchmark instance inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to the closure of `bench_with_input`.
+pub struct Bencher {
+    samples: usize,
+    results_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Runs `routine` through warm-up plus `samples` timed samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: one untimed run (fills caches, triggers lazy init).
+        black_box(routine());
+        self.results_ns.clear();
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(routine());
+            self.results_ns.push(start.elapsed().as_secs_f64() * 1e9);
+        }
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Records the per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, results_ns: Vec::new() };
+        routine(&mut bencher, input);
+        self.report(&id, &bencher.results_ns);
+        self
+    }
+
+    /// Benchmarks a routine with no external input.
+    pub fn bench_function<R>(&mut self, id: BenchmarkId, mut routine: R) -> &mut Self
+    where
+        R: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher { samples: self.sample_size, results_ns: Vec::new() };
+        routine(&mut bencher);
+        self.report(&id, &bencher.results_ns);
+        self
+    }
+
+    fn report(&self, id: &BenchmarkId, results_ns: &[f64]) {
+        if results_ns.is_empty() {
+            println!("{}/{id}: no samples collected", self.name);
+            return;
+        }
+        let min = results_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = results_ns.iter().copied().fold(0.0f64, f64::max);
+        let mean = results_ns.iter().sum::<f64>() / results_ns.len() as f64;
+        let throughput = match self.throughput {
+            Some(Throughput::Elements(n)) if mean > 0.0 => {
+                format!("  ({:.0} elem/s)", n as f64 / (mean / 1e9))
+            }
+            Some(Throughput::Bytes(n)) if mean > 0.0 => {
+                format!("  ({:.0} B/s)", n as f64 / (mean / 1e9))
+            }
+            _ => String::new(),
+        };
+        println!(
+            "{}/{id}: [{} {} {}]{throughput}",
+            self.name,
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is eager).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        let sample_size = if self.default_sample_size == 0 { 20 } else { self.default_sample_size };
+        BenchmarkGroup { name: name.into(), _criterion: self, sample_size, throughput: None }
+    }
+
+    /// Sets the default sample count for subsequent groups.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.default_sample_size = n.max(1);
+        self
+    }
+
+    /// Configuration hook kept for compatibility; returns a default harness.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Final reporting hook (eager reporting makes this a no-op).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Kept for API compatibility with criterion's measurement duration setters.
+pub fn measurement_time(_d: Duration) {}
+
+/// Declares a group function that runs each listed benchmark function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $(
+                $function(&mut criterion);
+            )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_with_input_runs_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41u32, |b, &n| {
+            b.iter(|| {
+                runs += 1;
+                n + 1
+            });
+        });
+        group.finish();
+        // 1 warm-up + 3 samples
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::from_parameter("c432").to_string(), "c432");
+        assert_eq!(BenchmarkId::new("extract", 7).to_string(), "extract/7");
+    }
+}

@@ -1,0 +1,240 @@
+//! Offline, API-compatible subset of the `rand` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! the small slice of the `rand 0.8` surface the RAPIDS crates actually use:
+//! [`rngs::StdRng`], [`SeedableRng::seed_from_u64`], and the [`Rng`] methods
+//! `gen`, `gen_bool` and `gen_range`.
+//!
+//! The generator is xoshiro256** seeded through SplitMix64 — deterministic
+//! for a given seed, which is all the placer / pattern generators / circuit
+//! generators require (they never need cryptographic quality, only
+//! reproducibility).  Swapping the real `rand` back in later only requires
+//! changing the `[patch]`-free path dependency in the workspace manifest.
+
+/// Random number generator types.
+pub mod rngs {
+    /// Deterministic 64-bit generator (xoshiro256** under the hood).
+    ///
+    /// Named `StdRng` for drop-in compatibility with `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Seeding interface; mirror of `rand::SeedableRng` restricted to the one
+/// constructor the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u64; 4];
+        for slot in &mut state {
+            *slot = splitmix64(&mut sm);
+        }
+        // All-zero state would lock xoshiro at zero forever.
+        if state == [0, 0, 0, 0] {
+            state[0] = 0x9E37_79B9_7F4A_7C15;
+        }
+        StdRng { state }
+    }
+}
+
+impl StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Uniform sampling from standard distributions (`rng.gen::<T>()`).
+pub trait Standard: Sized {
+    fn sample(rng: &mut StdRng) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Standard for usize {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for bool {
+    fn sample(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample(rng: &mut StdRng) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges accepted by [`Rng::gen_range`].
+pub trait SampleRange {
+    type Output;
+    fn sample_from(self, rng: &mut StdRng) -> Self::Output;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for core::ops::Range<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl SampleRange for core::ops::RangeInclusive<$t> {
+            type Output = $t;
+            fn sample_from(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range called with empty range");
+                let span = (end - start) as u64 + 1;
+                start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_range!(usize, u64, u32, i32);
+
+impl SampleRange for core::ops::Range<i64> {
+    type Output = i64;
+    fn sample_from(self, rng: &mut StdRng) -> i64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let span = self.end.wrapping_sub(self.start) as u64;
+        self.start.wrapping_add((rng.next_u64() % span) as i64)
+    }
+}
+
+impl SampleRange for core::ops::Range<f64> {
+    type Output = f64;
+    fn sample_from(self, rng: &mut StdRng) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        let unit = f64::sample(rng);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// Mirror of the `rand::Rng` extension trait over the methods the workspace
+/// uses.
+pub trait Rng {
+    /// Samples a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T;
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool;
+
+    /// Samples uniformly from `range`.
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output;
+}
+
+impl Rng for StdRng {
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        f64::sample(self) < p
+    }
+
+    fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample_from(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.gen::<u64>() == b.gen::<u64>()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn unit_float_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3..17usize);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(2..=5usize);
+            assert!((2..=5).contains(&j));
+            let f = rng.gen_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let heads = (0..2000).filter(|_| rng.gen_bool(0.5)).count();
+        assert!((800..1200).contains(&heads));
+    }
+}
