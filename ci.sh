@@ -27,4 +27,12 @@ cargo build --benches
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> timing-regression smoke (mid-size suite under a wall-clock budget)"
+# Deterministic QoR (delay/area/decision counts) of three mid-size rows must
+# exactly match the committed expectations; the timeout guards against a
+# performance regression re-inflating the optimizer loops (the rows complete
+# in a few seconds on the incremental engine; 120 s is the hard budget).
+timeout 120 ./target/release/table1 --threads 2 c1908 alu4 x3 \
+    --check ci/expected_qor_smoke.json > /dev/null
+
 echo "==> OK"

@@ -1,4 +1,4 @@
-//! Regenerates Table 1 of the paper.
+//! Regenerates Table 1 of the paper and serves as the perf harness.
 //!
 //! Usage:
 //!
@@ -7,27 +7,52 @@
 //! cargo run -p rapids-bench --release --bin table1 -- --fast    # reduced effort
 //! cargo run -p rapids-bench --release --bin table1 -- alu2 c432 # selected benchmarks
 //! cargo run -p rapids-bench --release --bin table1 -- --json out.json
+//! cargo run -p rapids-bench --release --bin table1 -- --threads 8       # thread-per-design
+//! cargo run -p rapids-bench --release --bin table1 -- --bench-out BENCH_pr2.json \
+//!     --baseline ci/baseline_pr1.json    # perf report, baseline embedded
+//! cargo run -p rapids-bench --release --bin table1 -- --qor-out expected.json
+//! cargo run -p rapids-bench --release --bin table1 -- --check expected.json  # CI regression
 //! ```
 
 use std::io::Write as _;
 
-use rapids_bench::table1::{all_names, format_table, results_to_json, run_benchmark, FlowConfig};
+use rapids_bench::table1::{
+    all_names, bench_report, format_table, results_to_json, results_to_qor_json,
+    run_suite_threaded, FlowConfig,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut config = FlowConfig::default();
     let mut json_path: Option<String> = None;
+    let mut bench_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
+    let mut qor_path: Option<String> = None;
+    let mut check_path: Option<String> = None;
+    let mut threads = 1usize;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
+    let path_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
+        iter.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a file path");
+            std::process::exit(2);
+        })
+    };
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--fast" => config = FlowConfig::fast(),
-            "--json" => {
-                json_path = iter.next();
-                if json_path.is_none() {
-                    eprintln!("--json requires a file path");
+            "--json" => json_path = Some(path_arg(&mut iter, "--json")),
+            "--bench-out" => bench_path = Some(path_arg(&mut iter, "--bench-out")),
+            "--baseline" => baseline_path = Some(path_arg(&mut iter, "--baseline")),
+            "--qor-out" => qor_path = Some(path_arg(&mut iter, "--qor-out")),
+            "--check" => check_path = Some(path_arg(&mut iter, "--check")),
+            "--threads" => {
+                let value = path_arg(&mut iter, "--threads");
+                threads = value.parse().unwrap_or_else(|_| {
+                    eprintln!("--threads requires a positive integer, got `{value}`");
                     std::process::exit(2);
-                }
+                });
+                threads = threads.max(1);
             }
             other if other.starts_with("--") => {
                 eprintln!("unknown option {other}");
@@ -39,7 +64,7 @@ fn main() {
     let selected: Vec<&str> =
         if names.is_empty() { all_names() } else { names.iter().map(|s| s.as_str()).collect() };
 
-    println!("RAPIDS reproduction — Table 1 (fast={})", config.placer.moves_per_gate < 20);
+    println!("RAPIDS reproduction — Table 1 (fast={}, threads={threads})", is_fast(&config));
     println!(
         "columns: circuit, gates, initial delay (ns), delay improvement %% of gsg / GS / gsg+GS,"
     );
@@ -48,23 +73,13 @@ fn main() {
     );
     println!();
 
-    let mut results = Vec::new();
     for name in &selected {
-        eprint!("running {name} ... ");
-        let _ = std::io::stderr().flush();
-        match run_benchmark(name, &config) {
-            Some(result) => {
-                eprintln!(
-                    "done (init {:.2} ns, gsg {:.1}%, GS {:.1}%, gsg+GS {:.1}%)",
-                    result.initial_delay_ns,
-                    result.gsg_percent,
-                    result.gs_percent,
-                    result.combined_percent
-                );
-                results.push(result);
-            }
-            None => eprintln!("unknown benchmark, skipped"),
-        }
+        eprintln!("queued {name}");
+    }
+    let _ = std::io::stderr().flush();
+    let results = run_suite_threaded(&selected, &config, threads);
+    if results.len() != selected.len() {
+        eprintln!("note: {} unknown benchmark(s) skipped", selected.len() - results.len());
     }
 
     println!("{}", format_table(&results));
@@ -73,4 +88,34 @@ fn main() {
         std::fs::write(&path, results_to_json(&results)).expect("write JSON report");
         println!("JSON report written to {path}");
     }
+    if let Some(path) = bench_path {
+        let baseline = baseline_path.map(|p| {
+            std::fs::read_to_string(&p)
+                .unwrap_or_else(|e| panic!("read baseline document {p}: {e}"))
+        });
+        let report = bench_report(&results, threads, baseline.as_deref());
+        std::fs::write(&path, report).expect("write bench report");
+        println!("perf report written to {path}");
+    }
+    if let Some(path) = qor_path {
+        std::fs::write(&path, results_to_qor_json(&results)).expect("write QoR report");
+        println!("QoR report written to {path}");
+    }
+    if let Some(path) = check_path {
+        let expected = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read expected QoR report {path}: {e}"));
+        let actual = results_to_qor_json(&results);
+        if expected.trim() == actual.trim() {
+            println!("QoR check against {path}: OK");
+        } else {
+            eprintln!("QoR regression: report differs from {path}");
+            eprintln!("--- expected ---\n{}", expected.trim());
+            eprintln!("--- actual ---\n{}", actual.trim());
+            std::process::exit(1);
+        }
+    }
+}
+
+fn is_fast(config: &FlowConfig) -> bool {
+    config.placer.moves_per_gate < 20
 }

@@ -1,10 +1,11 @@
 //! The full evaluation flow for one benchmark and for the whole suite
 //! (Table 1 of the paper), layered on the workspace-wide
-//! [`rapids_flow::Pipeline`].
+//! [`rapids_flow::Pipeline`], plus the perf-trajectory harness behind
+//! `table1 --bench-out` / `--threads` / `--qor-out` / `--check`.
 
 use rapids_circuits::suite_names;
 use rapids_core::BenchmarkRow;
-use rapids_flow::{CircuitSource, FlowComparison, Pipeline, PipelineError};
+use rapids_flow::{CircuitSource, FlowComparison, Pipeline, PipelineError, PipelineReport};
 
 /// Effort configuration of the evaluation flow.
 ///
@@ -12,6 +13,47 @@ use rapids_flow::{CircuitSource, FlowComparison, Pipeline, PipelineError};
 /// `timing`, `optimizer` and `seed` fields drive the same stages here and
 /// everywhere else the flow runs.
 pub use rapids_flow::PipelineConfig as FlowConfig;
+
+/// Wall-clock and QoR metrics of one optimizer on one benchmark.
+#[derive(Debug, Clone)]
+pub struct OptimizerMetrics {
+    /// Wall-clock seconds of the optimizer run.
+    pub cpu_s: f64,
+    /// Critical-path delay after optimization, ns.
+    pub final_delay_ns: f64,
+    /// Total cell area after optimization, µm².
+    pub final_area_um2: f64,
+    /// Pin swaps applied.
+    pub swaps: usize,
+    /// Gates resized.
+    pub resized: usize,
+}
+
+impl OptimizerMetrics {
+    fn from_report(report: &PipelineReport) -> Self {
+        OptimizerMetrics {
+            cpu_s: report.outcome.cpu_seconds,
+            final_delay_ns: report.outcome.final_delay_ns,
+            final_area_um2: report.outcome.final_area_um2,
+            swaps: report.outcome.swaps_applied,
+            resized: report.outcome.gates_resized,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"cpu_s\":{},\"final_delay_ns\":{},\"final_area_um2\":{},",
+                "\"swaps\":{},\"resized\":{}}}"
+            ),
+            json_number(self.cpu_s),
+            json_number(self.final_delay_ns),
+            json_number(self.final_area_um2),
+            self.swaps,
+            self.resized,
+        )
+    }
+}
 
 /// Result of running the three optimizers on one benchmark.
 #[derive(Debug, Clone)]
@@ -22,6 +64,8 @@ pub struct FlowResult {
     pub gate_count: usize,
     /// Initial (post-placement) critical delay, ns.
     pub initial_delay_ns: f64,
+    /// Initial cell area, µm².
+    pub initial_area_um2: f64,
     /// gsg delay improvement, %.
     pub gsg_percent: f64,
     /// GS delay improvement, %.
@@ -48,6 +92,12 @@ pub struct FlowResult {
     pub gsg_swaps: usize,
     /// Wire-length change of gsg, %.
     pub gsg_hpwl_percent: f64,
+    /// Full per-optimizer wall-clock + QoR metrics (the perf-harness view).
+    pub gsg: OptimizerMetrics,
+    /// GS metrics.
+    pub gs: OptimizerMetrics,
+    /// gsg+GS metrics.
+    pub combined: OptimizerMetrics,
 }
 
 impl FlowResult {
@@ -60,6 +110,7 @@ impl FlowResult {
             name: comparison.name.clone(),
             gate_count: comparison.gate_count,
             initial_delay_ns: comparison.initial_delay_ns,
+            initial_area_um2: gsg.initial_area_um2,
             gsg_percent: gsg.delay_improvement_percent(),
             gs_percent: gs.delay_improvement_percent(),
             combined_percent: combined.delay_improvement_percent(),
@@ -73,6 +124,9 @@ impl FlowResult {
             redundancy_count: gsg.statistics.redundancy_count,
             gsg_swaps: gsg.swaps_applied,
             gsg_hpwl_percent: gsg.hpwl_change_percent(),
+            gsg: OptimizerMetrics::from_report(&comparison.rewiring),
+            gs: OptimizerMetrics::from_report(&comparison.sizing),
+            combined: OptimizerMetrics::from_report(&comparison.combined),
         }
     }
 
@@ -129,6 +183,48 @@ impl FlowResult {
             json_number(self.gsg_hpwl_percent),
         )
     }
+
+    /// The perf-harness JSON record: per-optimizer wall-clock plus absolute
+    /// delay/area QoR, nested per optimizer.
+    pub fn to_bench_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"gate_count\":{},\"initial_delay_ns\":{},",
+                "\"initial_area_um2\":{},\"gsg\":{},\"gs\":{},\"combined\":{}}}"
+            ),
+            json_string(&self.name),
+            self.gate_count,
+            json_number(self.initial_delay_ns),
+            json_number(self.initial_area_um2),
+            self.gsg.to_json(),
+            self.gs.to_json(),
+            self.combined.to_json(),
+        )
+    }
+
+    /// Deterministic QoR-only record: wall-clock fields are excluded so the
+    /// output is exactly reproducible run over run (the CI regression step
+    /// diffs it as a string).
+    pub fn to_qor_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"gate_count\":{},\"initial_delay_ns\":{},",
+                "\"gsg_final_delay_ns\":{},\"gs_final_delay_ns\":{},",
+                "\"combined_final_delay_ns\":{},\"gs_final_area_um2\":{},",
+                "\"combined_final_area_um2\":{},\"gsg_swaps\":{},\"gs_resized\":{}}}"
+            ),
+            json_string(&self.name),
+            self.gate_count,
+            json_number(self.initial_delay_ns),
+            json_number(self.gsg.final_delay_ns),
+            json_number(self.gs.final_delay_ns),
+            json_number(self.combined.final_delay_ns),
+            json_number(self.gs.final_area_um2),
+            json_number(self.combined.final_area_um2),
+            self.gsg.swaps,
+            self.gs.resized,
+        )
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -160,16 +256,48 @@ fn json_number(x: f64) -> String {
 
 /// Serializes a slice of results as a pretty-printed JSON array.
 pub fn results_to_json(results: &[FlowResult]) -> String {
+    json_array(results, FlowResult::to_json)
+}
+
+/// Serializes the perf-harness view (see [`FlowResult::to_bench_json`]).
+pub fn results_to_bench_json(results: &[FlowResult]) -> String {
+    json_array(results, FlowResult::to_bench_json)
+}
+
+/// Serializes the deterministic QoR-only view
+/// (see [`FlowResult::to_qor_json`]).
+pub fn results_to_qor_json(results: &[FlowResult]) -> String {
+    json_array(results, FlowResult::to_qor_json)
+}
+
+fn json_array(results: &[FlowResult], f: impl Fn(&FlowResult) -> String) -> String {
     let mut out = String::from("[\n");
     for (i, result) in results.iter().enumerate() {
         out.push_str("  ");
-        out.push_str(&result.to_json());
+        out.push_str(&f(result));
         if i + 1 != results.len() {
             out.push(',');
         }
         out.push('\n');
     }
     out.push(']');
+    out
+}
+
+/// Wraps the perf-harness rows in a report envelope, optionally embedding a
+/// previously captured baseline document verbatim for side-by-side speedup
+/// analysis.
+pub fn bench_report(results: &[FlowResult], threads: usize, baseline_json: Option<&str>) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("\"threads\":{threads},\n"));
+    if let Some(baseline) = baseline_json {
+        out.push_str("\"baseline\":");
+        out.push_str(baseline.trim());
+        out.push_str(",\n");
+    }
+    out.push_str("\"rows\":");
+    out.push_str(&results_to_bench_json(results));
+    out.push_str("\n}");
     out
 }
 
@@ -192,6 +320,32 @@ pub fn run_benchmark(name: &str, config: &FlowConfig) -> Option<FlowResult> {
 /// [`rapids_circuits::suite_names`] for the full Table 1).
 pub fn run_suite(names: &[&str], config: &FlowConfig) -> Vec<FlowResult> {
     names.iter().filter_map(|name| run_benchmark(name, config)).collect()
+}
+
+/// Runs the flow over a list of benchmark names with thread-per-design
+/// sharding: up to `threads` designs execute concurrently, and the results
+/// come back in input order regardless of completion order, so any thread
+/// count produces an identical report.
+pub fn run_suite_threaded(names: &[&str], config: &FlowConfig, threads: usize) -> Vec<FlowResult> {
+    if threads <= 1 || names.len() <= 1 {
+        return run_suite(names, config);
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<FlowResult>>> =
+        (0..names.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..threads.min(names.len()) {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= names.len() {
+                    break;
+                }
+                let result = run_benchmark(names[i], config);
+                *slots[i].lock().expect("slot lock poisoned") = result;
+            });
+        }
+    });
+    slots.into_iter().filter_map(|m| m.into_inner().expect("slot lock poisoned")).collect()
 }
 
 /// Formats a set of flow results as the paper-style table, including the
@@ -228,6 +382,11 @@ mod tests {
         assert!(result.combined_percent >= 0.0);
         assert!(result.coverage_percent > 0.0 && result.coverage_percent <= 100.0);
         assert!(result.largest_inputs >= 2);
+        // The perf-harness view agrees with the flat view.
+        assert_eq!(result.gsg.cpu_s, result.gsg_cpu_s);
+        assert_eq!(result.gsg.swaps, result.gsg_swaps);
+        assert!(result.gs.final_area_um2 > 0.0);
+        assert!(result.combined.final_delay_ns <= result.initial_delay_ns + 1e-9);
     }
 
     #[test]
@@ -259,6 +418,36 @@ mod tests {
         // Balanced braces: one object per result.
         assert_eq!(json.matches('{').count(), results.len());
         assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn bench_report_embeds_baseline_and_rows() {
+        let results = run_suite(&["c432"], &FlowConfig::fast());
+        let report = bench_report(&results, 2, Some("{\"rows\":[]}"));
+        assert!(report.starts_with('{') && report.ends_with('}'));
+        assert!(report.contains("\"threads\":2"));
+        assert!(report.contains("\"baseline\":{\"rows\":[]}"));
+        assert!(report.contains("\"final_delay_ns\""));
+        assert!(report.contains("\"cpu_s\""));
+        assert_eq!(report.matches('{').count(), report.matches('}').count());
+    }
+
+    #[test]
+    fn threaded_suite_reports_are_identical_to_sequential() {
+        let config = FlowConfig::fast();
+        let names = ["c432", "alu2"];
+        let sequential = run_suite(&names, &config);
+        let threaded = run_suite_threaded(&names, &config, 4);
+        // Wall-clock fields differ run to run; the QoR view must not.
+        assert_eq!(results_to_qor_json(&sequential), results_to_qor_json(&threaded));
+    }
+
+    #[test]
+    fn qor_json_is_reproducible() {
+        let config = FlowConfig::fast();
+        let a = results_to_qor_json(&run_suite(&["c432"], &config));
+        let b = results_to_qor_json(&run_suite(&["c432"], &config));
+        assert_eq!(a, b, "QoR report must be deterministic run over run");
     }
 
     #[test]

@@ -14,6 +14,17 @@
 //! * [`OptimizerKind::Combined`] (`gsg+GS`) — rewiring on gates covered by
 //!   non-trivial supergates, sizing restricted to gates covered by trivial
 //!   supergates — the minimum-perturbation combination the paper advocates.
+//!
+//! Timing state lives in one [`IncrementalSta`] per run: every pass scores
+//! candidates against the frozen report of the last refresh (exactly as the
+//! paper's "full analysis once per pass" loop did) and the refresh re-times
+//! only the cones the accepted moves dirtied.  Candidate probes run through
+//! a [`NetCache`]; the supergate extraction and the network's topological
+//! hint are computed once and reused across passes (drive-strength changes
+//! never invalidate them, and non-inverting swaps exchange leaf drivers
+//! without changing any supergate's structure); and per-pass rollback
+//! replays an undo journal of applied swaps instead of restoring a clone of
+//! the whole network.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -22,15 +33,13 @@ use rapids_celllib::Library;
 use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
 use rapids_sim::check_equivalence_random;
-use rapids_sizing::{
-    estimated_arrival_ns, fanin_min_slack_ns, neighborhood_slack_ns, GateSizer, SizerConfig,
-};
-use rapids_timing::{gate_output_delay, net_delays, Sta, TimingConfig, TimingReport};
+use rapids_sizing::{neighborhood_eval, GateSizer, SizerConfig};
+use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
 
 use crate::report::SupergateStatistics;
-use crate::supergate::{extract_supergates, Supergate};
-use crate::swap::{apply_swap, undo_swap, SwapCandidate};
-use crate::symmetry::swap_candidates;
+use crate::supergate::{extract_supergates, Extraction, Supergate};
+use crate::swap::{apply_swap, undo_swap, AppliedSwap, SwapCandidate, SwapKind};
+use crate::symmetry::swap_candidates_in;
 
 /// Which of the paper's three optimizers to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -62,12 +71,23 @@ pub struct OptimizerConfig {
     pub max_passes: usize,
     /// Gates within this margin of the worst slack count as critical, ns.
     pub critical_margin_ns: f64,
-    /// Allow inverting (ES) swaps, which insert inverter pairs.
+    /// Allow inverting (ES) swaps, which insert inverter pairs.  Candidates
+    /// whose inverters the fixed-size placement cannot host are skipped
+    /// during scoring (the synthetic flow sizes placements exactly, so this
+    /// currently limits the flag to externally supplied placements with
+    /// spare slots; see the ROADMAP item on inverter legalization).
     pub include_inverting_swaps: bool,
     /// After every accepted batch of swaps, cross-check functional
     /// equivalence against the pre-optimization network with random
     /// simulation (a safety net; the structural theory guarantees it).
     pub verify_with_simulation: bool,
+    /// Worker threads for candidate scoring (1 = fully sequential); also
+    /// forwarded to the embedded gate sizer.  Every thread count takes the
+    /// same swap/resize decisions; sizing results are bit-exact, while a
+    /// rewiring run that rolled a pass back can differ from the sequential
+    /// one in final-ulp Elmore rounding (worker clones do not reorder the
+    /// main network's fan-out lists the way sequential probing does).
+    pub threads: usize,
     /// Configuration of the embedded gate sizer (for `GS` and `gsg+GS`).
     pub sizer: SizerConfig,
 }
@@ -80,6 +100,7 @@ impl Default for OptimizerConfig {
             critical_margin_ns: 0.2,
             include_inverting_swaps: false,
             verify_with_simulation: false,
+            threads: 1,
             sizer: SizerConfig::default(),
         }
     }
@@ -175,23 +196,43 @@ impl Optimizer {
         let start = Instant::now();
         let reference =
             if self.config.verify_with_simulation { Some(network.clone()) } else { None };
-        let initial_report = Sta::analyze(network, library, placement, timing);
-        let initial_delay_ns = initial_report.critical_delay_ns();
+        // The hint turns the cycle check of every scored swap into an O(1)
+        // position comparison; it is maintained (or dropped and re-proved)
+        // automatically across edits.
+        network.refresh_topo_hint();
+        let mut inc = IncrementalSta::new(network, library, placement, timing);
+        let initial_delay_ns = inc.report().critical_delay_ns();
         let initial_area_um2 = library.network_area_um2(network);
         let initial_hpwl_um = placement.total_hpwl_um(network);
-        let extraction = extract_supergates(network);
+        let mut extraction = extract_supergates(network);
         let statistics = SupergateStatistics::compute(network, &extraction);
+        let mut cache = NetCache::for_network(network);
 
         let mut swaps_applied = 0usize;
         let mut gates_resized = 0usize;
         match self.config.kind {
             OptimizerKind::Sizing => {
-                let outcome = GateSizer::new(self.config.sizer.clone())
-                    .optimize(network, library, placement, timing);
+                let sizer_config = SizerConfig {
+                    threads: self.config.sizer.threads.max(self.config.threads),
+                    ..self.config.sizer.clone()
+                };
+                let outcome =
+                    GateSizer::new(sizer_config).optimize(network, library, placement, timing);
                 gates_resized = outcome.resized_gates;
+                // The sizer ran its own engine; re-time ours for the report.
+                inc.full(network, library, placement);
             }
             OptimizerKind::Rewiring => {
-                swaps_applied = self.rewiring_loop(network, library, placement, timing, None);
+                swaps_applied = self.rewiring_loop(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    None,
+                    &mut inc,
+                    &mut cache,
+                    &mut extraction,
+                );
             }
             OptimizerKind::Combined => {
                 // Gates covered by trivial supergates are the sizing domain.
@@ -201,10 +242,25 @@ impl Optimizer {
                     .filter(|sg| sg.is_trivial())
                     .flat_map(|sg| sg.members.iter().copied())
                     .collect();
-                swaps_applied =
-                    self.rewiring_loop(network, library, placement, timing, Some(&trivial_gates));
-                gates_resized =
-                    self.restricted_sizing(network, library, placement, timing, &trivial_gates);
+                swaps_applied = self.rewiring_loop(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    Some(&trivial_gates),
+                    &mut inc,
+                    &mut cache,
+                    &mut extraction,
+                );
+                gates_resized = self.restricted_sizing(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    &trivial_gates,
+                    &mut inc,
+                    &mut cache,
+                );
             }
         }
 
@@ -213,7 +269,7 @@ impl Optimizer {
             assert!(check.is_equivalent(), "optimization broke functional equivalence: {check:?}");
         }
 
-        let final_report = Sta::analyze(network, library, placement, timing);
+        let final_report = inc.report();
         OptimizationOutcome {
             kind: self.config.kind,
             initial_delay_ns,
@@ -232,6 +288,7 @@ impl Optimizer {
     /// The rewiring iteration: min-slack phase over critical supergates plus
     /// a relaxation phase over the rest, repeated until no improvement.
     /// When `sizing_domain` is given (`gsg+GS`), its gates are skipped here.
+    #[allow(clippy::too_many_arguments)]
     fn rewiring_loop(
         &self,
         network: &mut Network,
@@ -239,23 +296,36 @@ impl Optimizer {
         placement: &Placement,
         timing: &TimingConfig,
         sizing_domain: Option<&HashSet<GateId>>,
+        inc: &mut IncrementalSta,
+        cache: &mut NetCache,
+        extraction: &mut Extraction,
     ) -> usize {
         let mut total_swaps = 0usize;
         let mut best_delay = f64::INFINITY;
+        let mut extraction_slots = network.gate_count();
         for _ in 0..self.config.max_passes {
-            let report = Sta::analyze(network, library, placement, timing);
-            if report.critical_delay_ns() + 1e-6 >= best_delay && total_swaps > 0 {
+            if inc.report().critical_delay_ns() + 1e-6 >= best_delay && total_swaps > 0 {
                 break;
             }
-            best_delay = best_delay.min(report.critical_delay_ns());
-            // Snapshot so a pass whose locally-scored swaps turn out to hurt
-            // the global critical path can be rolled back wholesale.
-            let pass_start_delay = report.critical_delay_ns();
-            let snapshot = network.clone();
-            let extraction = extract_supergates(network);
+            best_delay = best_delay.min(inc.report().critical_delay_ns());
+            let pass_start_delay = inc.report().critical_delay_ns();
+            if network.topo_hint().is_none() {
+                network.refresh_topo_hint();
+            }
+            // Inverting swaps grow the network and restructure supergates;
+            // non-inverting swaps only exchange leaf drivers, which
+            // `swap_candidates_in` re-reads, so the extraction is reusable.
+            if network.gate_count() != extraction_slots {
+                *extraction = extract_supergates(network);
+                extraction_slots = network.gate_count();
+            }
+
+            let report = inc.report();
             let worst_slack = report.worst_slack_ns();
 
-            // Min-slack phase: supergates touching critical gates, worst first.
+            // Min-slack phase: supergates touching critical gates, worst
+            // first; then the relaxation phase over the remaining non-trivial
+            // supergates, aiming at total-slack (wire-length) recovery.
             let mut ordered: Vec<&Supergate> = extraction
                 .supergates()
                 .iter()
@@ -264,41 +334,65 @@ impl Optimizer {
                     sizing_domain.is_none_or(|dom| !sg.members.iter().all(|m| dom.contains(m)))
                 })
                 .collect();
-            ordered.sort_by(|a, b| {
-                supergate_slack(&report, a)
-                    .partial_cmp(&supergate_slack(&report, b))
-                    .unwrap_or(std::cmp::Ordering::Equal)
-            });
-            let mut pass_swaps = 0usize;
-            for sg in &ordered {
-                let critical =
-                    supergate_slack(&report, sg) <= worst_slack + self.config.critical_margin_ns;
-                if !critical {
-                    continue;
-                }
-                if self.best_swap_for_supergate(network, library, placement, timing, &report, sg) {
-                    pass_swaps += 1;
-                }
-            }
-            // Relaxation phase: the remaining non-trivial supergates, aiming
-            // at total-slack (wire-length) recovery to escape local minima.
-            for sg in &ordered {
-                let critical =
-                    supergate_slack(&report, sg) <= worst_slack + self.config.critical_margin_ns;
-                if critical {
-                    continue;
-                }
-                if self.best_swap_for_supergate(network, library, placement, timing, &report, sg) {
-                    pass_swaps += 1;
-                }
-            }
+            let slack_of: Vec<f64> = ordered.iter().map(|sg| supergate_slack(report, sg)).collect();
+            let mut index: Vec<usize> = (0..ordered.len()).collect();
+            index.sort_by(|&a, &b| slack_of[a].total_cmp(&slack_of[b]));
+            ordered = index.iter().map(|&i| ordered[i]).collect();
+            let critical_flag: Vec<bool> = index
+                .iter()
+                .map(|&i| slack_of[i] <= worst_slack + self.config.critical_margin_ns)
+                .collect();
+
+            let critical: Vec<&Supergate> =
+                ordered.iter().zip(&critical_flag).filter(|(_, &c)| c).map(|(sg, _)| *sg).collect();
+            let relaxed: Vec<&Supergate> = ordered
+                .iter()
+                .zip(&critical_flag)
+                .filter(|(_, &c)| !c)
+                .map(|(sg, _)| *sg)
+                .collect();
+
+            let mut journal: Vec<AppliedSwap> = Vec::new();
+            self.visit_supergates(
+                network,
+                library,
+                placement,
+                timing,
+                report,
+                cache,
+                &critical,
+                &mut journal,
+            );
+            self.visit_supergates(
+                network,
+                library,
+                placement,
+                timing,
+                report,
+                cache,
+                &relaxed,
+                &mut journal,
+            );
+            let pass_swaps = journal.len();
             if pass_swaps == 0 {
                 break;
             }
-            let after = Sta::analyze(network, library, placement, timing).critical_delay_ns();
-            if after > pass_start_delay + 1e-9 {
-                // The local metric misjudged this batch; restore and stop.
-                *network = snapshot;
+            let mut touched: Vec<GateId> = journal
+                .iter()
+                .flat_map(|a| [a.candidate().pin_a.gate, a.candidate().pin_b.gate])
+                .collect();
+            touched.sort_unstable();
+            touched.dedup();
+            inc.update(network, library, placement, &touched);
+            if inc.report().critical_delay_ns() > pass_start_delay + 1e-9 {
+                // The local metric misjudged this batch; replay the undo
+                // journal and stop.
+                for applied in journal.iter().rev() {
+                    let (da, db) = swap_drivers(network, applied.candidate());
+                    undo_swap(network, applied).expect("undoing a journaled swap succeeds");
+                    invalidate_swap_nets(cache, network, applied.candidate(), da, db);
+                }
+                inc.update(network, library, placement, &touched);
                 break;
             }
             total_swaps += pass_swaps;
@@ -306,48 +400,48 @@ impl Optimizer {
         total_swaps
     }
 
-    /// Evaluates every swap candidate of one supergate with the neighborhood
-    /// metric and keeps the best one if it improves on the current wiring.
-    /// Returns `true` if a swap was kept.
-    fn best_swap_for_supergate(
+    /// Scores every supergate in `list` (in order) and applies each winning
+    /// swap.  With `threads > 1`, contiguous runs of region-disjoint
+    /// supergates are scored concurrently on cloned networks and applied in
+    /// the original order, reproducing the sequential decisions.
+    #[allow(clippy::too_many_arguments)]
+    fn visit_supergates(
         &self,
         network: &mut Network,
         library: &Library,
         placement: &Placement,
         timing: &TimingConfig,
         report: &TimingReport,
-        supergate: &Supergate,
-    ) -> bool {
-        let candidates = swap_candidates(supergate, self.config.include_inverting_swaps);
-        if candidates.is_empty() {
-            return false;
-        }
-        let baseline =
-            swap_neighborhood_metric(network, library, placement, timing, report, supergate);
-        let mut best: Option<(SwapCandidate, SwapMetric)> = None;
-        for candidate in candidates {
-            let Ok(applied) = apply_swap(network, &candidate) else {
-                continue;
-            };
-            let metric =
-                swap_neighborhood_metric(network, library, placement, timing, report, supergate);
-            undo_swap(network, &applied).expect("undoing a just-applied swap succeeds");
-            if metric.improves_on(&baseline)
-                && best.as_ref().is_none_or(|(_, m)| metric.improves_on(m))
-            {
-                best = Some((candidate, metric));
-            }
-        }
-        if let Some((candidate, _)) = best {
-            apply_swap(network, &candidate).expect("re-applying the winning swap succeeds");
-            true
-        } else {
-            false
-        }
+        cache: &mut NetCache,
+        list: &[&Supergate],
+        journal: &mut Vec<AppliedSwap>,
+    ) {
+        let include_inverting = self.config.include_inverting_swaps;
+        rapids_sizing::parallel::visit_in_disjoint_batches(
+            network,
+            cache,
+            self.config.threads,
+            list,
+            |network, sg| supergate_region(network, sg),
+            |network, cache, sg| {
+                score_best_swap(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    report,
+                    cache,
+                    include_inverting,
+                    sg,
+                )
+            },
+            |network, cache, _, candidate| accept_swap(network, cache, journal, &candidate),
+        );
     }
 
     /// Coudert-style sizing restricted to a set of gates (the trivially
     /// covered gates in `gsg+GS`).
+    #[allow(clippy::too_many_arguments)]
     fn restricted_sizing(
         &self,
         network: &mut Network,
@@ -355,52 +449,65 @@ impl Optimizer {
         placement: &Placement,
         timing: &TimingConfig,
         domain: &HashSet<GateId>,
+        inc: &mut IncrementalSta,
+        cache: &mut NetCache,
     ) -> usize {
         let mut resized: HashSet<GateId> = HashSet::new();
         for _ in 0..self.config.sizer.max_passes {
-            let report = Sta::analyze(network, library, placement, timing);
+            let report = inc.report();
             let pass_start_delay = report.critical_delay_ns();
-            let snapshot: Vec<(GateId, u8)> = domain
-                .iter()
-                .filter(|&&g| network.is_live(g))
-                .map(|&g| (g, network.gate(g).size_class))
-                .collect();
             let worst = report.worst_slack_ns();
-            let mut changed = 0usize;
             let mut gates: Vec<GateId> = domain
                 .iter()
                 .copied()
                 .filter(|&g| network.is_live(g) && !network.gate(g).gtype.is_source())
                 .collect();
+            // Tie-break on the id: the list is collected from a `HashSet`,
+            // whose iteration order would otherwise leak into equal-slack
+            // runs and make reports irreproducible.
             gates.sort_by(|&a, &b| {
-                report.slack(a).partial_cmp(&report.slack(b)).unwrap_or(std::cmp::Ordering::Equal)
+                report.slack(a).total_cmp(&report.slack(b)).then_with(|| a.cmp(&b))
             });
+            let mut journal: Vec<(GateId, u8)> = Vec::new();
             for g in gates {
                 let is_critical = report.slack(g) <= worst + self.config.critical_margin_ns;
                 if !is_critical && !self.config.sizer.recover_area {
                     continue;
                 }
-                if choose_best_drive_local(
+                if let Some(best) = decide_best_drive_local(
                     network,
                     library,
                     placement,
                     timing,
-                    &report,
+                    report,
+                    cache,
                     g,
                     !is_critical,
+                    worst,
                 ) {
+                    journal.push((g, network.gate(g).size_class));
+                    network.gate_mut(g).size_class = best;
+                    let fanins: Vec<GateId> = network.fanins(g).to_vec();
+                    for f in fanins {
+                        cache.invalidate_loads(f);
+                    }
                     resized.insert(g);
-                    changed += 1;
                 }
             }
-            if changed == 0 {
+            if journal.is_empty() {
                 break;
             }
-            let after = Sta::analyze(network, library, placement, timing).critical_delay_ns();
-            if after > pass_start_delay + 1e-9 {
-                for (g, class) in snapshot {
+            let touched: Vec<GateId> = journal.iter().map(|&(g, _)| g).collect();
+            inc.update(network, library, placement, &touched);
+            if inc.report().critical_delay_ns() > pass_start_delay + 1e-9 {
+                for &(g, class) in journal.iter().rev() {
                     network.gate_mut(g).size_class = class;
+                    let fanins: Vec<GateId> = network.fanins(g).to_vec();
+                    for f in fanins {
+                        cache.invalidate_loads(f);
+                    }
                 }
+                inc.update(network, library, placement, &touched);
                 break;
             }
         }
@@ -417,6 +524,127 @@ impl Default for Optimizer {
 /// Worst slack over the member gates of a supergate.
 fn supergate_slack(report: &TimingReport, supergate: &Supergate) -> f64 {
     supergate.members.iter().map(|&m| report.slack(m)).fold(f64::INFINITY, f64::min)
+}
+
+/// The gates a swap inside `supergate` can read or perturb: its members and
+/// the current drivers of its leaves.  (Member fan-ins are exactly members
+/// plus leaf drivers, by the supergate tree structure.)
+fn supergate_region(network: &Network, supergate: &Supergate) -> Vec<GateId> {
+    let mut region = supergate.members.clone();
+    for leaf in &supergate.leaves {
+        region.push(network.pin_driver(leaf.pin).expect("supergate leaf pins always exist"));
+    }
+    region.sort_unstable();
+    region.dedup();
+    region
+}
+
+/// The current drivers of a candidate's two pins.
+fn swap_drivers(network: &Network, candidate: &SwapCandidate) -> (GateId, GateId) {
+    (
+        network.pin_driver(candidate.pin_a).expect("swap pin exists"),
+        network.pin_driver(candidate.pin_b).expect("swap pin exists"),
+    )
+}
+
+/// Drops the cache state of every net a swap changed: the two exchanged
+/// drivers' nets (sink sets changed) and, for inverting swaps, the inserted
+/// inverters' nets.
+fn invalidate_swap_nets(
+    cache: &mut NetCache,
+    network: &Network,
+    candidate: &SwapCandidate,
+    driver_a: GateId,
+    driver_b: GateId,
+) {
+    // Inverting swaps insert gates; make sure their slots exist.
+    cache.ensure_slots(network.gate_count());
+    cache.invalidate_topology(driver_a);
+    cache.invalidate_topology(driver_b);
+    if candidate.kind == SwapKind::Inverting {
+        // The pins now hang off inverters whose slots may be new.
+        for pin in [candidate.pin_a, candidate.pin_b] {
+            if let Ok(d) = network.pin_driver(pin) {
+                cache.invalidate_topology(d);
+            }
+        }
+    }
+}
+
+/// Evaluates every swap candidate of one supergate with the neighborhood
+/// metric and returns the best one if it improves on the current wiring.
+/// The network (and the cache's view of it) is left exactly as found.
+#[allow(clippy::too_many_arguments)]
+fn score_best_swap(
+    network: &mut Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    cache: &mut NetCache,
+    include_inverting: bool,
+    supergate: &Supergate,
+) -> Option<SwapCandidate> {
+    let candidates = swap_candidates_in(network, supergate, include_inverting);
+    if candidates.is_empty() {
+        return None;
+    }
+    let baseline =
+        swap_neighborhood_metric(network, library, placement, timing, report, cache, supergate);
+    let mut best: Option<(SwapCandidate, SwapMetric)> = None;
+    for candidate in candidates {
+        if candidate.kind == SwapKind::Inverting && network.gate_count() + 2 > placement.len() {
+            // An inverting swap inserts two inverters, but the placement
+            // (and the frozen report) are sized for the pre-swap network and
+            // cannot host the new gates.  The synthetic flow's placements
+            // are always sized exactly, so until inverter legalization lands
+            // (see ROADMAP) these candidates cannot be timed and are
+            // skipped rather than crashing the scorer.
+            continue;
+        }
+        let (da, db) = swap_drivers(network, &candidate);
+        // A legal but order-violating candidate drops the network's
+        // topological hint; since the undo below restores the exact edge
+        // set, the snapshot can be reinstated in O(1) and keeps the cycle
+        // precheck fast for every later candidate.
+        let hint = network.topo_hint_handle();
+        let Ok(applied) = apply_swap(network, &candidate) else {
+            continue;
+        };
+        invalidate_swap_nets(cache, network, &candidate, da, db);
+        let metric =
+            swap_neighborhood_metric(network, library, placement, timing, report, cache, supergate);
+        undo_swap(network, &applied).expect("undoing a just-applied swap succeeds");
+        invalidate_swap_nets(cache, network, &candidate, da, db);
+        if candidate.kind == SwapKind::NonInverting {
+            if let (Some(hint), None) = (hint, network.topo_hint()) {
+                network.reinstate_topo_hint(hint);
+            }
+        }
+        if metric.improves_on(&baseline) && best.as_ref().is_none_or(|(_, m)| metric.improves_on(m))
+        {
+            best = Some((candidate, metric));
+        }
+    }
+    best.map(|(candidate, _)| candidate)
+}
+
+/// Applies a winning swap and keeps the journal and cache coherent.
+fn accept_swap(
+    network: &mut Network,
+    cache: &mut NetCache,
+    journal: &mut Vec<AppliedSwap>,
+    candidate: &SwapCandidate,
+) {
+    let (da, db) = swap_drivers(network, candidate);
+    let applied = apply_swap(network, candidate).expect("re-applying the winning swap succeeds");
+    invalidate_swap_nets(cache, network, candidate, da, db);
+    if network.topo_hint().is_none() {
+        // The accepted swap contradicted the recorded order; re-prove it so
+        // the remaining candidates keep their O(1) cycle precheck.
+        network.refresh_topo_hint();
+    }
+    journal.push(applied);
 }
 
 /// Two-level swap-evaluation metric, compared lexicographically: first the
@@ -444,14 +672,17 @@ impl SwapMetric {
 /// leaves, of `required − locally re-estimated arrival`.
 ///
 /// The arrival estimates recompute the wire (star) and cell delays from the
-/// *current* network connectivity, so a candidate swap that shortens a
-/// critical branch or unloads a critical driver is rewarded.
+/// *current* network connectivity (served from the cache), so a candidate
+/// swap that shortens a critical branch or unloads a critical driver is
+/// rewarded.
+#[allow(clippy::too_many_arguments)]
 fn swap_neighborhood_metric(
     network: &Network,
     library: &Library,
     placement: &Placement,
     timing: &TimingConfig,
     report: &TimingReport,
+    cache: &mut NetCache,
     supergate: &Supergate,
 ) -> SwapMetric {
     let mut worst = f64::INFINITY;
@@ -469,14 +700,14 @@ fn swap_neighborhood_metric(
             continue;
         }
         let input_side = report.arrival(d).worst() - report.gate_delay(d).worst();
-        let fresh = gate_output_delay(network, library, placement, timing, d).worst();
+        let fresh = cache.gate_output_delay(network, library, placement, timing, d).worst();
         let slack = report.required(d) - (input_side + fresh);
         worst = worst.min(slack);
         total += slack;
     }
     // Member gates: their input wire delays change with the swap.
     for &m in &supergate.members {
-        let est = member_arrival_estimate(network, library, placement, timing, report, m);
+        let est = member_arrival_estimate(network, library, placement, timing, report, cache, m);
         let slack = report.required(m) - est;
         worst = worst.min(slack);
         total += slack;
@@ -486,22 +717,26 @@ fn swap_neighborhood_metric(
 
 /// Local arrival estimate of a member gate using fresh wire/cell delays but
 /// frozen upstream arrivals.
+#[allow(clippy::too_many_arguments)]
 fn member_arrival_estimate(
     network: &Network,
     library: &Library,
     placement: &Placement,
     timing: &TimingConfig,
     report: &TimingReport,
+    cache: &mut NetCache,
     gate: GateId,
 ) -> f64 {
-    let own = gate_output_delay(network, library, placement, timing, gate).worst();
+    let own = cache.gate_output_delay(network, library, placement, timing, gate).worst();
     let mut worst_in = 0.0f64;
-    for &f in network.fanins(gate) {
-        let star = rapids_placement::net_star(network, placement, f);
-        let wires = net_delays(network, library, &star, timing);
-        let wire = wires.delay_to_ns(gate).unwrap_or(0.0);
+    let fanins: Vec<GateId> = network.fanins(gate).to_vec();
+    for f in fanins {
+        let wire = cache
+            .net_delays(network, library, placement, timing, f)
+            .delay_to_ns(gate)
+            .unwrap_or(0.0);
         let driver_input_side = report.arrival(f).worst() - report.gate_delay(f).worst();
-        let driver_delay = gate_output_delay(network, library, placement, timing, f).worst();
+        let driver_delay = cache.gate_output_delay(network, library, placement, timing, f).worst();
         let arrival_f =
             if network.gate(f).gtype.is_source() { 0.0 } else { driver_input_side + driver_delay };
         worst_in = worst_in.max(arrival_f + wire);
@@ -509,63 +744,72 @@ fn member_arrival_estimate(
     worst_in + own
 }
 
-/// Tries every drive strength for one gate using the published neighborhood
-/// slack helper; keeps the best.  Mirrors the logic of the stand-alone sizer
-/// but operates on an arbitrary gate subset.
-fn choose_best_drive_local(
+/// Tries every drive strength for one gate using the combined neighborhood
+/// evaluation and returns the best class if it differs from the current one.
+/// Mirrors the logic of the stand-alone sizer but operates on an arbitrary
+/// gate subset; the network (and cache) are left exactly as found.
+// Takes the full evaluation context by design: every argument is a
+// distinct piece of the timing state a candidate must be scored against.
+#[allow(clippy::too_many_arguments)]
+fn decide_best_drive_local(
     network: &mut Network,
     library: &Library,
     placement: &Placement,
     timing: &TimingConfig,
     report: &TimingReport,
+    cache: &mut NetCache,
     gate: GateId,
     prefer_small: bool,
-) -> bool {
+    worst_slack_ns: f64,
+) -> Option<u8> {
     let g = network.gate(gate);
     let drives = library.available_drives(g.gtype, g.fanin_count());
     if drives.len() <= 1 {
-        return false;
+        return None;
     }
     let original = g.size_class;
-    let baseline = neighborhood_slack_ns(network, library, placement, timing, report, gate);
+    let fanins: Vec<GateId> = network.fanins(gate).to_vec();
+    let baseline = neighborhood_eval(network, library, placement, timing, report, cache, gate);
     // Same do-no-harm floor as the stand-alone sizer's min-slack phase: a
     // candidate may load the drivers harder only while none of them falls
     // below the global worst slack (scoring the combined neighborhood
     // minimum instead deadlocks on uniformly critical paths — see
     // rapids_sizing::fanin_min_slack_ns).
-    let driver_floor = fanin_min_slack_ns(network, library, placement, timing, report, gate)
-        .min(report.worst_slack_ns());
+    let baseline_slack = baseline.min_slack_ns();
+    let driver_floor = baseline.fanin_min_slack_ns.min(worst_slack_ns);
     let mut best_class = original;
     let mut best_metric = f64::NEG_INFINITY;
     for drive in drives {
         network.gate_mut(gate).size_class = drive.size_class();
-        let slack = neighborhood_slack_ns(network, library, placement, timing, report, gate);
+        for &f in &fanins {
+            cache.invalidate_loads(f);
+        }
+        let eval = neighborhood_eval(network, library, placement, timing, report, cache, gate);
         let area = library
             .cell(network.gate(gate).gtype, network.gate(gate).fanin_count(), drive)
             .map(|c| c.area_um2)
             .unwrap_or(0.0);
         let metric = if prefer_small {
-            if slack + 1e-9 < baseline.min(0.0) {
+            if eval.min_slack_ns() + 1e-9 < baseline_slack.min(0.0) {
                 f64::NEG_INFINITY
             } else {
                 -area
             }
+        } else if eval.fanin_min_slack_ns + 1e-9 < driver_floor {
+            f64::NEG_INFINITY
         } else {
-            let drivers = fanin_min_slack_ns(network, library, placement, timing, report, gate);
-            if drivers + 1e-9 < driver_floor {
-                f64::NEG_INFINITY
-            } else {
-                report.required(gate)
-                    - estimated_arrival_ns(network, library, placement, timing, report, gate)
-            }
+            eval.own_slack_ns
         };
         if metric > best_metric {
             best_metric = metric;
             best_class = drive.size_class();
         }
     }
-    network.gate_mut(gate).size_class = best_class;
-    best_class != original
+    network.gate_mut(gate).size_class = original;
+    for &f in &fanins {
+        cache.invalidate_loads(f);
+    }
+    (best_class != original).then_some(best_class)
 }
 
 #[cfg(test)]
@@ -642,6 +886,45 @@ mod tests {
         };
         let outcome = Optimizer::new(config).optimize(&mut network, &library, &placement, &timing);
         assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+    }
+
+    #[test]
+    fn inverting_swap_mode_completes_without_panicking() {
+        // The placement is sized exactly for the network, so inverting
+        // candidates cannot be hosted and must be skipped during scoring —
+        // not crash the cache/report indexing (regression test).
+        let (reference, library, placement, timing) = setup("c432");
+        let mut network = reference.clone();
+        let config = OptimizerConfig {
+            include_inverting_swaps: true,
+            ..OptimizerConfig::fast(OptimizerKind::Rewiring)
+        };
+        let outcome = Optimizer::new(config).optimize(&mut network, &library, &placement, &timing);
+        assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
+        assert!(check_equivalence_random(&reference, &network, 512, 5).is_equivalent());
+        // Skipped inverting candidates mean no inverters were inserted.
+        assert_eq!(network.live_gate_count(), reference.live_gate_count());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_optimizer_results() {
+        let (reference, library, placement, timing) = setup("c432");
+        let run = |threads: usize, kind: OptimizerKind| {
+            let mut network = reference.clone();
+            let config = OptimizerConfig { threads, ..OptimizerConfig::fast(kind) };
+            let outcome =
+                Optimizer::new(config).optimize(&mut network, &library, &placement, &timing);
+            let wiring: Vec<Vec<GateId>> =
+                network.iter_live().map(|g| network.fanins(g).to_vec()).collect();
+            let classes: Vec<u8> =
+                network.iter_live().map(|g| network.gate(g).size_class).collect();
+            (outcome.final_delay_ns, outcome.swaps_applied, wiring, classes)
+        };
+        for kind in [OptimizerKind::Rewiring, OptimizerKind::Combined] {
+            let sequential = run(1, kind);
+            let threaded = run(8, kind);
+            assert_eq!(sequential, threaded, "{kind} must be thread-count invariant");
+        }
     }
 
     #[test]

@@ -67,14 +67,40 @@ pub fn classify_pair(supergate: &Supergate, a: PinRef, b: PinRef) -> Option<Pair
 /// candidates.  When `include_inverting` is `false`, only non-inverting swaps
 /// are produced (the default of the optimizer, which keeps the placement
 /// perturbation at zero).
+///
+/// Uses the leaf drivers recorded at extraction time; when the extraction is
+/// cached across rewiring passes, use [`swap_candidates_in`] instead so the
+/// same-signal skip sees the drivers as they are *now*.
 pub fn swap_candidates(supergate: &Supergate, include_inverting: bool) -> Vec<SwapCandidate> {
+    candidates_with(supergate, include_inverting, |leaf| leaf.driver)
+}
+
+/// Like [`swap_candidates`], but reads each leaf pin's current driver from
+/// the network.  Symmetry classes are structural properties of the supergate
+/// and survive driver exchanges, so a cached extraction plus this function
+/// is equivalent to re-extracting after every non-inverting swap.
+pub fn swap_candidates_in(
+    network: &rapids_netlist::Network,
+    supergate: &Supergate,
+    include_inverting: bool,
+) -> Vec<SwapCandidate> {
+    candidates_with(supergate, include_inverting, |leaf| {
+        network.pin_driver(leaf.pin).expect("supergate leaf pins always exist")
+    })
+}
+
+fn candidates_with(
+    supergate: &Supergate,
+    include_inverting: bool,
+    driver_of: impl Fn(&crate::supergate::SupergateLeaf) -> rapids_netlist::GateId,
+) -> Vec<SwapCandidate> {
     let mut candidates = Vec::new();
     let leaves = &supergate.leaves;
     for i in 0..leaves.len() {
         for j in (i + 1)..leaves.len() {
             let a = leaves[i];
             let b = leaves[j];
-            if a.driver == b.driver {
+            if driver_of(&a) == driver_of(&b) {
                 // Swapping two pins fed by the same signal changes nothing.
                 continue;
             }

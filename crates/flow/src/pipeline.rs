@@ -126,6 +126,12 @@ pub struct PipelineConfig {
     pub verify_equivalence: bool,
     /// Number of random vectors for the equivalence check.
     pub verification_vectors: usize,
+    /// Worker threads (1 = fully sequential).  Forwarded to the optimizer's
+    /// candidate scoring, and [`Pipeline::compare_optimizers`] additionally
+    /// runs the three optimizer kinds concurrently when `threads > 1`.
+    /// Every thread count takes identical optimization decisions (see
+    /// `OptimizerConfig::threads` for the one final-ulp rounding caveat).
+    pub threads: usize,
 }
 
 impl Default for PipelineConfig {
@@ -141,6 +147,7 @@ impl Default for PipelineConfig {
             map_max_fanin: 4,
             verify_equivalence: false,
             verification_vectors: 1024,
+            threads: 1,
         }
     }
 }
@@ -360,7 +367,11 @@ impl Pipeline {
         kind: OptimizerKind,
     ) -> Result<PipelineReport, PipelineError> {
         let mut working = design.network.clone();
-        let optimizer_config = OptimizerConfig { kind, ..self.config.optimizer.clone() };
+        let optimizer_config = OptimizerConfig {
+            kind,
+            threads: self.config.optimizer.threads.max(self.config.threads),
+            ..self.config.optimizer.clone()
+        };
         let outcome = Optimizer::new(optimizer_config).optimize(
             &mut working,
             &design.library,
@@ -407,22 +418,38 @@ impl Pipeline {
     }
 
     /// Runs `gsg`, `GS` and `gsg+GS` on one shared placement — one Table 1
-    /// row's worth of experiments.
+    /// row's worth of experiments.  The three optimizer runs are independent
+    /// (each clones the prepared network), so with `threads > 1` they execute
+    /// on separate threads; the comparison is identical either way.
     pub fn compare_optimizers(
         &self,
         source: CircuitSource,
     ) -> Result<FlowComparison, PipelineError> {
         let design = self.prepare(source)?;
-        let rewiring = self.optimize(&design, OptimizerKind::Rewiring)?;
-        let sizing = self.optimize(&design, OptimizerKind::Sizing)?;
-        let combined = self.optimize(&design, OptimizerKind::Combined)?;
+        let (rewiring, sizing, combined) = if self.config.threads > 1 {
+            let design_ref = &design;
+            std::thread::scope(|s| {
+                let rewiring = s.spawn(|| self.optimize(design_ref, OptimizerKind::Rewiring));
+                let sizing = s.spawn(|| self.optimize(design_ref, OptimizerKind::Sizing));
+                let combined = self.optimize(design_ref, OptimizerKind::Combined);
+                let rewiring = rewiring.join().expect("rewiring optimizer thread panicked");
+                let sizing = sizing.join().expect("sizing optimizer thread panicked");
+                (rewiring, sizing, combined)
+            })
+        } else {
+            (
+                self.optimize(&design, OptimizerKind::Rewiring),
+                self.optimize(&design, OptimizerKind::Sizing),
+                self.optimize(&design, OptimizerKind::Combined),
+            )
+        };
         Ok(FlowComparison {
             name: design.name.clone(),
             gate_count: design.network.logic_gate_count(),
             initial_delay_ns: design.initial_delay_ns(),
-            rewiring,
-            sizing,
-            combined,
+            rewiring: rewiring?,
+            sizing: sizing?,
+            combined: combined?,
         })
     }
 }

@@ -32,7 +32,12 @@
 //! ```
 
 pub mod neighborhood;
+pub mod parallel;
 pub mod sizer;
 
-pub use neighborhood::{estimated_arrival_ns, fanin_min_slack_ns, neighborhood_slack_ns};
+pub use neighborhood::{
+    estimated_arrival_cached, estimated_arrival_ns, fanin_min_slack_ns, neighborhood_eval,
+    neighborhood_slack_ns, NeighborhoodEval,
+};
+pub use parallel::contiguous_disjoint_batches;
 pub use sizer::{GateSizer, SizerConfig, SizingOutcome};

@@ -10,7 +10,7 @@
 use rapids_celllib::Library;
 use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
-use rapids_timing::{gate_output_delay, TimingConfig, TimingReport};
+use rapids_timing::{gate_output_delay, NetCache, TimingConfig, TimingReport};
 
 /// Estimated worst arrival time at the output of `gate`, recomputed from the
 /// frozen arrival times of its fan-ins plus freshly evaluated wire and cell
@@ -116,6 +116,85 @@ pub fn neighborhood_total_slack_ns(
     total
 }
 
+/// All three neighborhood quantities of one gate, computed in a single
+/// sweep.
+///
+/// The separate helpers above re-derive the same estimated arrivals up to
+/// three times per candidate probe; the sizing hot loop uses this combined
+/// form (plus a [`NetCache`]) instead.  Every field is bit-identical to the
+/// corresponding stand-alone helper.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NeighborhoodEval {
+    /// `required − estimated arrival` of the gate itself
+    /// (= [`estimated_arrival_ns`] folded into a slack).
+    pub own_slack_ns: f64,
+    /// Worst re-timed slack over the logic fan-in drivers
+    /// (= [`fanin_min_slack_ns`]).
+    pub fanin_min_slack_ns: f64,
+    /// Sum of the neighborhood slacks (= [`neighborhood_total_slack_ns`]).
+    pub total_slack_ns: f64,
+}
+
+impl NeighborhoodEval {
+    /// Worst slack over the whole neighborhood
+    /// (= [`neighborhood_slack_ns`]).
+    pub fn min_slack_ns(&self) -> f64 {
+        self.own_slack_ns.min(self.fanin_min_slack_ns)
+    }
+}
+
+/// [`estimated_arrival_ns`] with the fresh wire/cell delays served from a
+/// [`NetCache`]; bit-identical to the uncached helper as long as the cache's
+/// invalidation protocol was followed.
+pub fn estimated_arrival_cached(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    report: &TimingReport,
+    cache: &mut NetCache,
+    gate: GateId,
+) -> f64 {
+    let g = network.gate(gate);
+    if g.gtype.is_source() {
+        return 0.0;
+    }
+    let own_delay = cache.gate_output_delay(network, library, placement, config, gate).worst();
+    let mut worst_input = 0.0f64;
+    for &f in &g.fanins {
+        let wire = report.net(f).and_then(|nd| nd.delay_to_ns(gate)).unwrap_or(0.0);
+        worst_input = worst_input.max(report.arrival(f).worst() + wire);
+    }
+    worst_input + own_delay
+}
+
+/// Computes the full [`NeighborhoodEval`] of one gate in a single sweep over
+/// the gate and its logic fan-in drivers.
+pub fn neighborhood_eval(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    report: &TimingReport,
+    cache: &mut NetCache,
+    gate: GateId,
+) -> NeighborhoodEval {
+    let own_slack_ns = report.required(gate)
+        - estimated_arrival_cached(network, library, placement, config, report, cache, gate);
+    let mut fanin_min_slack_ns = f64::INFINITY;
+    let mut total_slack_ns = own_slack_ns;
+    for &f in network.fanins(gate) {
+        if network.gate(f).gtype.is_source() {
+            continue;
+        }
+        let slack_f = report.required(f)
+            - estimated_arrival_cached(network, library, placement, config, report, cache, f);
+        fanin_min_slack_ns = fanin_min_slack_ns.min(slack_f);
+        total_slack_ns += slack_f;
+    }
+    NeighborhoodEval { own_slack_ns, fanin_min_slack_ns, total_slack_ns }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +248,35 @@ mod tests {
         let report = Sta::analyze(&n, &lib, &p, &cfg);
         let a = n.find_by_name("a").unwrap();
         assert_eq!(estimated_arrival_ns(&n, &lib, &p, &cfg, &report, a), 0.0);
+    }
+
+    #[test]
+    fn combined_eval_matches_standalone_helpers() {
+        let (mut n, lib, p, cfg) = setup();
+        let report = Sta::analyze(&n, &lib, &p, &cfg);
+        let mut cache = rapids_timing::NetCache::for_network(&n);
+        let gates: Vec<_> = n.iter_logic().collect();
+        for &g in &gates {
+            let eval = neighborhood_eval(&n, &lib, &p, &cfg, &report, &mut cache, g);
+            assert_eq!(eval.min_slack_ns(), neighborhood_slack_ns(&n, &lib, &p, &cfg, &report, g));
+            assert_eq!(eval.fanin_min_slack_ns, fanin_min_slack_ns(&n, &lib, &p, &cfg, &report, g));
+            assert_eq!(
+                eval.total_slack_ns,
+                neighborhood_total_slack_ns(&n, &lib, &p, &cfg, &report, g)
+            );
+        }
+        // Resize a gate, invalidate the affected fan-in nets, and the cached
+        // eval must still match the (cache-free) helpers bit for bit.
+        let n1 = n.find_by_name("n1").unwrap();
+        let fanins: Vec<_> = n.fanins(n1).to_vec();
+        n.gate_mut(n1).size_class = DriveStrength::X8.size_class();
+        for f in fanins {
+            cache.invalidate_loads(f);
+        }
+        for &g in &gates {
+            let eval = neighborhood_eval(&n, &lib, &p, &cfg, &report, &mut cache, g);
+            assert_eq!(eval.min_slack_ns(), neighborhood_slack_ns(&n, &lib, &p, &cfg, &report, g));
+        }
     }
 
     #[test]

@@ -1,13 +1,23 @@
 //! The gate sizing optimizer ("GS" in the paper's Table 1).
+//!
+//! Timing state is owned by an [`IncrementalSta`]: each phase scores
+//! candidates against the frozen report of the last refresh, and the refresh
+//! between phases re-times only the fan-in/fan-out cones of the gates that
+//! actually changed.  Candidate probes run through a [`NetCache`] so the
+//! star geometry and Elmore delays of unchanged nets are never recomputed,
+//! and phases can score batches of region-disjoint gates on worker threads
+//! (`SizerConfig::threads`) with bit-identical results to the sequential
+//! visit.
+
+use std::collections::HashSet;
 
 use rapids_celllib::{DriveStrength, Library};
 use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
-use rapids_timing::{Sta, TimingConfig, TimingReport};
+use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
 
-use crate::neighborhood::{
-    estimated_arrival_ns, fanin_min_slack_ns, neighborhood_slack_ns, neighborhood_total_slack_ns,
-};
+use crate::neighborhood::neighborhood_eval;
+use crate::parallel::visit_in_disjoint_batches;
 
 /// Configuration of the sizing optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -23,6 +33,10 @@ pub struct SizerConfig {
     /// Whether the relaxation phase may downsize non-critical gates to
     /// recover area.
     pub recover_area: bool,
+    /// Worker threads for candidate scoring (1 = fully sequential).  Any
+    /// thread count produces identical results; see
+    /// [`crate::parallel::contiguous_disjoint_batches`].
+    pub threads: usize,
 }
 
 impl Default for SizerConfig {
@@ -32,6 +46,7 @@ impl Default for SizerConfig {
             critical_margin_ns: 0.15,
             convergence_threshold_ns: 1e-4,
             recover_area: true,
+            threads: 1,
         }
     }
 }
@@ -78,6 +93,11 @@ impl SizingOutcome {
     }
 }
 
+/// A sizing decision journal: `(gate, previous size class)` per change, in
+/// application order.  Replaces the whole-network snapshots that phase
+/// rollback used to clone.
+type SizeJournal = Vec<(GateId, u8)>;
+
 /// The gate sizing optimizer.
 #[derive(Debug, Clone)]
 pub struct GateSizer {
@@ -100,19 +120,11 @@ impl GateSizer {
         placement: &Placement,
         timing: &TimingConfig,
     ) -> SizingOutcome {
-        let initial_report = Sta::analyze(network, library, placement, timing);
-        let initial_delay_ns = initial_report.critical_delay_ns();
+        let mut inc = IncrementalSta::new(network, library, placement, timing);
+        let mut cache = NetCache::for_network(network);
+        let initial_delay_ns = inc.report().critical_delay_ns();
         let initial_area_um2 = library.network_area_um2(network);
-        let mut resized: std::collections::HashSet<GateId> = std::collections::HashSet::new();
-
-        let snapshot = |network: &Network| -> Vec<u8> {
-            (0..network.gate_count() as u32).map(|i| network.gate(GateId(i)).size_class).collect()
-        };
-        let restore = |network: &mut Network, classes: &[u8]| {
-            for (i, &class) in classes.iter().enumerate() {
-                network.gate_mut(GateId(i as u32)).size_class = class;
-            }
-        };
+        let mut resized: HashSet<GateId> = HashSet::new();
 
         let mut best_delay = initial_delay_ns;
         let mut passes = 0;
@@ -122,35 +134,46 @@ impl GateSizer {
             // independently: a relaxation step that turns out to hurt the
             // global critical path is rolled back without discarding the
             // delay gains of the min-slack phase.
-            let before_min = snapshot(network);
-            let report = Sta::analyze(network, library, placement, timing);
-            let changed_min =
-                self.min_slack_phase(network, library, placement, timing, &report, &mut resized);
-            let after_min = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+            let journal_min = self.min_slack_phase(
+                network,
+                library,
+                placement,
+                timing,
+                inc.report(),
+                &mut cache,
+                &mut resized,
+            );
+            let changed_min = journal_min.len();
+            let touched_min: Vec<GateId> = journal_min.iter().map(|&(g, _)| g).collect();
+            inc.update(network, library, placement, &touched_min);
+            let after_min = inc.report().critical_delay_ns();
             if after_min > best_delay + 1e-9 {
-                restore(network, &before_min);
+                rollback(network, &mut cache, &journal_min);
+                inc.update(network, library, placement, &touched_min);
                 break;
             }
             let mut changed_relax = 0;
             if self.config.recover_area {
-                let before_relax = snapshot(network);
-                let report = Sta::analyze(network, library, placement, timing);
-                changed_relax = self.relaxation_phase(
+                let journal_relax = self.relaxation_phase(
                     network,
                     library,
                     placement,
                     timing,
-                    &report,
+                    inc.report(),
+                    &mut cache,
                     &mut resized,
                 );
-                let after_relax =
-                    Sta::analyze(network, library, placement, timing).critical_delay_ns();
+                changed_relax = journal_relax.len();
+                let touched: Vec<GateId> = journal_relax.iter().map(|&(g, _)| g).collect();
+                inc.update(network, library, placement, &touched);
+                let after_relax = inc.report().critical_delay_ns();
                 if after_relax > after_min + 1e-9 {
-                    restore(network, &before_relax);
+                    rollback(network, &mut cache, &journal_relax);
+                    inc.update(network, library, placement, &touched);
                     changed_relax = 0;
                 }
             }
-            let after = Sta::analyze(network, library, placement, timing).critical_delay_ns();
+            let after = inc.report().critical_delay_ns();
             let improved = best_delay - after > self.config.convergence_threshold_ns;
             if after < best_delay {
                 best_delay = after;
@@ -160,7 +183,7 @@ impl GateSizer {
             }
         }
 
-        let final_report = Sta::analyze(network, library, placement, timing);
+        let final_report = inc.report();
         SizingOutcome {
             initial_delay_ns,
             final_delay_ns: final_report.critical_delay_ns(),
@@ -174,7 +197,8 @@ impl GateSizer {
     /// Visits critical gates in order of increasing slack and greedily picks
     /// the drive strength that maximizes the gate's own re-timed slack,
     /// subject to the fan-in drivers staying above the do-no-harm floor
-    /// (see `choose_best_drive`).
+    /// (see `decide_best_drive`).
+    #[allow(clippy::too_many_arguments)]
     fn min_slack_phase(
         &self,
         network: &mut Network,
@@ -182,29 +206,24 @@ impl GateSizer {
         placement: &Placement,
         timing: &TimingConfig,
         report: &TimingReport,
-        resized: &mut std::collections::HashSet<GateId>,
-    ) -> usize {
+        cache: &mut NetCache,
+        resized: &mut HashSet<GateId>,
+    ) -> SizeJournal {
         let worst = report.worst_slack_ns();
         let mut critical: Vec<GateId> = network
             .iter_logic()
             .filter(|&g| report.slack(g) <= worst + self.config.critical_margin_ns)
             .collect();
-        critical.sort_by(|&a, &b| {
-            report.slack(a).partial_cmp(&report.slack(b)).unwrap_or(std::cmp::Ordering::Equal)
-        });
-        let mut changed = 0;
-        for g in critical {
-            if self.choose_best_drive(network, library, placement, timing, report, g, false) {
-                resized.insert(g);
-                changed += 1;
-            }
-        }
-        changed
+        critical.sort_by(|&a, &b| report.slack(a).total_cmp(&report.slack(b)));
+        self.visit_gates(
+            network, library, placement, timing, report, cache, &critical, false, worst, resized,
+        )
     }
 
     /// Visits non-critical gates and picks the implementation maximizing the
     /// neighborhood *total* slack, preferring smaller cells on ties — this is
     /// the relaxation / area-recovery phase.
+    #[allow(clippy::too_many_arguments)]
     fn relaxation_phase(
         &self,
         network: &mut Network,
@@ -212,103 +231,63 @@ impl GateSizer {
         placement: &Placement,
         timing: &TimingConfig,
         report: &TimingReport,
-        resized: &mut std::collections::HashSet<GateId>,
-    ) -> usize {
+        cache: &mut NetCache,
+        resized: &mut HashSet<GateId>,
+    ) -> SizeJournal {
         let worst = report.worst_slack_ns();
         let relaxed: Vec<GateId> = network
             .iter_logic()
             .filter(|&g| report.slack(g) > worst + self.config.critical_margin_ns)
             .collect();
-        let mut changed = 0;
-        for g in relaxed {
-            if self.choose_best_drive(network, library, placement, timing, report, g, true) {
-                resized.insert(g);
-                changed += 1;
-            }
-        }
-        changed
+        self.visit_gates(
+            network, library, placement, timing, report, cache, &relaxed, true, worst, resized,
+        )
     }
 
-    /// Tries every available drive strength of `gate` and keeps the best one.
-    /// Returns `true` if the gate's implementation changed.
-    // Takes the full evaluation context by design: every argument is a
-    // distinct piece of the timing state a candidate must be scored against.
+    /// Decides and applies the best drive strength for every gate in `gates`
+    /// (in order).  With `threads > 1`, contiguous runs of region-disjoint
+    /// gates are scored concurrently on cloned networks and applied in the
+    /// original order — bit-identical to the sequential visit.
     #[allow(clippy::too_many_arguments)]
-    fn choose_best_drive(
+    fn visit_gates(
         &self,
         network: &mut Network,
         library: &Library,
         placement: &Placement,
         timing: &TimingConfig,
         report: &TimingReport,
-        gate: GateId,
+        cache: &mut NetCache,
+        gates: &[GateId],
         relaxation: bool,
-    ) -> bool {
-        let g = network.gate(gate);
-        let arity = g.fanin_count();
-        let function = g.gtype;
-        let original_class = g.size_class;
-        let drives = library.available_drives(function, arity);
-        if drives.len() <= 1 {
-            return false;
-        }
-        let baseline_slack =
-            neighborhood_slack_ns(network, library, placement, timing, report, gate);
-        // Do-no-harm floor for the min-slack phase: a candidate may load the
-        // fan-in drivers harder only while none of them drops below the
-        // current global worst slack (or below where they already are, if
-        // that is worse).  Scoring the gate's *own* re-timed slack under
-        // that constraint — rather than the combined neighborhood minimum —
-        // lets the upsizing frontier advance along uniformly critical paths,
-        // where any upsize necessarily costs its (equally critical) driver a
-        // little slack.
-        let driver_floor = fanin_min_slack_ns(network, library, placement, timing, report, gate)
-            .min(report.worst_slack_ns());
-
-        let mut best_class = original_class;
-        let mut best_metric = f64::NEG_INFINITY;
-        let mut best_area = f64::INFINITY;
-        for drive in drives {
-            network.gate_mut(gate).size_class = drive.size_class();
-            let area =
-                library.cell(function, arity, drive).map(|c| c.area_um2).unwrap_or(f64::INFINITY);
-            let metric = if relaxation {
-                // Relaxation / area recovery: pick the smallest implementation
-                // that does not push the neighborhood min slack below the
-                // do-no-harm floor (the baseline, clamped at zero so gates
-                // with abundant slack may give some of it up).  The total
-                // slack acts as a tie-breaker so that, area being equal, the
-                // globally faster choice wins.
-                let min_slack =
-                    neighborhood_slack_ns(network, library, placement, timing, report, gate);
-                let floor = baseline_slack.min(0.0);
-                if min_slack + 1e-9 < floor {
-                    f64::NEG_INFINITY
-                } else {
-                    let total = neighborhood_total_slack_ns(
-                        network, library, placement, timing, report, gate,
-                    );
-                    -area + total * 1e-6
-                }
-            } else {
-                let drivers = fanin_min_slack_ns(network, library, placement, timing, report, gate);
-                if drivers + 1e-9 < driver_floor {
-                    f64::NEG_INFINITY
-                } else {
-                    report.required(gate)
-                        - estimated_arrival_ns(network, library, placement, timing, report, gate)
-                }
-            };
-            let better =
-                metric > best_metric + 1e-9 || (metric > best_metric - 1e-9 && area < best_area);
-            if better {
-                best_metric = metric;
-                best_class = drive.size_class();
-                best_area = area;
-            }
-        }
-        network.gate_mut(gate).size_class = best_class;
-        best_class != original_class
+        worst_slack: f64,
+        resized: &mut HashSet<GateId>,
+    ) -> SizeJournal {
+        let mut journal = SizeJournal::new();
+        visit_in_disjoint_batches(
+            network,
+            cache,
+            self.config.threads,
+            gates,
+            |network, &g| sizing_region(network, g),
+            |network, cache, &g| {
+                decide_best_drive(
+                    network,
+                    library,
+                    placement,
+                    timing,
+                    report,
+                    cache,
+                    g,
+                    relaxation,
+                    worst_slack,
+                )
+            },
+            |network, cache, &g, best| {
+                apply_class(network, cache, &mut journal, g, best);
+                resized.insert(g);
+            },
+        );
+        journal
     }
 }
 
@@ -316,6 +295,133 @@ impl Default for GateSizer {
     fn default() -> Self {
         GateSizer::new(SizerConfig::default())
     }
+}
+
+/// Tries every available drive strength of `gate` and returns the best one
+/// if it differs from the current assignment.  Leaves the network (and the
+/// cache's view of it) exactly as found.
+// Takes the full evaluation context by design: every argument is a distinct
+// piece of the timing state a candidate must be scored against.
+#[allow(clippy::too_many_arguments)]
+fn decide_best_drive(
+    network: &mut Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    cache: &mut NetCache,
+    gate: GateId,
+    relaxation: bool,
+    worst_slack_ns: f64,
+) -> Option<u8> {
+    let g = network.gate(gate);
+    let arity = g.fanin_count();
+    let function = g.gtype;
+    let original_class = g.size_class;
+    let drives = library.available_drives(function, arity);
+    if drives.len() <= 1 {
+        return None;
+    }
+    let fanins: Vec<GateId> = network.fanins(gate).to_vec();
+    let baseline = neighborhood_eval(network, library, placement, timing, report, cache, gate);
+    // Do-no-harm floor for the min-slack phase: a candidate may load the
+    // fan-in drivers harder only while none of them drops below the
+    // current global worst slack (or below where they already are, if
+    // that is worse).  Scoring the gate's *own* re-timed slack under
+    // that constraint — rather than the combined neighborhood minimum —
+    // lets the upsizing frontier advance along uniformly critical paths,
+    // where any upsize necessarily costs its (equally critical) driver a
+    // little slack.
+    let baseline_slack = baseline.min_slack_ns();
+    let driver_floor = baseline.fanin_min_slack_ns.min(worst_slack_ns);
+
+    let mut best_class = original_class;
+    let mut best_metric = f64::NEG_INFINITY;
+    let mut best_area = f64::INFINITY;
+    for drive in drives {
+        network.gate_mut(gate).size_class = drive.size_class();
+        for &f in &fanins {
+            cache.invalidate_loads(f);
+        }
+        let area =
+            library.cell(function, arity, drive).map(|c| c.area_um2).unwrap_or(f64::INFINITY);
+        let eval = neighborhood_eval(network, library, placement, timing, report, cache, gate);
+        let metric = if relaxation {
+            // Relaxation / area recovery: pick the smallest implementation
+            // that does not push the neighborhood min slack below the
+            // do-no-harm floor (the baseline, clamped at zero so gates
+            // with abundant slack may give some of it up).  The total
+            // slack acts as a tie-breaker so that, area being equal, the
+            // globally faster choice wins.
+            let floor = baseline_slack.min(0.0);
+            if eval.min_slack_ns() + 1e-9 < floor {
+                f64::NEG_INFINITY
+            } else {
+                -area + eval.total_slack_ns * 1e-6
+            }
+        } else if eval.fanin_min_slack_ns + 1e-9 < driver_floor {
+            f64::NEG_INFINITY
+        } else {
+            eval.own_slack_ns
+        };
+        let better =
+            metric > best_metric + 1e-9 || (metric > best_metric - 1e-9 && area < best_area);
+        if better {
+            best_metric = metric;
+            best_class = drive.size_class();
+            best_area = area;
+        }
+    }
+    network.gate_mut(gate).size_class = original_class;
+    for &f in &fanins {
+        cache.invalidate_loads(f);
+    }
+    (best_class != original_class).then_some(best_class)
+}
+
+/// Applies a sizing decision, journaling the previous class and keeping the
+/// cache coherent.
+fn apply_class(
+    network: &mut Network,
+    cache: &mut NetCache,
+    journal: &mut SizeJournal,
+    gate: GateId,
+    class: u8,
+) {
+    let old = network.gate(gate).size_class;
+    journal.push((gate, old));
+    network.gate_mut(gate).size_class = class;
+    let fanins: Vec<GateId> = network.fanins(gate).to_vec();
+    for f in fanins {
+        cache.invalidate_loads(f);
+    }
+}
+
+/// Reverses a phase's sizing decisions (undo journal replay).
+fn rollback(network: &mut Network, cache: &mut NetCache, journal: &[(GateId, u8)]) {
+    for &(g, class) in journal.iter().rev() {
+        network.gate_mut(g).size_class = class;
+        let fanins: Vec<GateId> = network.fanins(g).to_vec();
+        for f in fanins {
+            cache.invalidate_loads(f);
+        }
+    }
+}
+
+/// The gates whose timing a sizing decision at `gate` can read or perturb:
+/// the gate, its fan-in drivers, and the sinks of all of those nets.  Two
+/// gates with disjoint regions can be scored in either order (or
+/// concurrently) with identical results.
+fn sizing_region(network: &Network, gate: GateId) -> Vec<GateId> {
+    let mut region = vec![gate];
+    region.extend_from_slice(network.fanins(gate));
+    region.extend_from_slice(network.fanouts(gate));
+    for &f in network.fanins(gate) {
+        region.extend_from_slice(network.fanouts(f));
+    }
+    region.sort_unstable();
+    region.dedup();
+    region
 }
 
 /// Returns the drive strength currently assigned to a gate (helper for
@@ -392,6 +498,25 @@ mod tests {
             n.gate(g3).size_class > 0,
             "the gate driving 7 sinks should not stay at minimum size"
         );
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let lib = Library::standard_035um();
+        let reference = chain_with_fanout();
+        let p = place(&reference, &lib, &PlacerConfig::fast(), 3);
+        let run = |threads: usize| {
+            let mut n = reference.clone();
+            let config = SizerConfig { threads, ..SizerConfig::default() };
+            let outcome =
+                GateSizer::new(config).optimize(&mut n, &lib, &p, &TimingConfig::default());
+            let classes: Vec<u8> = n.iter_live().map(|g| n.gate(g).size_class).collect();
+            (outcome, classes)
+        };
+        let (o1, c1) = run(1);
+        let (o8, c8) = run(8);
+        assert_eq!(o1, o8, "outcomes must be identical across thread counts");
+        assert_eq!(c1, c8, "final size classes must be identical across thread counts");
     }
 
     #[test]

@@ -1,0 +1,534 @@
+//! Incremental (dirty-cone) static timing analysis.
+//!
+//! The paper's optimization loops apply long sequences of local moves — pin
+//! swaps and drive-strength changes — and between moves only the timing of
+//! the affected fan-out cone (arrivals) and fan-in cone (required times)
+//! changes.  [`IncrementalSta`] owns the arrival/required/parasitic arrays
+//! plus a cached topological order and level map, and re-times exactly those
+//! cones:
+//!
+//! * [`IncrementalSta::full`] runs the same kernels as [`Sta::analyze`] over
+//!   the whole network and refreshes the cached order;
+//! * [`IncrementalSta::update`] takes the set of gates whose connectivity or
+//!   drive strength changed, refreshes their parasitics, propagates arrivals
+//!   forward and required times backward with position-ordered worklists,
+//!   and prunes each frontier as soon as a recomputed value is bit-identical
+//!   to the stored one.
+//!
+//! Because the kernels and fold orders are shared, an update converges to
+//! **bit-identical** state to a from-scratch analysis of the same network —
+//! a property cheap enough to check on the fly: a seeded self-check mode
+//! re-runs the full analysis on a random subset of updates and asserts
+//! equality (see [`IncrementalSta::enable_self_check`]).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rapids_celllib::Library;
+use rapids_netlist::{topo, GateId, Network};
+use rapids_placement::Placement;
+
+use crate::rc::TimingConfig;
+use crate::sta::{
+    arrival_of, clamp_required, output_driver_mask, refresh_parasitics, required_raw_of, Sta,
+    TimingReport,
+};
+
+/// Counters describing how much work the engine has done (useful for tests
+/// and perf reporting).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IncrementalStats {
+    /// Number of from-scratch analyses (constructor, explicit `full` calls
+    /// and automatic fallbacks).
+    pub full_refreshes: usize,
+    /// Number of dirty-cone updates that ran incrementally.
+    pub incremental_updates: usize,
+    /// Total gates whose arrival was recomputed by incremental updates.
+    pub gates_retimed: usize,
+}
+
+/// Seeded self-check state: every update draws from a small LCG and one in
+/// `one_in` updates is verified against a full analysis.
+#[derive(Debug, Clone, Copy)]
+struct SelfCheck {
+    state: u64,
+    one_in: u32,
+}
+
+impl SelfCheck {
+    fn fires(&mut self) -> bool {
+        // Numerical Recipes LCG; plenty for sampling a check probability.
+        self.state = self.state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.one_in <= 1 || ((self.state >> 33) as u32).is_multiple_of(self.one_in)
+    }
+}
+
+/// Incremental static timing engine.
+///
+/// Holds a [`TimingReport`] that is kept current across updates; consumers
+/// that score candidates against a frozen report can keep borrowing
+/// [`IncrementalSta::report`] between updates exactly as they borrowed the
+/// result of a full analysis before.
+#[derive(Debug, Clone)]
+pub struct IncrementalSta {
+    config: TimingConfig,
+    report: TimingReport,
+    /// Cached topological order of the live gates.
+    order: Vec<GateId>,
+    /// Topological position per slot (`u32::MAX` for tomb-stoned slots).
+    pos: Vec<u32>,
+    /// Logic level per slot (sources are level 0).
+    level: Vec<u32>,
+    drives_output: Vec<bool>,
+    stats: IncrementalStats,
+    self_check: Option<SelfCheck>,
+}
+
+impl IncrementalSta {
+    /// Builds the engine by running a full analysis.
+    pub fn new(
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+        config: &TimingConfig,
+    ) -> Self {
+        let report = Sta::analyze(network, library, placement, config);
+        let mut engine = IncrementalSta {
+            config: *config,
+            report,
+            order: Vec::new(),
+            pos: Vec::new(),
+            level: Vec::new(),
+            drives_output: Vec::new(),
+            stats: IncrementalStats { full_refreshes: 1, ..IncrementalStats::default() },
+            self_check: None,
+        };
+        engine.refresh_topology(network);
+        engine
+    }
+
+    /// Enables the seeded self-check: roughly one in `one_in` updates is
+    /// cross-verified against a full `Sta::analyze` (panicking on drift).
+    pub fn enable_self_check(&mut self, seed: u64, one_in: u32) {
+        self.self_check = Some(SelfCheck { state: seed, one_in });
+    }
+
+    /// The current timing state.  Valid until the next `update`/`full` call.
+    pub fn report(&self) -> &TimingReport {
+        &self.report
+    }
+
+    /// Consumes the engine, yielding the final timing state.
+    pub fn into_report(self) -> TimingReport {
+        self.report
+    }
+
+    /// Work counters.
+    pub fn stats(&self) -> IncrementalStats {
+        self.stats
+    }
+
+    /// The cached topological order of the live gates.
+    pub fn topo_order(&self) -> &[GateId] {
+        &self.order
+    }
+
+    /// The cached logic level of a gate (0 for sources).
+    pub fn level(&self, gate: GateId) -> u32 {
+        self.level[gate.index()]
+    }
+
+    fn refresh_topology(&mut self, network: &Network) {
+        self.order = topo::topological_order(network)
+            .expect("incremental timing requires an acyclic network");
+        self.pos = vec![u32::MAX; network.gate_count()];
+        for (i, g) in self.order.iter().enumerate() {
+            self.pos[g.index()] = i as u32;
+        }
+        let levels = topo::levels(network);
+        self.level = levels.iter().map(|&l| l as u32).collect();
+        self.drives_output = output_driver_mask(network);
+    }
+
+    /// Re-times the whole network from scratch (same kernels as
+    /// [`Sta::analyze`]) and refreshes the cached order, levels and output
+    /// mask.  Use after structural edits too large or too irregular to
+    /// describe as a touched set (e.g. redirected output ports).
+    pub fn full(&mut self, network: &Network, library: &Library, placement: &Placement) {
+        self.report = Sta::analyze(network, library, placement, &self.config);
+        self.refresh_topology(network);
+        self.stats.full_refreshes += 1;
+    }
+
+    /// `true` if the cached order is still a valid topological order around
+    /// the touched gates (their fan-in edges all point backwards).
+    fn order_still_valid(&self, network: &Network, touched: &[GateId]) -> bool {
+        touched.iter().all(|&g| {
+            if !network.is_live(g) {
+                return true;
+            }
+            let pg = self.pos[g.index()];
+            pg != u32::MAX
+                && network.fanins(g).iter().all(|f| {
+                    let pf = self.pos[f.index()];
+                    pf != u32::MAX && pf < pg
+                })
+        })
+    }
+
+    /// Dirty-cone update after a batch of local moves.
+    ///
+    /// `touched` must contain every gate whose fan-in list, fan-out set or
+    /// drive strength changed since the last `update`/`full` call.  A pin
+    /// swap touches the two pins' gates (their old and new drivers are then
+    /// covered automatically, because both remain fan-ins of the touched
+    /// pair); a resize touches the resized gate.  Duplicates are fine.
+    ///
+    /// Falls back to a full analysis when the network grew (e.g. inverting
+    /// swaps inserted inverters) or the cached order was invalidated.
+    pub fn update(
+        &mut self,
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+        touched: &[GateId],
+    ) {
+        if touched.is_empty() {
+            return;
+        }
+        if network.gate_count() != self.pos.len() || !self.order_still_valid(network, touched) {
+            self.full(network, library, placement);
+            return;
+        }
+        self.stats.incremental_updates += 1;
+
+        // Seeds: the touched gates plus their fan-in drivers, whose nets see
+        // a different pin load (resize) or sink set (swap).
+        let mut seed_flag = vec![false; self.pos.len()];
+        let mut seeds: Vec<GateId> = Vec::new();
+        let push_seed = |g: GateId, seeds: &mut Vec<GateId>, flag: &mut Vec<bool>| {
+            if network.is_live(g) && !flag[g.index()] {
+                flag[g.index()] = true;
+                seeds.push(g);
+            }
+        };
+        for &g in touched {
+            if !network.is_live(g) {
+                continue;
+            }
+            push_seed(g, &mut seeds, &mut seed_flag);
+            for &f in network.fanins(g) {
+                push_seed(f, &mut seeds, &mut seed_flag);
+            }
+        }
+
+        // 1. Refresh parasitics of every seed.
+        for &g in &seeds {
+            refresh_parasitics(
+                network,
+                library,
+                placement,
+                &self.config,
+                g,
+                &mut self.report.net_delays,
+                &mut self.report.gate_delays,
+            );
+        }
+
+        // 2. Forward arrival propagation over the dirty fan-out cone, in
+        //    topological position order.  The initial frontier is the seeds
+        //    plus their sinks (whose input wire delays changed even if the
+        //    driving arrival did not).
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+        let mut queued = vec![false; self.pos.len()];
+        let enqueue = |g: GateId,
+                       heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                       queued: &mut Vec<bool>,
+                       pos: &[u32]| {
+            if !queued[g.index()] && pos[g.index()] != u32::MAX {
+                queued[g.index()] = true;
+                heap.push(Reverse((pos[g.index()], g.0)));
+            }
+        };
+        for &g in &seeds {
+            enqueue(g, &mut heap, &mut queued, &self.pos);
+            for &s in network.fanouts(g) {
+                enqueue(s, &mut heap, &mut queued, &self.pos);
+            }
+        }
+        while let Some(Reverse((_, raw))) = heap.pop() {
+            let g = GateId(raw);
+            let fresh = arrival_of(
+                network,
+                g,
+                &self.report.net_delays,
+                &self.report.gate_delays,
+                &self.report.arrival,
+            );
+            self.stats.gates_retimed += 1;
+            let slot = &mut self.report.arrival[g.index()];
+            if fresh != *slot {
+                *slot = fresh;
+                for &s in network.fanouts(g) {
+                    enqueue(s, &mut heap, &mut queued, &self.pos);
+                }
+            }
+        }
+
+        // 3. Critical delay and the (possibly floating) required-time budget.
+        let critical = network
+            .outputs()
+            .iter()
+            .map(|o| self.report.arrival[o.driver.index()].worst())
+            .fold(0.0, f64::max);
+        let old_required_time = self.report.required_time_ns;
+        self.report.critical_delay_ns = critical;
+        self.report.required_time_ns = self.config.required_time_ns.unwrap_or(critical);
+
+        // 4. Backward required-time min-propagation.  When the floating
+        //    budget moved, every required time shifts, so replay the whole
+        //    arithmetic backward pass over the cached order — the expensive
+        //    parasitic extraction above stays dirty-cone either way, and the
+        //    replay reproduces `Sta::analyze` bit for bit.  With the budget
+        //    unchanged, only the dirty fan-in cone is re-propagated.
+        let t = self.report.required_time_ns;
+        if t != old_required_time {
+            for &g in self.order.iter().rev() {
+                let fresh = required_raw_of(
+                    network,
+                    g,
+                    &self.report.net_delays,
+                    &self.report.gate_delays,
+                    &self.report.required_raw,
+                    self.drives_output[g.index()],
+                    t,
+                );
+                self.report.required_raw[g.index()] = fresh;
+            }
+            for (r, &raw) in self.report.required.iter_mut().zip(&self.report.required_raw) {
+                *r = clamp_required(raw, t);
+            }
+        } else {
+            // Initial frontier: the seeds (their outgoing wire delays
+            // changed) plus their fan-ins (their sinks' cell delays changed).
+            let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::new();
+            let mut queued = vec![false; self.pos.len()];
+            let enqueue = |g: GateId,
+                           heap: &mut BinaryHeap<(u32, u32)>,
+                           queued: &mut Vec<bool>,
+                           pos: &[u32]| {
+                if !queued[g.index()] && pos[g.index()] != u32::MAX {
+                    queued[g.index()] = true;
+                    heap.push((pos[g.index()], g.0));
+                }
+            };
+            for &g in &seeds {
+                enqueue(g, &mut heap, &mut queued, &self.pos);
+                for &f in network.fanins(g) {
+                    enqueue(f, &mut heap, &mut queued, &self.pos);
+                }
+            }
+            while let Some((_, raw)) = heap.pop() {
+                let g = GateId(raw);
+                let fresh = required_raw_of(
+                    network,
+                    g,
+                    &self.report.net_delays,
+                    &self.report.gate_delays,
+                    &self.report.required_raw,
+                    self.drives_output[g.index()],
+                    t,
+                );
+                let slot = &mut self.report.required_raw[g.index()];
+                // NaN-free domain: raw values are +INF or finite chains of
+                // finite delays, so bitwise comparison is a sound prune.
+                if fresh != *slot {
+                    *slot = fresh;
+                    self.report.required[g.index()] = clamp_required(fresh, t);
+                    for &f in network.fanins(g) {
+                        enqueue(f, &mut heap, &mut queued, &self.pos);
+                    }
+                }
+            }
+        }
+
+        if let Some(check) = &mut self.self_check {
+            if check.fires() {
+                self.verify_matches_full(network, library, placement)
+                    .expect("incremental timing drifted from the full analysis");
+            }
+        }
+    }
+
+    /// Cross-checks the incremental state against a from-scratch analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatching gate, if any.  All
+    /// comparisons are exact: the engines share their propagation kernels,
+    /// so agreement is bit-for-bit, not merely approximate.
+    pub fn verify_matches_full(
+        &self,
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+    ) -> Result<(), String> {
+        let full = Sta::analyze(network, library, placement, &self.config);
+        if full.critical_delay_ns != self.report.critical_delay_ns {
+            return Err(format!(
+                "critical delay drifted: incremental {} vs full {}",
+                self.report.critical_delay_ns, full.critical_delay_ns
+            ));
+        }
+        if full.required_time_ns != self.report.required_time_ns {
+            return Err(format!(
+                "required time drifted: incremental {} vs full {}",
+                self.report.required_time_ns, full.required_time_ns
+            ));
+        }
+        for g in network.iter_live() {
+            if full.arrival[g.index()] != self.report.arrival[g.index()] {
+                return Err(format!(
+                    "arrival drifted at {g}: incremental {:?} vs full {:?}",
+                    self.report.arrival[g.index()],
+                    full.arrival[g.index()]
+                ));
+            }
+            let (fr, ir) = (full.required[g.index()], self.report.required[g.index()]);
+            if fr != ir {
+                return Err(format!("required drifted at {g}: incremental {ir} vs full {fr}"));
+            }
+            let (fraw, iraw) = (full.required_raw[g.index()], self.report.required_raw[g.index()]);
+            if fraw != iraw && !(fraw.is_infinite() && iraw.is_infinite()) {
+                return Err(format!(
+                    "raw required drifted at {g}: incremental {iraw} vs full {fraw}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_celllib::{DriveStrength, Library};
+    use rapids_netlist::{GateType, NetworkBuilder, PinRef};
+    use rapids_placement::{place, PlacerConfig};
+
+    fn diamond() -> Network {
+        let mut b = NetworkBuilder::new("diamond");
+        b.inputs(["a", "b", "c", "d"]);
+        b.gate("n1", GateType::Nand, &["a", "b"]);
+        b.gate("n2", GateType::Nor, &["c", "d"]);
+        b.gate("m1", GateType::And, &["n1", "n2"]);
+        b.gate("m2", GateType::Or, &["n1", "n2"]);
+        b.gate("f", GateType::Nand, &["m1", "m2"]);
+        b.output("f");
+        b.finish().unwrap()
+    }
+
+    fn setup(n: &Network) -> (Placement, Library, TimingConfig) {
+        let lib = Library::standard_035um();
+        let p = place(n, &lib, &PlacerConfig::fast(), 17);
+        (p, lib, TimingConfig::default())
+    }
+
+    #[test]
+    fn fresh_engine_matches_full_analysis() {
+        let n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        assert!(inc.verify_matches_full(&n, &lib, &p).is_ok());
+        assert_eq!(inc.stats().full_refreshes, 1);
+        assert_eq!(inc.topo_order().len(), n.live_gate_count());
+    }
+
+    #[test]
+    fn resize_update_matches_full_analysis() {
+        let mut n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        let m1 = n.find_by_name("m1").unwrap();
+        n.gate_mut(m1).size_class = DriveStrength::X8.size_class();
+        inc.update(&n, &lib, &p, &[m1]);
+        assert_eq!(inc.stats().incremental_updates, 1);
+        inc.verify_matches_full(&n, &lib, &p).unwrap();
+    }
+
+    #[test]
+    fn swap_update_matches_full_analysis() {
+        let mut n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        n.refresh_topo_hint();
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        let m1 = n.find_by_name("m1").unwrap();
+        let m2 = n.find_by_name("m2").unwrap();
+        // Swap the n1-pin of m1 with the n2-pin of m2.
+        n.swap_pin_drivers(PinRef::new(m1, 0), PinRef::new(m2, 1)).unwrap();
+        inc.update(&n, &lib, &p, &[m1, m2]);
+        assert_eq!(inc.stats().incremental_updates, 1);
+        inc.verify_matches_full(&n, &lib, &p).unwrap();
+    }
+
+    #[test]
+    fn update_tracks_critical_delay_changes() {
+        let mut n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        let before = inc.report().critical_delay_ns();
+        let f = n.find_by_name("f").unwrap();
+        n.gate_mut(f).size_class = DriveStrength::X8.size_class();
+        inc.update(&n, &lib, &p, &[f]);
+        let after = inc.report().critical_delay_ns();
+        assert!(
+            (after - before).abs() > 1e-12,
+            "resizing the output driver must move the critical delay"
+        );
+        assert_eq!(inc.report().required_time_ns(), after);
+        // The floating budget moved, so every required time moved with it.
+        inc.verify_matches_full(&n, &lib, &p).unwrap();
+    }
+
+    #[test]
+    fn empty_touched_set_is_a_no_op() {
+        let n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        inc.update(&n, &lib, &p, &[]);
+        assert_eq!(inc.stats().incremental_updates, 0);
+    }
+
+    #[test]
+    fn grown_network_falls_back_to_full() {
+        let mut n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        let m1 = n.find_by_name("m1").unwrap();
+        let inv = n.insert_inverter(PinRef::new(m1, 0), "late_inv").unwrap();
+        // The placement pre-allocated slots via gate_count; re-place so the
+        // new inverter has a position.
+        let p2 = place(&n, &lib, &PlacerConfig::fast(), 17);
+        inc.update(&n, &lib, &p2, &[m1, inv]);
+        assert_eq!(inc.stats().full_refreshes, 2);
+        inc.verify_matches_full(&n, &lib, &p2).unwrap();
+    }
+
+    #[test]
+    fn self_check_passes_over_random_resizes() {
+        let mut n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        inc.enable_self_check(0xfeed, 1);
+        let classes = [DriveStrength::X1, DriveStrength::X2, DriveStrength::X4, DriveStrength::X8];
+        let gates: Vec<_> = n.iter_logic().collect();
+        let mut rng = 0x12345u64;
+        for step in 0..24 {
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let g = gates[(rng >> 33) as usize % gates.len()];
+            let c = classes[(step as usize) % classes.len()];
+            n.gate_mut(g).size_class = c.size_class();
+            inc.update(&n, &lib, &p, &[g]);
+        }
+    }
+}

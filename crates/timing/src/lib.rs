@@ -31,12 +31,16 @@
 //! assert!(report.critical_delay_ns() > 0.0);
 //! ```
 
+pub mod cache;
 pub mod elmore;
 pub mod gate_delay;
+pub mod incremental;
 pub mod rc;
 pub mod sta;
 
+pub use cache::NetCache;
 pub use elmore::{net_delays, NetDelays};
 pub use gate_delay::{gate_load_pf, gate_output_delay};
+pub use incremental::{IncrementalSta, IncrementalStats};
 pub use rc::{segment_capacitance_pf, segment_resistance_kohm, TimingConfig};
 pub use sta::{ArrivalTime, Sta, TimingReport};

@@ -3,9 +3,19 @@
 //! The analysis propagates rise/fall arrival times forward through the
 //! network (inverting cells exchange the polarities), computes required
 //! times backward from the primary outputs, and reports per-gate slacks and
-//! the critical path.  It is a full-network analysis; the optimizers use the
-//! neighborhood evaluation trick of Coudert's sizing algorithm between full
-//! re-analyses, so `analyze` only needs to be fast, not incremental.
+//! the critical path.  The per-gate propagation kernels live here and are
+//! shared with the dirty-cone engine in [`crate::incremental`]: `Sta::analyze`
+//! runs them over the whole network, [`crate::IncrementalSta::update`] runs
+//! them over the affected fan-out/fan-in cones only, and both produce
+//! bit-identical [`TimingReport`]s.
+//!
+//! Required times keep the textbook min-propagation form (so results are
+//! bit-identical to the historical analyzer), stored twice: the *raw* value
+//! (`+INF` for gates reaching no primary output) drives the backward
+//! propagation, and the clamped value is what [`TimingReport::required`]
+//! serves.  When the default required-time budget floats with the critical
+//! delay, an incremental update replays only the O(E) arithmetic backward
+//! pass — the expensive parasitic extraction stays dirty-cone.
 
 use rapids_celllib::{CellDelay, Library};
 use rapids_netlist::{GateId, Network};
@@ -34,12 +44,16 @@ impl ArrivalTime {
 /// Result of a full static timing analysis.
 #[derive(Debug, Clone)]
 pub struct TimingReport {
-    arrival: Vec<ArrivalTime>,
-    required: Vec<f64>,
-    gate_delays: Vec<CellDelay>,
-    net_delays: Vec<Option<NetDelays>>,
-    critical_delay_ns: f64,
-    required_time_ns: f64,
+    pub(crate) arrival: Vec<ArrivalTime>,
+    pub(crate) required: Vec<f64>,
+    pub(crate) gate_delays: Vec<CellDelay>,
+    pub(crate) net_delays: Vec<Option<NetDelays>>,
+    /// Unclamped required times (`+INF` for gates that reach no primary
+    /// output): the propagation form of `required`, kept so the incremental
+    /// engine can continue the backward min-propagation exactly.
+    pub(crate) required_raw: Vec<f64>,
+    pub(crate) critical_delay_ns: f64,
+    pub(crate) required_time_ns: f64,
 }
 
 impl TimingReport {
@@ -89,6 +103,106 @@ impl TimingReport {
     }
 }
 
+// ----------------------------------------------------------------------
+// Shared propagation kernels (used by `Sta::analyze` and `IncrementalSta`)
+// ----------------------------------------------------------------------
+
+/// `true` per slot for gates that drive a primary-output port.
+pub(crate) fn output_driver_mask(network: &Network) -> Vec<bool> {
+    let mut mask = vec![false; network.gate_count()];
+    for o in network.outputs() {
+        mask[o.driver.index()] = true;
+    }
+    mask
+}
+
+/// Recomputes the net parasitics and the cell delay of one gate from the
+/// current connectivity, placement and drive strength.
+pub(crate) fn refresh_parasitics(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    config: &TimingConfig,
+    gate: GateId,
+    nets: &mut [Option<NetDelays>],
+    gate_delays: &mut [CellDelay],
+) {
+    let star = net_star(network, placement, gate);
+    nets[gate.index()] = Some(net_delays(network, library, &star, config));
+    gate_delays[gate.index()] = gate_output_delay(network, library, placement, config, gate);
+}
+
+/// Forward kernel: the arrival time of one gate from the arrivals of its
+/// fan-ins, with polarity handling.  Fold order over the fan-in list is part
+/// of the contract (it fixes the floating-point result).
+pub(crate) fn arrival_of(
+    network: &Network,
+    gate: GateId,
+    nets: &[Option<NetDelays>],
+    gate_delays: &[CellDelay],
+    arrival: &[ArrivalTime],
+) -> ArrivalTime {
+    let g = network.gate(gate);
+    if g.gtype.is_source() {
+        return ArrivalTime::default();
+    }
+    let d = gate_delays[gate.index()];
+    let mut out = ArrivalTime { rise_ns: 0.0, fall_ns: 0.0 };
+    for &f in &g.fanins {
+        let wire = nets[f.index()].as_ref().and_then(|nd| nd.delay_to_ns(gate)).unwrap_or(0.0);
+        let in_rise = arrival[f.index()].rise_ns + wire;
+        let in_fall = arrival[f.index()].fall_ns + wire;
+        let (cand_rise, cand_fall) = if g.gtype.is_xor_family() {
+            // Either polarity of the input can cause either output
+            // transition depending on the side inputs: be conservative.
+            let worst_in = in_rise.max(in_fall);
+            (worst_in + d.rise_ns, worst_in + d.fall_ns)
+        } else if g.gtype.output_inverted() {
+            (in_fall + d.rise_ns, in_rise + d.fall_ns)
+        } else {
+            (in_rise + d.rise_ns, in_fall + d.fall_ns)
+        };
+        out.rise_ns = out.rise_ns.max(cand_rise);
+        out.fall_ns = out.fall_ns.max(cand_fall);
+    }
+    out
+}
+
+/// Backward kernel: the unclamped required time of one gate from the raw
+/// required times of its sinks (worst-case min-propagation, single value).
+/// `+INF` when the gate reaches no primary output and drives none.
+///
+/// `min` is exact in IEEE arithmetic, so folding per-gate over the fan-out
+/// list produces bit-identical values to the historical per-edge sweep
+/// regardless of visit order.
+pub(crate) fn required_raw_of(
+    network: &Network,
+    gate: GateId,
+    nets: &[Option<NetDelays>],
+    gate_delays: &[CellDelay],
+    required_raw: &[f64],
+    drives_output: bool,
+    required_time_ns: f64,
+) -> f64 {
+    let mut required = if drives_output { required_time_ns } else { f64::INFINITY };
+    for &s in network.fanouts(gate) {
+        let wire = nets[gate.index()].as_ref().and_then(|nd| nd.delay_to_ns(s)).unwrap_or(0.0);
+        required = required.min(required_raw[s.index()] - gate_delays[s.index()].worst() - wire);
+    }
+    required
+}
+
+/// Materializes a servable required time from its raw propagation form.
+/// Gates that reach no primary output keep an infinite raw value; clamp to
+/// the analysis horizon so slacks stay finite.
+pub(crate) fn clamp_required(raw: f64, required_time_ns: f64) -> f64 {
+    if raw.is_finite() {
+        raw
+    } else {
+        required_time_ns
+    }
+}
+
 /// Static timing analyzer.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Sta;
@@ -113,39 +227,13 @@ impl Sta {
         let mut nets: Vec<Option<NetDelays>> = vec![None; slots];
         let mut gate_delays: Vec<CellDelay> = vec![CellDelay::default(); slots];
         for &g in &order {
-            let star = net_star(network, placement, g);
-            nets[g.index()] = Some(net_delays(network, library, &star, config));
-            gate_delays[g.index()] = gate_output_delay(network, library, placement, config, g);
+            refresh_parasitics(network, library, placement, config, g, &mut nets, &mut gate_delays);
         }
 
         // Forward arrival propagation with polarity handling.
         let mut arrival = vec![ArrivalTime::default(); slots];
         for &g in &order {
-            let gate = network.gate(g);
-            if gate.gtype.is_source() {
-                arrival[g.index()] = ArrivalTime::default();
-                continue;
-            }
-            let d = gate_delays[g.index()];
-            let mut out = ArrivalTime { rise_ns: 0.0, fall_ns: 0.0 };
-            for &f in &gate.fanins {
-                let wire = nets[f.index()].as_ref().and_then(|nd| nd.delay_to_ns(g)).unwrap_or(0.0);
-                let in_rise = arrival[f.index()].rise_ns + wire;
-                let in_fall = arrival[f.index()].fall_ns + wire;
-                let (cand_rise, cand_fall) = if gate.gtype.is_xor_family() {
-                    // Either polarity of the input can cause either output
-                    // transition depending on the side inputs: be conservative.
-                    let worst_in = in_rise.max(in_fall);
-                    (worst_in + d.rise_ns, worst_in + d.fall_ns)
-                } else if gate.gtype.output_inverted() {
-                    (in_fall + d.rise_ns, in_rise + d.fall_ns)
-                } else {
-                    (in_rise + d.rise_ns, in_fall + d.fall_ns)
-                };
-                out.rise_ns = out.rise_ns.max(cand_rise);
-                out.fall_ns = out.fall_ns.max(cand_fall);
-            }
-            arrival[g.index()] = out;
+            arrival[g.index()] = arrival_of(network, g, &nets, &gate_delays, &arrival);
         }
 
         // Critical delay over the primary outputs.
@@ -153,35 +241,29 @@ impl Sta {
             network.outputs().iter().map(|o| arrival[o.driver.index()].worst()).fold(0.0, f64::max);
         let required_time_ns = config.required_time_ns.unwrap_or(critical_delay_ns);
 
-        // Backward required-time propagation (worst-case, single value).
-        let mut required = vec![f64::INFINITY; slots];
-        for o in network.outputs() {
-            let r = &mut required[o.driver.index()];
-            *r = r.min(required_time_ns);
-        }
+        // Backward required-time min-propagation (worst-case, single value).
+        let drives = output_driver_mask(network);
+        let mut required_raw = vec![f64::INFINITY; slots];
         for &g in order.iter().rev() {
-            let gate = network.gate(g);
-            let d = gate_delays[g.index()].worst();
-            for &f in &gate.fanins {
-                let wire = nets[f.index()].as_ref().and_then(|nd| nd.delay_to_ns(g)).unwrap_or(0.0);
-                let need = required[g.index()] - d - wire;
-                let rf = &mut required[f.index()];
-                *rf = rf.min(need);
-            }
+            required_raw[g.index()] = required_raw_of(
+                network,
+                g,
+                &nets,
+                &gate_delays,
+                &required_raw,
+                drives[g.index()],
+                required_time_ns,
+            );
         }
-        // Gates that reach no primary output keep an infinite required time;
-        // clamp to the analysis horizon so slacks stay finite.
-        for r in &mut required {
-            if !r.is_finite() {
-                *r = required_time_ns;
-            }
-        }
+        let required: Vec<f64> =
+            required_raw.iter().map(|&r| clamp_required(r, required_time_ns)).collect();
 
         TimingReport {
             arrival,
             required,
             gate_delays,
             net_delays: nets,
+            required_raw,
             critical_delay_ns,
             required_time_ns,
         }
@@ -194,11 +276,7 @@ impl Sta {
             .outputs()
             .iter()
             .max_by(|a, b| {
-                report
-                    .arrival(a.driver)
-                    .worst()
-                    .partial_cmp(&report.arrival(b.driver).worst())
-                    .unwrap_or(std::cmp::Ordering::Equal)
+                report.arrival(a.driver).worst().total_cmp(&report.arrival(b.driver).worst())
             })
             .map(|o| o.driver)
         else {
@@ -218,9 +296,7 @@ impl Sta {
                 .max_by(|&a, &b| {
                     let wa = report.net(a).and_then(|nd| nd.delay_to_ns(current)).unwrap_or(0.0);
                     let wb = report.net(b).and_then(|nd| nd.delay_to_ns(current)).unwrap_or(0.0);
-                    (report.arrival(a).worst() + wa)
-                        .partial_cmp(&(report.arrival(b).worst() + wb))
-                        .unwrap_or(std::cmp::Ordering::Equal)
+                    (report.arrival(a).worst() + wa).total_cmp(&(report.arrival(b).worst() + wb))
                 })
                 .expect("non-source gate has fanins");
             path.push(next);
@@ -358,5 +434,36 @@ mod tests {
         // different because the NAND cell has asymmetric rise/fall.
         assert!(a.rise_ns > 0.0 && a.fall_ns > 0.0);
         assert!((a.rise_ns - a.fall_ns).abs() > 1e-9);
+    }
+
+    #[test]
+    fn required_times_match_direct_backward_chaining() {
+        // The per-gate backward kernel must agree bit-for-bit with the
+        // textbook per-edge min-propagation of required times.
+        let n = chain(7);
+        let (_, _, r) = analyzed(&n);
+        let order = rapids_netlist::topo::topological_order(&n).unwrap();
+        let mut required = vec![f64::INFINITY; n.gate_count()];
+        for o in n.outputs() {
+            let slot = &mut required[o.driver.index()];
+            *slot = slot.min(r.required_time_ns());
+        }
+        for &g in order.iter().rev() {
+            let d = r.gate_delay(g).worst();
+            for &f in n.fanins(g) {
+                let wire = r.net(f).and_then(|nd| nd.delay_to_ns(g)).unwrap_or(0.0);
+                let need = required[g.index()] - d - wire;
+                let slot = &mut required[f.index()];
+                *slot = slot.min(need);
+            }
+        }
+        for g in n.iter_live() {
+            let want = if required[g.index()].is_finite() {
+                required[g.index()]
+            } else {
+                r.required_time_ns()
+            };
+            assert_eq!(r.required(g), want, "required mismatch at {g}");
+        }
     }
 }
