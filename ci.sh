@@ -27,6 +27,11 @@ cargo build --benches
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo doc (no deps, warnings are errors)"
+# Keeps ARCHITECTURE/benchmarking links and the public rustdoc honest:
+# broken intra-doc links or malformed examples fail the gate.
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "==> timing-regression smoke (mid-size suite under a wall-clock budget)"
 # Deterministic QoR (delay/area/decision counts) of three mid-size rows must
 # exactly match the committed expectations; the timeout guards against a
@@ -34,5 +39,12 @@ echo "==> timing-regression smoke (mid-size suite under a wall-clock budget)"
 # in a few seconds on the incremental engine; 120 s is the hard budget).
 timeout 120 ./target/release/table1 --threads 2 c1908 alu4 x3 \
     --check ci/expected_qor_smoke.json > /dev/null
+
+echo "==> inverting-swap (ES) smoke"
+# Same rows with --es: inverting swaps must keep applying (c1908 and x3
+# report non-zero es_swaps in the committed expectations) and keep the QoR
+# deterministic; see docs/benchmarking.md for the field meanings.
+timeout 120 ./target/release/table1 --threads 2 --es c1908 alu4 x3 \
+    --check ci/expected_qor_smoke_es.json > /dev/null
 
 echo "==> OK"

@@ -12,6 +12,7 @@
 //!     --baseline ci/baseline_pr1.json    # perf report, baseline embedded
 //! cargo run -p rapids-bench --release --bin table1 -- --qor-out expected.json
 //! cargo run -p rapids-bench --release --bin table1 -- --check expected.json  # CI regression
+//! cargo run -p rapids-bench --release --bin table1 -- --es     # allow inverting (ES) swaps
 //! ```
 
 use std::io::Write as _;
@@ -30,6 +31,7 @@ fn main() {
     let mut qor_path: Option<String> = None;
     let mut check_path: Option<String> = None;
     let mut threads = 1usize;
+    let mut include_inverting = false;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     let path_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
@@ -41,6 +43,7 @@ fn main() {
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--fast" => config = FlowConfig::fast(),
+            "--es" => include_inverting = true,
             "--json" => json_path = Some(path_arg(&mut iter, "--json")),
             "--bench-out" => bench_path = Some(path_arg(&mut iter, "--bench-out")),
             "--baseline" => baseline_path = Some(path_arg(&mut iter, "--baseline")),
@@ -61,10 +64,15 @@ fn main() {
             name => names.push(name.to_string()),
         }
     }
+    // Applied after parsing so `--es --fast` and `--fast --es` agree.
+    config.optimizer.include_inverting_swaps = include_inverting;
     let selected: Vec<&str> =
         if names.is_empty() { all_names() } else { names.iter().map(|s| s.as_str()).collect() };
 
-    println!("RAPIDS reproduction — Table 1 (fast={}, threads={threads})", is_fast(&config));
+    println!(
+        "RAPIDS reproduction — Table 1 (fast={}, threads={threads}, es={include_inverting})",
+        is_fast(&config)
+    );
     println!(
         "columns: circuit, gates, initial delay (ns), delay improvement %% of gsg / GS / gsg+GS,"
     );

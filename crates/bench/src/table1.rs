@@ -25,6 +25,8 @@ pub struct OptimizerMetrics {
     pub final_area_um2: f64,
     /// Pin swaps applied.
     pub swaps: usize,
+    /// Inverting (ES) swaps among `swaps`; each inserted one inverter pair.
+    pub es_swaps: usize,
     /// Gates resized.
     pub resized: usize,
 }
@@ -36,6 +38,7 @@ impl OptimizerMetrics {
             final_delay_ns: report.outcome.final_delay_ns,
             final_area_um2: report.outcome.final_area_um2,
             swaps: report.outcome.swaps_applied,
+            es_swaps: report.outcome.inverting_swaps_applied,
             resized: report.outcome.gates_resized,
         }
     }
@@ -44,12 +47,13 @@ impl OptimizerMetrics {
         format!(
             concat!(
                 "{{\"cpu_s\":{},\"final_delay_ns\":{},\"final_area_um2\":{},",
-                "\"swaps\":{},\"resized\":{}}}"
+                "\"swaps\":{},\"es_swaps\":{},\"resized\":{}}}"
             ),
             json_number(self.cpu_s),
             json_number(self.final_delay_ns),
             json_number(self.final_area_um2),
             self.swaps,
+            self.es_swaps,
             self.resized,
         )
     }
@@ -211,7 +215,8 @@ impl FlowResult {
                 "{{\"name\":{},\"gate_count\":{},\"initial_delay_ns\":{},",
                 "\"gsg_final_delay_ns\":{},\"gs_final_delay_ns\":{},",
                 "\"combined_final_delay_ns\":{},\"gs_final_area_um2\":{},",
-                "\"combined_final_area_um2\":{},\"gsg_swaps\":{},\"gs_resized\":{}}}"
+                "\"combined_final_area_um2\":{},\"gsg_swaps\":{},",
+                "\"gsg_es_swaps\":{},\"combined_es_swaps\":{},\"gs_resized\":{}}}"
             ),
             json_string(&self.name),
             self.gate_count,
@@ -222,6 +227,8 @@ impl FlowResult {
             json_number(self.gs.final_area_um2),
             json_number(self.combined.final_area_um2),
             self.gsg.swaps,
+            self.gsg.es_swaps,
+            self.combined.es_swaps,
             self.gs.resized,
         )
     }

@@ -25,13 +25,23 @@
 //! without changing any supergate's structure); and per-pass rollback
 //! replays an undo journal of applied swaps instead of restoring a clone of
 //! the whole network.
+//!
+//! Inverting (ES) swaps are first-class when
+//! [`OptimizerConfig::include_inverting_swaps`] is set: a probe applies the
+//! pin exchange, hosts the two inserted inverters on a private overlay of
+//! the placement (each co-located with its driver), scores the result with
+//! frozen-report estimates that extend to the not-yet-analyzed inverters,
+//! and undoes the move so cleanly that the network's slot count — and with
+//! it every id-indexed array — is restored exactly.  Accepted inverters are
+//! journaled into the incremental engine's touched set, which grows its
+//! arrays in place instead of re-analyzing the whole design.
 
 use std::collections::HashSet;
 use std::time::Instant;
 
 use rapids_celllib::Library;
 use rapids_netlist::{GateId, Network};
-use rapids_placement::Placement;
+use rapids_placement::{Placement, Point};
 use rapids_sim::check_equivalence_random;
 use rapids_sizing::{neighborhood_eval, GateSizer, SizerConfig};
 use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
@@ -71,22 +81,25 @@ pub struct OptimizerConfig {
     pub max_passes: usize,
     /// Gates within this margin of the worst slack count as critical, ns.
     pub critical_margin_ns: f64,
-    /// Allow inverting (ES) swaps, which insert inverter pairs.  Candidates
-    /// whose inverters the fixed-size placement cannot host are skipped
-    /// during scoring (the synthetic flow sizes placements exactly, so this
-    /// currently limits the flag to externally supplied placements with
-    /// spare slots; see the ROADMAP item on inverter legalization).
+    /// Allow inverting (ES) swaps, which exchange two symmetric pins of
+    /// opposite implied polarity and insert an inverter pair to compensate
+    /// (Lemma 7).  Each inserted inverter is hosted on an internal overlay
+    /// of the placement, co-located with its driver, so the caller's
+    /// placement is never modified; the network the optimizer returns may
+    /// therefore contain more gates than it was given.  Off by default
+    /// because the paper's headline `gsg` flow is placement-neutral; the
+    /// applied count is reported as
+    /// [`OptimizationOutcome::inverting_swaps_applied`].
     pub include_inverting_swaps: bool,
     /// After every accepted batch of swaps, cross-check functional
     /// equivalence against the pre-optimization network with random
     /// simulation (a safety net; the structural theory guarantees it).
     pub verify_with_simulation: bool,
     /// Worker threads for candidate scoring (1 = fully sequential); also
-    /// forwarded to the embedded gate sizer.  Every thread count takes the
-    /// same swap/resize decisions; sizing results are bit-exact, while a
-    /// rewiring run that rolled a pass back can differ from the sequential
-    /// one in final-ulp Elmore rounding (worker clones do not reorder the
-    /// main network's fan-out lists the way sequential probing does).
+    /// forwarded to the embedded gate sizer.  The guarantees (identical
+    /// decisions for every count, bit-exact sizing, a final-ulp rewiring
+    /// caveat after rolled-back passes) are stated once in
+    /// [`rapids_sizing::parallel`] — the `threads` determinism contract.
     pub threads: usize,
     /// Configuration of the embedded gate sizer (for `GS` and `gsg+GS`).
     pub sizer: SizerConfig,
@@ -135,10 +148,22 @@ pub struct OptimizationOutcome {
     pub initial_hpwl_um: f64,
     /// Total half-perimeter wire length after optimization, µm.
     pub final_hpwl_um: f64,
-    /// Number of pin swaps applied.
+    /// Number of pin swaps applied (non-inverting plus inverting).
     pub swaps_applied: usize,
+    /// Number of inverting (ES) swaps among `swaps_applied`; each inserted
+    /// one inverter pair, so the optimized network carries
+    /// `2 × inverting_swaps_applied` more live gates than the input.
+    pub inverting_swaps_applied: usize,
     /// Number of gates whose drive strength changed.
     pub gates_resized: usize,
+    /// Overlay positions of the inverters inserted by applied ES swaps,
+    /// `(gate, location)` per inverter (empty unless
+    /// [`OptimizerConfig::include_inverting_swaps`] applied any).  The
+    /// caller's placement has no slots for these gates; to re-time or
+    /// re-optimize the returned network, extend a copy of that placement
+    /// with [`rapids_placement::Placement::host_at`] for each entry (the
+    /// flow packages this as `PipelineReport::grown_placement`).
+    pub hosted_inverters: Vec<(GateId, Point)>,
     /// Wall-clock run time, seconds.
     pub cpu_seconds: f64,
     /// Supergate statistics of the (pre-optimization) netlist.
@@ -183,9 +208,11 @@ impl Optimizer {
         Optimizer { config }
     }
 
-    /// Runs the configured optimizer on `network` in place.  The placement is
-    /// never modified; only pin connections, drive strengths and (for
-    /// inverting swaps) inverters change.
+    /// Runs the configured optimizer on `network` in place.  The caller's
+    /// placement is never modified: non-inverting swaps and sizing only
+    /// change pin connections and drive strengths, and inverting swaps host
+    /// their inserted inverters on an internal overlay copy (each
+    /// co-located with its driver).
     pub fn optimize(
         &self,
         network: &mut Network,
@@ -196,6 +223,11 @@ impl Optimizer {
         let start = Instant::now();
         let reference =
             if self.config.verify_with_simulation { Some(network.clone()) } else { None };
+        // Growable working copy: inverting swaps extend it with overlay
+        // slots for the inverters they insert (`Placement::host_at`).
+        let caller_slots = placement.len();
+        let mut placement = placement.clone();
+        let placement = &mut placement;
         // The hint turns the cycle check of every scored swap into an O(1)
         // position comparison; it is maintained (or dropped and re-proved)
         // automatically across edits.
@@ -209,6 +241,7 @@ impl Optimizer {
         let mut cache = NetCache::for_network(network);
 
         let mut swaps_applied = 0usize;
+        let mut inverting_swaps_applied = 0usize;
         let mut gates_resized = 0usize;
         match self.config.kind {
             OptimizerKind::Sizing => {
@@ -223,7 +256,7 @@ impl Optimizer {
                 inc.full(network, library, placement);
             }
             OptimizerKind::Rewiring => {
-                swaps_applied = self.rewiring_loop(
+                (swaps_applied, inverting_swaps_applied) = self.rewiring_loop(
                     network,
                     library,
                     placement,
@@ -242,7 +275,7 @@ impl Optimizer {
                     .filter(|sg| sg.is_trivial())
                     .flat_map(|sg| sg.members.iter().copied())
                     .collect();
-                swaps_applied = self.rewiring_loop(
+                (swaps_applied, inverting_swaps_applied) = self.rewiring_loop(
                     network,
                     library,
                     placement,
@@ -269,6 +302,14 @@ impl Optimizer {
             assert!(check.is_equivalent(), "optimization broke functional equivalence: {check:?}");
         }
 
+        // Surviving inserted inverters occupy the overlay slots past the
+        // caller's placement; hand their coordinates back so the returned
+        // (grown) network stays timeable.
+        let hosted_inverters: Vec<(GateId, Point)> = network
+            .iter_live()
+            .filter(|g| g.index() >= caller_slots)
+            .map(|g| (g, placement.position(g)))
+            .collect();
         let final_report = inc.report();
         OptimizationOutcome {
             kind: self.config.kind,
@@ -279,7 +320,9 @@ impl Optimizer {
             initial_hpwl_um,
             final_hpwl_um: placement.total_hpwl_um(network),
             swaps_applied,
+            inverting_swaps_applied,
             gates_resized,
+            hosted_inverters,
             cpu_seconds: start.elapsed().as_secs_f64(),
             statistics,
         }
@@ -288,19 +331,21 @@ impl Optimizer {
     /// The rewiring iteration: min-slack phase over critical supergates plus
     /// a relaxation phase over the rest, repeated until no improvement.
     /// When `sizing_domain` is given (`gsg+GS`), its gates are skipped here.
+    /// Returns `(total swaps, inverting swaps)` applied.
     #[allow(clippy::too_many_arguments)]
     fn rewiring_loop(
         &self,
         network: &mut Network,
         library: &Library,
-        placement: &Placement,
+        placement: &mut Placement,
         timing: &TimingConfig,
         sizing_domain: Option<&HashSet<GateId>>,
         inc: &mut IncrementalSta,
         cache: &mut NetCache,
         extraction: &mut Extraction,
-    ) -> usize {
+    ) -> (usize, usize) {
         let mut total_swaps = 0usize;
+        let mut total_inverting = 0usize;
         let mut best_delay = f64::INFINITY;
         let mut extraction_slots = network.gate_count();
         for _ in 0..self.config.max_passes {
@@ -377,27 +422,39 @@ impl Optimizer {
             if pass_swaps == 0 {
                 break;
             }
-            let mut touched: Vec<GateId> = journal
-                .iter()
-                .flat_map(|a| [a.candidate().pin_a.gate, a.candidate().pin_b.gate])
-                .collect();
+            let pass_inverting =
+                journal.iter().filter(|a| a.candidate().kind == SwapKind::Inverting).count();
+            // The touched set covers every gate whose connectivity changed:
+            // the two swapped pins' gates, and for inverting swaps the
+            // inserted inverters (whose fan-ins — the exchanged drivers,
+            // whose sink sets changed — the engine folds in itself).
+            let mut touched: Vec<GateId> = Vec::with_capacity(journal.len() * 4);
+            for applied in &journal {
+                touched.push(applied.candidate().pin_a.gate);
+                touched.push(applied.candidate().pin_b.gate);
+                touched.extend_from_slice(applied.inserted_inverters());
+            }
             touched.sort_unstable();
             touched.dedup();
             inc.update(network, library, placement, &touched);
             if inc.report().critical_delay_ns() > pass_start_delay + 1e-9 {
                 // The local metric misjudged this batch; replay the undo
-                // journal and stop.
+                // journal and stop.  Undoing an inverting swap pops its
+                // inverters' slots, so the slot count (and the placement
+                // overlay, truncated below) return to the pass-start state.
                 for applied in journal.iter().rev() {
                     let (da, db) = swap_drivers(network, applied.candidate());
                     undo_swap(network, applied).expect("undoing a journaled swap succeeds");
                     invalidate_swap_nets(cache, network, applied.candidate(), da, db);
                 }
+                placement.truncate_slots(network.gate_count());
                 inc.update(network, library, placement, &touched);
                 break;
             }
             total_swaps += pass_swaps;
+            total_inverting += pass_inverting;
         }
-        total_swaps
+        (total_swaps, total_inverting)
     }
 
     /// Scores every supergate in `list` (in order) and applies each winning
@@ -409,7 +466,7 @@ impl Optimizer {
         &self,
         network: &mut Network,
         library: &Library,
-        placement: &Placement,
+        placement: &mut Placement,
         timing: &TimingConfig,
         report: &TimingReport,
         cache: &mut NetCache,
@@ -419,11 +476,12 @@ impl Optimizer {
         let include_inverting = self.config.include_inverting_swaps;
         rapids_sizing::parallel::visit_in_disjoint_batches(
             network,
+            placement,
             cache,
             self.config.threads,
             list,
             |network, sg| supergate_region(network, sg),
-            |network, cache, sg| {
+            |network, placement, cache, sg| {
                 score_best_swap(
                     network,
                     library,
@@ -435,7 +493,9 @@ impl Optimizer {
                     sg,
                 )
             },
-            |network, cache, _, candidate| accept_swap(network, cache, journal, &candidate),
+            |network, placement, cache, _, candidate| {
+                accept_swap(network, placement, cache, journal, &candidate)
+            },
         );
     }
 
@@ -573,12 +633,14 @@ fn invalidate_swap_nets(
 
 /// Evaluates every swap candidate of one supergate with the neighborhood
 /// metric and returns the best one if it improves on the current wiring.
-/// The network (and the cache's view of it) is left exactly as found.
+/// The network, the placement and the cache's view of them are left exactly
+/// as found: an inverting probe's inserted inverters are popped again on
+/// undo and their overlay slots truncated, so the slot count round-trips.
 #[allow(clippy::too_many_arguments)]
 fn score_best_swap(
     network: &mut Network,
     library: &Library,
-    placement: &Placement,
+    placement: &mut Placement,
     timing: &TimingConfig,
     report: &TimingReport,
     cache: &mut NetCache,
@@ -593,33 +655,26 @@ fn score_best_swap(
         swap_neighborhood_metric(network, library, placement, timing, report, cache, supergate);
     let mut best: Option<(SwapCandidate, SwapMetric)> = None;
     for candidate in candidates {
-        if candidate.kind == SwapKind::Inverting && network.gate_count() + 2 > placement.len() {
-            // An inverting swap inserts two inverters, but the placement
-            // (and the frozen report) are sized for the pre-swap network and
-            // cannot host the new gates.  The synthetic flow's placements
-            // are always sized exactly, so until inverter legalization lands
-            // (see ROADMAP) these candidates cannot be timed and are
-            // skipped rather than crashing the scorer.
-            continue;
-        }
         let (da, db) = swap_drivers(network, &candidate);
         // A legal but order-violating candidate drops the network's
         // topological hint; since the undo below restores the exact edge
-        // set, the snapshot can be reinstated in O(1) and keeps the cycle
-        // precheck fast for every later candidate.
+        // set (and slot count — undone inverters are popped), the snapshot
+        // can be reinstated in O(1) and keeps the cycle precheck fast for
+        // every later candidate.
         let hint = network.topo_hint_handle();
+        let slots_before = placement.len();
         let Ok(applied) = apply_swap(network, &candidate) else {
             continue;
         };
+        host_inserted_inverters(network, placement, &applied);
         invalidate_swap_nets(cache, network, &candidate, da, db);
         let metric =
             swap_neighborhood_metric(network, library, placement, timing, report, cache, supergate);
         undo_swap(network, &applied).expect("undoing a just-applied swap succeeds");
+        placement.truncate_slots(slots_before);
         invalidate_swap_nets(cache, network, &candidate, da, db);
-        if candidate.kind == SwapKind::NonInverting {
-            if let (Some(hint), None) = (hint, network.topo_hint()) {
-                network.reinstate_topo_hint(hint);
-            }
+        if let (Some(hint), None) = (hint, network.topo_hint()) {
+            network.reinstate_topo_hint(hint);
         }
         if metric.improves_on(&baseline) && best.as_ref().is_none_or(|(_, m)| metric.improves_on(m))
         {
@@ -629,19 +684,38 @@ fn score_best_swap(
     best.map(|(candidate, _)| candidate)
 }
 
-/// Applies a winning swap and keeps the journal and cache coherent.
+/// Hosts the inverters an applied swap inserted: each lands on the overlay
+/// slot co-located with its (current) driver, so the driver→inverter stub is
+/// (near) zero-length and the inverter→sink segment inherits the original
+/// net geometry.
+fn host_inserted_inverters(network: &Network, placement: &mut Placement, applied: &AppliedSwap) {
+    for &inv in applied.inserted_inverters() {
+        let driver = network.fanins(inv)[0];
+        debug_assert!(
+            placement.covers(driver),
+            "an inverter's driver is pre-existing or an already-hosted inverter"
+        );
+        placement.host_at(inv, placement.position(driver));
+    }
+}
+
+/// Applies a winning swap and keeps the journal, placement overlay and cache
+/// coherent.
 fn accept_swap(
     network: &mut Network,
+    placement: &mut Placement,
     cache: &mut NetCache,
     journal: &mut Vec<AppliedSwap>,
     candidate: &SwapCandidate,
 ) {
     let (da, db) = swap_drivers(network, candidate);
     let applied = apply_swap(network, candidate).expect("re-applying the winning swap succeeds");
+    host_inserted_inverters(network, placement, &applied);
     invalidate_swap_nets(cache, network, candidate, da, db);
     if network.topo_hint().is_none() {
-        // The accepted swap contradicted the recorded order; re-prove it so
-        // the remaining candidates keep their O(1) cycle precheck.
+        // The accepted swap contradicted the recorded order (inserting an
+        // inverter always does); re-prove it so the remaining candidates
+        // keep their O(1) cycle precheck.
         network.refresh_topo_hint();
     }
     journal.push(applied);
@@ -674,7 +748,11 @@ impl SwapMetric {
 /// The arrival estimates recompute the wire (star) and cell delays from the
 /// *current* network connectivity (served from the cache), so a candidate
 /// swap that shortens a critical branch or unloads a critical driver is
-/// rewarded.
+/// rewarded.  A leaf pin currently served through an inserted inverter (an
+/// applied ES swap) contributes both the inverter and the inverter's own
+/// driver, whose sink set the insertion changed; gates the frozen report
+/// does not cover are estimated through [`frozen_input_side`] /
+/// [`frozen_required`].
 #[allow(clippy::too_many_arguments)]
 fn swap_neighborhood_metric(
     network: &Network,
@@ -688,20 +766,25 @@ fn swap_neighborhood_metric(
     let mut worst = f64::INFINITY;
     let mut total = 0.0f64;
     // External drivers: their load (and hence delay) changes with the swap.
-    let mut drivers: Vec<GateId> = supergate
-        .leaves
-        .iter()
-        .map(|l| network.pin_driver(l.pin).expect("supergate leaf pins always exist"))
-        .collect();
+    let mut drivers: Vec<GateId> = Vec::with_capacity(supergate.leaves.len());
+    for leaf in &supergate.leaves {
+        let d = network.pin_driver(leaf.pin).expect("supergate leaf pins always exist");
+        drivers.push(d);
+        if !report.covers(d) {
+            // Freshly inserted inverter: its driver's net changed too.
+            drivers.extend_from_slice(network.fanins(d));
+        }
+    }
     drivers.sort();
     drivers.dedup();
     for d in drivers {
         if network.gate(d).gtype.is_source() {
             continue;
         }
-        let input_side = report.arrival(d).worst() - report.gate_delay(d).worst();
+        let input_side = frozen_input_side(network, library, placement, timing, report, cache, d);
         let fresh = cache.gate_output_delay(network, library, placement, timing, d).worst();
-        let slack = report.required(d) - (input_side + fresh);
+        let required = frozen_required(network, library, placement, timing, report, cache, d);
+        let slack = required - (input_side + fresh);
         worst = worst.min(slack);
         total += slack;
     }
@@ -716,7 +799,8 @@ fn swap_neighborhood_metric(
 }
 
 /// Local arrival estimate of a member gate using fresh wire/cell delays but
-/// frozen upstream arrivals.
+/// frozen upstream arrivals (extended past the frozen report for inserted
+/// inverters via [`frozen_input_side`]).
 #[allow(clippy::too_many_arguments)]
 fn member_arrival_estimate(
     network: &Network,
@@ -735,13 +819,96 @@ fn member_arrival_estimate(
             .net_delays(network, library, placement, timing, f)
             .delay_to_ns(gate)
             .unwrap_or(0.0);
-        let driver_input_side = report.arrival(f).worst() - report.gate_delay(f).worst();
+        let driver_input_side =
+            frozen_input_side(network, library, placement, timing, report, cache, f);
         let driver_delay = cache.gate_output_delay(network, library, placement, timing, f).worst();
         let arrival_f =
             if network.gate(f).gtype.is_source() { 0.0 } else { driver_input_side + driver_delay };
         worst_in = worst_in.max(arrival_f + wire);
     }
     worst_in + own
+}
+
+/// The frozen-report arrival at a gate's *inputs* (output arrival minus own
+/// cell delay), extended to gates the report does not cover.
+///
+/// For covered gates this is exactly the quantity the pre-legalization
+/// metric used.  An uncovered gate is an inverter inserted after the report
+/// froze; its input-side arrival is re-derived from its fan-in drivers —
+/// frozen input side plus fresh (cached) cell and wire delays — recursing
+/// through chains of inserted inverters until a covered gate anchors the
+/// estimate.  Terminates because every recursion step moves strictly
+/// backwards through a DAG toward covered (pre-existing) gates.
+#[allow(clippy::too_many_arguments)]
+fn frozen_input_side(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    cache: &mut NetCache,
+    gate: GateId,
+) -> f64 {
+    if report.covers(gate) {
+        return report.arrival(gate).worst() - report.gate_delay(gate).worst();
+    }
+    let mut worst_in = 0.0f64;
+    let fanins: Vec<GateId> = network.fanins(gate).to_vec();
+    for f in fanins {
+        let wire = cache
+            .net_delays(network, library, placement, timing, f)
+            .delay_to_ns(gate)
+            .unwrap_or(0.0);
+        let arrival_f = if network.gate(f).gtype.is_source() {
+            0.0
+        } else {
+            frozen_input_side(network, library, placement, timing, report, cache, f)
+                + cache.gate_output_delay(network, library, placement, timing, f).worst()
+        };
+        worst_in = worst_in.max(arrival_f + wire);
+    }
+    worst_in
+}
+
+/// The frozen-report required time at a gate's output, extended to gates the
+/// report does not cover (inserted inverters) by propagating backwards from
+/// their sinks: `required(sink) − sink cell delay − wire`.  Inserted
+/// inverters never drive a primary output (they sit on in-pins), so the
+/// propagation always terminates at covered sinks; a sink-less gate falls
+/// back to the analysis horizon like the full analyzer's clamp.
+#[allow(clippy::too_many_arguments)]
+fn frozen_required(
+    network: &Network,
+    library: &Library,
+    placement: &Placement,
+    timing: &TimingConfig,
+    report: &TimingReport,
+    cache: &mut NetCache,
+    gate: GateId,
+) -> f64 {
+    if report.covers(gate) {
+        return report.required(gate);
+    }
+    let mut required = f64::INFINITY;
+    let sinks: Vec<GateId> = network.fanouts(gate).to_vec();
+    for s in sinks {
+        let wire = cache
+            .net_delays(network, library, placement, timing, gate)
+            .delay_to_ns(s)
+            .unwrap_or(0.0);
+        let sink_delay = if report.covers(s) {
+            report.gate_delay(s).worst()
+        } else {
+            cache.gate_output_delay(network, library, placement, timing, s).worst()
+        };
+        let sink_required = frozen_required(network, library, placement, timing, report, cache, s);
+        required = required.min(sink_required - sink_delay - wire);
+    }
+    if required.is_finite() {
+        required
+    } else {
+        report.required_time_ns()
+    }
 }
 
 /// Tries every drive strength for one gate using the combined neighborhood
@@ -889,11 +1056,14 @@ mod tests {
     }
 
     #[test]
-    fn inverting_swap_mode_completes_without_panicking() {
-        // The placement is sized exactly for the network, so inverting
-        // candidates cannot be hosted and must be skipped during scoring —
-        // not crash the cache/report indexing (regression test).
+    fn inverting_swap_mode_hosts_inserted_inverters() {
+        // Inverting candidates are scored and applied for real: the
+        // optimizer hosts each inserted inverter on its internal placement
+        // overlay, so the run must stay functionally equivalent, acyclic,
+        // and grow the network by exactly one inverter pair per applied ES
+        // swap (the caller's placement is untouched either way).
         let (reference, library, placement, timing) = setup("c432");
+        let placement_len = placement.len();
         let mut network = reference.clone();
         let config = OptimizerConfig {
             include_inverting_swaps: true,
@@ -902,7 +1072,26 @@ mod tests {
         let outcome = Optimizer::new(config).optimize(&mut network, &library, &placement, &timing);
         assert!(outcome.final_delay_ns <= outcome.initial_delay_ns + 1e-9);
         assert!(check_equivalence_random(&reference, &network, 512, 5).is_equivalent());
-        // Skipped inverting candidates mean no inverters were inserted.
+        assert!(network.check_consistency().is_ok());
+        assert!(outcome.inverting_swaps_applied <= outcome.swaps_applied);
+        assert_eq!(
+            network.live_gate_count(),
+            reference.live_gate_count() + 2 * outcome.inverting_swaps_applied
+        );
+        assert_eq!(placement.len(), placement_len, "the caller's placement must stay frozen");
+    }
+
+    #[test]
+    fn disabled_inverting_mode_never_grows_the_network() {
+        let (reference, library, placement, timing) = setup("c432");
+        let mut network = reference.clone();
+        let outcome = Optimizer::new(OptimizerConfig::fast(OptimizerKind::Rewiring)).optimize(
+            &mut network,
+            &library,
+            &placement,
+            &timing,
+        );
+        assert_eq!(outcome.inverting_swaps_applied, 0);
         assert_eq!(network.live_gate_count(), reference.live_gate_count());
     }
 
@@ -938,7 +1127,9 @@ mod tests {
             initial_hpwl_um: 1000.0,
             final_hpwl_um: 950.0,
             swaps_applied: 3,
+            inverting_swaps_applied: 1,
             gates_resized: 0,
+            hosted_inverters: vec![(GateId(10), Point::new(1.0, 2.0))],
             cpu_seconds: 0.1,
             statistics: SupergateStatistics {
                 gate_count: 10,

@@ -73,13 +73,22 @@ pub fn apply_swap(
 }
 
 /// Undoes a previously applied swap, restoring the original connections and
-/// removing any inserted inverters.
+/// removing any inserted inverters.  When the inverters occupy the trailing
+/// gate slots — always the case when the undo immediately follows the apply,
+/// or when a journal is replayed in reverse — their slots are popped too, so
+/// the network's slot count (and every id-indexed side array keyed on it)
+/// round-trips exactly through an apply/undo pair.
 ///
 /// # Errors
 ///
 /// Propagates structural errors; undoing immediately after a successful
 /// apply never fails.
 pub fn undo_swap(network: &mut Network, applied: &AppliedSwap) -> Result<(), NetlistError> {
+    // Every edge this function rewires restores a journaled, previously
+    // acyclic configuration, so the trusted `restore_pin_driver` applies —
+    // no per-edge reachability DFS, which matters because the ES scorer
+    // undoes every probe it makes (and `insert_inverter` dropped the
+    // topological hint, so the checked path would fall back to full walks).
     if applied.candidate.kind == SwapKind::Inverting {
         // Remove the inverters by reconnecting the pins to the inverter
         // inputs, then sweeping the dangling inverters.
@@ -87,11 +96,23 @@ pub fn undo_swap(network: &mut Network, applied: &AppliedSwap) -> Result<(), Net
             [applied.candidate.pin_a, applied.candidate.pin_b].iter().zip(&applied.inverters)
         {
             let source = network.fanins(inv)[0];
-            network.replace_pin_driver(pin, source)?;
+            network.restore_pin_driver(pin, source)?;
             network.remove_if_dangling(inv);
         }
     }
-    network.swap_pin_drivers(applied.candidate.pin_a, applied.candidate.pin_b)?;
+    let da = network.pin_driver(applied.candidate.pin_a)?;
+    let db = network.pin_driver(applied.candidate.pin_b)?;
+    if da != db {
+        network.restore_pin_driver(applied.candidate.pin_a, db)?;
+        network.restore_pin_driver(applied.candidate.pin_b, da)?;
+    }
+    // Retire the tomb-stoned inverter slots while they sit at the tail, so
+    // probe sequences do not grow the slot count monotonically.
+    for &inv in applied.inverters.iter().rev() {
+        if inv.index() + 1 == network.gate_count() && !network.pop_trailing_tombstone() {
+            break;
+        }
+    }
     Ok(())
 }
 

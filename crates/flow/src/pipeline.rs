@@ -107,6 +107,12 @@ impl From<NetlistError> for PipelineError {
 }
 
 /// Configuration of the whole flow; one struct drives every stage.
+///
+/// The embedded [`OptimizerConfig`] carries the optimizer-side knobs; the
+/// ones most often flipped from here are
+/// `optimizer.include_inverting_swaps` (legalized inverting/ES swaps, also
+/// exposed as `table1 --es`) and `optimizer.kind` (which
+/// [`Pipeline::run`] uses).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
     /// Placer configuration.
@@ -129,8 +135,8 @@ pub struct PipelineConfig {
     /// Worker threads (1 = fully sequential).  Forwarded to the optimizer's
     /// candidate scoring, and [`Pipeline::compare_optimizers`] additionally
     /// runs the three optimizer kinds concurrently when `threads > 1`.
-    /// Every thread count takes identical optimization decisions (see
-    /// `OptimizerConfig::threads` for the one final-ulp rounding caveat).
+    /// What every thread count guarantees is stated once in
+    /// [`rapids_sizing::parallel`] — the `threads` determinism contract.
     pub threads: usize,
 }
 
@@ -229,6 +235,20 @@ impl PipelineReport {
     /// Delay improvement over the initial placement-only timing, %.
     pub fn delay_improvement_percent(&self) -> f64 {
         self.outcome.delay_improvement_percent()
+    }
+
+    /// A placement that covers the (possibly grown) optimized network:
+    /// `base` — normally the `PreparedDesign`'s placement — extended with
+    /// the overlay slots of every inverter the optimizer inserted.  With
+    /// inverting swaps disabled this is just a clone of `base`.  Use it to
+    /// re-time or further optimize [`PipelineReport::network`], whose gate
+    /// count exceeds `base.len()` after applied ES swaps.
+    pub fn grown_placement(&self, base: &Placement) -> Placement {
+        let mut placement = base.clone();
+        for &(gate, at) in &self.outcome.hosted_inverters {
+            placement.host_at(gate, at);
+        }
+        placement
     }
 }
 
@@ -335,6 +355,18 @@ impl Pipeline {
     }
 
     /// Stages 1–4: generate → map → place → STA, with per-stage timings.
+    ///
+    /// The returned [`PreparedDesign`] is the reuse seam of the flow: it is
+    /// placement-invariant, so several optimizer kinds can be scored
+    /// against the *same* placement — the paper's experimental setup.
+    ///
+    /// ```
+    /// use rapids_flow::{CircuitSource, Pipeline};
+    ///
+    /// let design = Pipeline::fast().prepare(CircuitSource::suite("c432")).unwrap();
+    /// assert_eq!(design.name, "c432");
+    /// assert!(design.initial_delay_ns() > 0.0);
+    /// ```
     pub fn prepare(&self, source: CircuitSource) -> Result<PreparedDesign, PipelineError> {
         let mut timings = StageTimings::default();
         let network = self.resolve(source, &mut timings)?;
@@ -361,6 +393,21 @@ impl Pipeline {
 
     /// Stage 5+6: run one optimizer kind against a prepared design and
     /// (optionally) verify functional equivalence of the result.
+    ///
+    /// The prepared design is borrowed immutably — each call clones its
+    /// network, so any number of kinds can run against one `prepare` call:
+    ///
+    /// ```
+    /// use rapids_core::OptimizerKind;
+    /// use rapids_flow::{CircuitSource, Pipeline};
+    ///
+    /// let pipeline = Pipeline::fast();
+    /// let design = pipeline.prepare(CircuitSource::suite("c432")).unwrap();
+    /// let gsg = pipeline.optimize(&design, OptimizerKind::Rewiring).unwrap();
+    /// let gs = pipeline.optimize(&design, OptimizerKind::Sizing).unwrap();
+    /// assert_eq!(gsg.initial_delay_ns, gs.initial_delay_ns); // same placement
+    /// assert!(gsg.outcome.final_delay_ns <= gsg.initial_delay_ns + 1e-9);
+    /// ```
     pub fn optimize(
         &self,
         design: &PreparedDesign,
@@ -421,6 +468,15 @@ impl Pipeline {
     /// row's worth of experiments.  The three optimizer runs are independent
     /// (each clones the prepared network), so with `threads > 1` they execute
     /// on separate threads; the comparison is identical either way.
+    ///
+    /// ```
+    /// use rapids_core::OptimizerKind;
+    /// use rapids_flow::{CircuitSource, Pipeline};
+    ///
+    /// let row = Pipeline::fast().compare_optimizers(CircuitSource::suite("c432")).unwrap();
+    /// assert_eq!(row.report(OptimizerKind::Rewiring).outcome.gates_resized, 0);
+    /// assert!(row.combined.outcome.final_delay_ns <= row.initial_delay_ns + 1e-9);
+    /// ```
     pub fn compare_optimizers(
         &self,
         source: CircuitSource,

@@ -24,7 +24,13 @@ pub struct OutputPort {
 /// timing can all run without rebuilding global state.
 ///
 /// Removed gates are tomb-stoned (their slot remains, `removed = true`) so
-/// that [`GateId`]s held by other data structures never dangle.
+/// that [`GateId`]s held by other data structures never dangle — with one
+/// carve-out: [`Network::pop_trailing_tombstone`] lets undo paths retire a
+/// *trailing* tomb-stone so apply→undo probe sequences keep the slot count
+/// stable.  Ids of popped slots index past `gate_count()` until the slot is
+/// reused; holders of journaled ids must treat them as potentially stale
+/// after an undo (query [`Network::is_live`], which is total, rather than
+/// [`Network::gate`], which is not).
 #[derive(Debug, Clone)]
 pub struct Network {
     name: String,
@@ -393,6 +399,39 @@ impl Network {
         Ok(old)
     }
 
+    /// Reconnects in-pin `pin` to `new_driver` **without the cycle check**,
+    /// for callers restoring a journaled, known-acyclic edge (undo paths).
+    /// The topological hint survives when it proves the restored edge and is
+    /// dropped otherwise — it is never used to *reject* the edit.
+    ///
+    /// Restoring an edge that was not previously present (or any edge whose
+    /// acyclicity the caller cannot vouch for) can corrupt the network with
+    /// a combinational cycle; use [`Network::replace_pin_driver`] for
+    /// speculative edits.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetlistError::InvalidPinIndex`] if the pin does not exist.
+    /// * [`NetlistError::UnknownGate`] if `new_driver` is not live.
+    pub fn restore_pin_driver(
+        &mut self,
+        pin: PinRef,
+        new_driver: GateId,
+    ) -> Result<GateId, NetlistError> {
+        let old = self.pin_driver(pin)?;
+        self.check_live(new_driver)?;
+        if old == new_driver {
+            return Ok(old);
+        }
+        if !self.hint_proves_acyclic(new_driver, pin.gate) {
+            self.topo_hint = None;
+        }
+        self.detach_fanout(old, pin.gate);
+        self.gates[pin.gate.index()].fanins[pin.index] = new_driver;
+        self.fanouts[new_driver.index()].push(pin.gate);
+        Ok(old)
+    }
+
     /// Swaps the drivers of two in-pins (the elementary rewiring move of
     /// §4.1).  The placement is untouched; only the two nets change.
     ///
@@ -511,6 +550,27 @@ impl Network {
         }
         self.gates[id.index()].removed = true;
         self.inputs.retain(|&i| i != id);
+        true
+    }
+
+    /// Pops the last gate slot if (and only if) it is tomb-stoned, returning
+    /// `true` on success.  Tomb-stones keep no edges, so dropping a trailing
+    /// one is always structurally sound; the point of popping is that a
+    /// subsequent [`Network::add_gate`] reuses the slot index, which keeps
+    /// apply→undo probe sequences (e.g. scoring an inverting swap) from
+    /// growing the slot count — and with it every id-indexed side array —
+    /// monotonically.  Callers that cache per-slot state must invalidate a
+    /// reused slot before reading it, exactly as for a fresh slot.
+    pub fn pop_trailing_tombstone(&mut self) -> bool {
+        match self.gates.last() {
+            Some(g) if g.removed => {}
+            _ => return false,
+        }
+        self.gates.pop();
+        self.fanouts.pop();
+        if let Some(hint) = &mut self.topo_hint {
+            Arc::make_mut(hint).pop();
+        }
         true
     }
 
@@ -761,6 +821,26 @@ mod tests {
         assert_eq!(removed, 1);
         assert!(!n.is_live(g1));
         assert!(n.is_live(b));
+        assert!(n.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn pop_trailing_tombstone_reuses_slots() {
+        let (mut n, a, _b, _c, g1) = small();
+        let before = n.gate_count();
+        let inv = n.insert_inverter(PinRef::new(g1, 0), "probe_inv").unwrap();
+        assert_eq!(n.gate_count(), before + 1);
+        // Live gates are never popped.
+        assert!(!n.pop_trailing_tombstone());
+        // Undo the insertion: reconnect the pin and sweep the inverter.
+        n.replace_pin_driver(PinRef::new(g1, 0), a).unwrap();
+        assert!(n.remove_if_dangling(inv));
+        assert!(n.pop_trailing_tombstone());
+        assert!(!n.pop_trailing_tombstone());
+        assert_eq!(n.gate_count(), before);
+        // The next insertion reuses the popped slot index.
+        let inv2 = n.insert_inverter(PinRef::new(g1, 0), "probe_inv2").unwrap();
+        assert_eq!(inv2, inv);
         assert!(n.check_consistency().is_ok());
     }
 

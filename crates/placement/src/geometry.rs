@@ -57,6 +57,13 @@ impl Region {
 ///
 /// Primary inputs and outputs are placed too (as pad-like points), because
 /// the star wire model needs coordinates for every net terminal.
+///
+/// The slot table can **grow** after the placer ran: rewiring moves that
+/// insert inverters (the paper's ES swaps) host each new gate through
+/// [`Placement::host_at`], which extends the table on demand.  The original
+/// rows are never disturbed — the overlay is pure bookkeeping on top of the
+/// frozen placement, matching the paper's constraint that the optimizer
+/// moves no existing cell.
 #[derive(Debug, Clone)]
 pub struct Placement {
     region: Region,
@@ -88,6 +95,32 @@ impl Placement {
     /// Number of gate slots covered.
     pub fn len(&self) -> usize {
         self.positions.len()
+    }
+
+    /// Returns `true` if the placement has a slot for `gate`.
+    pub fn covers(&self, gate: GateId) -> bool {
+        gate.index() < self.positions.len()
+    }
+
+    /// Hosts a gate inserted after placement (e.g. an inverter added by an
+    /// inverting swap) at `p`, growing the slot table as needed.  The
+    /// canonical policy co-locates the new gate with its driver, so the
+    /// driver→inverter net is (near) zero-length and the inverter→sink net
+    /// inherits the original driver→sink geometry; a legalization nudge
+    /// into a free row slot can refine this later without touching callers.
+    pub fn host_at(&mut self, gate: GateId, p: Point) {
+        if self.positions.len() <= gate.index() {
+            self.positions.resize(gate.index() + 1, Point::default());
+        }
+        self.positions[gate.index()] = self.region.clamp(p);
+    }
+
+    /// Shrinks the slot table back to `len` slots (no-op if it is already
+    /// that small).  Used to retire overlay slots after an inverting-swap
+    /// probe or pass is undone, so the placement's length tracks the
+    /// network's slot count exactly at every stable point.
+    pub fn truncate_slots(&mut self, len: usize) {
+        self.positions.truncate(len);
     }
 
     /// Returns `true` if the placement covers no gates.
@@ -171,6 +204,29 @@ mod tests {
         // f has no sinks.
         assert_eq!(p.net_hpwl_um(&n, f), 0.0);
         assert_eq!(p.total_hpwl_um(&n), 20.0);
+    }
+
+    #[test]
+    fn host_at_grows_and_truncate_retires_overlay_slots() {
+        let region = Region { width_um: 50.0, height_um: 50.0, row_height_um: 10.0 };
+        let mut p = Placement::new(region, 2);
+        assert!(p.covers(GateId(1)));
+        assert!(!p.covers(GateId(5)));
+        // Hosting a late gate grows the table and clamps like set_position.
+        p.host_at(GateId(5), Point::new(60.0, 10.0));
+        assert_eq!(p.len(), 6);
+        assert!(p.covers(GateId(5)));
+        assert_eq!(p.position(GateId(5)), Point::new(50.0, 10.0));
+        // Hosting an existing slot just moves it.
+        p.host_at(GateId(0), Point::new(1.0, 2.0));
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.position(GateId(0)), Point::new(1.0, 2.0));
+        // Truncation retires the overlay but never the original rows.
+        p.truncate_slots(2);
+        assert_eq!(p.len(), 2);
+        assert!(!p.covers(GateId(5)));
+        p.truncate_slots(10);
+        assert_eq!(p.len(), 2);
     }
 
     #[test]

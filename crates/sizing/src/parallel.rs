@@ -4,12 +4,35 @@
 //! a fixed priority order; a decision for one item only perturbs the timing
 //! of its *region* (the nets it loads and drives).  Consecutive items whose
 //! regions are pairwise disjoint can therefore be scored concurrently and
-//! applied in the original order, reproducing the sequential decisions —
-//! which is what makes `--threads 1` and `--threads 8` produce identical
-//! reports (sizing is bit-exact; see `OptimizerConfig::threads` for the
-//! rewiring rounding caveat).
+//! applied in the original order, reproducing the sequential decisions.
+//!
+//! # The `threads` determinism contract
+//!
+//! This module is the one normative statement of what every `threads` knob
+//! in the workspace (`SizerConfig::threads`, `OptimizerConfig::threads`,
+//! `PipelineConfig::threads`, `table1 --threads`) guarantees:
+//!
+//! * **Decisions are thread-count invariant.**  Every thread count visits
+//!   the same items in the same order and accepts the same resizes and
+//!   swaps — including inverting (ES) swaps, whose probe inverters are
+//!   inserted and popped symmetrically on worker clones and on the main
+//!   network, so candidate ids and hosted positions agree by construction.
+//! * **Sizing results are bit-exact** across thread counts: a resize leaves
+//!   no trace beyond the chosen class, so replaying identical decisions
+//!   yields identical networks and reports.
+//! * **Rewiring numbers can differ in the final ulp** after a rolled-back
+//!   pass: sequential probing permutes the main network's fan-out list
+//!   order (apply/undo uses `swap_remove`), worker clones permute only
+//!   their private copies, and Elmore/star sums fold in fan-out order.
+//!   Accepted decisions and swap counts still match exactly; only the last
+//!   bits of the floating-point delay/area sums may move.
+//! * **Thread-per-design sharding** (`table1 --threads`,
+//!   `run_suite_threaded`) returns results in input order regardless of
+//!   completion order, so whole-suite reports are bit-identical for every
+//!   thread count.
 
 use rapids_netlist::{GateId, Network};
+use rapids_placement::Placement;
 use rapids_timing::NetCache;
 
 /// Splits a visit order into maximal contiguous batches whose per-item
@@ -51,23 +74,33 @@ pub fn contiguous_disjoint_batches(
 /// With `threads <= 1` this is the plain sequential loop.  Otherwise the
 /// items are split into contiguous batches of pairwise-disjoint regions
 /// (via [`contiguous_disjoint_batches`] over `region_of`); each batch is
-/// scored concurrently on per-worker clones of the network (with fresh
-/// caches, which memoize the same values the main cache would) and the
-/// decisions are applied in the original order, reproducing the sequential
-/// decisions.
+/// scored concurrently on per-worker clones of the network *and placement*
+/// (with fresh caches, which memoize the same values the main cache would)
+/// and the decisions are applied in the original order, reproducing the
+/// sequential decisions.
+///
+/// The placement travels mutably because inverting-swap probes host the
+/// inverters they insert: on a worker that hosting lands on the private
+/// clone and is discarded with it, while sizing probes and non-inverting
+/// swaps never touch the placement at all.
+// Takes the full scoring context by design: network, placement and cache are
+// the three pieces of mutable state a probe perturbs and restores, and the
+// three closures are the seams the two optimizers plug into.
+#[allow(clippy::too_many_arguments)]
 pub fn visit_in_disjoint_batches<T: Sync, D: Send>(
     network: &mut Network,
+    placement: &mut Placement,
     cache: &mut NetCache,
     threads: usize,
     items: &[T],
     region_of: impl Fn(&Network, &T) -> Vec<GateId>,
-    score: impl Fn(&mut Network, &mut NetCache, &T) -> Option<D> + Sync,
-    mut apply: impl FnMut(&mut Network, &mut NetCache, &T, D),
+    score: impl Fn(&mut Network, &mut Placement, &mut NetCache, &T) -> Option<D> + Sync,
+    mut apply: impl FnMut(&mut Network, &mut Placement, &mut NetCache, &T, D),
 ) {
     if threads <= 1 {
         for item in items {
-            if let Some(decision) = score(network, cache, item) {
-                apply(network, cache, item, decision);
+            if let Some(decision) = score(network, placement, cache, item) {
+                apply(network, placement, cache, item, decision);
             }
         }
         return;
@@ -77,14 +110,15 @@ pub fn visit_in_disjoint_batches<T: Sync, D: Send>(
         let batch = &items[range];
         if batch.len() < 2 {
             for item in batch {
-                if let Some(decision) = score(network, cache, item) {
-                    apply(network, cache, item, decision);
+                if let Some(decision) = score(network, placement, cache, item) {
+                    apply(network, placement, cache, item, decision);
                 }
             }
             continue;
         }
         let chunk = batch.len().div_ceil(threads);
         let frozen: &Network = network;
+        let frozen_placement: &Placement = placement;
         let score_ref = &score;
         let decisions: Vec<Option<D>> = std::thread::scope(|s| {
             let workers: Vec<_> = batch
@@ -92,10 +126,11 @@ pub fn visit_in_disjoint_batches<T: Sync, D: Send>(
                 .map(|slice| {
                     s.spawn(move || {
                         let mut net = frozen.clone();
+                        let mut pl = frozen_placement.clone();
                         let mut local = NetCache::for_network(&net);
                         slice
                             .iter()
-                            .map(|item| score_ref(&mut net, &mut local, item))
+                            .map(|item| score_ref(&mut net, &mut pl, &mut local, item))
                             .collect::<Vec<_>>()
                     })
                 })
@@ -104,7 +139,7 @@ pub fn visit_in_disjoint_batches<T: Sync, D: Send>(
         });
         for (item, decision) in batch.iter().zip(decisions) {
             if let Some(decision) = decision {
-                apply(network, cache, item, decision);
+                apply(network, placement, cache, item, decision);
             }
         }
     }

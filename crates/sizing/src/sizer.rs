@@ -34,8 +34,9 @@ pub struct SizerConfig {
     /// recover area.
     pub recover_area: bool,
     /// Worker threads for candidate scoring (1 = fully sequential).  Any
-    /// thread count produces identical results; see
-    /// [`crate::parallel::contiguous_disjoint_batches`].
+    /// thread count takes identical decisions and sizing is bit-exact; the
+    /// normative statement lives in [`crate::parallel`] (the `threads`
+    /// determinism contract).
     pub threads: usize,
 }
 
@@ -120,6 +121,12 @@ impl GateSizer {
         placement: &Placement,
         timing: &TimingConfig,
     ) -> SizingOutcome {
+        // The shared batch visitor threads a mutable placement through so
+        // that inverting-swap probes (in the rewiring optimizer) can host
+        // inserted inverters; sizing never touches it, so a private copy
+        // keeps the caller's placement provably frozen.
+        let mut placement = placement.clone();
+        let placement = &mut placement;
         let mut inc = IncrementalSta::new(network, library, placement, timing);
         let mut cache = NetCache::for_network(network);
         let initial_delay_ns = inc.report().critical_delay_ns();
@@ -203,7 +210,7 @@ impl GateSizer {
         &self,
         network: &mut Network,
         library: &Library,
-        placement: &Placement,
+        placement: &mut Placement,
         timing: &TimingConfig,
         report: &TimingReport,
         cache: &mut NetCache,
@@ -228,7 +235,7 @@ impl GateSizer {
         &self,
         network: &mut Network,
         library: &Library,
-        placement: &Placement,
+        placement: &mut Placement,
         timing: &TimingConfig,
         report: &TimingReport,
         cache: &mut NetCache,
@@ -253,7 +260,7 @@ impl GateSizer {
         &self,
         network: &mut Network,
         library: &Library,
-        placement: &Placement,
+        placement: &mut Placement,
         timing: &TimingConfig,
         report: &TimingReport,
         cache: &mut NetCache,
@@ -265,11 +272,12 @@ impl GateSizer {
         let mut journal = SizeJournal::new();
         visit_in_disjoint_batches(
             network,
+            placement,
             cache,
             self.config.threads,
             gates,
             |network, &g| sizing_region(network, g),
-            |network, cache, &g| {
+            |network, placement, cache, &g| {
                 decide_best_drive(
                     network,
                     library,
@@ -282,7 +290,7 @@ impl GateSizer {
                     worst_slack,
                 )
             },
-            |network, cache, &g, best| {
+            |network, _placement, cache, &g, best| {
                 apply_class(network, cache, &mut journal, g, best);
                 resized.insert(g);
             },

@@ -182,10 +182,19 @@ impl IncrementalSta {
     /// drive strength changed since the last `update`/`full` call.  A pin
     /// swap touches the two pins' gates (their old and new drivers are then
     /// covered automatically, because both remain fan-ins of the touched
-    /// pair); a resize touches the resized gate.  Duplicates are fine.
+    /// pair); a resize touches the resized gate; an inverting swap
+    /// additionally touches the inserted inverters (their fan-ins — the
+    /// exchanged drivers, whose sink sets changed — are then covered
+    /// automatically too).  Duplicates and tomb-stoned ids are fine.
     ///
-    /// Falls back to a full analysis when the network grew (e.g. inverting
-    /// swaps inserted inverters) or the cached order was invalidated.
+    /// A network that **grew** since the last refresh (inverting swaps
+    /// inserted inverters) stays on the incremental path: the per-slot
+    /// arrays are extended with neutral values, the topological order is
+    /// re-derived (an O(V+E) sort, no parasitic work), and the new gates
+    /// are timed by the ordinary dirty-cone sweeps.  Only a network that
+    /// *shrank* (a rolled-back pass popped its inverters) or an edit that
+    /// invalidated the cached order around the touched gates falls back to
+    /// a full analysis.
     pub fn update(
         &mut self,
         network: &Network,
@@ -196,7 +205,11 @@ impl IncrementalSta {
         if touched.is_empty() {
             return;
         }
-        if network.gate_count() != self.pos.len() || !self.order_still_valid(network, touched) {
+        if network.gate_count() > self.pos.len() {
+            self.report.ensure_slots(network.gate_count());
+            self.refresh_topology(network);
+        } else if network.gate_count() < self.pos.len() || !self.order_still_valid(network, touched)
+        {
             self.full(network, library, placement);
             return;
         }
@@ -500,18 +513,40 @@ mod tests {
     }
 
     #[test]
-    fn grown_network_falls_back_to_full() {
+    fn grown_network_stays_incremental_and_matches_full() {
         let mut n = diamond();
-        let (p, lib, cfg) = setup(&n);
+        let (mut p, lib, cfg) = setup(&n);
         let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
         let m1 = n.find_by_name("m1").unwrap();
+        let driver = n.fanins(m1)[0];
         let inv = n.insert_inverter(PinRef::new(m1, 0), "late_inv").unwrap();
-        // The placement pre-allocated slots via gate_count; re-place so the
-        // new inverter has a position.
-        let p2 = place(&n, &lib, &PlacerConfig::fast(), 17);
-        inc.update(&n, &lib, &p2, &[m1, inv]);
+        // Host the inverter on top of its driver (the inverting-swap policy).
+        p.host_at(inv, p.position(driver));
+        inc.update(&n, &lib, &p, &[m1, inv]);
+        assert_eq!(inc.stats().full_refreshes, 1, "growth must not force a full analysis");
+        assert_eq!(inc.stats().incremental_updates, 1);
+        inc.verify_matches_full(&n, &lib, &p).unwrap();
+    }
+
+    #[test]
+    fn shrunk_network_falls_back_to_full() {
+        let mut n = diamond();
+        let (mut p, lib, cfg) = setup(&n);
+        let mut inc = IncrementalSta::new(&n, &lib, &p, &cfg);
+        let m1 = n.find_by_name("m1").unwrap();
+        let driver = n.fanins(m1)[0];
+        let inv = n.insert_inverter(PinRef::new(m1, 0), "late_inv").unwrap();
+        p.host_at(inv, p.position(driver));
+        inc.update(&n, &lib, &p, &[m1, inv]);
+        // Undo the insertion and pop the slot: the arrays are now longer
+        // than the network, which must trigger the full fallback.
+        n.replace_pin_driver(PinRef::new(m1, 0), driver).unwrap();
+        assert!(n.remove_if_dangling(inv));
+        assert!(n.pop_trailing_tombstone());
+        p.truncate_slots(n.gate_count());
+        inc.update(&n, &lib, &p, &[m1, inv]);
         assert_eq!(inc.stats().full_refreshes, 2);
-        inc.verify_matches_full(&n, &lib, &p2).unwrap();
+        inc.verify_matches_full(&n, &lib, &p).unwrap();
     }
 
     #[test]

@@ -101,6 +101,30 @@ impl TimingReport {
     pub fn required_time_ns(&self) -> f64 {
         self.required_time_ns
     }
+
+    /// Returns `true` if this report has a slot for `gate`.  Gates inserted
+    /// *after* the analysis ran (e.g. inverters added by an inverting swap)
+    /// are not covered until the incremental engine extends the report;
+    /// consumers that score candidates against a frozen report use this to
+    /// fall back to a local estimate for such gates.
+    pub fn covers(&self, gate: GateId) -> bool {
+        gate.index() < self.arrival.len()
+    }
+
+    /// Extends every per-slot array to cover at least `slots` gate slots.
+    /// New slots hold the neutral values a from-scratch analysis would start
+    /// from (zero arrivals, `+INF` raw required times, empty parasitics);
+    /// the incremental engine then times them like any other dirty gate.
+    pub(crate) fn ensure_slots(&mut self, slots: usize) {
+        if self.arrival.len() >= slots {
+            return;
+        }
+        self.arrival.resize(slots, ArrivalTime::default());
+        self.required.resize(slots, self.required_time_ns);
+        self.required_raw.resize(slots, f64::INFINITY);
+        self.gate_delays.resize(slots, CellDelay::default());
+        self.net_delays.resize(slots, None);
+    }
 }
 
 // ----------------------------------------------------------------------
