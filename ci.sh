@@ -47,4 +47,12 @@ echo "==> inverting-swap (ES) smoke"
 timeout 120 ./target/release/table1 --threads 2 --es c1908 alu4 x3 \
     --check ci/expected_qor_smoke_es.json > /dev/null
 
+echo "==> serve smoke (batch service over suite designs + a .blif fixture)"
+# Three fast suite designs plus the committed fixture, scheduled across two
+# workers: the canonically sorted JSONL must match the pinned expectation
+# byte for byte (reports are worker-count invariant; see docs/serving.md).
+timeout 120 ./target/release/rapids-serve --fast --workers 2 --sort \
+    alu2 c432 c499 --blif-dir ci/fixtures 2> /dev/null \
+    | diff - ci/expected_serve_smoke.jsonl
+
 echo "==> OK"

@@ -13,12 +13,13 @@
 //! cargo run -p rapids-bench --release --bin table1 -- --qor-out expected.json
 //! cargo run -p rapids-bench --release --bin table1 -- --check expected.json  # CI regression
 //! cargo run -p rapids-bench --release --bin table1 -- --es     # allow inverting (ES) swaps
+//! cargo run -p rapids-bench --release --bin table1 -- --blif-dir designs/  # real netlists
 //! ```
 
 use std::io::Write as _;
 
 use rapids_bench::table1::{
-    all_names, bench_report, format_table, results_to_json, results_to_qor_json,
+    all_names, bench_report, format_table, results_to_json, results_to_qor_json, run_blif_dir,
     run_suite_threaded, FlowConfig,
 };
 
@@ -32,6 +33,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut threads = 1usize;
     let mut include_inverting = false;
+    let mut blif_dirs: Vec<String> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     let path_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
@@ -49,6 +51,7 @@ fn main() {
             "--baseline" => baseline_path = Some(path_arg(&mut iter, "--baseline")),
             "--qor-out" => qor_path = Some(path_arg(&mut iter, "--qor-out")),
             "--check" => check_path = Some(path_arg(&mut iter, "--check")),
+            "--blif-dir" => blif_dirs.push(path_arg(&mut iter, "--blif-dir")),
             "--threads" => {
                 let value = path_arg(&mut iter, "--threads");
                 threads = value.parse().unwrap_or_else(|_| {
@@ -66,8 +69,17 @@ fn main() {
     }
     // Applied after parsing so `--es --fast` and `--fast --es` agree.
     config.optimizer.include_inverting_swaps = include_inverting;
-    let selected: Vec<&str> =
-        if names.is_empty() { all_names() } else { names.iter().map(|s| s.as_str()).collect() };
+    // `--blif-dir` without names runs only the discovered netlists; the
+    // full synthetic suite stays the default otherwise.
+    let selected: Vec<&str> = if names.is_empty() {
+        if blif_dirs.is_empty() {
+            all_names()
+        } else {
+            Vec::new()
+        }
+    } else {
+        names.iter().map(|s| s.as_str()).collect()
+    };
 
     println!(
         "RAPIDS reproduction — Table 1 (fast={}, threads={threads}, es={include_inverting})",
@@ -85,9 +97,14 @@ fn main() {
         eprintln!("queued {name}");
     }
     let _ = std::io::stderr().flush();
-    let results = run_suite_threaded(&selected, &config, threads);
+    let mut results = run_suite_threaded(&selected, &config, threads);
     if results.len() != selected.len() {
         eprintln!("note: {} unknown benchmark(s) skipped", selected.len() - results.len());
+    }
+    // Discovered `.blif` rows ride the same table/JSON/QoR plumbing as the
+    // synthetic suite, appended in discovery order.
+    for dir in &blif_dirs {
+        results.extend(run_blif_dir(std::path::Path::new(dir), &config, threads));
     }
 
     println!("{}", format_table(&results));

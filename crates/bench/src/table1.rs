@@ -323,6 +323,51 @@ pub fn run_benchmark(name: &str, config: &FlowConfig) -> Option<FlowResult> {
     }
 }
 
+/// Runs the full flow for one `.blif` file through the [`Pipeline`]
+/// (parse → map → place → time → optimize three ways); the row is named
+/// after the file's model.  This is the per-design engine behind
+/// `table1 --blif-dir`.
+///
+/// # Errors
+///
+/// Unreadable or unparsable files surface as [`PipelineError`] instead of
+/// panicking — a benchmark directory may legitimately contain bad files.
+pub fn run_blif_benchmark(
+    path: &std::path::Path,
+    config: &FlowConfig,
+) -> Result<FlowResult, PipelineError> {
+    let pipeline = Pipeline::new(config.clone());
+    let source =
+        CircuitSource::BlifFile { path: path.to_path_buf(), max_fanin: config.map_max_fanin };
+    Ok(FlowResult::from_comparison(&pipeline.compare_optimizers(source)?))
+}
+
+/// Runs every `.blif` file discovered under `dir` (recursively, in the
+/// deterministic order of [`rapids_netlist::blif::discover_files`] — the
+/// same loader the serve layer ingests with) with thread-per-design
+/// sharding.  Unreadable or unparsable files are skipped with a note on
+/// stderr; rows come back in discovery order.
+pub fn run_blif_dir(dir: &std::path::Path, config: &FlowConfig, threads: usize) -> Vec<FlowResult> {
+    let files = match rapids_netlist::blif::discover_files(dir) {
+        Ok(files) => files,
+        Err(e) => {
+            eprintln!("cannot scan {}: {e}", dir.display());
+            return Vec::new();
+        }
+    };
+    run_threaded(&files, threads, |path| match run_blif_benchmark(path, config) {
+        Ok(result) => Some(result),
+        // Only input problems are the file's fault; anything else (e.g. a
+        // broken-equivalence abort) is a bug in the flow itself and stays
+        // loud, matching `run_benchmark`'s contract for the suite.
+        Err(e @ PipelineError::Netlist(_)) => {
+            eprintln!("skipping {}: {e}", path.display());
+            None
+        }
+        Err(e) => panic!("flow failed on `{}`: {e}", path.display()),
+    })
+}
+
 /// Runs the flow over a list of benchmark names (use
 /// [`rapids_circuits::suite_names`] for the full Table 1).
 pub fn run_suite(names: &[&str], config: &FlowConfig) -> Vec<FlowResult> {
@@ -334,20 +379,32 @@ pub fn run_suite(names: &[&str], config: &FlowConfig) -> Vec<FlowResult> {
 /// come back in input order regardless of completion order, so any thread
 /// count produces an identical report.
 pub fn run_suite_threaded(names: &[&str], config: &FlowConfig, threads: usize) -> Vec<FlowResult> {
-    if threads <= 1 || names.len() <= 1 {
-        return run_suite(names, config);
+    run_threaded(names, threads, |name| run_benchmark(name, config))
+}
+
+/// Thread-per-design sharding over any item list: up to `threads` items
+/// execute concurrently, items whose runner returns `None` are dropped,
+/// and results come back in input order regardless of completion order —
+/// so any thread count produces an identical report.
+fn run_threaded<T: Sync>(
+    items: &[T],
+    threads: usize,
+    run: impl Fn(&T) -> Option<FlowResult> + Sync,
+) -> Vec<FlowResult> {
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().filter_map(&run).collect();
     }
     let next = std::sync::atomic::AtomicUsize::new(0);
     let slots: Vec<std::sync::Mutex<Option<FlowResult>>> =
-        (0..names.len()).map(|_| std::sync::Mutex::new(None)).collect();
+        (0..items.len()).map(|_| std::sync::Mutex::new(None)).collect();
     std::thread::scope(|s| {
-        for _ in 0..threads.min(names.len()) {
+        for _ in 0..threads.min(items.len()) {
             s.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= names.len() {
+                if i >= items.len() {
                     break;
                 }
-                let result = run_benchmark(names[i], config);
+                let result = run(&items[i]);
                 *slots[i].lock().expect("slot lock poisoned") = result;
             });
         }
@@ -399,6 +456,37 @@ mod tests {
     #[test]
     fn unknown_benchmark_is_none() {
         assert!(run_benchmark("nope", &FlowConfig::fast()).is_none());
+    }
+
+    #[test]
+    fn blif_dir_runs_good_files_and_skips_bad_ones() {
+        let dir = std::env::temp_dir().join(format!("rapids_table1_blif_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let text = "\
+.model tiny_chain
+.inputs a b c d
+.outputs f
+.gate nand n1 a b
+.gate nand n2 n1 c
+.gate nand f n2 d
+.end
+";
+        std::fs::write(dir.join("tiny_chain.blif"), text).unwrap();
+        std::fs::write(dir.join("broken.blif"), ".model broken\n.gate frob f a\n.end\n").unwrap();
+
+        let config = FlowConfig::fast();
+        let results = run_blif_dir(&dir, &config, 2);
+        assert_eq!(results.len(), 1, "the broken file must be skipped, not fatal");
+        assert_eq!(results[0].name, "tiny_chain");
+        assert!(results[0].initial_delay_ns > 0.0);
+
+        // The per-file entry point agrees with the directory sweep.
+        let single = run_blif_benchmark(&dir.join("tiny_chain.blif"), &config).unwrap();
+        assert_eq!(results_to_qor_json(&results), results_to_qor_json(&[single]));
+        assert!(run_blif_benchmark(&dir.join("broken.blif"), &config).is_err());
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -58,12 +58,27 @@ pub enum CircuitSource {
         /// Maximum fan-in allowed after mapping.
         max_fanin: usize,
     },
+    /// A BLIF file on disk, read via [`rapids_netlist::blif::parse_file`]
+    /// then mapped with the given maximum fan-in.  Read errors surface as
+    /// [`PipelineError::Netlist`] carrying the path.
+    BlifFile {
+        /// Path of the `.blif` file.
+        path: std::path::PathBuf,
+        /// Maximum fan-in allowed after mapping.
+        max_fanin: usize,
+    },
 }
 
 impl CircuitSource {
     /// Convenience constructor for a Table 1 suite benchmark.
     pub fn suite(name: impl Into<String>) -> Self {
         CircuitSource::Suite(name.into())
+    }
+
+    /// Convenience constructor for a `.blif` file with the default fan-in
+    /// bound used by [`PipelineConfig::default`].
+    pub fn blif_file(path: impl Into<std::path::PathBuf>) -> Self {
+        CircuitSource::BlifFile { path: path.into(), max_fanin: 4 }
     }
 }
 
@@ -268,6 +283,11 @@ pub struct FlowComparison {
     pub sizing: PipelineReport,
     /// `gsg+GS` (combined) report.
     pub combined: PipelineReport,
+    /// The shared placement all three optimizers were scored on.  Kept on
+    /// the comparison so long-running callers (the serve layer) can re-time
+    /// or re-optimize any of the three result networks without re-running
+    /// [`Pipeline::prepare`]; see [`FlowComparison::grown_placement`].
+    pub placement: Placement,
 }
 
 impl FlowComparison {
@@ -279,6 +299,31 @@ impl FlowComparison {
             OptimizerKind::Combined => &self.combined,
         }
     }
+
+    /// A placement covering `kind`'s (possibly ES-grown) result network:
+    /// the shared placement extended with the overlay slots of every
+    /// inserted inverter ([`PipelineReport::grown_placement`] against
+    /// [`FlowComparison::placement`]).
+    pub fn grown_placement(&self, kind: OptimizerKind) -> Placement {
+        self.report(kind).grown_placement(&self.placement)
+    }
+}
+
+/// Shared tail of the two BLIF resolve arms: book the parse cost under
+/// `generate_s`, technology-map under the fan-in bound, book that under
+/// `map_s`, and keep the model name.
+fn map_parsed(
+    parsed: Network,
+    max_fanin: usize,
+    parse_start: Instant,
+    timings: &mut StageTimings,
+) -> Result<Network, PipelineError> {
+    timings.generate_s = parse_start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    let mut mapped = map_to_library(&parsed, max_fanin)?;
+    mapped.set_name(parsed.name());
+    timings.map_s = start.elapsed().as_secs_f64();
+    Ok(mapped)
 }
 
 /// The unified generate → map → place → STA → optimize → report flow.
@@ -344,12 +389,11 @@ impl Pipeline {
             }
             CircuitSource::Blif { text, max_fanin } => {
                 let parsed = blif::parse_string(&text)?;
-                timings.generate_s = start.elapsed().as_secs_f64();
-                let start = Instant::now();
-                let mut mapped = map_to_library(&parsed, max_fanin)?;
-                mapped.set_name(parsed.name());
-                timings.map_s = start.elapsed().as_secs_f64();
-                Ok(mapped)
+                map_parsed(parsed, max_fanin, start, timings)
+            }
+            CircuitSource::BlifFile { path, max_fanin } => {
+                let parsed = blif::parse_file(&path)?;
+                map_parsed(parsed, max_fanin, start, timings)
             }
         }
     }
@@ -506,6 +550,7 @@ impl Pipeline {
             rewiring: rewiring?,
             sizing: sizing?,
             combined: combined?,
+            placement: design.placement,
         })
     }
 }

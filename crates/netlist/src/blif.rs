@@ -19,11 +19,70 @@
 
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::path::Path;
 
 use crate::error::NetlistError;
 use crate::gate::{GateId, GateType};
 use crate::network::Network;
 use crate::topo;
+
+fn io_error(path: &Path, e: std::io::Error) -> NetlistError {
+    NetlistError::Io { path: path.display().to_string(), message: e.to_string() }
+}
+
+/// Reads and parses a BLIF-like file.
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] when the file cannot be read, otherwise whatever
+/// [`parse_string`] reports about its contents.
+pub fn parse_file(path: impl AsRef<Path>) -> Result<Network, NetlistError> {
+    let path = path.as_ref();
+    let text = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
+    parse_string(&text)
+}
+
+/// Serializes a network with [`write_string`] and writes it to `path`.
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] when the file cannot be written.
+pub fn write_file(network: &Network, path: impl AsRef<Path>) -> Result<(), NetlistError> {
+    let path = path.as_ref();
+    std::fs::write(path, write_string(network)).map_err(|e| io_error(path, e))
+}
+
+/// Recursively discovers every `*.blif` file under `root`, in a
+/// deterministic order (lexicographic by full path), so a directory of
+/// benchmarks always enumerates — and therefore schedules and reports —
+/// identically.  This is the shared loader behind `table1 --blif-dir` and
+/// the serve layer's directory ingestion.
+///
+/// # Errors
+///
+/// [`NetlistError::Io`] on the first unreadable directory entry.  Files
+/// are only *discovered* here; parse them with [`parse_file`] (a bad file
+/// is the reader's problem, not the walk's).
+pub fn discover_files(root: impl AsRef<Path>) -> Result<Vec<std::path::PathBuf>, NetlistError> {
+    fn walk(dir: &Path, found: &mut Vec<std::path::PathBuf>) -> Result<(), NetlistError> {
+        let entries = std::fs::read_dir(dir).map_err(|e| io_error(dir, e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| io_error(dir, e))?;
+            let path = entry.path();
+            let ftype = entry.file_type().map_err(|e| io_error(&path, e))?;
+            if ftype.is_dir() {
+                walk(&path, found)?;
+            } else if path.extension().is_some_and(|ext| ext == "blif") {
+                found.push(path);
+            }
+        }
+        Ok(())
+    }
+    let mut found = Vec::new();
+    walk(root.as_ref(), &mut found)?;
+    found.sort_by(|a, b| a.as_os_str().cmp(b.as_os_str()));
+    Ok(found)
+}
 
 /// Serializes a network to the structural BLIF-like dialect.
 ///
@@ -307,6 +366,85 @@ mod tests {
         let n = parse_string(text).unwrap();
         assert_eq!(n.logic_gate_count(), 2);
         assert!(n.check_consistency().is_ok());
+    }
+
+    #[test]
+    fn file_round_trip_and_io_errors() {
+        let n = sample();
+        let dir = std::env::temp_dir().join(format!("rapids_blif_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("adder1.blif");
+        write_file(&n, &path).unwrap();
+        let back = parse_file(&path).unwrap();
+        assert_eq!(signature(&n), signature(&back));
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let missing = dir.join("nope.blif");
+        assert!(matches!(parse_file(&missing).unwrap_err(), NetlistError::Io { .. }));
+        assert!(matches!(write_file(&n, &missing).unwrap_err(), NetlistError::Io { .. }));
+    }
+
+    /// Seeded property loop: random DAGs with tomb-stoned interior and
+    /// trailing slots (the shape of a post-ES grown-then-rolled-back
+    /// network) must survive write→parse with identical structure, and the
+    /// serialized text must be a fixpoint.
+    #[test]
+    fn tombstoned_networks_round_trip() {
+        for seed in 0..24u64 {
+            let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(1);
+            let mut next = move |bound: usize| {
+                // xorshift64*, reduced; plenty for case generation.
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 32) as usize % bound.max(1)
+            };
+            let mut n = Network::new(format!("tomb{seed}"));
+            let mut live: Vec<GateId> = Vec::new();
+            for i in 0..3 + next(4) {
+                live.push(n.add_input(format!("in{i}")));
+            }
+            let mut doomed: Vec<GateId> = Vec::new();
+            for i in 0..8 + next(24) {
+                let two = [GateType::And, GateType::Or, GateType::Nand, GateType::Xor];
+                let a = live[next(live.len())];
+                let b = live[next(live.len())];
+                let id = if next(5) == 0 {
+                    n.add_gate(GateType::Inv, &[a], format!("g{i}")).unwrap()
+                } else {
+                    n.add_gate(two[next(two.len())], &[a, b], format!("g{i}")).unwrap()
+                };
+                // A third of the gates are built to die: nothing ever reads
+                // them, and they are removed below to tomb-stone their slots
+                // (interior ones once later gates exist, plus trailing ones).
+                if next(3) == 0 {
+                    doomed.push(id);
+                } else {
+                    live.push(id);
+                }
+            }
+            if doomed.is_empty() {
+                let a = live[next(live.len())];
+                doomed.push(n.add_gate(GateType::Inv, &[a], "g_doomed").unwrap());
+            }
+            for (i, &g) in live.iter().enumerate() {
+                if !matches!(n.gate(g).gtype, GateType::Input)
+                    && (n.is_fanout_free(g) || i % 7 == 0)
+                {
+                    n.add_output(g, format!("out_{}", n.gate(g).name.clone()));
+                }
+            }
+            for g in doomed {
+                assert!(n.remove_if_dangling(g), "doomed gate had readers");
+            }
+            assert!(n.live_gate_count() < n.gate_count(), "no tombstones made");
+            assert!(n.check_consistency().is_ok());
+
+            let text = write_string(&n);
+            let back = parse_string(&text).unwrap();
+            assert_eq!(signature(&n), signature(&back), "seed {seed}");
+            assert_eq!(text, write_string(&back), "seed {seed} not a fixpoint");
+        }
     }
 
     #[test]

@@ -44,6 +44,16 @@ pub enum NetlistError {
         /// Human-readable description of the problem.
         message: String,
     },
+    /// Reading or writing a netlist file failed.
+    ///
+    /// Carries the path and the rendered `std::io::Error` (the raw error is
+    /// neither `Clone` nor `PartialEq`, which this enum promises).
+    Io {
+        /// Path of the file the operation failed on.
+        path: String,
+        /// Rendered I/O error message.
+        message: String,
+    },
 }
 
 impl fmt::Display for NetlistError {
@@ -66,6 +76,9 @@ impl fmt::Display for NetlistError {
             NetlistError::ParseBlif { line, message } => {
                 write!(f, "parse error at line {line}: {message}")
             }
+            NetlistError::Io { path, message } => {
+                write!(f, "i/o error on `{path}`: {message}")
+            }
         }
     }
 }
@@ -86,6 +99,7 @@ mod tests {
             NetlistError::DuplicateName("x".into()),
             NetlistError::UndefinedName("y".into()),
             NetlistError::ParseBlif { line: 3, message: "bad token".into() },
+            NetlistError::Io { path: "/no/such".into(), message: "denied".into() },
         ];
         for e in errors {
             let s = e.to_string();

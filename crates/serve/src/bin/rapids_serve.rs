@@ -1,0 +1,186 @@
+//! `rapids-serve` — the batch-optimization service front end.
+//!
+//! Usage:
+//!
+//! ```text
+//! rapids-serve --suite --workers 8                     # whole Table 1 suite
+//! rapids-serve c432 alu2 --fast --sort                 # named suite designs, canonical order
+//! rapids-serve --jobs batch.jsonl --workers 4          # JSONL job file
+//! rapids-serve --blif-dir designs/ --out reports.jsonl # every .blif under designs/
+//! rapids-serve --listen 127.0.0.1:7171                 # TCP line protocol
+//! ```
+//!
+//! Reports stream to stdout (or `--out`) as JSONL, one line per design, as
+//! each finishes; `--sort` buffers and emits the canonical sorted order
+//! instead (byte-identical for every `--workers` count).  The summary goes
+//! to stderr so stdout stays machine-readable.  See `docs/serving.md` for
+//! the job schema, report fields, cache key and determinism guarantees.
+
+use std::io::Write as _;
+use std::net::TcpListener;
+
+use rapids_circuits::suite_names;
+use rapids_flow::PipelineConfig;
+use rapids_serve::report::canonical_sort;
+use rapids_serve::{jobs_from_blif_dir, jobs_from_jsonl, suite_jobs, BatchServer, Engine, Job};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut jobs_path: Option<String> = None;
+    let mut blif_dirs: Vec<String> = Vec::new();
+    let mut whole_suite = false;
+    let mut names: Vec<String> = Vec::new();
+    let mut workers = 1usize;
+    let mut sort = false;
+    let mut out_path: Option<String> = None;
+    let mut listen_addr: Option<String> = None;
+    let mut fast = false;
+    let mut es = false;
+    let mut seed: Option<u64> = None;
+    let mut threads: Option<usize> = None;
+
+    let mut iter = args.into_iter();
+    let value_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
+        iter.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
+    let parse_num = |value: &str, flag: &str| -> u64 {
+        value.parse().unwrap_or_else(|_| {
+            eprintln!("{flag} requires a non-negative integer, got `{value}`");
+            std::process::exit(2);
+        })
+    };
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--jobs" => jobs_path = Some(value_arg(&mut iter, "--jobs")),
+            "--blif-dir" => blif_dirs.push(value_arg(&mut iter, "--blif-dir")),
+            "--suite" => whole_suite = true,
+            "--workers" => {
+                workers = parse_num(&value_arg(&mut iter, "--workers"), "--workers") as usize
+            }
+            "--sort" => sort = true,
+            "--out" => out_path = Some(value_arg(&mut iter, "--out")),
+            "--listen" => listen_addr = Some(value_arg(&mut iter, "--listen")),
+            "--fast" => fast = true,
+            "--es" => es = true,
+            "--seed" => seed = Some(parse_num(&value_arg(&mut iter, "--seed"), "--seed")),
+            "--threads" => {
+                threads = Some(parse_num(&value_arg(&mut iter, "--threads"), "--threads") as usize)
+            }
+            other if other.starts_with("--") => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+            name => names.push(name.to_string()),
+        }
+    }
+
+    let mut config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
+    config.optimizer.include_inverting_swaps = es;
+    if let Some(seed) = seed {
+        config.seed = seed;
+    }
+    if let Some(threads) = threads {
+        config.threads = threads.max(1);
+    }
+
+    // Assemble the batch in a deterministic order: job file, named suite
+    // designs, the whole suite, then each --blif-dir in flag order.
+    let mut jobs: Vec<Job> = Vec::new();
+    if let Some(path) = &jobs_path {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read job file {path}: {e}");
+            std::process::exit(2);
+        });
+        match jobs_from_jsonl(&text, &config) {
+            Ok(parsed) => jobs.extend(parsed),
+            Err((line, error)) => {
+                eprintln!("{path}:{line}: bad job spec: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let names: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    jobs.extend(suite_jobs(&names, &config));
+    if whole_suite {
+        jobs.extend(suite_jobs(&suite_names(), &config));
+    }
+    for dir in &blif_dirs {
+        match jobs_from_blif_dir(dir, &config) {
+            Ok(discovered) => {
+                if discovered.is_empty() {
+                    eprintln!("note: no .blif files under {dir}");
+                }
+                jobs.extend(discovered);
+            }
+            Err(e) => {
+                eprintln!("cannot scan {dir}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if jobs.is_empty() && listen_addr.is_none() {
+        eprintln!(
+            "nothing to do: pass suite names, --suite, --jobs FILE, --blif-dir DIR or --listen ADDR"
+        );
+        std::process::exit(2);
+    }
+
+    let server = BatchServer::new(Engine::new(config), workers);
+
+    let mut sink: Box<dyn std::io::Write> = match &out_path {
+        Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        })),
+        None => Box::new(std::io::stdout()),
+    };
+
+    if !jobs.is_empty() {
+        let start = std::time::Instant::now();
+        let mut buffered: Vec<String> = Vec::new();
+        let summary = server.run_streaming(&jobs, |report| {
+            let line = report.to_jsonl();
+            if sort {
+                buffered.push(line);
+            } else {
+                writeln!(sink, "{line}").expect("write report line");
+                sink.flush().expect("flush report line");
+            }
+        });
+        if sort {
+            canonical_sort(&mut buffered);
+            for line in &buffered {
+                writeln!(sink, "{line}").expect("write report line");
+            }
+            sink.flush().expect("flush report lines");
+        }
+        eprintln!(
+            "serve: {} jobs — {} done ({} cached), {} failed — {:.1} s with {} worker(s)",
+            jobs.len(),
+            summary.done,
+            summary.cached,
+            summary.failed,
+            start.elapsed().as_secs_f64(),
+            server.workers(),
+        );
+    }
+
+    if let Some(addr) = listen_addr {
+        let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(2);
+        });
+        eprintln!("listening on {addr} (send {{\"cmd\":\"shutdown\"}} to stop)");
+        match rapids_serve::net::serve_connections(server.engine(), &listener) {
+            Ok(served) => eprintln!("served {served} job line(s); shutting down"),
+            Err(e) => {
+                eprintln!("listener error: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

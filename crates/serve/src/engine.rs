@@ -1,0 +1,256 @@
+//! The execution core: runs one job end to end, with result caching.
+//!
+//! The [`Engine`] is the part of the service that is shared across
+//! batches, TCP connections and worker threads: it owns the result cache
+//! and the run-count probes.  `execute` never panics and never returns an
+//! error — every failure mode (unknown suite name, unreadable file, BLIF
+//! parse error, optimizer panic) is captured as a `Failed` report so one
+//! poisoned job cannot take down a batch or a connection.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use rapids_flow::netlist::Network;
+use rapids_flow::{CircuitSource, Pipeline, PipelineConfig};
+
+use crate::fingerprint::{config_fingerprint, fnv1a, netlist_fingerprint};
+use crate::job::{Job, JobSource};
+use crate::report::{DesignQor, JobOutcome, JobReport};
+
+/// Shared execution core: base configuration, result cache, probes.
+#[derive(Debug)]
+pub struct Engine {
+    base: PipelineConfig,
+    cache: Mutex<HashMap<(u64, u64), DesignQor>>,
+    /// Second-level memo: (spec fingerprint, config fingerprint) → netlist
+    /// fingerprint, so a *literally repeated* submission skips generation
+    /// and technology mapping too, not just the optimizer.  Only specs
+    /// whose content is fully determined by the spec itself (suite names,
+    /// inline text) are memoized — a `.blif` file's bytes can change
+    /// between submissions, so file jobs always re-resolve.
+    spec_memo: Mutex<HashMap<(u64, u64), u64>>,
+    optimizer_runs: AtomicUsize,
+    cache_hits: AtomicUsize,
+    resolutions: AtomicUsize,
+}
+
+impl Engine {
+    /// An engine whose jobs default to `base` (per-job specs may override
+    /// individual knobs; see [`Job::from_spec_line`]).
+    pub fn new(base: PipelineConfig) -> Self {
+        Engine {
+            base,
+            cache: Mutex::new(HashMap::new()),
+            spec_memo: Mutex::new(HashMap::new()),
+            optimizer_runs: AtomicUsize::new(0),
+            cache_hits: AtomicUsize::new(0),
+            resolutions: AtomicUsize::new(0),
+        }
+    }
+
+    /// The configuration jobs are resolved against.
+    pub fn base_config(&self) -> &PipelineConfig {
+        &self.base
+    }
+
+    /// How many times the optimizer actually ran (cache misses).  This is
+    /// the probe the cache tests assert on: a resubmission that hits the
+    /// cache leaves it unchanged.
+    pub fn optimizer_runs(&self) -> usize {
+        self.optimizer_runs.load(Ordering::Relaxed)
+    }
+
+    /// How many jobs were served from the cache without recompute.
+    pub fn cache_hits(&self) -> usize {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct (netlist, config) results currently cached.
+    pub fn cached_results(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// How many times a circuit was actually resolved (generated/parsed
+    /// and mapped).  Repeat suite/inline submissions skip this via the
+    /// spec memo; `.blif` file jobs never do.
+    pub fn resolutions(&self) -> usize {
+        self.resolutions.load(Ordering::Relaxed)
+    }
+
+    /// Runs one job to completion: resolve the source, consult the cache,
+    /// optimize on a miss, and return the report.  Infallible by design —
+    /// errors and panics become `Failed` reports.
+    pub fn execute(&self, job: &Job) -> JobReport {
+        let fail = |error: String| JobReport {
+            job: job.name.clone(),
+            outcome: JobOutcome::Failed(error),
+            cached: false,
+        };
+
+        let config_fp = config_fingerprint(&job.config);
+        let hit = |qor: DesignQor| JobReport {
+            job: job.name.clone(),
+            outcome: JobOutcome::Done(qor),
+            cached: true,
+        };
+
+        // Fast path: a literally repeated submission (same spec, same
+        // config) already knows its netlist fingerprint, so it can answer
+        // from the result cache without re-generating or re-mapping.
+        let spec_key = spec_fingerprint(&job.source).map(|spec_fp| (spec_fp, config_fp));
+        if let Some(spec_key) = spec_key {
+            let memoized =
+                self.spec_memo.lock().expect("spec memo lock poisoned").get(&spec_key).copied();
+            if let Some(netlist_fp) = memoized {
+                let cached = self
+                    .cache
+                    .lock()
+                    .expect("cache lock poisoned")
+                    .get(&(netlist_fp, config_fp))
+                    .cloned();
+                if let Some(qor) = cached {
+                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return hit(qor);
+                }
+            }
+        }
+
+        // Resolve to the mapped network: the cache key is defined over
+        // *content*, so equal designs hit regardless of how they were
+        // submitted (suite name, file path, inline text).
+        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        let pipeline = Pipeline::new(job.config.clone());
+        let source = match &job.source {
+            JobSource::Suite(name) => CircuitSource::Suite(name.clone()),
+            JobSource::BlifFile(path) => {
+                CircuitSource::BlifFile { path: path.clone(), max_fanin: job.config.map_max_fanin }
+            }
+            JobSource::BlifText(text) => {
+                CircuitSource::Blif { text: text.clone(), max_fanin: job.config.map_max_fanin }
+            }
+        };
+        let network = match resolve_guarded(&pipeline, source) {
+            Ok(network) => network,
+            Err(error) => return fail(error),
+        };
+
+        let netlist_fp = netlist_fingerprint(&network);
+        if let Some(spec_key) = spec_key {
+            self.spec_memo.lock().expect("spec memo lock poisoned").insert(spec_key, netlist_fp);
+        }
+        let key = (netlist_fp, config_fp);
+        if let Some(qor) = self.cache.lock().expect("cache lock poisoned").get(&key).cloned() {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return hit(qor);
+        }
+
+        self.optimizer_runs.fetch_add(1, Ordering::Relaxed);
+        let comparison = catch_unwind(AssertUnwindSafe(|| {
+            pipeline.compare_optimizers(CircuitSource::Mapped(network))
+        }));
+        let qor = match comparison {
+            Ok(Ok(comparison)) => DesignQor::from_comparison(&comparison),
+            Ok(Err(e)) => return fail(e.to_string()),
+            Err(payload) => {
+                return fail(format!("optimizer panicked: {}", panic_message(&payload)))
+            }
+        };
+
+        // Two workers racing on the same key both compute and both insert;
+        // the values are identical by determinism, so last-write-wins is
+        // benign and cheaper than holding the lock across the optimizer.
+        self.cache.lock().expect("cache lock poisoned").insert(key, qor.clone());
+        JobReport { job: job.name.clone(), outcome: JobOutcome::Done(qor), cached: false }
+    }
+}
+
+/// Fingerprint of a job *spec* whose circuit content is fully determined
+/// by the spec itself; `None` for file-backed sources, whose bytes can
+/// change between submissions.
+fn spec_fingerprint(source: &JobSource) -> Option<u64> {
+    match source {
+        JobSource::Suite(name) => Some(fnv1a(format!("suite\u{0}{name}").as_bytes())),
+        JobSource::BlifText(text) => Some(fnv1a(format!("text\u{0}{text}").as_bytes())),
+        JobSource::BlifFile(_) => None,
+    }
+}
+
+/// `Pipeline::build_network` behind a panic guard, with errors rendered.
+fn resolve_guarded(pipeline: &Pipeline, source: CircuitSource) -> Result<Network, String> {
+    match catch_unwind(AssertUnwindSafe(|| pipeline.build_network(source))) {
+        Ok(Ok(network)) => Ok(network),
+        Ok(Err(e)) => Err(e.to_string()),
+        Err(payload) => Err(format!("circuit resolution panicked: {}", panic_message(&payload))),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> Engine {
+        Engine::new(PipelineConfig::fast())
+    }
+
+    #[test]
+    fn unknown_suite_name_fails_without_panicking() {
+        let e = engine();
+        let report = e.execute(&Job::suite("made_up", e.base_config()));
+        assert!(!report.is_done());
+        assert!(matches!(&report.outcome, JobOutcome::Failed(msg) if msg.contains("made_up")));
+        assert_eq!(e.optimizer_runs(), 0);
+    }
+
+    #[test]
+    fn unparsable_blif_text_fails_cleanly() {
+        let e = engine();
+        let job = Job::blif_text("poison", "this is not blif", e.base_config());
+        let report = e.execute(&job);
+        assert!(matches!(&report.outcome, JobOutcome::Failed(msg) if msg.contains("parse error")));
+    }
+
+    #[test]
+    fn missing_blif_file_reports_the_path() {
+        let e = engine();
+        let job = Job::blif_file("ghost", "/no/such/file.blif", e.base_config());
+        let report = e.execute(&job);
+        assert!(matches!(&report.outcome, JobOutcome::Failed(msg) if msg.contains("file.blif")));
+    }
+
+    #[test]
+    fn cache_serves_resubmissions_without_recompute() {
+        let e = engine();
+        let suite = Job::suite("c432", e.base_config());
+        let first = e.execute(&suite);
+        assert!(first.is_done() && !first.cached);
+        assert_eq!(e.optimizer_runs(), 1);
+
+        // Resubmission: cache hit, byte-identical line, no recompute —
+        // and the spec memo skips even generation/mapping.
+        let second = e.execute(&suite);
+        assert!(second.cached);
+        assert_eq!(e.optimizer_runs(), 1);
+        assert_eq!(e.cache_hits(), 1);
+        assert_eq!(e.resolutions(), 1, "repeat suite submission must not re-resolve");
+        assert_eq!(first.to_jsonl(), second.to_jsonl());
+
+        // Different config (seed) → miss.
+        let mut other = Job::suite("c432", e.base_config());
+        other.config.seed ^= 1;
+        assert!(!e.execute(&other).cached);
+        assert_eq!(e.optimizer_runs(), 2);
+        assert_eq!(e.cached_results(), 2);
+    }
+}

@@ -1,0 +1,311 @@
+//! Minimal hand-rolled JSON support for the serve layer.
+//!
+//! The build container has no registry access for `serde` (see
+//! `vendor/README.md`), and the serve protocol only ever needs *flat*
+//! objects — one JSON object per line whose values are strings, numbers,
+//! booleans or `null`.  [`parse_flat_object`] covers exactly that, and the
+//! [`escape_string`] / [`number`] writers mirror the conventions of the
+//! `table1` harness so every report artifact in the repo agrees on float
+//! and escape formatting.
+
+use std::fmt::Write as _;
+
+/// A scalar value of a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string.
+    Str(String),
+    /// A JSON number (always carried as `f64`).
+    Num(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"key": value, ...}` with scalar values
+/// only) into its key/value pairs, in source order.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntactic problem: nested
+/// containers, trailing garbage, bad escapes, unterminated strings.
+pub fn parse_flat_object(text: &str) -> Result<Vec<(String, JsonValue)>, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut pairs = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_scalar()?;
+            pairs.push((key, value));
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(unexpected(other, "`,` or `}`")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(pairs)
+}
+
+fn unexpected(byte: Option<u8>, wanted: &str) -> String {
+    match byte {
+        Some(b) => format!("expected {wanted}, found `{}`", b as char),
+        None => format!("expected {wanted}, found end of input"),
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == byte => Ok(()),
+            other => Err(unexpected(other, &format!("`{}`", byte as char))),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn parse_scalar(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b'{' | b'[') => Err("nested containers are not part of the protocol".into()),
+            Some(_) => self.parse_number(),
+            None => Err(unexpected(None, "a value")),
+        }
+    }
+
+    fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad keyword at byte {} (expected `{word}`)", self.pos))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("bad number `{text}`"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => out.push(self.parse_unicode_escape()?),
+                    other => return Err(unexpected(other, "an escape character")),
+                },
+                Some(b) if b < 0x80 => out.push(b as char),
+                Some(_) => {
+                    // Re-decode the multi-byte UTF-8 sequence starting here.
+                    let rest = &self.bytes[self.pos - 1..];
+                    let s = std::str::from_utf8(rest).map_err(|_| "invalid utf-8".to_string())?;
+                    let c = s.chars().next().expect("non-empty");
+                    self.pos += c.len_utf8() - 1;
+                    out.push(c);
+                }
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, String> {
+        let unit = |p: &mut Self| -> Result<u32, String> {
+            if p.pos + 4 > p.bytes.len() {
+                return Err("truncated \\u escape".into());
+            }
+            let hex = std::str::from_utf8(&p.bytes[p.pos..p.pos + 4])
+                .map_err(|_| "bad \\u escape".to_string())?;
+            p.pos += 4;
+            u32::from_str_radix(hex, 16).map_err(|_| format!("bad \\u escape `{hex}`"))
+        };
+        let high = unit(self)?;
+        if (0xd800..0xdc00).contains(&high) {
+            // Surrogate pair: the low half must follow as another \uXXXX.
+            if self.bytes[self.pos..].starts_with(b"\\u") {
+                self.pos += 2;
+                let low = unit(self)?;
+                if (0xdc00..0xe000).contains(&low) {
+                    let c = 0x10000 + ((high - 0xd800) << 10) + (low - 0xdc00);
+                    return char::from_u32(c).ok_or_else(|| "bad surrogate pair".into());
+                }
+            }
+            return Err("unpaired surrogate in \\u escape".into());
+        }
+        char::from_u32(high).ok_or_else(|| "bad \\u escape".into())
+    }
+}
+
+/// Escapes a string for embedding in a JSON document, quotes included.
+pub fn escape_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float the way every JSON artifact in the repo does: shortest
+/// round-trip representation, `null` for non-finite values.
+pub fn number(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_objects() {
+        let pairs =
+            parse_flat_object(r#"{"suite":"c432","fast":true,"seed":7,"note":null}"#).unwrap();
+        assert_eq!(pairs.len(), 4);
+        assert_eq!(pairs[0], ("suite".into(), JsonValue::Str("c432".into())));
+        assert_eq!(pairs[1], ("fast".into(), JsonValue::Bool(true)));
+        assert_eq!(pairs[2], ("seed".into(), JsonValue::Num(7.0)));
+        assert_eq!(pairs[3], ("note".into(), JsonValue::Null));
+    }
+
+    #[test]
+    fn parses_empty_object_and_whitespace() {
+        assert!(parse_flat_object("  { }  ").unwrap().is_empty());
+        let pairs = parse_flat_object(" { \"a\" : -1.5e2 } ").unwrap();
+        assert_eq!(pairs[0].1.as_num(), Some(-150.0));
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let original = "a\"b\\c\nd\té\u{1F600}";
+        let escaped = escape_string(original);
+        let doc = format!("{{{escaped}:{escaped}}}");
+        let pairs = parse_flat_object(&doc).unwrap();
+        assert_eq!(pairs[0].0, original);
+        assert_eq!(pairs[0].1.as_str(), Some(original));
+    }
+
+    #[test]
+    fn unicode_escapes_decode() {
+        let pairs = parse_flat_object(r#"{"k":"\u00e9\ud83d\ude00"}"#).unwrap();
+        assert_eq!(pairs[0].1.as_str(), Some("é\u{1F600}"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\"}",
+            "{\"a\":}",
+            "{\"a\":1,}",
+            "{\"a\":[1]}",
+            "{\"a\":{\"b\":1}}",
+            "{\"a\":1} x",
+            "{\"a\":\"\\q\"}",
+            "{\"a\":\"unterminated}",
+            "{\"a\":\"\\ud800\"}",
+            "{\"a\":12..5}",
+        ] {
+            assert!(parse_flat_object(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn number_formatting_matches_harness() {
+        assert_eq!(number(1.5), "1.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+}

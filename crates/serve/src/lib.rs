@@ -1,0 +1,56 @@
+//! # rapids-serve
+//!
+//! A long-running batch-optimization service over the
+//! [`rapids_flow::Pipeline`]: jobs (a circuit source plus configuration
+//! knobs) are scheduled across a bounded worker pool and their per-design
+//! delay/area/swap reports stream out as JSONL as each design finishes —
+//! no barrier on the whole batch.  The layers, bottom up:
+//!
+//! * **ingestion** ([`ingest`], [`job`]) — JSONL job specs, the 19-entry
+//!   synthetic suite, and recursively discovered `.blif` directories, all
+//!   normalized into [`Job`]s;
+//! * **execution + caching** ([`engine`], [`fingerprint`]) — the
+//!   [`Engine`] runs one job end to end (errors and panics are captured as
+//!   `Failed` reports, never propagated) and memoizes results keyed by
+//!   *(netlist content fingerprint, config fingerprint)*, so resubmitted
+//!   designs are served without recompute;
+//! * **scheduling** ([`server`]) — the [`BatchServer`] fans a batch out
+//!   over `workers` threads with per-job status tracking and graceful
+//!   cancellation, streaming completion-order results to the caller;
+//! * **front ends** ([`net`] and the `rapids-serve` binary) — a CLI that
+//!   writes streaming JSONL reports and an optional TCP line-protocol mode
+//!   for true long-running use.
+//!
+//! Determinism: a job's report depends only on its netlist and config —
+//! never on the worker count or completion order — so batch output is
+//! byte-identical across worker counts once canonically sorted (see
+//! `docs/serving.md`, and the `threads` determinism contract stated in the
+//! `rapids_sizing::parallel` module docs).
+//!
+//! ```
+//! use rapids_serve::{BatchServer, Engine, Job, JobSource};
+//! use rapids_flow::PipelineConfig;
+//!
+//! let engine = Engine::new(PipelineConfig::fast());
+//! let server = BatchServer::new(engine, 2);
+//! let jobs = vec![Job::suite("c432", server.engine().base_config())];
+//! let summary = server.run_streaming(&jobs, |report| {
+//!     println!("{}", report.to_jsonl());
+//! });
+//! assert_eq!(summary.done, 1);
+//! ```
+
+pub mod engine;
+pub mod fingerprint;
+pub mod ingest;
+pub mod job;
+pub mod json;
+pub mod net;
+pub mod report;
+pub mod server;
+
+pub use engine::Engine;
+pub use ingest::{discover_blif_files, jobs_from_blif_dir, jobs_from_jsonl, suite_jobs};
+pub use job::{Job, JobSource, JobStatus};
+pub use report::{DesignQor, JobOutcome, JobReport};
+pub use server::{BatchServer, BatchSummary, CancelFlag};

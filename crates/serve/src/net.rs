@@ -1,0 +1,165 @@
+//! The TCP line protocol: the same JSONL job/report exchange as the CLI,
+//! served over `std::net::TcpListener` for true long-running use.
+//!
+//! Protocol (newline-delimited, UTF-8, one JSON object per line):
+//!
+//! * a **job spec** line ([`crate::Job::from_spec_line`] schema) runs the
+//!   job and answers with its report line — cached results answer without
+//!   recompute, and the cache persists across connections;
+//! * `{"cmd":"ping"}` answers `{"ok":"pong"}` (liveness probe);
+//! * `{"cmd":"stats"}` answers the engine counters;
+//! * `{"cmd":"shutdown"}` answers `{"ok":"shutdown"}` and stops the
+//!   server after the connection closes;
+//! * a malformed line answers `{"status":"rejected","error":…}` — the
+//!   connection stays up.
+//!
+//! Connections are served one at a time and each line is answered before
+//! the next is read: ordering is the client's, so a driving script can
+//! rely on request/response pairing without message ids.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+
+use crate::engine::Engine;
+use crate::job::Job;
+use crate::json::{escape_string, parse_flat_object};
+
+/// Serves the line protocol on an already-bound listener until a client
+/// sends `{"cmd":"shutdown"}`.  Returns the number of job lines served.
+///
+/// # Errors
+///
+/// Only listener-level `accept` failures propagate; per-connection I/O
+/// errors just close that connection.
+pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Result<usize> {
+    let mut served = 0;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        match handle_connection(engine, stream, &mut served) {
+            Ok(ControlFlow::Shutdown) => break,
+            Ok(ControlFlow::NextConnection) => continue,
+            // A dropped client must not take the server down.
+            Err(_) => continue,
+        }
+    }
+    Ok(served)
+}
+
+enum ControlFlow {
+    NextConnection,
+    Shutdown,
+}
+
+fn handle_connection(
+    engine: &Engine,
+    stream: TcpStream,
+    served: &mut usize,
+) -> std::io::Result<ControlFlow> {
+    let mut writer = stream.try_clone()?;
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (response, control) = answer_line(engine, line, served);
+        writer.write_all(response.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+        if let ControlFlow::Shutdown = control {
+            return Ok(ControlFlow::Shutdown);
+        }
+    }
+    Ok(ControlFlow::NextConnection)
+}
+
+fn answer_line(engine: &Engine, line: &str, served: &mut usize) -> (String, ControlFlow) {
+    let reject = |error: String| {
+        (
+            format!("{{\"status\":\"rejected\",\"error\":{}}}", escape_string(&error)),
+            ControlFlow::NextConnection,
+        )
+    };
+    let command = match parse_flat_object(line) {
+        Ok(pairs) => pairs
+            .iter()
+            .find(|(k, _)| k == "cmd")
+            .map(|(_, v)| v.as_str().unwrap_or("").to_string()),
+        Err(e) => return reject(e),
+    };
+    match command.as_deref() {
+        Some("ping") => ("{\"ok\":\"pong\"}".to_string(), ControlFlow::NextConnection),
+        Some("shutdown") => ("{\"ok\":\"shutdown\"}".to_string(), ControlFlow::Shutdown),
+        Some("stats") => (
+            format!(
+                "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},\"cached_results\":{}}}",
+                engine.optimizer_runs(),
+                engine.cache_hits(),
+                engine.cached_results()
+            ),
+            ControlFlow::NextConnection,
+        ),
+        Some(other) => reject(format!("unknown command `{other}`")),
+        None => match Job::from_spec_line(line, engine.base_config()) {
+            Ok(job) => {
+                *served += 1;
+                (engine.execute(&job).to_jsonl(), ControlFlow::NextConnection)
+            }
+            Err(e) => reject(e),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_flow::PipelineConfig;
+
+    /// End-to-end over a real socket: jobs, cache persistence across
+    /// connections, rejection, ping, shutdown.
+    #[test]
+    fn line_protocol_over_loopback() {
+        let engine = Engine::new(PipelineConfig::fast());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+
+            let talk = |lines: &[&str]| -> Vec<String> {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut answers = Vec::new();
+                for line in lines {
+                    writeln!(writer, "{line}").unwrap();
+                    writer.flush().unwrap();
+                    let mut answer = String::new();
+                    reader.read_line(&mut answer).unwrap();
+                    answers.push(answer.trim().to_string());
+                }
+                answers
+            };
+
+            let first = talk(&[r#"{"cmd":"ping"}"#, r#"{"suite":"c432"}"#, "not json"]);
+            assert_eq!(first[0], "{\"ok\":\"pong\"}");
+            assert!(
+                first[1].contains("\"status\":\"done\"") && first[1].contains("\"name\":\"c432\"")
+            );
+            assert!(first[2].contains("\"status\":\"rejected\""));
+
+            // Second connection: same design is served from the cache.
+            let second =
+                talk(&[r#"{"suite":"c432"}"#, r#"{"cmd":"stats"}"#, r#"{"cmd":"shutdown"}"#]);
+            assert_eq!(second[0], first[1], "cached replay must be byte-identical");
+            assert!(
+                second[1].contains("\"optimizer_runs\":1")
+                    && second[1].contains("\"cache_hits\":1")
+            );
+            assert_eq!(second[2], "{\"ok\":\"shutdown\"}");
+
+            assert_eq!(server.join().unwrap(), 2, "two job lines were served");
+        });
+    }
+}

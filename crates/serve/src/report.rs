@@ -1,0 +1,235 @@
+//! Streaming report records.
+//!
+//! One JSONL line per finished job.  Successful lines carry exactly the
+//! deterministic QoR projection of `docs/benchmarking.md` (the
+//! `--qor-out` field contract), prefixed with the job envelope; failed
+//! lines carry the captured error.  Wall-clock numbers and cache/worker
+//! provenance are deliberately *excluded* from the line so that any two
+//! runs of the same job — fresh or cached, any worker count — produce
+//! byte-identical output (the envelope of [`JobReport`] still records
+//! provenance for programmatic consumers).
+
+use rapids_flow::FlowComparison;
+
+use crate::json::{escape_string, number};
+
+/// The deterministic per-design QoR record — the serve-side twin of the
+/// `table1 --qor-out` row, field for field.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignQor {
+    /// Design name (the netlist's model name).
+    pub name: String,
+    /// Mapped logic gate count before optimization.
+    pub gate_count: usize,
+    /// Post-placement, pre-optimization critical-path delay, ns.
+    pub initial_delay_ns: f64,
+    /// Final delay of the rewiring-only (`gsg`) optimizer, ns.
+    pub gsg_final_delay_ns: f64,
+    /// Final delay of the sizing-only (`GS`) optimizer, ns.
+    pub gs_final_delay_ns: f64,
+    /// Final delay of the combined (`gsg+GS`) optimizer, ns.
+    pub combined_final_delay_ns: f64,
+    /// Final area after `GS`, µm².
+    pub gs_final_area_um2: f64,
+    /// Final area after `gsg+GS`, µm².
+    pub combined_final_area_um2: f64,
+    /// Swaps applied by `gsg`.
+    pub gsg_swaps: usize,
+    /// Inverting (ES) swaps among `gsg`'s swaps.
+    pub gsg_es_swaps: usize,
+    /// Inverting (ES) swaps applied by `gsg+GS`.
+    pub combined_es_swaps: usize,
+    /// Gates resized by `GS`.
+    pub gs_resized: usize,
+}
+
+impl DesignQor {
+    /// Projects a three-way pipeline comparison onto the QoR record.
+    pub fn from_comparison(comparison: &FlowComparison) -> Self {
+        let gsg = &comparison.rewiring.outcome;
+        let gs = &comparison.sizing.outcome;
+        let combined = &comparison.combined.outcome;
+        DesignQor {
+            name: comparison.name.clone(),
+            gate_count: comparison.gate_count,
+            initial_delay_ns: comparison.initial_delay_ns,
+            gsg_final_delay_ns: gsg.final_delay_ns,
+            gs_final_delay_ns: gs.final_delay_ns,
+            combined_final_delay_ns: combined.final_delay_ns,
+            gs_final_area_um2: gs.final_area_um2,
+            combined_final_area_um2: combined.final_area_um2,
+            gsg_swaps: gsg.swaps_applied,
+            gsg_es_swaps: gsg.inverting_swaps_applied,
+            combined_es_swaps: combined.inverting_swaps_applied,
+            gs_resized: gs.gates_resized,
+        }
+    }
+
+    fn json_fields(&self) -> String {
+        format!(
+            concat!(
+                "\"name\":{},\"gate_count\":{},\"initial_delay_ns\":{},",
+                "\"gsg_final_delay_ns\":{},\"gs_final_delay_ns\":{},",
+                "\"combined_final_delay_ns\":{},\"gs_final_area_um2\":{},",
+                "\"combined_final_area_um2\":{},\"gsg_swaps\":{},",
+                "\"gsg_es_swaps\":{},\"combined_es_swaps\":{},\"gs_resized\":{}"
+            ),
+            escape_string(&self.name),
+            self.gate_count,
+            number(self.initial_delay_ns),
+            number(self.gsg_final_delay_ns),
+            number(self.gs_final_delay_ns),
+            number(self.combined_final_delay_ns),
+            number(self.gs_final_area_um2),
+            number(self.combined_final_area_um2),
+            self.gsg_swaps,
+            self.gsg_es_swaps,
+            self.combined_es_swaps,
+            self.gs_resized,
+        )
+    }
+}
+
+/// Terminal result of one job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobOutcome {
+    /// The flow completed; the QoR record is attached.
+    Done(DesignQor),
+    /// The job failed (parse error, flow error, or captured panic).
+    Failed(String),
+}
+
+/// A finished job: the submission name, its outcome, and whether the
+/// result was served from the cache (provenance only — not serialized).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// Submission name ([`crate::Job::name`]).
+    pub job: String,
+    /// What happened.
+    pub outcome: JobOutcome,
+    /// `true` when the result came from the cache without recompute.
+    /// Excluded from [`JobReport::to_jsonl`] so cached replays are
+    /// byte-identical to fresh runs.
+    pub cached: bool,
+}
+
+impl JobReport {
+    /// `true` when the job completed with a QoR record.
+    pub fn is_done(&self) -> bool {
+        matches!(self.outcome, JobOutcome::Done(_))
+    }
+
+    /// The QoR record of a completed job.
+    pub fn qor(&self) -> Option<&DesignQor> {
+        match &self.outcome {
+            JobOutcome::Done(qor) => Some(qor),
+            JobOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Serializes the report as one JSONL line (no trailing newline).
+    ///
+    /// `{"job":…,"status":"done",…qor fields…}` on success,
+    /// `{"job":…,"status":"failed","error":…}` on failure.
+    pub fn to_jsonl(&self) -> String {
+        match &self.outcome {
+            JobOutcome::Done(qor) => format!(
+                "{{\"job\":{},\"status\":\"done\",{}}}",
+                escape_string(&self.job),
+                qor.json_fields()
+            ),
+            JobOutcome::Failed(error) => format!(
+                "{{\"job\":{},\"status\":\"failed\",\"error\":{}}}",
+                escape_string(&self.job),
+                escape_string(error)
+            ),
+        }
+    }
+}
+
+/// Sorts report lines into the canonical order (plain lexicographic sort
+/// of the whole line) — the `--sort` mode of the CLI.  Because a job's
+/// line is independent of scheduling, sorted batch output is
+/// byte-identical for every worker count.
+pub fn canonical_sort(lines: &mut [String]) {
+    lines.sort_unstable();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse_flat_object;
+
+    fn qor() -> DesignQor {
+        DesignQor {
+            name: "c432".into(),
+            gate_count: 321,
+            initial_delay_ns: 12.5,
+            gsg_final_delay_ns: 11.0,
+            gs_final_delay_ns: 10.75,
+            combined_final_delay_ns: 10.5,
+            gs_final_area_um2: 4000.0,
+            combined_final_area_um2: 4100.25,
+            gsg_swaps: 17,
+            gsg_es_swaps: 2,
+            combined_es_swaps: 3,
+            gs_resized: 40,
+        }
+    }
+
+    #[test]
+    fn done_line_is_flat_json_with_the_qor_contract_fields() {
+        let report =
+            JobReport { job: "c432".into(), outcome: JobOutcome::Done(qor()), cached: false };
+        let line = report.to_jsonl();
+        let pairs = parse_flat_object(&line).unwrap();
+        let keys: Vec<&str> = pairs.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "job",
+                "status",
+                "name",
+                "gate_count",
+                "initial_delay_ns",
+                "gsg_final_delay_ns",
+                "gs_final_delay_ns",
+                "combined_final_delay_ns",
+                "gs_final_area_um2",
+                "combined_final_area_um2",
+                "gsg_swaps",
+                "gsg_es_swaps",
+                "combined_es_swaps",
+                "gs_resized",
+            ]
+        );
+        assert_eq!(pairs[1].1.as_str(), Some("done"));
+        assert_eq!(pairs[4].1.as_num(), Some(12.5));
+    }
+
+    #[test]
+    fn cached_flag_does_not_change_the_line() {
+        let fresh = JobReport { job: "a".into(), outcome: JobOutcome::Done(qor()), cached: false };
+        let cached = JobReport { cached: true, ..fresh.clone() };
+        assert_eq!(fresh.to_jsonl(), cached.to_jsonl());
+    }
+
+    #[test]
+    fn failed_line_carries_the_error() {
+        let report = JobReport {
+            job: "bad".into(),
+            outcome: JobOutcome::Failed("parse error at line 1: nope".into()),
+            cached: false,
+        };
+        let pairs = parse_flat_object(&report.to_jsonl()).unwrap();
+        assert_eq!(pairs[1].1.as_str(), Some("failed"));
+        assert!(pairs[2].1.as_str().unwrap().contains("line 1"));
+    }
+
+    #[test]
+    fn canonical_sort_is_plain_lexicographic() {
+        let mut lines = vec!["b".to_string(), "a".to_string(), "c".to_string()];
+        canonical_sort(&mut lines);
+        assert_eq!(lines, ["a", "b", "c"]);
+    }
+}

@@ -1,0 +1,217 @@
+//! The batch scheduler: a bounded worker pool over a shared job queue,
+//! streaming results as each design finishes.
+//!
+//! Scheduling never influences results — a job's report is a pure function
+//! of its netlist and config ([`Engine::execute`]) — so the only thing the
+//! worker count changes is completion order.  Callers that need canonical
+//! output sort the lines ([`crate::report::canonical_sort`]).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+
+use crate::engine::Engine;
+use crate::job::{Job, JobStatus};
+use crate::report::JobReport;
+
+/// A cooperative cancellation flag shared between a running batch and
+/// whoever wants to stop it (a signal handler, the TCP front end, a test).
+///
+/// Cancellation is *graceful*: workers finish the job they are on and stop
+/// picking up new ones; jobs never started stay `Queued`.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// A fresh, un-cancelled flag.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// What a finished (or cancelled) batch looked like.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchSummary {
+    /// Jobs that completed with a QoR report.
+    pub done: usize,
+    /// Jobs that completed with a captured error.
+    pub failed: usize,
+    /// Among `done`, how many were served from the cache.
+    pub cached: usize,
+    /// Jobs never started because the batch was cancelled.
+    pub skipped: usize,
+    /// Final per-job status, indexed like the submitted job slice.
+    pub statuses: Vec<JobStatus>,
+}
+
+/// A bounded worker pool around a shared [`Engine`].
+#[derive(Debug)]
+pub struct BatchServer {
+    engine: Engine,
+    workers: usize,
+}
+
+impl BatchServer {
+    /// A server executing at most `workers` jobs concurrently (0 is
+    /// treated as 1).  The engine — and with it the result cache — is
+    /// shared by every batch this server runs.
+    pub fn new(engine: Engine, workers: usize) -> Self {
+        BatchServer { engine, workers: workers.max(1) }
+    }
+
+    /// The shared execution core (cache probes, base config).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Configured worker-pool size.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs a batch, invoking `on_result` on the caller's thread as each
+    /// job finishes (completion order).  Blocks until every job has
+    /// finished or, after cancellation, until in-flight jobs drain.
+    pub fn run_streaming<F: FnMut(&JobReport)>(&self, jobs: &[Job], on_result: F) -> BatchSummary {
+        self.run_streaming_with_cancel(jobs, &CancelFlag::new(), on_result)
+    }
+
+    /// [`BatchServer::run_streaming`] with an external cancellation flag.
+    pub fn run_streaming_with_cancel<F: FnMut(&JobReport)>(
+        &self,
+        jobs: &[Job],
+        cancel: &CancelFlag,
+        mut on_result: F,
+    ) -> BatchSummary {
+        let statuses: Vec<Mutex<JobStatus>> =
+            jobs.iter().map(|_| Mutex::new(JobStatus::Queued)).collect();
+        let next = AtomicUsize::new(0);
+        let mut done = 0;
+        let mut failed = 0;
+        let mut cached = 0;
+
+        std::thread::scope(|s| {
+            let (tx, rx) = mpsc::channel::<JobReport>();
+            for _ in 0..self.workers.min(jobs.len()) {
+                let tx = tx.clone();
+                let statuses = &statuses;
+                let next = &next;
+                s.spawn(move || loop {
+                    if cancel.is_cancelled() {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    *statuses[i].lock().expect("status lock poisoned") = JobStatus::Running;
+                    let report = self.engine.execute(&jobs[i]);
+                    *statuses[i].lock().expect("status lock poisoned") =
+                        if report.is_done() { JobStatus::Done } else { JobStatus::Failed };
+                    if tx.send(report).is_err() {
+                        break;
+                    }
+                });
+            }
+            drop(tx);
+            // Streaming happens here, on the calling thread, as workers
+            // finish designs — no barrier on the whole batch.
+            for report in rx {
+                match report.is_done() {
+                    true => done += 1,
+                    false => failed += 1,
+                }
+                if report.cached {
+                    cached += 1;
+                }
+                on_result(&report);
+            }
+        });
+
+        let statuses: Vec<JobStatus> =
+            statuses.into_iter().map(|m| m.into_inner().expect("status lock poisoned")).collect();
+        let skipped = statuses.iter().filter(|&&st| st == JobStatus::Queued).count();
+        BatchSummary { done, failed, cached, skipped, statuses }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_flow::PipelineConfig;
+
+    fn server(workers: usize) -> BatchServer {
+        BatchServer::new(Engine::new(PipelineConfig::fast()), workers)
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let summary = server(4).run_streaming(&[], |_| panic!("no results expected"));
+        assert_eq!(
+            summary,
+            BatchSummary { done: 0, failed: 0, cached: 0, skipped: 0, statuses: vec![] }
+        );
+    }
+
+    #[test]
+    fn statuses_track_outcomes() {
+        let s = server(2);
+        let base = s.engine().base_config().clone();
+        let jobs = vec![
+            Job::suite("c432", &base),
+            Job::blif_text("poison", "garbage", &base),
+            Job::suite("c432", &base),
+        ];
+        let mut lines = Vec::new();
+        let summary = s.run_streaming(&jobs, |r| lines.push(r.to_jsonl()));
+        assert_eq!((summary.done, summary.failed, summary.skipped), (2, 1, 0));
+        assert_eq!(summary.statuses[0], JobStatus::Done);
+        assert_eq!(summary.statuses[1], JobStatus::Failed);
+        assert_eq!(summary.statuses[2], JobStatus::Done);
+        assert_eq!(lines.len(), 3);
+    }
+
+    #[test]
+    fn pre_cancelled_batch_skips_everything() {
+        let s = server(2);
+        let base = s.engine().base_config().clone();
+        let jobs = vec![Job::suite("c432", &base), Job::suite("alu2", &base)];
+        let cancel = CancelFlag::new();
+        cancel.cancel();
+        let summary = s.run_streaming_with_cancel(&jobs, &cancel, |_| {});
+        assert_eq!(summary.skipped, 2);
+        assert_eq!(summary.statuses, vec![JobStatus::Queued, JobStatus::Queued]);
+        assert_eq!(s.engine().optimizer_runs(), 0);
+    }
+
+    #[test]
+    fn cancel_mid_batch_drains_in_flight_jobs() {
+        let s = server(1);
+        let base = s.engine().base_config().clone();
+        // Distinct designs: repeated submissions would be near-instant
+        // cache hits, letting the single worker drain the whole queue
+        // before the callback's cancel becomes visible.
+        let jobs: Vec<Job> =
+            ["c432", "alu2", "c499", "c1908"].iter().map(|n| Job::suite(*n, &base)).collect();
+        let cancel = CancelFlag::new();
+        let mut seen = 0;
+        let summary = s.run_streaming_with_cancel(&jobs, &cancel, |_| {
+            seen += 1;
+            cancel.cancel();
+        });
+        // One worker: the first job finishes, the callback cancels, the
+        // worker exits before picking up the rest.
+        assert_eq!(seen, summary.done);
+        assert!(summary.skipped >= 1, "later jobs should stay queued");
+        assert_eq!(summary.done + summary.failed + summary.skipped, jobs.len());
+    }
+}
