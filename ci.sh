@@ -47,6 +47,16 @@ echo "==> inverting-swap (ES) smoke"
 timeout 120 ./target/release/table1 --threads 2 --es c1908 alu4 x3 \
     --check ci/expected_qor_smoke_es.json > /dev/null
 
+echo "==> legalization QoR smoke (ES + row-legal placements)"
+# Same rows with --es --legalize: the Abacus legalizer + timing refinement
+# run in the prepare stage and accepted ES inverters are nudged into free
+# row slots, so hpwl_um/max_displacement_um/es_swaps are pinned alongside
+# the delay/area fields.  The default-off expectations above stay
+# bit-identical (modulo the three appended fields), so both modes are
+# guarded.  See docs/legalization.md.
+timeout 120 ./target/release/table1 --threads 2 --es --legalize c1908 alu4 x3 \
+    --check ci/expected_qor_smoke_legal.json > /dev/null
+
 echo "==> serve smoke (batch service over suite designs + a .blif fixture)"
 # Three fast suite designs plus the committed fixture, scheduled across two
 # workers: the canonically sorted JSONL must match the pinned expectation

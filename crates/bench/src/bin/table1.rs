@@ -13,6 +13,7 @@
 //! cargo run -p rapids-bench --release --bin table1 -- --qor-out expected.json
 //! cargo run -p rapids-bench --release --bin table1 -- --check expected.json  # CI regression
 //! cargo run -p rapids-bench --release --bin table1 -- --es     # allow inverting (ES) swaps
+//! cargo run -p rapids-bench --release --bin table1 -- --legalize # row-legal placements
 //! cargo run -p rapids-bench --release --bin table1 -- --blif-dir designs/  # real netlists
 //! ```
 
@@ -33,6 +34,7 @@ fn main() {
     let mut check_path: Option<String> = None;
     let mut threads = 1usize;
     let mut include_inverting = false;
+    let mut legalize = false;
     let mut blif_dirs: Vec<String> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
@@ -46,6 +48,7 @@ fn main() {
         match arg.as_str() {
             "--fast" => config = FlowConfig::fast(),
             "--es" => include_inverting = true,
+            "--legalize" => legalize = true,
             "--json" => json_path = Some(path_arg(&mut iter, "--json")),
             "--bench-out" => bench_path = Some(path_arg(&mut iter, "--bench-out")),
             "--baseline" => baseline_path = Some(path_arg(&mut iter, "--baseline")),
@@ -69,6 +72,7 @@ fn main() {
     }
     // Applied after parsing so `--es --fast` and `--fast --es` agree.
     config.optimizer.include_inverting_swaps = include_inverting;
+    config.legalize.enabled = legalize;
     // `--blif-dir` without names runs only the discovered netlists; the
     // full synthetic suite stays the default otherwise.
     let selected: Vec<&str> = if names.is_empty() {
@@ -82,7 +86,8 @@ fn main() {
     };
 
     println!(
-        "RAPIDS reproduction — Table 1 (fast={}, threads={threads}, es={include_inverting})",
+        "RAPIDS reproduction — Table 1 (fast={}, threads={threads}, es={include_inverting}, \
+         legalize={legalize})",
         is_fast(&config)
     );
     println!(

@@ -96,6 +96,15 @@ pub struct FlowResult {
     pub gsg_swaps: usize,
     /// Wire-length change of gsg, %.
     pub gsg_hpwl_percent: f64,
+    /// Whether the pipeline's legalize stage ran on this design.
+    pub legalized: bool,
+    /// Total HPWL of the shared pre-optimization placement, µm — after
+    /// legalization + refinement when the stage ran, the raw annealed
+    /// value otherwise.
+    pub hpwl_um: f64,
+    /// Largest single-gate displacement the full legalizer applied, µm
+    /// (0 while the stage is disabled).
+    pub max_displacement_um: f64,
     /// Full per-optimizer wall-clock + QoR metrics (the perf-harness view).
     pub gsg: OptimizerMetrics,
     /// GS metrics.
@@ -128,6 +137,13 @@ impl FlowResult {
             redundancy_count: gsg.statistics.redundancy_count,
             gsg_swaps: gsg.swaps_applied,
             gsg_hpwl_percent: gsg.hpwl_change_percent(),
+            legalized: comparison.legalization.is_some(),
+            hpwl_um: comparison
+                .legalization
+                .map_or(gsg.initial_hpwl_um, |legalization| legalization.hpwl_um),
+            max_displacement_um: comparison
+                .legalization
+                .map_or(0.0, |legalization| legalization.max_displacement_um()),
             gsg: OptimizerMetrics::from_report(&comparison.rewiring),
             gs: OptimizerMetrics::from_report(&comparison.sizing),
             combined: OptimizerMetrics::from_report(&comparison.combined),
@@ -167,7 +183,8 @@ impl FlowResult {
                 "\"gsg_cpu_s\":{},\"gs_cpu_s\":{},\"combined_cpu_s\":{},",
                 "\"gs_area_percent\":{},\"combined_area_percent\":{},",
                 "\"coverage_percent\":{},\"largest_inputs\":{},",
-                "\"redundancy_count\":{},\"gsg_swaps\":{},\"gsg_hpwl_percent\":{}}}"
+                "\"redundancy_count\":{},\"gsg_swaps\":{},\"gsg_hpwl_percent\":{},",
+                "\"legalized\":{},\"hpwl_um\":{},\"max_displacement_um\":{}}}"
             ),
             json_string(&self.name),
             self.gate_count,
@@ -185,6 +202,9 @@ impl FlowResult {
             self.redundancy_count,
             self.gsg_swaps,
             json_number(self.gsg_hpwl_percent),
+            self.legalized,
+            json_number(self.hpwl_um),
+            json_number(self.max_displacement_um),
         )
     }
 
@@ -216,7 +236,8 @@ impl FlowResult {
                 "\"gsg_final_delay_ns\":{},\"gs_final_delay_ns\":{},",
                 "\"combined_final_delay_ns\":{},\"gs_final_area_um2\":{},",
                 "\"combined_final_area_um2\":{},\"gsg_swaps\":{},",
-                "\"gsg_es_swaps\":{},\"combined_es_swaps\":{},\"gs_resized\":{}}}"
+                "\"gsg_es_swaps\":{},\"combined_es_swaps\":{},\"gs_resized\":{},",
+                "\"legalized\":{},\"hpwl_um\":{},\"max_displacement_um\":{}}}"
             ),
             json_string(&self.name),
             self.gate_count,
@@ -230,6 +251,9 @@ impl FlowResult {
             self.gsg.es_swaps,
             self.combined.es_swaps,
             self.gs.resized,
+            self.legalized,
+            json_number(self.hpwl_um),
+            json_number(self.max_displacement_um),
         )
     }
 }

@@ -35,13 +35,25 @@
 //! it every id-indexed array — is restored exactly.  Accepted inverters are
 //! journaled into the incremental engine's touched set, which grows its
 //! arrays in place instead of re-analyzing the whole design.
+//!
+//! When the caller hands [`Optimizer::optimize_with_rows`] a legalization
+//! row model ([`rapids_legalize::RowModel`]), each **accepted** inverter is
+//! additionally *nudged* into the nearest genuinely free row slot instead
+//! of staying stacked on its driver; the net caches are invalidated for the
+//! real position, so every later candidate (and the incremental re-time) is
+//! scored against it.  Probes still host at the co-located position — the
+//! nudge consults globally shared occupancy, so deciding it at accept time
+//! on the main thread (in deterministic acceptance order) is what keeps
+//! decisions thread-count invariant (see `rapids_sizing::parallel`).
+//! Rolled-back passes release the slots their undone inverters occupied.
 
 use std::collections::HashSet;
 use std::time::Instant;
 
 use rapids_celllib::Library;
+use rapids_legalize::RowModel;
 use rapids_netlist::{GateId, Network};
-use rapids_placement::{Placement, Point};
+use rapids_placement::{gate_width_sites, Placement, Point};
 use rapids_sim::check_equivalence_random;
 use rapids_sizing::{neighborhood_eval, GateSizer, SizerConfig};
 use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
@@ -164,6 +176,14 @@ pub struct OptimizationOutcome {
     /// with [`rapids_placement::Placement::host_at`] for each entry (the
     /// flow packages this as `PipelineReport::grown_placement`).
     pub hosted_inverters: Vec<(GateId, Point)>,
+    /// How many accepted inverters could *not* be nudged into a free row
+    /// slot (no wide-enough gap anywhere) and fell back to stacking on
+    /// their driver.  Always 0 without a row model
+    /// ([`Optimizer::optimize_with_rows`]), and 0 on every realistically
+    /// utilized die; a non-zero count means the grown placement may
+    /// overlap.  Counts misses of rolled-back passes too, so it can
+    /// overstate — it is a "may be illegal" flag, not a QoR metric.
+    pub nudge_fallbacks: usize,
     /// Wall-clock run time, seconds.
     pub cpu_seconds: f64,
     /// Supergate statistics of the (pre-optimization) netlist.
@@ -220,7 +240,28 @@ impl Optimizer {
         placement: &Placement,
         timing: &TimingConfig,
     ) -> OptimizationOutcome {
+        self.optimize_with_rows(network, library, placement, None, timing)
+    }
+
+    /// [`Optimizer::optimize`] with an optional legalization row model.
+    ///
+    /// When `rows` is given (it must reflect `placement` — see
+    /// [`rapids_legalize::RowModel::build`]), the inverting-swap path hosts
+    /// each accepted inverter in the nearest genuinely free row slot
+    /// instead of stacking it on its driver, so a legal placement stays
+    /// legal as the network grows.  The caller's model is never modified:
+    /// like the placement, it is cloned into a working copy whose occupancy
+    /// tracks this run's surviving inverters.
+    pub fn optimize_with_rows(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &Placement,
+        rows: Option<&RowModel>,
+        timing: &TimingConfig,
+    ) -> OptimizationOutcome {
         let start = Instant::now();
+        let mut rows = rows.cloned();
         let reference =
             if self.config.verify_with_simulation { Some(network.clone()) } else { None };
         // Growable working copy: inverting swaps extend it with overlay
@@ -260,6 +301,7 @@ impl Optimizer {
                     network,
                     library,
                     placement,
+                    rows.as_mut(),
                     timing,
                     None,
                     &mut inc,
@@ -279,6 +321,7 @@ impl Optimizer {
                     network,
                     library,
                     placement,
+                    rows.as_mut(),
                     timing,
                     Some(&trivial_gates),
                     &mut inc,
@@ -323,6 +366,7 @@ impl Optimizer {
             inverting_swaps_applied,
             gates_resized,
             hosted_inverters,
+            nudge_fallbacks: rows.as_ref().map_or(0, RowModel::nudge_misses),
             cpu_seconds: start.elapsed().as_secs_f64(),
             statistics,
         }
@@ -331,6 +375,8 @@ impl Optimizer {
     /// The rewiring iteration: min-slack phase over critical supergates plus
     /// a relaxation phase over the rest, repeated until no improvement.
     /// When `sizing_domain` is given (`gsg+GS`), its gates are skipped here.
+    /// When `rows` is given, accepted inverters are nudged into free row
+    /// slots (and released again if the pass rolls back).
     /// Returns `(total swaps, inverting swaps)` applied.
     #[allow(clippy::too_many_arguments)]
     fn rewiring_loop(
@@ -338,6 +384,7 @@ impl Optimizer {
         network: &mut Network,
         library: &Library,
         placement: &mut Placement,
+        mut rows: Option<&mut RowModel>,
         timing: &TimingConfig,
         sizing_domain: Option<&HashSet<GateId>>,
         inc: &mut IncrementalSta,
@@ -402,6 +449,7 @@ impl Optimizer {
                 network,
                 library,
                 placement,
+                &mut rows,
                 timing,
                 report,
                 cache,
@@ -412,6 +460,7 @@ impl Optimizer {
                 network,
                 library,
                 placement,
+                &mut rows,
                 timing,
                 report,
                 cache,
@@ -441,11 +490,18 @@ impl Optimizer {
                 // The local metric misjudged this batch; replay the undo
                 // journal and stop.  Undoing an inverting swap pops its
                 // inverters' slots, so the slot count (and the placement
-                // overlay, truncated below) return to the pass-start state.
+                // overlay, truncated below) return to the pass-start state;
+                // the row slots the undone inverters were nudged into are
+                // freed again too.
                 for applied in journal.iter().rev() {
                     let (da, db) = swap_drivers(network, applied.candidate());
                     undo_swap(network, applied).expect("undoing a journaled swap succeeds");
                     invalidate_swap_nets(cache, network, applied.candidate(), da, db);
+                    if let Some(rows) = rows.as_deref_mut() {
+                        for &inv in applied.inserted_inverters() {
+                            rows.release(inv);
+                        }
+                    }
                 }
                 placement.truncate_slots(network.gate_count());
                 inc.update(network, library, placement, &touched);
@@ -460,13 +516,17 @@ impl Optimizer {
     /// Scores every supergate in `list` (in order) and applies each winning
     /// swap.  With `threads > 1`, contiguous runs of region-disjoint
     /// supergates are scored concurrently on cloned networks and applied in
-    /// the original order, reproducing the sequential decisions.
+    /// the original order, reproducing the sequential decisions.  The row
+    /// model rides only in the *apply* seam — scoring probes host at the
+    /// co-located position, so workers never read shared occupancy and
+    /// every thread count nudges identically.
     #[allow(clippy::too_many_arguments)]
     fn visit_supergates(
         &self,
         network: &mut Network,
         library: &Library,
         placement: &mut Placement,
+        rows: &mut Option<&mut RowModel>,
         timing: &TimingConfig,
         report: &TimingReport,
         cache: &mut NetCache,
@@ -494,7 +554,15 @@ impl Optimizer {
                 )
             },
             |network, placement, cache, _, candidate| {
-                accept_swap(network, placement, cache, journal, &candidate)
+                accept_swap(
+                    network,
+                    library,
+                    placement,
+                    rows.as_deref_mut(),
+                    cache,
+                    journal,
+                    &candidate,
+                )
             },
         );
     }
@@ -666,7 +734,10 @@ fn score_best_swap(
         let Ok(applied) = apply_swap(network, &candidate) else {
             continue;
         };
-        host_inserted_inverters(network, placement, &applied);
+        // Probes always co-locate (no row model): the nudge target depends
+        // on shared occupancy, which worker clones must not read — accept
+        // re-hosts the winner through the model on the main thread.
+        host_inserted_inverters(network, library, placement, None, &applied);
         invalidate_swap_nets(cache, network, &candidate, da, db);
         let metric =
             swap_neighborhood_metric(network, library, placement, timing, report, cache, supergate);
@@ -684,33 +755,57 @@ fn score_best_swap(
     best.map(|(candidate, _)| candidate)
 }
 
-/// Hosts the inverters an applied swap inserted: each lands on the overlay
-/// slot co-located with its (current) driver, so the driver→inverter stub is
-/// (near) zero-length and the inverter→sink segment inherits the original
-/// net geometry.
-fn host_inserted_inverters(network: &Network, placement: &mut Placement, applied: &AppliedSwap) {
+/// Hosts the inverters an applied swap inserted.
+///
+/// Without a row model each lands on the overlay slot co-located with its
+/// (current) driver, so the driver→inverter stub is (near) zero-length and
+/// the inverter→sink segment inherits the original net geometry.  With a
+/// row model (`rows`, accept path only) the inverter is *nudged* into the
+/// nearest genuinely free row slot instead, keeping a legal placement
+/// legal; when no slot is wide enough anywhere, the co-location fallback
+/// fires and the model counts the miss
+/// ([`OptimizationOutcome::nudge_fallbacks`]).
+fn host_inserted_inverters(
+    network: &Network,
+    library: &Library,
+    placement: &mut Placement,
+    mut rows: Option<&mut RowModel>,
+    applied: &AppliedSwap,
+) {
     for &inv in applied.inserted_inverters() {
         let driver = network.fanins(inv)[0];
         debug_assert!(
             placement.covers(driver),
             "an inverter's driver is pre-existing or an already-hosted inverter"
         );
-        placement.host_at(inv, placement.position(driver));
+        let stacked = placement.position(driver);
+        let hosted = rows
+            .as_deref_mut()
+            .and_then(|rows| {
+                rows.nudge_occupy(inv, stacked, gate_width_sites(network, library, inv))
+            })
+            .unwrap_or(stacked);
+        placement.host_at(inv, hosted);
     }
 }
 
-/// Applies a winning swap and keeps the journal, placement overlay and cache
-/// coherent.
+/// Applies a winning swap and keeps the journal, placement overlay, row
+/// occupancy and cache coherent.
+#[allow(clippy::too_many_arguments)]
 fn accept_swap(
     network: &mut Network,
+    library: &Library,
     placement: &mut Placement,
+    rows: Option<&mut RowModel>,
     cache: &mut NetCache,
     journal: &mut Vec<AppliedSwap>,
     candidate: &SwapCandidate,
 ) {
     let (da, db) = swap_drivers(network, candidate);
     let applied = apply_swap(network, candidate).expect("re-applying the winning swap succeeds");
-    host_inserted_inverters(network, placement, &applied);
+    host_inserted_inverters(network, library, placement, rows, &applied);
+    // Invalidated *after* hosting, so the star/Elmore terms every later
+    // candidate reads are recomputed against the inverter's real position.
     invalidate_swap_nets(cache, network, candidate, da, db);
     if network.topo_hint().is_none() {
         // The accepted swap contradicted the recorded order (inserting an
@@ -1082,6 +1177,48 @@ mod tests {
     }
 
     #[test]
+    fn row_model_nudges_accepted_inverters_into_free_slots() {
+        // With a legalized placement and a row model, every surviving
+        // inverter must land in a genuinely free slot: the grown placement
+        // stays overlap-free and the model's occupancy mirrors it.
+        let (reference, library, placement, timing) = setup("c432");
+        let mut placement = placement;
+        rapids_legalize::legalize(&reference, &library, &mut placement);
+        placement.assert_legal(&reference, &library);
+        let rows = RowModel::build(&reference, &library, &placement);
+        let mut network = reference.clone();
+        let config = OptimizerConfig {
+            include_inverting_swaps: true,
+            ..OptimizerConfig::fast(OptimizerKind::Rewiring)
+        };
+        let outcome = Optimizer::new(config).optimize_with_rows(
+            &mut network,
+            &library,
+            &placement,
+            Some(&rows),
+            &timing,
+        );
+        assert!(outcome.inverting_swaps_applied > 0, "c432 must accept ES swaps");
+        assert_eq!(outcome.nudge_fallbacks, 0, "the die has plenty of free slots");
+        assert!(check_equivalence_random(&reference, &network, 512, 5).is_equivalent());
+        // Extend the (still untouched) caller placement with the hosted
+        // coordinates: the grown result must be legal, and no inverter may
+        // sit stacked on its driver.
+        let mut grown = placement.clone();
+        for &(inv, at) in &outcome.hosted_inverters {
+            grown.host_at(inv, at);
+            let driver = network.fanins(inv)[0];
+            assert!(
+                placement.position(driver).manhattan_distance_um(&at) > 0.0,
+                "inverter {inv} is stacked on its driver"
+            );
+        }
+        grown.assert_legal(&network, &library);
+        // The caller's row model is as frozen as the caller's placement.
+        assert_eq!(rows, RowModel::build(&reference, &library, &placement));
+    }
+
+    #[test]
     fn disabled_inverting_mode_never_grows_the_network() {
         let (reference, library, placement, timing) = setup("c432");
         let mut network = reference.clone();
@@ -1130,6 +1267,7 @@ mod tests {
             inverting_swaps_applied: 1,
             gates_resized: 0,
             hosted_inverters: vec![(GateId(10), Point::new(1.0, 2.0))],
+            nudge_fallbacks: 0,
             cpu_seconds: 0.1,
             statistics: SupergateStatistics {
                 gate_count: 10,

@@ -24,8 +24,8 @@
 pub mod pipeline;
 
 pub use pipeline::{
-    CircuitSource, FlowComparison, Pipeline, PipelineConfig, PipelineError, PipelineReport,
-    PreparedDesign, StageTimings,
+    CircuitSource, FlowComparison, LegalizationReport, Pipeline, PipelineConfig, PipelineError,
+    PipelineReport, PreparedDesign, StageTimings,
 };
 
 // Substrate crates, re-exported under stable short names.
@@ -33,6 +33,7 @@ pub use rapids_bdd as bdd;
 pub use rapids_celllib as celllib;
 pub use rapids_circuits as circuits;
 pub use rapids_core as core;
+pub use rapids_legalize as legalize;
 pub use rapids_netlist as netlist;
 pub use rapids_placement as placement;
 pub use rapids_sim as sim;

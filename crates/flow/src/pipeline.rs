@@ -30,6 +30,10 @@ use std::time::Instant;
 use rapids_celllib::Library;
 use rapids_circuits::{benchmark, map_to_library};
 use rapids_core::{OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind};
+use rapids_legalize::{
+    legalize, refine_worst_slack, LegalizeConfig, LegalizeOutcome, RefineConfig, RefineOutcome,
+    RowModel,
+};
 use rapids_netlist::{blif, NetlistError, Network};
 use rapids_placement::{place, Placement, PlacerConfig};
 use rapids_sim::check_equivalence_random;
@@ -132,6 +136,13 @@ impl From<NetlistError> for PipelineError {
 pub struct PipelineConfig {
     /// Placer configuration.
     pub placer: PlacerConfig,
+    /// Legalization / detailed-placement stage configuration.  Disabled by
+    /// default (the stage is then completely inert and the flow's output is
+    /// bit-identical to the pre-legalization behavior); enable it to run
+    /// the Abacus legalizer plus the timing-driven refinement after
+    /// placement and to let the optimizer nudge accepted ES inverters into
+    /// genuinely free row slots (`table1 --legalize`).
+    pub legalize: LegalizeConfig,
     /// Timing model configuration.
     pub timing: TimingConfig,
     /// Optimizer configuration; its `kind` is what [`Pipeline::run`] uses
@@ -162,6 +173,7 @@ impl Default for PipelineConfig {
             // millimetre range, so interconnect is a first-order term of the
             // critical path — the regime the paper's experiments target.
             placer: PlacerConfig { utilization: 0.15, ..PlacerConfig::default() },
+            legalize: LegalizeConfig::default(),
             timing: TimingConfig::default(),
             optimizer: OptimizerConfig::default(),
             seed: 2000,
@@ -193,8 +205,33 @@ pub struct StageTimings {
     pub map_s: f64,
     /// Placement, seconds.
     pub place_s: f64,
+    /// Legalization + timing-driven refinement (zero when the stage is
+    /// disabled), seconds.
+    pub legalize_s: f64,
     /// Initial static timing analysis, seconds.
     pub sta_s: f64,
+}
+
+/// What the pipeline's legalize stage did to one design's placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizationReport {
+    /// The Abacus full-legalization outcome (displacement + HPWL deltas).
+    pub legalize: LegalizeOutcome,
+    /// The timing-driven refinement outcome, when the pass ran
+    /// (`LegalizeConfig::refine_worst_k > 0`).
+    pub refine: Option<RefineOutcome>,
+    /// Total HPWL of the final (legalized + refined) placement, µm — the
+    /// value surfaced as `hpwl_um` in the QoR reports.
+    pub hpwl_um: f64,
+}
+
+impl LegalizationReport {
+    /// Largest single-gate displacement the full legalizer applied, µm
+    /// (refinement moves are separately bounded by
+    /// `LegalizeConfig::refine_budget_um`).
+    pub fn max_displacement_um(&self) -> f64 {
+        self.legalize.max_displacement_um
+    }
 }
 
 /// Output of the placement-invariant front half of the flow.
@@ -210,8 +247,16 @@ pub struct PreparedDesign {
     pub network: Network,
     /// The cell library every stage ran against.
     pub library: Library,
-    /// The fixed placement.
+    /// The fixed placement (legalized + refined when the legalize stage is
+    /// enabled).
     pub placement: Placement,
+    /// What the legalize stage did (`None` while disabled).
+    pub legalization: Option<LegalizationReport>,
+    /// Row occupancy of `placement` (`None` while the legalize stage is
+    /// disabled).  Shared read-only by every optimizer run against this
+    /// design; each run clones it into a private working copy, exactly like
+    /// the placement itself.
+    pub rows: Option<RowModel>,
     /// STA of `network` on `placement`.
     pub initial_timing: TimingReport,
     /// Per-stage wall-clock cost.
@@ -242,6 +287,9 @@ pub struct PipelineReport {
     /// Whether the post-optimization equivalence check ran (and passed —
     /// a failed check aborts the pipeline instead).
     pub equivalence_verified: bool,
+    /// What the legalize stage did to the shared placement (`None` while
+    /// the stage is disabled).
+    pub legalization: Option<LegalizationReport>,
     /// Per-stage cost of the shared front half.
     pub stage_timings: StageTimings,
 }
@@ -288,6 +336,10 @@ pub struct FlowComparison {
     /// or re-optimize any of the three result networks without re-running
     /// [`Pipeline::prepare`]; see [`FlowComparison::grown_placement`].
     pub placement: Placement,
+    /// What the legalize stage did to that placement (`None` while the
+    /// stage is disabled) — the source of the `legalized` / `hpwl_um` /
+    /// `max_displacement_um` QoR fields.
+    pub legalization: Option<LegalizationReport>,
 }
 
 impl FlowComparison {
@@ -418,8 +470,41 @@ impl Pipeline {
         let library = Library::standard_035um();
 
         let start = Instant::now();
-        let placement = place(&network, &library, &self.config.placer, self.config.seed);
+        let mut placement = place(&network, &library, &self.config.placer, self.config.seed);
         timings.place_s = start.elapsed().as_secs_f64();
+
+        // The legalize stage: Abacus full legalization onto the row/site
+        // grid, an occupancy model of the result, and the timing-driven
+        // refinement of the worst-slack gates.  All three optimizer kinds
+        // then score against this one final placement — the shared-placement
+        // contract is unchanged, the placement is just legal now.
+        let mut legalization = None;
+        let mut rows = None;
+        if self.config.legalize.enabled {
+            let start = Instant::now();
+            let outcome = legalize(&network, &library, &mut placement);
+            let mut model = RowModel::build(&network, &library, &placement);
+            let refine = (self.config.legalize.refine_worst_k > 0).then(|| {
+                refine_worst_slack(
+                    &network,
+                    &library,
+                    &mut placement,
+                    &mut model,
+                    &self.config.timing,
+                    &RefineConfig {
+                        worst_k: self.config.legalize.refine_worst_k,
+                        displacement_budget_um: self.config.legalize.refine_budget_um,
+                    },
+                )
+            });
+            legalization = Some(LegalizationReport {
+                legalize: outcome,
+                refine,
+                hpwl_um: placement.total_hpwl_um(&network),
+            });
+            rows = Some(model);
+            timings.legalize_s = start.elapsed().as_secs_f64();
+        }
 
         let start = Instant::now();
         let initial_timing = Sta::analyze(&network, &library, &placement, &self.config.timing);
@@ -430,6 +515,8 @@ impl Pipeline {
             network,
             library,
             placement,
+            legalization,
+            rows,
             initial_timing,
             timings,
         })
@@ -463,10 +550,12 @@ impl Pipeline {
             threads: self.config.optimizer.threads.max(self.config.threads),
             ..self.config.optimizer.clone()
         };
-        let outcome = Optimizer::new(optimizer_config).optimize(
+        let rows = if self.config.legalize.nudge_es { design.rows.as_ref() } else { None };
+        let outcome = Optimizer::new(optimizer_config).optimize_with_rows(
             &mut working,
             &design.library,
             &design.placement,
+            rows,
             &self.config.timing,
         );
 
@@ -480,6 +569,28 @@ impl Pipeline {
             if !verdict.is_equivalent() {
                 return Err(PipelineError::EquivalenceBroken { name: design.name.clone(), kind });
             }
+            // Physical side of the safety net: a legalized flow must stay
+            // overlap-free through optimization — the base placement is
+            // legal and every surviving nudged inverter sits in a slot the
+            // row model handed out.  Three genuine carve-outs: a nudge
+            // that fell back to driver-stacking (a full die, recorded in
+            // the outcome); inverters hosted with nudging *off*
+            // (`nudge_es == false` stacks them on their drivers by
+            // design); and runs that *resized* gates — an upsized cell is
+            // physically wider, so sizing legitimately needs a
+            // re-legalization pass, which the flow does not do yet (see
+            // ROADMAP).  Rewiring and ES growth never change a footprint.
+            if self.config.legalize.enabled
+                && outcome.nudge_fallbacks == 0
+                && outcome.gates_resized == 0
+                && (self.config.legalize.nudge_es || outcome.inverting_swaps_applied == 0)
+            {
+                let mut grown = design.placement.clone();
+                for &(inv, at) in &outcome.hosted_inverters {
+                    grown.host_at(inv, at);
+                }
+                grown.assert_legal(&working, &design.library);
+            }
         }
 
         Ok(PipelineReport {
@@ -489,6 +600,7 @@ impl Pipeline {
             network: working,
             outcome,
             equivalence_verified: self.config.verify_equivalence,
+            legalization: design.legalization,
             stage_timings: design.timings,
         })
     }
@@ -550,6 +662,7 @@ impl Pipeline {
             rewiring: rewiring?,
             sizing: sizing?,
             combined: combined?,
+            legalization: design.legalization,
             placement: design.placement,
         })
     }
@@ -590,6 +703,55 @@ mod tests {
         let text = blif::write_string(&tiny_mapped());
         let report = Pipeline::fast().run(CircuitSource::Blif { text, max_fanin: 4 }).unwrap();
         assert!(report.initial_delay_ns > 0.0);
+    }
+
+    #[test]
+    fn legalize_stage_yields_a_legal_placement_through_es_growth() {
+        let mut config = PipelineConfig::fast();
+        config.legalize = LegalizeConfig::enabled();
+        config.optimizer.include_inverting_swaps = true;
+        config.verify_equivalence = true;
+        let pipeline = Pipeline::new(config);
+        let design = pipeline.prepare(CircuitSource::suite("c432")).unwrap();
+        design.placement.assert_legal(&design.network, &design.library);
+        let legalization = design.legalization.expect("the enabled stage reports its work");
+        assert!(legalization.legalize.moved_gates > 0);
+        assert_eq!(legalization.legalize.unplaced_gates, 0);
+        assert!(legalization.hpwl_um > 0.0);
+        assert!(design.rows.is_some());
+        // Optimize with ES growth: the equivalence + legality safety net
+        // runs inside, and the grown placement stays overlap-free.
+        let report = pipeline.optimize(&design, OptimizerKind::Rewiring).unwrap();
+        assert!(report.outcome.inverting_swaps_applied > 0);
+        assert_eq!(report.outcome.nudge_fallbacks, 0);
+        report.grown_placement(&design.placement).assert_legal(&report.network, &design.library);
+        assert!(report.legalization.is_some());
+        assert!(report.stage_timings.legalize_s > 0.0);
+    }
+
+    #[test]
+    fn legalized_flow_without_nudging_still_verifies() {
+        // `nudge_es: false` stacks accepted inverters on their drivers by
+        // design, so the legality half of the safety net must stand down
+        // instead of panicking on the (intentional) overlap.
+        let mut config = PipelineConfig::fast();
+        config.legalize = LegalizeConfig { nudge_es: false, ..LegalizeConfig::enabled() };
+        config.optimizer.include_inverting_swaps = true;
+        config.verify_equivalence = true;
+        let report = Pipeline::new(config)
+            .run_kind(CircuitSource::suite("c432"), OptimizerKind::Rewiring)
+            .unwrap();
+        assert!(report.outcome.inverting_swaps_applied > 0, "ES swaps still fire");
+        assert!(report.equivalence_verified);
+    }
+
+    #[test]
+    fn disabled_legalize_stage_is_inert() {
+        let pipeline = Pipeline::fast();
+        let design = pipeline.prepare(CircuitSource::suite("c432")).unwrap();
+        assert!(design.legalization.is_none());
+        assert!(design.rows.is_none());
+        assert_eq!(design.timings.legalize_s, 0.0);
     }
 
     #[test]

@@ -1,0 +1,297 @@
+//! Abacus-style full legalization.
+//!
+//! Cells are visited in order of increasing x (ties on [`GateId`]) and
+//! inserted into the row minimizing their displacement.  Inside a row the
+//! classic Abacus cluster machinery keeps the result optimal for the cells
+//! already placed: each cell joins a fresh cluster at its desired site, and
+//! overlapping clusters collapse into one whose position is the mean of its
+//! cells' desired positions (clamped into the row) — cells are pushed just
+//! far enough apart to remove every overlap while the cluster's total
+//! quadratic displacement stays minimal.
+//!
+//! All positions are integer **sites** ([`rapids_celllib::SITE_WIDTH_UM`]
+//! wide), so the emitted placement is exactly on the grid that
+//! [`rapids_placement::Placement::check_legal`] and the
+//! [`crate::RowModel`] quantize against, and every comparison is exact.
+//! The pass is sequential and fully deterministic.
+
+use rapids_celllib::Library;
+use rapids_netlist::{GateId, Network};
+use rapids_placement::{gate_width_sites, Placement, Point};
+
+/// What the legalizer did to the placement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LegalizeOutcome {
+    /// Gates whose position changed.
+    pub moved_gates: usize,
+    /// Sum of the per-gate Manhattan displacements, µm.
+    pub total_displacement_um: f64,
+    /// Largest single-gate Manhattan displacement, µm.
+    pub max_displacement_um: f64,
+    /// Total half-perimeter wire length before, µm.
+    pub hpwl_before_um: f64,
+    /// Total half-perimeter wire length after, µm.
+    pub hpwl_after_um: f64,
+    /// Gates no row could host (die over capacity); they keep their
+    /// original position and the result is *not* legal.  Always 0 for the
+    /// utilizations the flow's placer produces.
+    pub unplaced_gates: usize,
+}
+
+/// One Abacus cluster: a maximal run of touching cells in a row.
+#[derive(Debug, Clone, Copy)]
+struct Cluster {
+    /// Left edge, sites (valid after the final collapse).
+    site: i64,
+    /// Number of member cells.
+    weight: i64,
+    /// Σ (desired site − offset inside the cluster) over member cells; the
+    /// optimal cluster position is `q / weight`.
+    q: i64,
+    /// Total width, sites.
+    width: i64,
+    /// Index of the cluster's first cell in the row's `cells` list.
+    start: usize,
+}
+
+/// Per-row state: cells in insertion (= x) order plus the cluster chain.
+#[derive(Debug, Clone, Default)]
+struct Row {
+    cells: Vec<(GateId, i64)>,
+    clusters: Vec<Cluster>,
+    used_sites: i64,
+}
+
+fn clamp_position(q: i64, weight: i64, width: i64, capacity: i64) -> i64 {
+    let ideal = (q as f64 / weight as f64).round() as i64;
+    ideal.clamp(0, capacity - width)
+}
+
+/// Simulates inserting a cell of `width` sites at `desired` into the row
+/// and returns the site the cell itself would land on, without mutating
+/// anything.  `None` when the row is out of capacity.
+fn trial(row: &Row, capacity: i64, width: i64, desired: i64) -> Option<i64> {
+    if row.used_sites + width > capacity {
+        return None;
+    }
+    let (mut weight, mut q, mut total_width) = (1i64, desired, width);
+    let mut position = clamp_position(q, weight, total_width, capacity);
+    for predecessor in row.clusters.iter().rev() {
+        if predecessor.site + predecessor.width <= position {
+            break;
+        }
+        // Collapse into the predecessor: the current cells' offsets all
+        // shift right by the predecessor's width.
+        q = predecessor.q + (q - weight * predecessor.width);
+        weight += predecessor.weight;
+        total_width += predecessor.width;
+        position = clamp_position(q, weight, total_width, capacity);
+    }
+    Some(position + total_width - width)
+}
+
+/// Commits the insertion [`trial`] simulated (same math, mutating).
+fn commit(row: &mut Row, capacity: i64, gate: GateId, width: i64, desired: i64) {
+    let start = row.cells.len();
+    row.cells.push((gate, width));
+    row.used_sites += width;
+    let mut current = Cluster { site: 0, weight: 1, q: desired, width, start };
+    loop {
+        let position = clamp_position(current.q, current.weight, current.width, capacity);
+        match row.clusters.last() {
+            Some(p) if p.site + p.width > position => {
+                let p = row.clusters.pop().expect("last cluster exists");
+                current = Cluster {
+                    site: 0,
+                    weight: p.weight + current.weight,
+                    q: p.q + (current.q - current.weight * p.width),
+                    width: p.width + current.width,
+                    start: p.start,
+                };
+            }
+            _ => {
+                current.site = position;
+                row.clusters.push(current);
+                return;
+            }
+        }
+    }
+}
+
+/// Legalizes the placement in place: every live gate ends on the row/site
+/// grid, overlap-free, near its original position.  Returns the
+/// displacement and wire-length deltas.  Primary inputs are legalized like
+/// cells (they are pad-like rows entries in this flow, not fixed periphery
+/// IO), so the whole result is grid-clean.
+pub fn legalize(
+    network: &Network,
+    library: &Library,
+    placement: &mut Placement,
+) -> LegalizeOutcome {
+    let region = placement.region();
+    let capacity = region.site_count() as i64;
+    let row_count = region.row_count();
+    let hpwl_before_um = placement.total_hpwl_um(network);
+
+    // Visit order: increasing x, ties on the id — the Abacus sweep order,
+    // which keeps each row's cells sorted without ever reordering them.
+    let mut cells: Vec<(GateId, Point, i64)> = network
+        .iter_live()
+        .map(|g| (g, placement.position(g), gate_width_sites(network, library, g) as i64))
+        .collect();
+    cells.sort_by(|a, b| a.1.x_um.total_cmp(&b.1.x_um).then(a.0.cmp(&b.0)));
+
+    let mut rows: Vec<Row> = vec![Row::default(); row_count];
+    let mut unplaced_gates = 0usize;
+    for &(gate, origin, width) in &cells {
+        let desired_site = region.nearest_site(origin.x_um) as i64;
+        let desired_row = region.nearest_row(origin.y_um);
+        // Walk rows outward from the desired one (lower row first at each
+        // distance — the deterministic tie-break order) without
+        // materializing an order vector; y cost grows monotonically with
+        // the distance on each side, so once both rows of a distance ring
+        // cost at least the best found, no farther row can win.
+        let mut best: Option<(f64, usize, i64)> = None;
+        for distance in 0..row_count {
+            let below = desired_row.checked_sub(distance);
+            let above =
+                (distance > 0).then_some(desired_row + distance).filter(|&row| row < row_count);
+            if below.is_none() && above.is_none() {
+                break;
+            }
+            let mut ring_min_y_cost = f64::INFINITY;
+            for row in [below, above].into_iter().flatten() {
+                let y_cost = (region.row_center_y_um(row) - origin.y_um).abs();
+                ring_min_y_cost = ring_min_y_cost.min(y_cost);
+                if best.as_ref().is_some_and(|&(cost, _, _)| y_cost >= cost) {
+                    continue;
+                }
+                if let Some(site) = trial(&rows[row], capacity, width, desired_site) {
+                    let cost = y_cost + (region.site_x_um(site as usize) - origin.x_um).abs();
+                    if best.as_ref().is_none_or(|&(c, _, _)| cost < c) {
+                        best = Some((cost, row, site));
+                    }
+                }
+            }
+            if best.as_ref().is_some_and(|&(cost, _, _)| ring_min_y_cost >= cost) {
+                break;
+            }
+        }
+        match best {
+            Some((_, row, _)) => commit(&mut rows[row], capacity, gate, width, desired_site),
+            None => unplaced_gates += 1,
+        }
+    }
+
+    // Emit final positions: each cluster's cells at consecutive offsets.
+    let mut moved_gates = 0usize;
+    let mut total_displacement_um = 0.0f64;
+    let mut max_displacement_um = 0.0f64;
+    for (r, row) in rows.iter().enumerate() {
+        let y_um = region.row_center_y_um(r);
+        for (c, cluster) in row.clusters.iter().enumerate() {
+            let end = row.clusters.get(c + 1).map_or(row.cells.len(), |next| next.start);
+            let mut site = cluster.site;
+            for &(gate, width) in &row.cells[cluster.start..end] {
+                let target = Point::new(region.site_x_um(site as usize), y_um);
+                let displacement = placement.position(gate).manhattan_distance_um(&target);
+                if displacement > 0.0 {
+                    moved_gates += 1;
+                    total_displacement_um += displacement;
+                    max_displacement_um = max_displacement_um.max(displacement);
+                    placement.set_position(gate, target);
+                }
+                site += width;
+            }
+        }
+    }
+
+    LegalizeOutcome {
+        moved_gates,
+        total_displacement_um,
+        max_displacement_um,
+        hpwl_before_um,
+        hpwl_after_um: placement.total_hpwl_um(network),
+        unplaced_gates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_circuits::benchmark;
+    use rapids_placement::{place, PlacerConfig};
+
+    #[test]
+    fn legalized_suite_design_is_overlap_free() {
+        let network = benchmark("c432").unwrap();
+        let library = Library::standard_035um();
+        let mut placement = place(&network, &library, &PlacerConfig::fast(), 7);
+        assert!(
+            placement.check_legal(&network, &library).is_err(),
+            "the annealed placement overlaps — otherwise this test is vacuous"
+        );
+        let outcome = legalize(&network, &library, &mut placement);
+        placement.assert_legal(&network, &library);
+        assert_eq!(outcome.unplaced_gates, 0);
+        assert!(outcome.moved_gates > 0);
+        assert!(outcome.max_displacement_um <= outcome.total_displacement_um);
+        assert!(outcome.hpwl_after_um > 0.0);
+    }
+
+    #[test]
+    fn legalization_is_idempotent() {
+        let network = benchmark("alu2").unwrap();
+        let library = Library::standard_035um();
+        let mut placement = place(&network, &library, &PlacerConfig::fast(), 3);
+        legalize(&network, &library, &mut placement);
+        let frozen = placement.clone();
+        let again = legalize(&network, &library, &mut placement);
+        assert_eq!(again.moved_gates, 0, "a legal placement must be a fixpoint");
+        assert_eq!(again.total_displacement_um, 0.0);
+        for g in network.iter_live() {
+            assert_eq!(placement.position(g), frozen.position(g));
+        }
+    }
+
+    #[test]
+    fn legalization_is_deterministic() {
+        let network = benchmark("c499").unwrap();
+        let library = Library::standard_035um();
+        let run = || {
+            let mut placement = place(&network, &library, &PlacerConfig::fast(), 11);
+            let outcome = legalize(&network, &library, &mut placement);
+            let coords: Vec<(f64, f64)> = network
+                .iter_live()
+                .map(|g| (placement.position(g).x_um, placement.position(g).y_um))
+                .collect();
+            (outcome, coords)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn displacement_stays_local_on_a_low_utilization_die() {
+        // The flow's default die is pad-limited (15% rows utilization):
+        // resolving overlaps must only push cells around locally, not
+        // across the die.
+        let network = benchmark("alu4").unwrap();
+        let library = Library::standard_035um();
+        let mut placement = place(
+            &network,
+            &library,
+            &PlacerConfig { utilization: 0.15, ..PlacerConfig::fast() },
+            5,
+        );
+        let region = placement.region();
+        let outcome = legalize(&network, &library, &mut placement);
+        placement.assert_legal(&network, &library);
+        assert!(
+            outcome.max_displacement_um <= (region.width_um + region.height_um) / 4.0,
+            "max displacement {} is not local for a {}x{} die",
+            outcome.max_displacement_um,
+            region.width_um,
+            region.height_um
+        );
+    }
+}

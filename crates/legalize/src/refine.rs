@@ -1,0 +1,214 @@
+//! Timing-driven detailed-placement refinement.
+//!
+//! After full legalization the K worst-slack logic gates are offered one
+//! relocation each: toward the star-optimal point of their incident nets
+//! (the coordinate-wise median of fan-in drivers and fan-out sinks),
+//! clamped into a displacement budget, and snapped into the nearest
+//! genuinely free row slot.  Every move is validated with a dirty-cone
+//! [`IncrementalSta`] update; a move that degrades the critical path is
+//! reverted on the spot, so the pass is monotone on the design's delay.
+//!
+//! The pass runs once per design inside the pipeline's legalize stage,
+//! sequentially and deterministically (slack ties break on [`GateId`]).
+
+use rapids_celllib::Library;
+use rapids_netlist::{GateId, Network};
+use rapids_placement::{gate_width_sites, Placement, Point};
+use rapids_timing::{IncrementalSta, TimingConfig};
+
+use crate::rows::RowModel;
+
+/// Knobs of the refinement pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineConfig {
+    /// How many worst-slack gates to visit.
+    pub worst_k: usize,
+    /// Maximum Manhattan displacement per relocated gate, µm.
+    pub displacement_budget_um: f64,
+}
+
+/// What the refinement pass did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RefineOutcome {
+    /// Gates visited (≤ `worst_k`).
+    pub attempted: usize,
+    /// Gates actually relocated (move kept after re-timing).
+    pub moved_gates: usize,
+    /// Critical-path delay before the pass, ns.
+    pub delay_before_ns: f64,
+    /// Critical-path delay after the pass, ns (never worse than before).
+    pub delay_after_ns: f64,
+}
+
+/// The coordinate-wise median of a gate's neighbor positions — the point
+/// minimizing total Manhattan wire length to them (ties to the lower
+/// median, a fixed deterministic choice).
+fn star_optimal_point(network: &Network, placement: &Placement, gate: GateId) -> Option<Point> {
+    let mut xs: Vec<f64> = Vec::new();
+    let mut ys: Vec<f64> = Vec::new();
+    for &neighbor in network.fanins(gate).iter().chain(network.fanouts(gate)) {
+        let p = placement.position(neighbor);
+        xs.push(p.x_um);
+        ys.push(p.y_um);
+    }
+    if xs.is_empty() {
+        return None;
+    }
+    xs.sort_by(f64::total_cmp);
+    ys.sort_by(f64::total_cmp);
+    Some(Point::new(xs[(xs.len() - 1) / 2], ys[(ys.len() - 1) / 2]))
+}
+
+/// Relocates up to `config.worst_k` worst-slack gates within the
+/// displacement budget, keeping `placement` and `rows` coherent and legal.
+/// The placement must be legal and `rows` must reflect it (build the model
+/// with [`RowModel::build`] after [`crate::legalize`]).
+pub fn refine_worst_slack(
+    network: &Network,
+    library: &Library,
+    placement: &mut Placement,
+    rows: &mut RowModel,
+    timing: &TimingConfig,
+    config: &RefineConfig,
+) -> RefineOutcome {
+    let mut inc = IncrementalSta::new(network, library, placement, timing);
+    let delay_before_ns = inc.report().critical_delay_ns();
+    let mut outcome = RefineOutcome {
+        attempted: 0,
+        moved_gates: 0,
+        delay_before_ns,
+        delay_after_ns: delay_before_ns,
+    };
+    if config.worst_k == 0 {
+        return outcome;
+    }
+
+    // The K worst-slack logic gates (sources are pad-like and stay put);
+    // ties break on the id so the visit order is reproducible.
+    let mut targets: Vec<GateId> = network.iter_logic().collect();
+    let report = inc.report();
+    targets.sort_by(|&a, &b| report.slack(a).total_cmp(&report.slack(b)).then(a.cmp(&b)));
+    targets.truncate(config.worst_k);
+
+    let budget = config.displacement_budget_um;
+    for gate in targets {
+        outcome.attempted += 1;
+        let Some(star) = star_optimal_point(network, placement, gate) else {
+            continue;
+        };
+        let current = placement.position(gate);
+        // Aim at the star point, clamped into the budget box around the
+        // current location so the slot search cannot wander off.
+        let desired = Point::new(
+            star.x_um.clamp(current.x_um - budget, current.x_um + budget),
+            star.y_um.clamp(current.y_um - budget, current.y_um + budget),
+        );
+        let width = gate_width_sites(network, library, gate);
+        let Some((old_row, old_site, _)) = rows.slot_of(gate) else {
+            continue;
+        };
+        // Free the gate's own slot first so "stay in place" is always an
+        // available answer to the query.
+        rows.release(gate);
+        let slot = rows.nearest_free_slot(desired, width);
+        let target = match slot {
+            Some((row, site)) => rows.slot_point(row, site),
+            None => current,
+        };
+        if target == current || current.manhattan_distance_um(&target) > budget {
+            rows.occupy(gate, old_row, old_site, width);
+            continue;
+        }
+        let (row, site) = slot.expect("a distinct target implies a found slot");
+        rows.occupy(gate, row, site, width);
+        placement.set_position(gate, target);
+        let before = inc.report().critical_delay_ns();
+        inc.update(network, library, placement, &[gate]);
+        if inc.report().critical_delay_ns() > before + 1e-9 {
+            // The move hurt the critical path: put everything back.
+            rows.release(gate);
+            rows.occupy(gate, old_row, old_site, width);
+            placement.set_position(gate, current);
+            inc.update(network, library, placement, &[gate]);
+        } else {
+            outcome.moved_gates += 1;
+        }
+    }
+    outcome.delay_after_ns = inc.report().critical_delay_ns();
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::legalize;
+    use rapids_circuits::benchmark;
+    use rapids_placement::{place, PlacerConfig};
+
+    fn legalized(name: &str, seed: u64) -> (Network, Library, Placement, RowModel) {
+        let network = benchmark(name).unwrap();
+        let library = Library::standard_035um();
+        let mut placement = place(&network, &library, &PlacerConfig::fast(), seed);
+        legalize(&network, &library, &mut placement);
+        let rows = RowModel::build(&network, &library, &placement);
+        (network, library, placement, rows)
+    }
+
+    #[test]
+    fn refinement_never_degrades_delay_and_stays_legal() {
+        let (network, library, mut placement, mut rows) = legalized("c432", 7);
+        let config = RefineConfig { worst_k: 16, displacement_budget_um: 40.0 };
+        let outcome = refine_worst_slack(
+            &network,
+            &library,
+            &mut placement,
+            &mut rows,
+            &TimingConfig::default(),
+            &config,
+        );
+        assert_eq!(outcome.attempted, 16);
+        assert!(outcome.delay_after_ns <= outcome.delay_before_ns + 1e-9);
+        placement.assert_legal(&network, &library);
+        // The row model still mirrors the placement exactly.
+        assert_eq!(rows, RowModel::build(&network, &library, &placement));
+    }
+
+    #[test]
+    fn moves_respect_the_displacement_budget() {
+        let (network, library, mut placement, mut rows) = legalized("alu2", 3);
+        let frozen = placement.clone();
+        let budget = 26.0;
+        let config = RefineConfig { worst_k: 12, displacement_budget_um: budget };
+        refine_worst_slack(
+            &network,
+            &library,
+            &mut placement,
+            &mut rows,
+            &TimingConfig::default(),
+            &config,
+        );
+        for g in network.iter_live() {
+            let moved = frozen.position(g).manhattan_distance_um(&placement.position(g));
+            assert!(moved <= budget + 1e-9, "{g} moved {moved} µm > budget {budget}");
+        }
+    }
+
+    #[test]
+    fn zero_k_is_a_no_op() {
+        let (network, library, mut placement, mut rows) = legalized("c432", 7);
+        let frozen = placement.clone();
+        let config = RefineConfig { worst_k: 0, displacement_budget_um: 40.0 };
+        let outcome = refine_worst_slack(
+            &network,
+            &library,
+            &mut placement,
+            &mut rows,
+            &TimingConfig::default(),
+            &config,
+        );
+        assert_eq!((outcome.attempted, outcome.moved_gates), (0, 0));
+        for g in network.iter_live() {
+            assert_eq!(placement.position(g), frozen.position(g));
+        }
+    }
+}

@@ -1,7 +1,9 @@
 //! Placement geometry: points, the placement region and the per-gate
-//! location table.
+//! location table, plus the row/site quantization and footprint helpers
+//! shared by the legalization subsystem (`rapids-legalize`).
 
-use rapids_netlist::{GateId, Network};
+use rapids_celllib::{Library, ROW_HEIGHT_UM, SITE_WIDTH_UM};
+use rapids_netlist::{GateId, GateType, Network};
 
 /// A location in the placement region, in µm.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -51,6 +53,53 @@ impl Region {
     pub fn clamp(&self, p: Point) -> Point {
         Point { x_um: p.x_um.clamp(0.0, self.width_um), y_um: p.y_um.clamp(0.0, self.height_um) }
     }
+
+    /// The row whose center is nearest to `y_um`, clamped into the region.
+    pub fn nearest_row(&self, y_um: f64) -> usize {
+        let raw = ((y_um / self.row_height_um) - 0.5).round();
+        (raw.max(0.0) as usize).min(self.row_count().saturating_sub(1))
+    }
+
+    /// Number of placement sites ([`rapids_celllib::SITE_WIDTH_UM`] wide)
+    /// that fit in one row.
+    pub fn site_count(&self) -> usize {
+        ((self.width_um / SITE_WIDTH_UM) + 1e-9).floor().max(1.0) as usize
+    }
+
+    /// The x coordinate of the left edge of site `site`.
+    pub fn site_x_um(&self, site: usize) -> f64 {
+        site as f64 * SITE_WIDTH_UM
+    }
+
+    /// The site whose left edge is nearest to `x_um`, clamped into the row.
+    ///
+    /// For site-aligned coordinates (everything the legalizer emits) this
+    /// recovers the exact site index; the row-based occupancy model and
+    /// [`Placement::check_legal`] both quantize through it, so legality is
+    /// decided in exact integer-site arithmetic rather than accumulated
+    /// floating-point widths.
+    pub fn nearest_site(&self, x_um: f64) -> usize {
+        let raw = (x_um / SITE_WIDTH_UM).round();
+        (raw.max(0.0) as usize).min(self.site_count().saturating_sub(1))
+    }
+}
+
+/// Footprint width of a gate in µm when it occupies a standard-cell row:
+/// the library cell width for logic gates (nominal 25 µm² when the library
+/// has no cell), a 4-site pad for primary inputs, and a single site for
+/// constant sources (they exist only as netlist bookkeeping).
+pub fn gate_width_um(network: &Network, library: &Library, gate: GateId) -> f64 {
+    let g = network.gate(gate);
+    match g.gtype {
+        GateType::Input => 4.0 * SITE_WIDTH_UM,
+        GateType::Const0 | GateType::Const1 => SITE_WIDTH_UM,
+        _ => library.cell_for_gate(g).map(|c| c.width_um()).unwrap_or(25.0 / ROW_HEIGHT_UM),
+    }
+}
+
+/// [`gate_width_um`] rounded up to whole placement sites (at least one).
+pub fn gate_width_sites(network: &Network, library: &Library, gate: GateId) -> usize {
+    ((gate_width_um(network, library, gate) / SITE_WIDTH_UM) - 1e-9).ceil().max(1.0) as usize
 }
 
 /// A placed netlist: one location per gate slot (indexed by `GateId`).
@@ -158,6 +207,62 @@ impl Placement {
     pub fn total_hpwl_um(&self, network: &Network) -> f64 {
         network.iter_live().map(|g| self.net_hpwl_um(network, g)).sum()
     }
+
+    /// Checks that the placement is *legal*: every live gate sits on a slot,
+    /// every footprint fits inside its row, and no two footprints in the
+    /// same row overlap.  Footprints come from [`gate_width_sites`] and
+    /// coordinates are quantized to the row/site grid
+    /// ([`Region::nearest_row`] / [`Region::nearest_site`]), so the check is
+    /// exact integer arithmetic on the grid the legalizer emits; raw
+    /// annealed or overlay-stacked placements (inverters co-located with
+    /// their drivers) report their collisions through the same quantization.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first violation found (scan order: rows bottom
+    /// to top, sites left to right).
+    pub fn check_legal(&self, network: &Network, library: &Library) -> Result<(), String> {
+        let region = self.region;
+        let site_count = region.site_count();
+        let mut rows: Vec<Vec<(usize, usize, GateId)>> = vec![Vec::new(); region.row_count()];
+        for g in network.iter_live() {
+            if !self.covers(g) {
+                return Err(format!("gate {g} has no placement slot"));
+            }
+            let p = self.position(g);
+            let site = region.nearest_site(p.x_um);
+            let width = gate_width_sites(network, library, g);
+            if site + width > site_count {
+                return Err(format!(
+                    "gate {g} overflows its row: sites {site}..{} of {site_count}",
+                    site + width
+                ));
+            }
+            rows[region.nearest_row(p.y_um)].push((site, site + width, g));
+        }
+        for (row, mut cells) in rows.into_iter().enumerate() {
+            cells.sort_unstable();
+            for pair in cells.windows(2) {
+                let (_, end_a, a) = pair[0];
+                let (start_b, _, b) = pair[1];
+                if end_a > start_b {
+                    return Err(format!(
+                        "gates {a} and {b} overlap in row {row} (sites {start_b} < {end_a})"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Panics with the first violation if the placement is not legal — the
+    /// loud form of [`Placement::check_legal`] used by the flow's safety
+    /// nets and the legalizer's own test suite.
+    pub fn assert_legal(&self, network: &Network, library: &Library) {
+        if let Err(violation) = self.check_legal(network, library) {
+            panic!("placement is not legal: {violation}");
+        }
+    }
 }
 
 #[cfg(test)]
@@ -227,6 +332,76 @@ mod tests {
         assert!(!p.covers(GateId(5)));
         p.truncate_slots(10);
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn row_and_site_quantization() {
+        let r = Region { width_um: 80.0, height_um: 52.0, row_height_um: 13.0 };
+        assert_eq!(r.nearest_row(6.5), 0);
+        assert_eq!(r.nearest_row(19.5), 1);
+        assert_eq!(r.nearest_row(-4.0), 0);
+        assert_eq!(r.nearest_row(1000.0), r.row_count() - 1);
+        assert_eq!(r.site_count(), 100);
+        assert_eq!(r.nearest_site(r.site_x_um(37)), 37);
+        assert_eq!(r.nearest_site(-1.0), 0);
+        assert_eq!(r.nearest_site(1000.0), 99);
+    }
+
+    #[test]
+    fn footprints_cover_pads_cells_and_fallbacks() {
+        let mut b = NetworkBuilder::new("w");
+        b.inputs(["a", "b", "c", "d", "e", "f"]);
+        b.gate("n", GateType::Nand, &["a", "b"]);
+        b.gate("wide", GateType::And, &["a", "b", "c", "d", "e", "f"]);
+        b.output("n");
+        b.output("wide");
+        let n = b.finish().unwrap();
+        let lib = rapids_celllib::Library::standard_035um();
+        let a = n.find_by_name("a").unwrap();
+        let nand = n.find_by_name("n").unwrap();
+        let wide = n.find_by_name("wide").unwrap();
+        assert_eq!(gate_width_um(&n, &lib, a), 4.0 * SITE_WIDTH_UM);
+        // NAND2 X1 cell width, rounded up to whole sites.
+        let cell = lib.cell_for_gate(n.gate(nand)).unwrap();
+        assert!((gate_width_um(&n, &lib, nand) - cell.width_um()).abs() < 1e-12);
+        assert_eq!(
+            gate_width_sites(&n, &lib, nand),
+            (cell.width_um() / SITE_WIDTH_UM).ceil() as usize
+        );
+        // 6-input AND falls back to the AND4 cell via cell_for_gate.
+        assert!(gate_width_sites(&n, &lib, wide) >= 1);
+    }
+
+    #[test]
+    fn check_legal_flags_overlaps_and_overflow() {
+        let mut b = NetworkBuilder::new("legal");
+        b.inputs(["a", "b"]);
+        b.gate("f", GateType::Nand, &["a", "b"]);
+        b.output("f");
+        let n = b.finish().unwrap();
+        let lib = rapids_celllib::Library::standard_035um();
+        let region = Region { width_um: 80.0, height_um: 26.0, row_height_um: 13.0 };
+        let mut p = Placement::new(region, n.gate_count());
+        let a = n.find_by_name("a").unwrap();
+        let bq = n.find_by_name("b").unwrap();
+        let f = n.find_by_name("f").unwrap();
+        // Disjoint sites in the same row, plus one gate on its own row.
+        p.set_position(a, Point::new(region.site_x_um(0), region.row_center_y_um(0)));
+        p.set_position(bq, Point::new(region.site_x_um(10), region.row_center_y_um(0)));
+        p.set_position(f, Point::new(region.site_x_um(0), region.row_center_y_um(1)));
+        assert!(p.check_legal(&n, &lib).is_ok());
+        p.assert_legal(&n, &lib);
+        // Stacking b onto a (the pre-legalization overlay policy) is caught.
+        p.set_position(bq, p.position(a));
+        let err = p.check_legal(&n, &lib).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+        // A pad pushed past the row end overflows.
+        p.set_position(bq, Point::new(region.width_um, region.row_center_y_um(0)));
+        let err = p.check_legal(&n, &lib).unwrap_err();
+        assert!(err.contains("overflow"), "{err}");
+        // A live gate with no slot is reported too.
+        let short = Placement::new(region, 1);
+        assert!(short.check_legal(&n, &lib).unwrap_err().contains("no placement slot"));
     }
 
     #[test]

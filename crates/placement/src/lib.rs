@@ -32,5 +32,5 @@ pub mod star;
 
 pub use annealer::{place, PlacerConfig};
 pub use congestion::CongestionMap;
-pub use geometry::{Placement, Point, Region};
+pub use geometry::{gate_width_sites, gate_width_um, Placement, Point, Region};
 pub use star::{net_star, StarNet, StarSegment};

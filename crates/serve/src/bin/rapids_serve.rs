@@ -7,7 +7,9 @@
 //! rapids-serve c432 alu2 --fast --sort                 # named suite designs, canonical order
 //! rapids-serve --jobs batch.jsonl --workers 4          # JSONL job file
 //! rapids-serve --blif-dir designs/ --out reports.jsonl # every .blif under designs/
-//! rapids-serve --listen 127.0.0.1:7171                 # TCP line protocol
+//! rapids-serve --suite --legalize --es                 # row-legal placements + ES nudging
+//! rapids-serve --listen 127.0.0.1:7171                 # TCP line protocol (concurrent)
+//! rapids-serve --listen 127.0.0.1:7171 --cache-max-entries 64  # bounded LRU result cache
 //! ```
 //!
 //! Reports stream to stdout (or `--out`) as JSONL, one line per design, as
@@ -36,8 +38,10 @@ fn main() {
     let mut listen_addr: Option<String> = None;
     let mut fast = false;
     let mut es = false;
+    let mut legalize = false;
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
+    let mut cache_max_entries: Option<usize> = None;
 
     let mut iter = args.into_iter();
     let value_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
@@ -65,6 +69,17 @@ fn main() {
             "--listen" => listen_addr = Some(value_arg(&mut iter, "--listen")),
             "--fast" => fast = true,
             "--es" => es = true,
+            "--legalize" => legalize = true,
+            "--cache-max-entries" => {
+                let value =
+                    parse_num(&value_arg(&mut iter, "--cache-max-entries"), "--cache-max-entries")
+                        as usize;
+                if value == 0 {
+                    eprintln!("--cache-max-entries must be at least 1 (omit it for no bound)");
+                    std::process::exit(2);
+                }
+                cache_max_entries = Some(value);
+            }
             "--seed" => seed = Some(parse_num(&value_arg(&mut iter, "--seed"), "--seed")),
             "--threads" => {
                 threads = Some(parse_num(&value_arg(&mut iter, "--threads"), "--threads") as usize)
@@ -79,6 +94,7 @@ fn main() {
 
     let mut config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
     config.optimizer.include_inverting_swaps = es;
+    config.legalize.enabled = legalize;
     if let Some(seed) = seed {
         config.seed = seed;
     }
@@ -129,7 +145,11 @@ fn main() {
         std::process::exit(2);
     }
 
-    let server = BatchServer::new(Engine::new(config), workers);
+    let engine = match cache_max_entries {
+        Some(capacity) => Engine::with_cache_capacity(config, capacity),
+        None => Engine::new(config),
+    };
+    let server = BatchServer::new(engine, workers);
 
     let mut sink: Box<dyn std::io::Write> = match &out_path {
         Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {

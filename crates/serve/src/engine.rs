@@ -6,6 +6,12 @@
 //! error — every failure mode (unknown suite name, unreadable file, BLIF
 //! parse error, optimizer panic) is captured as a `Failed` report so one
 //! poisoned job cannot take down a batch or a connection.
+//!
+//! The result cache can be **bounded** ([`Engine::with_cache_capacity`],
+//! `rapids-serve --cache-max-entries`): when full, the least-recently-used
+//! entry is evicted on insert, so a long-running listener's memory stays
+//! flat under an unbounded stream of distinct designs.  Evictions are
+//! counted ([`Engine::cache_evictions`], the `stats` protocol line).
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -19,11 +25,59 @@ use crate::fingerprint::{config_fingerprint, fnv1a, netlist_fingerprint};
 use crate::job::{Job, JobSource};
 use crate::report::{DesignQor, JobOutcome, JobReport};
 
+/// The bounded LRU result cache (unbounded when `capacity` is `None`).
+///
+/// Recency is a monotone tick bumped on every hit and insert; eviction
+/// scans for the minimum tick, which is O(n) but runs only when a full
+/// cache inserts — negligible next to the optimizer run that produced the
+/// entry.
+#[derive(Debug)]
+struct LruCache {
+    capacity: Option<usize>,
+    entries: HashMap<(u64, u64), (DesignQor, u64)>,
+    tick: u64,
+    evictions: usize,
+}
+
+impl LruCache {
+    fn new(capacity: Option<usize>) -> Self {
+        LruCache { capacity, entries: HashMap::new(), tick: 0, evictions: 0 }
+    }
+
+    fn get(&mut self, key: &(u64, u64)) -> Option<DesignQor> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(qor, used)| {
+            *used = tick;
+            qor.clone()
+        })
+    }
+
+    fn insert(&mut self, key: (u64, u64), qor: DesignQor) {
+        self.tick += 1;
+        let fresh = self.entries.insert(key, (qor, self.tick)).is_none();
+        if let Some(capacity) = self.capacity {
+            if fresh && self.entries.len() > capacity {
+                // Evict the least-recently-used entry (never the one just
+                // inserted — its tick is the maximum).
+                let oldest = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, used))| *used)
+                    .map(|(&k, _)| k)
+                    .expect("a full cache has entries");
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
 /// Shared execution core: base configuration, result cache, probes.
 #[derive(Debug)]
 pub struct Engine {
     base: PipelineConfig,
-    cache: Mutex<HashMap<(u64, u64), DesignQor>>,
+    cache: Mutex<LruCache>,
     /// Second-level memo: (spec fingerprint, config fingerprint) → netlist
     /// fingerprint, so a *literally repeated* submission skips generation
     /// and technology mapping too, not just the optimizer.  Only specs
@@ -38,11 +92,24 @@ pub struct Engine {
 
 impl Engine {
     /// An engine whose jobs default to `base` (per-job specs may override
-    /// individual knobs; see [`Job::from_spec_line`]).
+    /// individual knobs; see [`Job::from_spec_line`]) and whose result
+    /// cache is unbounded.
     pub fn new(base: PipelineConfig) -> Self {
+        Self::with_capacity(base, None)
+    }
+
+    /// [`Engine::new`] with the result cache bounded to `capacity` entries
+    /// (LRU eviction on insert).  `0` means *unbounded*, same as
+    /// [`Engine::new`] — a zero-entry cache would silently recompute every
+    /// submission, which no caller ever wants.
+    pub fn with_cache_capacity(base: PipelineConfig, capacity: usize) -> Self {
+        Self::with_capacity(base, (capacity > 0).then_some(capacity))
+    }
+
+    fn with_capacity(base: PipelineConfig, capacity: Option<usize>) -> Self {
         Engine {
             base,
-            cache: Mutex::new(HashMap::new()),
+            cache: Mutex::new(LruCache::new(capacity)),
             spec_memo: Mutex::new(HashMap::new()),
             optimizer_runs: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
@@ -69,7 +136,13 @@ impl Engine {
 
     /// Number of distinct (netlist, config) results currently cached.
     pub fn cached_results(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.cache.lock().expect("cache lock poisoned").entries.len()
+    }
+
+    /// How many cached results were evicted by the LRU bound (always 0 for
+    /// an unbounded cache).
+    pub fn cache_evictions(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").evictions
     }
 
     /// How many times a circuit was actually resolved (generated/parsed
@@ -104,12 +177,8 @@ impl Engine {
             let memoized =
                 self.spec_memo.lock().expect("spec memo lock poisoned").get(&spec_key).copied();
             if let Some(netlist_fp) = memoized {
-                let cached = self
-                    .cache
-                    .lock()
-                    .expect("cache lock poisoned")
-                    .get(&(netlist_fp, config_fp))
-                    .cloned();
+                let cached =
+                    self.cache.lock().expect("cache lock poisoned").get(&(netlist_fp, config_fp));
                 if let Some(qor) = cached {
                     self.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return hit(qor);
@@ -141,7 +210,7 @@ impl Engine {
             self.spec_memo.lock().expect("spec memo lock poisoned").insert(spec_key, netlist_fp);
         }
         let key = (netlist_fp, config_fp);
-        if let Some(qor) = self.cache.lock().expect("cache lock poisoned").get(&key).cloned() {
+        if let Some(qor) = self.cache.lock().expect("cache lock poisoned").get(&key) {
             self.cache_hits.fetch_add(1, Ordering::Relaxed);
             return hit(qor);
         }
@@ -227,6 +296,38 @@ mod tests {
         let job = Job::blif_file("ghost", "/no/such/file.blif", e.base_config());
         let report = e.execute(&job);
         assert!(matches!(&report.outcome, JobOutcome::Failed(msg) if msg.contains("file.blif")));
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let e = Engine::with_cache_capacity(PipelineConfig::fast(), 2);
+        for name in ["c432", "alu2", "c499"] {
+            assert!(e.execute(&Job::suite(name, e.base_config())).is_done());
+        }
+        // Capacity 2: the third insert evicted the least-recent (c432).
+        assert_eq!(e.cached_results(), 2);
+        assert_eq!(e.cache_evictions(), 1);
+        assert_eq!(e.optimizer_runs(), 3);
+        // Touch alu2 (hit, refreshes recency), then insert a fourth design:
+        // c499 — now the least-recent — is the one evicted.
+        assert!(e.execute(&Job::suite("alu2", e.base_config())).cached);
+        assert!(e.execute(&Job::suite("c1908", e.base_config())).is_done());
+        assert_eq!(e.cache_evictions(), 2);
+        assert!(e.execute(&Job::suite("alu2", e.base_config())).cached, "alu2 was kept");
+        assert_eq!(e.optimizer_runs(), 4);
+        assert!(!e.execute(&Job::suite("c499", e.base_config())).cached, "c499 was evicted");
+        assert_eq!(e.optimizer_runs(), 5);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        // Capacity 0 means unbounded, matching `Engine::new`.
+        let e = Engine::with_cache_capacity(PipelineConfig::fast(), 0);
+        for name in ["c432", "alu2", "c499"] {
+            e.execute(&Job::suite(name, e.base_config()));
+        }
+        assert_eq!(e.cached_results(), 3);
+        assert_eq!(e.cache_evictions(), 0);
     }
 
     #[test]

@@ -79,7 +79,8 @@ impl Job {
     /// The schema (see `docs/serving.md`): exactly one source key —
     /// `"suite"`, `"blif"` (a file path) or `"blif_text"` — plus optional
     /// `"name"` (report name override) and per-job knob overrides
-    /// `"fast"`, `"es"`, `"seed"`, `"max_fanin"`, `"threads"`.
+    /// `"fast"`, `"es"`, `"legalize"`, `"seed"`, `"max_fanin"`,
+    /// `"threads"`.
     ///
     /// # Errors
     ///
@@ -126,6 +127,7 @@ impl Job {
                 "name" => name = Some(str_of(value, key)?),
                 "fast" => fast = Some(bool_of(value, key)?),
                 "es" => config.optimizer.include_inverting_swaps = bool_of(value, key)?,
+                "legalize" => config.legalize.enabled = bool_of(value, key)?,
                 "seed" => config.seed = uint_of(value, key)?,
                 "max_fanin" => config.map_max_fanin = uint_of(value, key)?.max(2) as usize,
                 "threads" => config.threads = (uint_of(value, key)? as usize).max(1),
@@ -134,7 +136,8 @@ impl Job {
         }
 
         // `fast` swaps in the reduced-effort placer/optimizer while keeping
-        // every already-applied override that survives the swap.
+        // every already-applied override that survives the swap (the
+        // `legalize` knob lives outside both and is untouched).
         if fast == Some(true) {
             let es = config.optimizer.include_inverting_swaps;
             let threads = config.optimizer.threads;
@@ -177,14 +180,25 @@ mod tests {
 
     #[test]
     fn suite_spec_parses_with_overrides() {
-        let job =
-            Job::from_spec_line(r#"{"suite":"c432","es":true,"seed":9,"threads":3}"#, &base())
-                .unwrap();
+        let job = Job::from_spec_line(
+            r#"{"suite":"c432","es":true,"legalize":true,"seed":9,"threads":3}"#,
+            &base(),
+        )
+        .unwrap();
         assert_eq!(job.name, "c432");
         assert!(matches!(job.source, JobSource::Suite(ref s) if s == "c432"));
         assert!(job.config.optimizer.include_inverting_swaps);
+        assert!(job.config.legalize.enabled);
         assert_eq!(job.config.seed, 9);
         assert_eq!(job.config.threads, 3);
+    }
+
+    #[test]
+    fn fast_override_keeps_legalize() {
+        let job = Job::from_spec_line(r#"{"suite":"alu2","legalize":true,"fast":true}"#, &base())
+            .unwrap();
+        assert!(job.config.legalize.enabled);
+        assert!(job.config.placer.moves_per_gate < base().placer.moves_per_gate);
     }
 
     #[test]

@@ -7,54 +7,127 @@
 //!   job and answers with its report line — cached results answer without
 //!   recompute, and the cache persists across connections;
 //! * `{"cmd":"ping"}` answers `{"ok":"pong"}` (liveness probe);
-//! * `{"cmd":"stats"}` answers the engine counters;
+//! * `{"cmd":"stats"}` answers the engine counters (optimizer runs, cache
+//!   hits, cached results, LRU evictions);
 //! * `{"cmd":"shutdown"}` answers `{"ok":"shutdown"}` and stops the
-//!   server after the connection closes;
+//!   server: no new connections are accepted, and connections already open
+//!   are drained before the listener returns;
 //! * a malformed line answers `{"status":"rejected","error":…}` — the
 //!   connection stays up.
 //!
-//! Connections are served one at a time and each line is answered before
-//! the next is read: ordering is the client's, so a driving script can
-//! rely on request/response pairing without message ids.
+//! Connections are served **concurrently**, one thread per connection over
+//! the shared [`Engine`] (whose cache and counters are thread-safe), so a
+//! client holding its connection open never blocks another.  Within one
+//! connection each line is answered before the next is read: ordering is
+//! the client's, so a driving script can rely on request/response pairing
+//! without message ids.
 
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 use crate::engine::Engine;
 use crate::job::Job;
 use crate::json::{escape_string, parse_flat_object};
 
 /// Serves the line protocol on an already-bound listener until a client
-/// sends `{"cmd":"shutdown"}`.  Returns the number of job lines served.
+/// sends `{"cmd":"shutdown"}`.  Returns the number of job lines served
+/// (across all connections).
 ///
 /// # Errors
 ///
 /// Only listener-level `accept` failures propagate; per-connection I/O
 /// errors just close that connection.
 pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Result<usize> {
-    let mut served = 0;
-    for stream in listener.incoming() {
-        let stream = stream?;
-        match handle_connection(engine, stream, &mut served) {
-            Ok(ControlFlow::Shutdown) => break,
-            Ok(ControlFlow::NextConnection) => continue,
-            // A dropped client must not take the server down.
-            Err(_) => continue,
+    let served = AtomicUsize::new(0);
+    let shutdown = AtomicBool::new(false);
+    // Read-half handles of the connections currently open, keyed by a
+    // connection id and removed as each handler exits (so a long-running
+    // daemon holds handles — and file descriptors — only for *live*
+    // connections).  Shutdown uses them to unblock handlers parked in
+    // `read_line` on idle clients.
+    let open: Mutex<HashMap<u64, TcpStream>> = Mutex::new(HashMap::new());
+    let mut next_id = 0u64;
+    let mut accept_error = None;
+    std::thread::scope(|scope| {
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                // The stream that woke us (or any racing client) is
+                // dropped unanswered; open connections keep draining until
+                // the scope joins their handlers.
+                break;
+            }
+            let stream = match stream {
+                Ok(stream) => stream,
+                Err(e) => {
+                    accept_error = Some(e);
+                    break;
+                }
+            };
+            let id = next_id;
+            next_id += 1;
+            // An untracked connection could park a handler past shutdown
+            // forever, so a connection we cannot track (fd pressure) is
+            // refused rather than served: dropping the stream closes it.
+            let handle = match stream.try_clone() {
+                Ok(handle) => handle,
+                Err(_) => continue,
+            };
+            open.lock().expect("open-connection lock poisoned").insert(id, handle);
+            let served = &served;
+            let shutdown = &shutdown;
+            let open = &open;
+            scope.spawn(move || {
+                // A dropped client must not take the server down.
+                let requested_shutdown = handle_connection(engine, stream, served).unwrap_or(false);
+                open.lock().expect("open-connection lock poisoned").remove(&id);
+                if requested_shutdown && !shutdown.swap(true, Ordering::SeqCst) {
+                    // `incoming()` is blocked in accept: poke it awake so
+                    // the loop observes the flag.  A wildcard bind
+                    // (0.0.0.0 / ::) is not a connectable destination, so
+                    // aim at the loopback of the same family instead.
+                    // Failure is benign — the next real connection
+                    // unblocks the loop the same way.
+                    if let Ok(mut addr) = listener.local_addr() {
+                        if addr.ip().is_unspecified() {
+                            addr.set_ip(match addr {
+                                std::net::SocketAddr::V4(_) => {
+                                    std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
+                                }
+                                std::net::SocketAddr::V6(_) => {
+                                    std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
+                                }
+                            });
+                        }
+                        drop(TcpStream::connect(addr));
+                    }
+                }
+            });
         }
+        // Drain, don't hang: close the *read* half of every connection
+        // still open, so a handler parked on an idle client sees EOF and
+        // exits, while a handler mid-job can still write its response on
+        // the intact write half.  Racing handler exits are fine — shutting
+        // down an already-closed socket errors harmlessly.
+        for stream in open.lock().expect("open-connection lock poisoned").values() {
+            let _ = stream.shutdown(std::net::Shutdown::Read);
+        }
+    });
+    match accept_error {
+        Some(e) => Err(e),
+        None => Ok(served.into_inner()),
     }
-    Ok(served)
 }
 
-enum ControlFlow {
-    NextConnection,
-    Shutdown,
-}
-
+/// Serves one connection to completion; `Ok(true)` when the client asked
+/// for a server shutdown.
 fn handle_connection(
     engine: &Engine,
     stream: TcpStream,
-    served: &mut usize,
-) -> std::io::Result<ControlFlow> {
+    served: &AtomicUsize,
+) -> std::io::Result<bool> {
     let mut writer = stream.try_clone()?;
     let reader = BufReader::new(stream);
     for line in reader.lines() {
@@ -63,23 +136,21 @@ fn handle_connection(
         if line.is_empty() {
             continue;
         }
-        let (response, control) = answer_line(engine, line, served);
+        let (response, requested_shutdown) = answer_line(engine, line, served);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
-        if let ControlFlow::Shutdown = control {
-            return Ok(ControlFlow::Shutdown);
+        if requested_shutdown {
+            return Ok(true);
         }
     }
-    Ok(ControlFlow::NextConnection)
+    Ok(false)
 }
 
-fn answer_line(engine: &Engine, line: &str, served: &mut usize) -> (String, ControlFlow) {
+/// Answers one protocol line; the flag is `true` for a shutdown request.
+fn answer_line(engine: &Engine, line: &str, served: &AtomicUsize) -> (String, bool) {
     let reject = |error: String| {
-        (
-            format!("{{\"status\":\"rejected\",\"error\":{}}}", escape_string(&error)),
-            ControlFlow::NextConnection,
-        )
+        (format!("{{\"status\":\"rejected\",\"error\":{}}}", escape_string(&error)), false)
     };
     let command = match parse_flat_object(line) {
         Ok(pairs) => pairs
@@ -89,22 +160,26 @@ fn answer_line(engine: &Engine, line: &str, served: &mut usize) -> (String, Cont
         Err(e) => return reject(e),
     };
     match command.as_deref() {
-        Some("ping") => ("{\"ok\":\"pong\"}".to_string(), ControlFlow::NextConnection),
-        Some("shutdown") => ("{\"ok\":\"shutdown\"}".to_string(), ControlFlow::Shutdown),
+        Some("ping") => ("{\"ok\":\"pong\"}".to_string(), false),
+        Some("shutdown") => ("{\"ok\":\"shutdown\"}".to_string(), true),
         Some("stats") => (
             format!(
-                "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},\"cached_results\":{}}}",
+                concat!(
+                    "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},",
+                    "\"cached_results\":{},\"evictions\":{}}}"
+                ),
                 engine.optimizer_runs(),
                 engine.cache_hits(),
-                engine.cached_results()
+                engine.cached_results(),
+                engine.cache_evictions(),
             ),
-            ControlFlow::NextConnection,
+            false,
         ),
         Some(other) => reject(format!("unknown command `{other}`")),
         None => match Job::from_spec_line(line, engine.base_config()) {
             Ok(job) => {
-                *served += 1;
-                (engine.execute(&job).to_jsonl(), ControlFlow::NextConnection)
+                served.fetch_add(1, Ordering::Relaxed);
+                (engine.execute(&job).to_jsonl(), false)
             }
             Err(e) => reject(e),
         },
@@ -115,6 +190,26 @@ fn answer_line(engine: &Engine, line: &str, served: &mut usize) -> (String, Cont
 mod tests {
     use super::*;
     use rapids_flow::PipelineConfig;
+
+    struct Client {
+        writer: TcpStream,
+        reader: BufReader<TcpStream>,
+    }
+
+    impl Client {
+        fn connect(addr: std::net::SocketAddr) -> Client {
+            let stream = TcpStream::connect(addr).unwrap();
+            Client { writer: stream.try_clone().unwrap(), reader: BufReader::new(stream) }
+        }
+
+        fn ask(&mut self, line: &str) -> String {
+            writeln!(self.writer, "{line}").unwrap();
+            self.writer.flush().unwrap();
+            let mut answer = String::new();
+            self.reader.read_line(&mut answer).unwrap();
+            answer.trim().to_string()
+        }
+    }
 
     /// End-to-end over a real socket: jobs, cache persistence across
     /// connections, rejection, ping, shutdown.
@@ -128,18 +223,8 @@ mod tests {
             let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
 
             let talk = |lines: &[&str]| -> Vec<String> {
-                let stream = TcpStream::connect(addr).unwrap();
-                let mut writer = stream.try_clone().unwrap();
-                let mut reader = BufReader::new(stream);
-                let mut answers = Vec::new();
-                for line in lines {
-                    writeln!(writer, "{line}").unwrap();
-                    writer.flush().unwrap();
-                    let mut answer = String::new();
-                    reader.read_line(&mut answer).unwrap();
-                    answers.push(answer.trim().to_string());
-                }
-                answers
+                let mut client = Client::connect(addr);
+                lines.iter().map(|line| client.ask(line)).collect()
             };
 
             let first = talk(&[r#"{"cmd":"ping"}"#, r#"{"suite":"c432"}"#, "not json"]);
@@ -156,10 +241,68 @@ mod tests {
             assert!(
                 second[1].contains("\"optimizer_runs\":1")
                     && second[1].contains("\"cache_hits\":1")
+                    && second[1].contains("\"evictions\":0")
             );
             assert_eq!(second[2], "{\"ok\":\"shutdown\"}");
 
             assert_eq!(server.join().unwrap(), 2, "two job lines were served");
+        });
+    }
+
+    /// A shutdown must drain and return even while another client holds
+    /// its connection open and idle — the server closes the read halves,
+    /// so the parked handler sees EOF instead of blocking forever.
+    #[test]
+    fn shutdown_returns_despite_an_idle_open_connection() {
+        let engine = Engine::new(PipelineConfig::fast());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+            let mut idle = Client::connect(addr);
+            assert_eq!(idle.ask(r#"{"cmd":"ping"}"#), "{\"ok\":\"pong\"}");
+            let mut closer = Client::connect(addr);
+            assert_eq!(closer.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            // `idle` is deliberately NOT dropped before the join: the
+            // server must come back anyway.
+            assert_eq!(server.join().unwrap(), 0, "no job lines were served");
+            drop(idle);
+            drop(closer);
+        });
+    }
+
+    /// Two clients hold connections open *simultaneously*: the second
+    /// completes a full exchange while the first is mid-session — which a
+    /// serial accept loop cannot do — and the first keeps working after.
+    #[test]
+    fn concurrent_connections_over_loopback() {
+        let engine = Engine::new(PipelineConfig::fast());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+
+            let mut slow = Client::connect(addr);
+            assert_eq!(slow.ask(r#"{"cmd":"ping"}"#), "{\"ok\":\"pong\"}", "slow is live");
+
+            // While `slow` sits mid-session, a second client runs a whole
+            // job exchange to completion.
+            let mut fast = Client::connect(addr);
+            let line = fast.ask(r#"{"suite":"c432","fast":true}"#);
+            assert!(line.contains("\"status\":\"done\""), "{line}");
+
+            // The first connection still works — and sees the shared
+            // cache state the second client's job created.
+            let replay = slow.ask(r#"{"suite":"c432","fast":true}"#);
+            assert_eq!(replay, line, "shared cache answers byte-identically across connections");
+            assert!(slow.ask(r#"{"cmd":"stats"}"#).contains("\"cache_hits\":1"));
+
+            // Shutdown from one client drains, then stops the listener.
+            assert_eq!(slow.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            drop(slow);
+            drop(fast);
+            assert_eq!(server.join().unwrap(), 2);
         });
     }
 }

@@ -41,6 +41,14 @@ pub struct DesignQor {
     pub combined_es_swaps: usize,
     /// Gates resized by `GS`.
     pub gs_resized: usize,
+    /// Whether the pipeline's legalize stage ran on this design.
+    pub legalized: bool,
+    /// Total HPWL of the shared pre-optimization placement, µm (the
+    /// legalized + refined value when the stage ran).
+    pub hpwl_um: f64,
+    /// Largest single-gate displacement of the full legalizer, µm (0 while
+    /// the stage is disabled).
+    pub max_displacement_um: f64,
 }
 
 impl DesignQor {
@@ -62,6 +70,13 @@ impl DesignQor {
             gsg_es_swaps: gsg.inverting_swaps_applied,
             combined_es_swaps: combined.inverting_swaps_applied,
             gs_resized: gs.gates_resized,
+            legalized: comparison.legalization.is_some(),
+            hpwl_um: comparison
+                .legalization
+                .map_or(gsg.initial_hpwl_um, |legalization| legalization.hpwl_um),
+            max_displacement_um: comparison
+                .legalization
+                .map_or(0.0, |legalization| legalization.max_displacement_um()),
         }
     }
 
@@ -72,7 +87,8 @@ impl DesignQor {
                 "\"gsg_final_delay_ns\":{},\"gs_final_delay_ns\":{},",
                 "\"combined_final_delay_ns\":{},\"gs_final_area_um2\":{},",
                 "\"combined_final_area_um2\":{},\"gsg_swaps\":{},",
-                "\"gsg_es_swaps\":{},\"combined_es_swaps\":{},\"gs_resized\":{}"
+                "\"gsg_es_swaps\":{},\"combined_es_swaps\":{},\"gs_resized\":{},",
+                "\"legalized\":{},\"hpwl_um\":{},\"max_displacement_um\":{}"
             ),
             escape_string(&self.name),
             self.gate_count,
@@ -86,6 +102,9 @@ impl DesignQor {
             self.gsg_es_swaps,
             self.combined_es_swaps,
             self.gs_resized,
+            self.legalized,
+            number(self.hpwl_um),
+            number(self.max_displacement_um),
         )
     }
 }
@@ -174,6 +193,9 @@ mod tests {
             gsg_es_swaps: 2,
             combined_es_swaps: 3,
             gs_resized: 40,
+            legalized: true,
+            hpwl_um: 123456.75,
+            max_displacement_um: 42.5,
         }
     }
 
@@ -201,10 +223,15 @@ mod tests {
                 "gsg_es_swaps",
                 "combined_es_swaps",
                 "gs_resized",
+                "legalized",
+                "hpwl_um",
+                "max_displacement_um",
             ]
         );
         assert_eq!(pairs[1].1.as_str(), Some("done"));
         assert_eq!(pairs[4].1.as_num(), Some(12.5));
+        assert_eq!(pairs[14].1.as_bool(), Some(true));
+        assert_eq!(pairs[15].1.as_num(), Some(123456.75));
     }
 
     #[test]

@@ -26,6 +26,13 @@
 //!   their private copies, and Elmore/star sums fold in fan-out order.
 //!   Accepted decisions and swap counts still match exactly; only the last
 //!   bits of the floating-point delay/area sums may move.
+//! * **Legalization nudges are accept-time-only.**  When the optimizer
+//!   runs with a legalization row model, the free-slot placement of an
+//!   accepted inverter is decided by the *apply* seam on the main thread,
+//!   in the deterministic acceptance order; scoring probes (which run on
+//!   worker clones) always host at the co-located position and never read
+//!   the shared occupancy.  Nudged positions therefore agree for every
+//!   thread count by construction.
 //! * **Thread-per-design sharding** (`table1 --threads`,
 //!   `run_suite_threaded`) returns results in input order regardless of
 //!   completion order, so whole-suite reports are bit-identical for every
