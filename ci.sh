@@ -32,6 +32,14 @@ echo "==> cargo doc (no deps, warnings are errors)"
 # broken intra-doc links or malformed examples fail the gate.
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+echo "==> STA kernel smoke (levelized vs scalar, bit-identity + speed gate)"
+# Times the levelized struct-of-arrays kernel against the scalar reference
+# analyzer on the largest suite designs, asserting bit-identical reports and
+# that the kernel is not slower than 1.5x the reference (a generous margin:
+# the point is catching a kernel that silently fell off the fast path, not
+# benchmarking).  See docs/benchmarking.md, "The sta_kernel micro-benchmark".
+timeout 120 ./target/release/sta_kernel --smoke > /dev/null
+
 echo "==> timing-regression smoke (mid-size suite under a wall-clock budget)"
 # Deterministic QoR (delay/area/decision counts) of three mid-size rows must
 # exactly match the committed expectations; the timeout guards against a

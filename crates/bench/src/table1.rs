@@ -29,6 +29,12 @@ pub struct OptimizerMetrics {
     pub es_swaps: usize,
     /// Gates resized.
     pub resized: usize,
+    /// Full STA re-analyses the run's timing engine(s) performed.
+    pub sta_full_retimes: usize,
+    /// Dirty-cone incremental STA updates.
+    pub sta_update_retimes: usize,
+    /// Total gates re-timed by those incremental updates.
+    pub gates_retimed: usize,
 }
 
 impl OptimizerMetrics {
@@ -40,6 +46,9 @@ impl OptimizerMetrics {
             swaps: report.outcome.swaps_applied,
             es_swaps: report.outcome.inverting_swaps_applied,
             resized: report.outcome.gates_resized,
+            sta_full_retimes: report.outcome.sta.full_refreshes,
+            sta_update_retimes: report.outcome.sta.incremental_updates,
+            gates_retimed: report.outcome.sta.gates_retimed,
         }
     }
 
@@ -47,7 +56,9 @@ impl OptimizerMetrics {
         format!(
             concat!(
                 "{{\"cpu_s\":{},\"final_delay_ns\":{},\"final_area_um2\":{},",
-                "\"swaps\":{},\"es_swaps\":{},\"resized\":{}}}"
+                "\"swaps\":{},\"es_swaps\":{},\"resized\":{},",
+                "\"sta_full_retimes\":{},\"sta_update_retimes\":{},",
+                "\"gates_retimed\":{}}}"
             ),
             json_number(self.cpu_s),
             json_number(self.final_delay_ns),
@@ -55,6 +66,9 @@ impl OptimizerMetrics {
             self.swaps,
             self.es_swaps,
             self.resized,
+            self.sta_full_retimes,
+            self.sta_update_retimes,
+            self.gates_retimed,
         )
     }
 }

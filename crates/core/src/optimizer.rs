@@ -56,7 +56,7 @@ use rapids_netlist::{GateId, Network};
 use rapids_placement::{gate_width_sites, Placement, Point};
 use rapids_sim::check_equivalence_random;
 use rapids_sizing::{neighborhood_eval, GateSizer, SizerConfig};
-use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
+use rapids_timing::{IncrementalSta, IncrementalStats, NetCache, TimingConfig, TimingReport};
 
 use crate::report::SupergateStatistics;
 use crate::supergate::{extract_supergates, Extraction, Supergate};
@@ -188,6 +188,10 @@ pub struct OptimizationOutcome {
     pub cpu_seconds: f64,
     /// Supergate statistics of the (pre-optimization) netlist.
     pub statistics: SupergateStatistics,
+    /// Work counters of the timing engine(s) that drove the run — full
+    /// re-analyses, dirty-cone updates and gates re-timed, summed over this
+    /// run's own engine and the sizer's when the sizer ran one.
+    pub sta: IncrementalStats,
 }
 
 impl OptimizationOutcome {
@@ -273,7 +277,13 @@ impl Optimizer {
         // position comparison; it is maintained (or dropped and re-proved)
         // automatically across edits.
         network.refresh_topo_hint();
-        let mut inc = IncrementalSta::new(network, library, placement, timing);
+        let mut inc = IncrementalSta::new_with_threads(
+            network,
+            library,
+            placement,
+            timing,
+            self.config.threads,
+        );
         let initial_delay_ns = inc.report().critical_delay_ns();
         let initial_area_um2 = library.network_area_um2(network);
         let initial_hpwl_um = placement.total_hpwl_um(network);
@@ -284,6 +294,7 @@ impl Optimizer {
         let mut swaps_applied = 0usize;
         let mut inverting_swaps_applied = 0usize;
         let mut gates_resized = 0usize;
+        let mut sizer_sta = IncrementalStats::default();
         match self.config.kind {
             OptimizerKind::Sizing => {
                 let sizer_config = SizerConfig {
@@ -293,6 +304,7 @@ impl Optimizer {
                 let outcome =
                     GateSizer::new(sizer_config).optimize(network, library, placement, timing);
                 gates_resized = outcome.resized_gates;
+                sizer_sta = outcome.sta;
                 // The sizer ran its own engine; re-time ours for the report.
                 inc.full(network, library, placement);
             }
@@ -369,6 +381,7 @@ impl Optimizer {
             nudge_fallbacks: rows.as_ref().map_or(0, RowModel::nudge_misses),
             cpu_seconds: start.elapsed().as_secs_f64(),
             statistics,
+            sta: inc.stats().merged(sizer_sta),
         }
     }
 
@@ -1277,6 +1290,7 @@ mod tests {
                 largest_inputs: 4,
                 redundancy_count: 0,
             },
+            sta: IncrementalStats::default(),
         };
         assert!((outcome.delay_improvement_percent() - 10.0).abs() < 1e-9);
         assert_eq!(outcome.area_change_percent(), 0.0);

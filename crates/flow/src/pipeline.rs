@@ -507,7 +507,13 @@ impl Pipeline {
         }
 
         let start = Instant::now();
-        let initial_timing = Sta::analyze(&network, &library, &placement, &self.config.timing);
+        let initial_timing = Sta::analyze_with_threads(
+            &network,
+            &library,
+            &placement,
+            &self.config.timing,
+            self.config.threads.max(1),
+        );
         timings.sta_s = start.elapsed().as_secs_f64();
 
         Ok(PreparedDesign {

@@ -1,0 +1,156 @@
+//! Flat (CSR-style) adjacency export of a [`Network`].
+//!
+//! The network's native adjacency is pointer-shaped — each gate owns a
+//! `Vec<GateId>` of fan-ins and the network keeps a `Vec<Vec<GateId>>` of
+//! fan-outs — which is the right structure for editing but a poor one for
+//! batched sweeps: every edge visit chases a separate heap allocation.
+//! [`FlatAdjacency`] snapshots both directions into four flat `u32` arrays
+//! (offsets + edges, the classic compressed-sparse-row layout), so a full
+//! traversal touches two contiguous slabs of memory and nothing else.
+//!
+//! The snapshot preserves the orders that downstream folds depend on: a
+//! gate's fan-in edges appear in **pin order** and its fan-out edges in the
+//! network's **fan-out list order** (one entry per driven pin).  Tomb-stoned
+//! slots are present but empty, so edge slices can be indexed directly by
+//! `GateId::index()` without a liveness check.
+//!
+//! A `FlatAdjacency` is a point-in-time view: any edit that changes
+//! connectivity (pin swaps, inverter insertion, gate removal) invalidates
+//! it.  Consumers that cache one across edits must rebuild it under the same
+//! rules they use for cached topological orders — see
+//! `rapids_timing::levelized` for the canonical lifecycle.
+
+use crate::gate::GateId;
+use crate::network::Network;
+
+/// CSR-style snapshot of the fan-in and fan-out adjacency of a network.
+#[derive(Debug, Clone, Default)]
+pub struct FlatAdjacency {
+    /// `fanin_offsets[s]..fanin_offsets[s + 1]` indexes the fan-in edges of
+    /// slot `s` in `fanin_edges`; length `slots + 1`.
+    fanin_offsets: Vec<u32>,
+    /// Fan-in edge targets (driver slots), in pin order per gate.
+    fanin_edges: Vec<u32>,
+    /// Fan-out counterpart of `fanin_offsets`; length `slots + 1`.
+    fanout_offsets: Vec<u32>,
+    /// Fan-out edge targets (sink slots), one per driven pin, in the
+    /// network's fan-out list order.
+    fanout_edges: Vec<u32>,
+}
+
+impl FlatAdjacency {
+    /// Snapshots the adjacency of `network`.  Tomb-stoned slots get empty
+    /// edge ranges in both directions.
+    pub fn build(network: &Network) -> Self {
+        let slots = network.gate_count();
+        let mut fanin_offsets = Vec::with_capacity(slots + 1);
+        let mut fanout_offsets = Vec::with_capacity(slots + 1);
+        let mut fanin_edges = Vec::new();
+        let mut fanout_edges = Vec::new();
+        fanin_offsets.push(0);
+        fanout_offsets.push(0);
+        for slot in 0..slots {
+            let id = GateId(slot as u32);
+            if network.is_live(id) {
+                fanin_edges.extend(network.fanins(id).iter().map(|f| f.0));
+                fanout_edges.extend(network.fanouts(id).iter().map(|s| s.0));
+            }
+            fanin_offsets.push(fanin_edges.len() as u32);
+            fanout_offsets.push(fanout_edges.len() as u32);
+        }
+        FlatAdjacency { fanin_offsets, fanin_edges, fanout_offsets, fanout_edges }
+    }
+
+    /// Number of gate slots covered by the snapshot.
+    pub fn slots(&self) -> usize {
+        self.fanin_offsets.len().saturating_sub(1)
+    }
+
+    /// Total number of fan-in edges (equals the total fan-out edge count).
+    pub fn fanin_edge_count(&self) -> usize {
+        self.fanin_edges.len()
+    }
+
+    /// Total number of fan-out edges.
+    pub fn fanout_edge_count(&self) -> usize {
+        self.fanout_edges.len()
+    }
+
+    /// Index range of `slot`'s fan-in edges (usable against parallel
+    /// per-edge arrays).
+    pub fn fanin_range(&self, slot: usize) -> std::ops::Range<usize> {
+        self.fanin_offsets[slot] as usize..self.fanin_offsets[slot + 1] as usize
+    }
+
+    /// Index range of `slot`'s fan-out edges.
+    pub fn fanout_range(&self, slot: usize) -> std::ops::Range<usize> {
+        self.fanout_offsets[slot] as usize..self.fanout_offsets[slot + 1] as usize
+    }
+
+    /// Driver slots of `slot`'s input pins, in pin order.
+    pub fn fanins_of(&self, slot: usize) -> &[u32] {
+        &self.fanin_edges[self.fanin_range(slot)]
+    }
+
+    /// Sink slots driven by `slot`, one per driven pin.
+    pub fn fanouts_of(&self, slot: usize) -> &[u32] {
+        &self.fanout_edges[self.fanout_range(slot)]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::GateType;
+
+    fn sample() -> Network {
+        let mut n = Network::new("flat");
+        let a = n.add_input("a");
+        let b = n.add_input("b");
+        let g1 = n.add_gate(GateType::Nand, &[a, b], "g1").unwrap();
+        let g2 = n.add_gate(GateType::Nor, &[g1, b], "g2").unwrap();
+        n.add_gate(GateType::Xor, &[a, a], "g3").unwrap();
+        n.add_output(g2, "f");
+        n
+    }
+
+    #[test]
+    fn mirrors_network_adjacency_in_order() {
+        let n = sample();
+        let flat = FlatAdjacency::build(&n);
+        assert_eq!(flat.slots(), n.gate_count());
+        assert_eq!(flat.fanin_edge_count(), flat.fanout_edge_count());
+        for g in n.iter_live() {
+            let fanins: Vec<u32> = n.fanins(g).iter().map(|f| f.0).collect();
+            let fanouts: Vec<u32> = n.fanouts(g).iter().map(|s| s.0).collect();
+            assert_eq!(flat.fanins_of(g.index()), fanins.as_slice(), "fanin order at {g}");
+            assert_eq!(flat.fanouts_of(g.index()), fanouts.as_slice(), "fanout order at {g}");
+        }
+    }
+
+    #[test]
+    fn multi_pin_sink_appears_once_per_pin() {
+        let n = sample();
+        let flat = FlatAdjacency::build(&n);
+        let a = n.find_by_name("a").unwrap();
+        let g3 = n.find_by_name("g3").unwrap();
+        // g3 = Xor(a, a): two fan-in pins on the same driver, and two
+        // fan-out entries of `a` pointing at g3.
+        assert_eq!(flat.fanins_of(g3.index()), &[a.0, a.0]);
+        let hits = flat.fanouts_of(a.index()).iter().filter(|&&s| s == g3.0).count();
+        assert_eq!(hits, 2);
+    }
+
+    #[test]
+    fn tombstoned_slots_are_empty() {
+        let mut n = sample();
+        let g3 = n.find_by_name("g3").unwrap();
+        assert!(n.remove_if_dangling(g3));
+        let flat = FlatAdjacency::build(&n);
+        assert!(flat.fanins_of(g3.index()).is_empty());
+        assert!(flat.fanouts_of(g3.index()).is_empty());
+        // The live part of the snapshot is unaffected.
+        let g2 = n.find_by_name("g2").unwrap();
+        assert_eq!(flat.fanins_of(g2.index()).len(), 2);
+    }
+}

@@ -39,6 +39,7 @@ pub mod blif;
 pub mod builder;
 pub mod cone;
 pub mod error;
+pub mod flat;
 pub mod gate;
 pub mod network;
 pub mod stats;
@@ -46,6 +47,7 @@ pub mod topo;
 
 pub use builder::NetworkBuilder;
 pub use error::NetlistError;
+pub use flat::FlatAdjacency;
 pub use gate::{BaseFunction, Gate, GateId, GateType, Logic, PinRef};
 pub use network::Network;
 pub use stats::NetworkStats;

@@ -64,8 +64,17 @@ pub fn reverse_topological_order(network: &Network) -> Option<Vec<GateId>> {
 /// topological sort).
 pub fn levels(network: &Network) -> Vec<usize> {
     let order = topological_order(network).expect("levelization requires an acyclic network");
+    levels_from_order(network, &order)
+}
+
+/// [`levels`] over an already-computed topological order, so callers that
+/// cache the order (the incremental and levelized timing engines) do not pay
+/// for a second Kahn sweep.  `order` must be a valid topological order of
+/// the network's live gates; with a stale or partial order the result is
+/// unspecified (but the function does not panic).
+pub fn levels_from_order(network: &Network, order: &[GateId]) -> Vec<usize> {
     let mut level = vec![0usize; network.gate_count()];
-    for g in order {
+    for &g in order {
         let l = network.fanins(g).iter().map(|f| level[f.index()] + 1).max().unwrap_or(0);
         level[g.index()] = l;
     }
@@ -184,6 +193,13 @@ mod tests {
         let lv = levels(&n);
         assert_eq!(lv[root.index()], 2);
         assert_eq!(depth(&n), 2);
+    }
+
+    #[test]
+    fn levels_from_cached_order_match_fresh_levels() {
+        let (n, _) = chain();
+        let order = topological_order(&n).unwrap();
+        assert_eq!(levels_from_order(&n, &order), levels(&n));
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use rapids_celllib::{DriveStrength, Library};
 use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
-use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
+use rapids_timing::{IncrementalSta, IncrementalStats, NetCache, TimingConfig, TimingReport};
 
 use crate::neighborhood::neighborhood_eval;
 use crate::parallel::visit_in_disjoint_batches;
@@ -74,6 +74,9 @@ pub struct SizingOutcome {
     pub resized_gates: usize,
     /// Number of optimization passes executed.
     pub passes: usize,
+    /// Work counters of the timing engine that drove the run (full
+    /// re-analyses, dirty-cone updates, gates re-timed).
+    pub sta: IncrementalStats,
 }
 
 impl SizingOutcome {
@@ -127,7 +130,13 @@ impl GateSizer {
         // keeps the caller's placement provably frozen.
         let mut placement = placement.clone();
         let placement = &mut placement;
-        let mut inc = IncrementalSta::new(network, library, placement, timing);
+        let mut inc = IncrementalSta::new_with_threads(
+            network,
+            library,
+            placement,
+            timing,
+            self.config.threads,
+        );
         let mut cache = NetCache::for_network(network);
         let initial_delay_ns = inc.report().critical_delay_ns();
         let initial_area_um2 = library.network_area_um2(network);
@@ -198,6 +207,7 @@ impl GateSizer {
             final_area_um2: library.network_area_um2(network),
             resized_gates: resized.len(),
             passes,
+            sta: inc.stats(),
         }
     }
 
@@ -536,6 +546,7 @@ mod tests {
             final_area_um2: 980.0,
             resized_gates: 5,
             passes: 2,
+            sta: IncrementalStats::default(),
         };
         assert!((outcome.delay_improvement_percent() - 10.0).abs() < 1e-9);
         assert!((outcome.area_change_percent() + 2.0).abs() < 1e-9);
@@ -550,6 +561,7 @@ mod tests {
             final_area_um2: 0.0,
             resized_gates: 0,
             passes: 0,
+            sta: IncrementalStats::default(),
         };
         assert_eq!(outcome.delay_improvement_percent(), 0.0);
         assert_eq!(outcome.area_change_percent(), 0.0);

@@ -4,35 +4,55 @@
 //! swaps and drive-strength changes — and between moves only the timing of
 //! the affected fan-out cone (arrivals) and fan-in cone (required times)
 //! changes.  [`IncrementalSta`] owns the arrival/required/parasitic arrays
-//! plus a cached topological order and level map, and re-times exactly those
-//! cones:
+//! plus a compiled [`LevelizedView`] of the network (level-bucketed gate
+//! order and level map), and re-times exactly those cones:
 //!
-//! * [`IncrementalSta::full`] runs the same kernels as [`Sta::analyze`] over
-//!   the whole network and refreshes the cached order;
+//! * [`IncrementalSta::full`] recompiles the view and runs the batched
+//!   level sweeps of [`crate::levelized`] over the whole network;
 //! * [`IncrementalSta::update`] takes the set of gates whose connectivity or
-//!   drive strength changed, refreshes their parasitics, propagates arrivals
-//!   forward and required times backward with position-ordered worklists,
-//!   and prunes each frontier as soon as a recomputed value is bit-identical
-//!   to the stored one.
+//!   drive strength changed, refreshes their parasitics, and drains a
+//!   **level-bucketed dirty frontier**: dirty gates land in per-level
+//!   buckets, levels drain lowest-first for arrivals and highest-first for
+//!   required times, and each frontier is pruned as soon as a recomputed
+//!   value is bit-identical to the stored one.  Because a gate's sinks sit
+//!   at strictly higher levels (and its drivers at strictly lower ones), a
+//!   bucket can never grow while it drains, and every dirty gate is
+//!   evaluated exactly once — no priority queue needed.  Large buckets
+//!   evaluate their slice in parallel chunks (per-slot scratch writes,
+//!   serial scatter), bit-identical for any thread count.
+//!
+//! # Compiled-view lifecycle (invalidation rules)
+//!
+//! The view is a point-in-time snapshot; `update` enforces the rules and
+//! debug-asserts them:
+//!
+//! * **growth** (inverting swaps appended gates): the view is recompiled in
+//!   place — an O(V+E) sort, no parasitic work — and the update stays
+//!   incremental;
+//! * **shrink** (a rolled-back pass popped trailing slots): full fallback;
+//! * **local rewires**: the cached *levels* stay usable as a schedule as
+//!   long as every touched gate still sees all its fan-ins at strictly
+//!   lower levels; a violation falls back to a full analysis.  The view's
+//!   flat edge arrays may be stale after a swap, so the dirty-cone kernels
+//!   deliberately read the live network adjacency, never the snapshot.
 //!
 //! Because the kernels and fold orders are shared, an update converges to
 //! **bit-identical** state to a from-scratch analysis of the same network —
 //! a property cheap enough to check on the fly: a seeded self-check mode
-//! re-runs the full analysis on a random subset of updates and asserts
-//! equality (see [`IncrementalSta::enable_self_check`]).
-
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+//! re-runs the full *reference* analysis ([`Sta::analyze_reference`]) on a
+//! random subset of updates and asserts equality (see
+//! [`IncrementalSta::enable_self_check`]), so a defect in the levelized
+//! kernel cannot validate itself.
 
 use rapids_celllib::Library;
-use rapids_netlist::{topo, GateId, Network};
+use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
 
-use crate::rc::TimingConfig;
-use crate::sta::{
-    arrival_of, clamp_required, output_driver_mask, refresh_parasitics, required_raw_of, Sta,
-    TimingReport,
+use crate::levelized::{
+    analyze_with_view, refresh_parasitics_fast, LevelizedView, MIN_PARALLEL_ITEMS,
 };
+use crate::rc::TimingConfig;
+use crate::sta::{arrival_of, clamp_required, required_raw_of, ArrivalTime, Sta, TimingReport};
 
 /// Counters describing how much work the engine has done (useful for tests
 /// and perf reporting).
@@ -45,6 +65,18 @@ pub struct IncrementalStats {
     pub incremental_updates: usize,
     /// Total gates whose arrival was recomputed by incremental updates.
     pub gates_retimed: usize,
+}
+
+impl IncrementalStats {
+    /// Component-wise sum (used when an optimizer aggregates the counters
+    /// of helper engines, e.g. the sizer's, into its own).
+    pub fn merged(self, other: IncrementalStats) -> IncrementalStats {
+        IncrementalStats {
+            full_refreshes: self.full_refreshes + other.full_refreshes,
+            incremental_updates: self.incremental_updates + other.incremental_updates,
+            gates_retimed: self.gates_retimed + other.gates_retimed,
+        }
+    }
 }
 
 /// Seeded self-check state: every update draws from a small LCG and one in
@@ -72,43 +104,54 @@ impl SelfCheck {
 #[derive(Debug, Clone)]
 pub struct IncrementalSta {
     config: TimingConfig,
+    threads: usize,
     report: TimingReport,
-    /// Cached topological order of the live gates.
-    order: Vec<GateId>,
-    /// Topological position per slot (`u32::MAX` for tomb-stoned slots).
-    pos: Vec<u32>,
-    /// Logic level per slot (sources are level 0).
-    level: Vec<u32>,
-    drives_output: Vec<bool>,
+    /// Compiled level-bucketed view; see the module docs for when it is
+    /// recompiled versus reused.
+    view: LevelizedView,
     stats: IncrementalStats,
     self_check: Option<SelfCheck>,
 }
 
 impl IncrementalSta {
-    /// Builds the engine by running a full analysis.
+    /// Builds the engine by running a full analysis (single-threaded
+    /// sweeps; see [`IncrementalSta::new_with_threads`]).
     pub fn new(
         network: &Network,
         library: &Library,
         placement: &Placement,
         config: &TimingConfig,
     ) -> Self {
-        let report = Sta::analyze(network, library, placement, config);
-        let mut engine = IncrementalSta {
+        Self::new_with_threads(network, library, placement, config, 1)
+    }
+
+    /// Builds the engine with within-level parallelism for its sweeps.  The
+    /// thread count never changes a single bit of any result — it only
+    /// splits per-level work into per-slot chunks (see [`crate::levelized`]).
+    pub fn new_with_threads(
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+        config: &TimingConfig,
+        threads: usize,
+    ) -> Self {
+        let mut view =
+            LevelizedView::build(network).expect("incremental timing requires an acyclic network");
+        let threads = threads.max(1);
+        let report = analyze_with_view(&mut view, network, library, placement, config, threads);
+        IncrementalSta {
             config: *config,
+            threads,
             report,
-            order: Vec::new(),
-            pos: Vec::new(),
-            level: Vec::new(),
-            drives_output: Vec::new(),
+            view,
             stats: IncrementalStats { full_refreshes: 1, ..IncrementalStats::default() },
             self_check: None,
-        };
-        engine.refresh_topology(network);
-        engine
+        }
     }
 
     /// Enables the seeded self-check: roughly one in `one_in` updates is
-    /// cross-verified against a full `Sta::analyze` (panicking on drift).
+    /// cross-verified against a full reference analysis (panicking on
+    /// drift).
     pub fn enable_self_check(&mut self, seed: u64, one_in: u32) {
         self.self_check = Some(SelfCheck { state: seed, one_in });
     }
@@ -128,50 +171,61 @@ impl IncrementalSta {
         self.stats
     }
 
-    /// The cached topological order of the live gates.
+    /// The cached topological order of the live gates (level-major: all of
+    /// level 0, then level 1, …, which is a valid topological order).
     pub fn topo_order(&self) -> &[GateId] {
-        &self.order
+        self.view.order()
     }
 
     /// The cached logic level of a gate (0 for sources).
     pub fn level(&self, gate: GateId) -> u32 {
-        self.level[gate.index()]
+        self.view.level_of(gate)
     }
 
-    fn refresh_topology(&mut self, network: &Network) {
-        self.order = topo::topological_order(network)
-            .expect("incremental timing requires an acyclic network");
-        self.pos = vec![u32::MAX; network.gate_count()];
-        for (i, g) in self.order.iter().enumerate() {
-            self.pos[g.index()] = i as u32;
-        }
-        let levels = topo::levels(network);
-        self.level = levels.iter().map(|&l| l as u32).collect();
-        self.drives_output = output_driver_mask(network);
+    /// Recompiles the view for the network's current structure (levels,
+    /// order, flat edges, output mask) without any parasitic work.
+    fn rebuild_view(&mut self, network: &Network) {
+        self.view =
+            LevelizedView::build(network).expect("incremental timing requires an acyclic network");
+        debug_assert_eq!(
+            self.view.slots(),
+            network.gate_count(),
+            "recompiled view must cover every slot of the grown network"
+        );
     }
 
-    /// Re-times the whole network from scratch (same kernels as
-    /// [`Sta::analyze`]) and refreshes the cached order, levels and output
-    /// mask.  Use after structural edits too large or too irregular to
-    /// describe as a touched set (e.g. redirected output ports).
+    /// Re-times the whole network from scratch (recompiling the view and
+    /// running the batched level sweeps).  Use after structural edits too
+    /// large or too irregular to describe as a touched set (e.g. redirected
+    /// output ports).
     pub fn full(&mut self, network: &Network, library: &Library, placement: &Placement) {
-        self.report = Sta::analyze(network, library, placement, &self.config);
-        self.refresh_topology(network);
+        self.rebuild_view(network);
+        self.report = analyze_with_view(
+            &mut self.view,
+            network,
+            library,
+            placement,
+            &self.config,
+            self.threads,
+        );
         self.stats.full_refreshes += 1;
     }
 
-    /// `true` if the cached order is still a valid topological order around
-    /// the touched gates (their fan-in edges all point backwards).
-    fn order_still_valid(&self, network: &Network, touched: &[GateId]) -> bool {
+    /// `true` if the compiled levels are still a valid schedule around the
+    /// touched gates: every touched gate is covered and sees all its
+    /// fan-ins at strictly lower levels.  (Level validity at the touched
+    /// gates implies the level-major order is still a topological order —
+    /// untouched edges kept their compile-time levels.)
+    fn view_still_valid(&self, network: &Network, touched: &[GateId]) -> bool {
         touched.iter().all(|&g| {
             if !network.is_live(g) {
                 return true;
             }
-            let pg = self.pos[g.index()];
-            pg != u32::MAX
+            let lg = self.view.level_of(g);
+            lg != u32::MAX
                 && network.fanins(g).iter().all(|f| {
-                    let pf = self.pos[f.index()];
-                    pf != u32::MAX && pf < pg
+                    let lf = self.view.level_of(*f);
+                    lf != u32::MAX && lf < lg
                 })
         })
     }
@@ -189,12 +243,12 @@ impl IncrementalSta {
     ///
     /// A network that **grew** since the last refresh (inverting swaps
     /// inserted inverters) stays on the incremental path: the per-slot
-    /// arrays are extended with neutral values, the topological order is
-    /// re-derived (an O(V+E) sort, no parasitic work), and the new gates
-    /// are timed by the ordinary dirty-cone sweeps.  Only a network that
-    /// *shrank* (a rolled-back pass popped its inverters) or an edit that
-    /// invalidated the cached order around the touched gates falls back to
-    /// a full analysis.
+    /// arrays are extended with neutral values, the view is recompiled (an
+    /// O(V+E) sort, no parasitic work), and the new gates are timed by the
+    /// ordinary dirty-cone sweeps.  Only a network that *shrank* (a
+    /// rolled-back pass popped its inverters) or an edit that invalidated
+    /// the compiled levels around the touched gates falls back to a full
+    /// analysis.
     pub fn update(
         &mut self,
         network: &Network,
@@ -205,19 +259,25 @@ impl IncrementalSta {
         if touched.is_empty() {
             return;
         }
-        if network.gate_count() > self.pos.len() {
+        if network.gate_count() > self.view.slots() {
             self.report.ensure_slots(network.gate_count());
-            self.refresh_topology(network);
-        } else if network.gate_count() < self.pos.len() || !self.order_still_valid(network, touched)
+            self.rebuild_view(network);
+        } else if network.gate_count() < self.view.slots()
+            || !self.view_still_valid(network, touched)
         {
             self.full(network, library, placement);
             return;
         }
+        debug_assert!(
+            self.view_still_valid(network, touched),
+            "compiled view must be valid on the incremental path"
+        );
         self.stats.incremental_updates += 1;
+        let slots = self.view.slots();
 
         // Seeds: the touched gates plus their fan-in drivers, whose nets see
         // a different pin load (resize) or sink set (swap).
-        let mut seed_flag = vec![false; self.pos.len()];
+        let mut seed_flag = vec![false; slots];
         let mut seeds: Vec<GateId> = Vec::new();
         let push_seed = |g: GateId, seeds: &mut Vec<GateId>, flag: &mut Vec<bool>| {
             if network.is_live(g) && !flag[g.index()] {
@@ -235,9 +295,10 @@ impl IncrementalSta {
             }
         }
 
-        // 1. Refresh parasitics of every seed.
+        // 1. Refresh parasitics of every seed (single star evaluation per
+        //    gate; bit-identical to the historical double-compute kernel).
         for &g in &seeds {
-            refresh_parasitics(
+            refresh_parasitics_fast(
                 network,
                 library,
                 placement,
@@ -248,42 +309,75 @@ impl IncrementalSta {
             );
         }
 
-        // 2. Forward arrival propagation over the dirty fan-out cone, in
-        //    topological position order.  The initial frontier is the seeds
-        //    plus their sinks (whose input wire delays changed even if the
-        //    driving arrival did not).
-        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
-        let mut queued = vec![false; self.pos.len()];
+        // 2. Forward arrival propagation over the dirty fan-out cone, as a
+        //    level-bucketed frontier (lowest level first).  The initial
+        //    frontier is the seeds plus their sinks (whose input wire delays
+        //    changed even if the driving arrival did not).  Sinks sit at
+        //    strictly higher levels, so a bucket never grows while it
+        //    drains.
+        let mut buckets: Vec<Vec<GateId>> = vec![Vec::new(); self.view.num_levels()];
+        let mut queued = vec![false; slots];
         let enqueue = |g: GateId,
-                       heap: &mut BinaryHeap<Reverse<(u32, u32)>>,
+                       buckets: &mut Vec<Vec<GateId>>,
                        queued: &mut Vec<bool>,
-                       pos: &[u32]| {
-            if !queued[g.index()] && pos[g.index()] != u32::MAX {
+                       view: &LevelizedView| {
+            let l = view.level_of(g);
+            if !queued[g.index()] && l != u32::MAX {
                 queued[g.index()] = true;
-                heap.push(Reverse((pos[g.index()], g.0)));
+                buckets[l as usize].push(g);
             }
         };
         for &g in &seeds {
-            enqueue(g, &mut heap, &mut queued, &self.pos);
+            enqueue(g, &mut buckets, &mut queued, &self.view);
             for &s in network.fanouts(g) {
-                enqueue(s, &mut heap, &mut queued, &self.pos);
+                enqueue(s, &mut buckets, &mut queued, &self.view);
             }
         }
-        while let Some(Reverse((_, raw))) = heap.pop() {
-            let g = GateId(raw);
-            let fresh = arrival_of(
-                network,
-                g,
-                &self.report.net_delays,
-                &self.report.gate_delays,
-                &self.report.arrival,
-            );
-            self.stats.gates_retimed += 1;
-            let slot = &mut self.report.arrival[g.index()];
-            if fresh != *slot {
-                *slot = fresh;
-                for &s in network.fanouts(g) {
-                    enqueue(s, &mut heap, &mut queued, &self.pos);
+        let mut scratch: Vec<ArrivalTime> = Vec::new();
+        for l in 0..buckets.len() {
+            let bucket = std::mem::take(&mut buckets[l]);
+            if bucket.is_empty() {
+                continue;
+            }
+            // Evaluate the dirty slice of this level (in parallel chunks
+            // when it is large: per-slot scratch writes, serial scatter, so
+            // any thread count is bit-identical), then prune and seed the
+            // next levels serially.
+            scratch.clear();
+            if self.threads > 1 && bucket.len() >= MIN_PARALLEL_ITEMS {
+                scratch.resize(bucket.len(), ArrivalTime::default());
+                let chunk = bucket.len().div_ceil(self.threads);
+                let nets = &self.report.net_delays;
+                let delays = &self.report.gate_delays;
+                let arrival = &self.report.arrival;
+                std::thread::scope(|s| {
+                    for (gates, out) in bucket.chunks(chunk).zip(scratch.chunks_mut(chunk)) {
+                        s.spawn(move || {
+                            for (&g, slot) in gates.iter().zip(out.iter_mut()) {
+                                *slot = arrival_of(network, g, nets, delays, arrival);
+                            }
+                        });
+                    }
+                });
+            } else {
+                scratch.extend(bucket.iter().map(|&g| {
+                    arrival_of(
+                        network,
+                        g,
+                        &self.report.net_delays,
+                        &self.report.gate_delays,
+                        &self.report.arrival,
+                    )
+                }));
+            }
+            for (&g, &fresh) in bucket.iter().zip(&scratch) {
+                self.stats.gates_retimed += 1;
+                let slot = &mut self.report.arrival[g.index()];
+                if fresh != *slot {
+                    *slot = fresh;
+                    for &s in network.fanouts(g) {
+                        enqueue(s, &mut buckets, &mut queued, &self.view);
+                    }
                 }
             }
         }
@@ -302,18 +396,20 @@ impl IncrementalSta {
         //    budget moved, every required time shifts, so replay the whole
         //    arithmetic backward pass over the cached order — the expensive
         //    parasitic extraction above stays dirty-cone either way, and the
-        //    replay reproduces `Sta::analyze` bit for bit.  With the budget
-        //    unchanged, only the dirty fan-in cone is re-propagated.
+        //    replay reproduces the full analysis bit for bit.  With the
+        //    budget unchanged, only the dirty fan-in cone is re-propagated,
+        //    again as level buckets (highest level first; drivers sit at
+        //    strictly lower levels, so a bucket never grows while draining).
         let t = self.report.required_time_ns;
         if t != old_required_time {
-            for &g in self.order.iter().rev() {
+            for &g in self.view.order().iter().rev() {
                 let fresh = required_raw_of(
                     network,
                     g,
                     &self.report.net_delays,
                     &self.report.gate_delays,
                     &self.report.required_raw,
-                    self.drives_output[g.index()],
+                    self.view.drives_output(g),
                     t,
                 );
                 self.report.required_raw[g.index()] = fresh;
@@ -324,42 +420,69 @@ impl IncrementalSta {
         } else {
             // Initial frontier: the seeds (their outgoing wire delays
             // changed) plus their fan-ins (their sinks' cell delays changed).
-            let mut heap: BinaryHeap<(u32, u32)> = BinaryHeap::new();
-            let mut queued = vec![false; self.pos.len()];
-            let enqueue = |g: GateId,
-                           heap: &mut BinaryHeap<(u32, u32)>,
-                           queued: &mut Vec<bool>,
-                           pos: &[u32]| {
-                if !queued[g.index()] && pos[g.index()] != u32::MAX {
-                    queued[g.index()] = true;
-                    heap.push((pos[g.index()], g.0));
-                }
-            };
+            let mut buckets: Vec<Vec<GateId>> = vec![Vec::new(); self.view.num_levels()];
+            let mut queued = vec![false; slots];
             for &g in &seeds {
-                enqueue(g, &mut heap, &mut queued, &self.pos);
+                enqueue(g, &mut buckets, &mut queued, &self.view);
                 for &f in network.fanins(g) {
-                    enqueue(f, &mut heap, &mut queued, &self.pos);
+                    enqueue(f, &mut buckets, &mut queued, &self.view);
                 }
             }
-            while let Some((_, raw)) = heap.pop() {
-                let g = GateId(raw);
-                let fresh = required_raw_of(
-                    network,
-                    g,
-                    &self.report.net_delays,
-                    &self.report.gate_delays,
-                    &self.report.required_raw,
-                    self.drives_output[g.index()],
-                    t,
-                );
-                let slot = &mut self.report.required_raw[g.index()];
-                // NaN-free domain: raw values are +INF or finite chains of
-                // finite delays, so bitwise comparison is a sound prune.
-                if fresh != *slot {
-                    *slot = fresh;
-                    self.report.required[g.index()] = clamp_required(fresh, t);
-                    for &f in network.fanins(g) {
-                        enqueue(f, &mut heap, &mut queued, &self.pos);
+            let mut scratch: Vec<f64> = Vec::new();
+            for l in (0..buckets.len()).rev() {
+                let bucket = std::mem::take(&mut buckets[l]);
+                if bucket.is_empty() {
+                    continue;
+                }
+                scratch.clear();
+                if self.threads > 1 && bucket.len() >= MIN_PARALLEL_ITEMS {
+                    scratch.resize(bucket.len(), f64::INFINITY);
+                    let chunk = bucket.len().div_ceil(self.threads);
+                    let nets = &self.report.net_delays;
+                    let delays = &self.report.gate_delays;
+                    let required_raw = &self.report.required_raw;
+                    let view = &self.view;
+                    std::thread::scope(|s| {
+                        for (gates, out) in bucket.chunks(chunk).zip(scratch.chunks_mut(chunk)) {
+                            s.spawn(move || {
+                                for (&g, slot) in gates.iter().zip(out.iter_mut()) {
+                                    *slot = required_raw_of(
+                                        network,
+                                        g,
+                                        nets,
+                                        delays,
+                                        required_raw,
+                                        view.drives_output(g),
+                                        t,
+                                    );
+                                }
+                            });
+                        }
+                    });
+                } else {
+                    scratch.extend(bucket.iter().map(|&g| {
+                        required_raw_of(
+                            network,
+                            g,
+                            &self.report.net_delays,
+                            &self.report.gate_delays,
+                            &self.report.required_raw,
+                            self.view.drives_output(g),
+                            t,
+                        )
+                    }));
+                }
+                for (&g, &fresh) in bucket.iter().zip(&scratch) {
+                    let slot = &mut self.report.required_raw[g.index()];
+                    // NaN-free domain: raw values are +INF or finite chains
+                    // of finite delays, so bitwise comparison is a sound
+                    // prune.
+                    if fresh != *slot {
+                        *slot = fresh;
+                        self.report.required[g.index()] = clamp_required(fresh, t);
+                        for &f in network.fanins(g) {
+                            enqueue(f, &mut buckets, &mut queued, &self.view);
+                        }
                     }
                 }
             }
@@ -373,20 +496,23 @@ impl IncrementalSta {
         }
     }
 
-    /// Cross-checks the incremental state against a from-scratch analysis.
+    /// Cross-checks the incremental state against a from-scratch analysis
+    /// by the *reference* engine ([`Sta::analyze_reference`]) — the one
+    /// implementation that shares no code with the levelized kernel, so a
+    /// kernel bug cannot validate itself.
     ///
     /// # Errors
     ///
     /// Returns a description of the first mismatching gate, if any.  All
-    /// comparisons are exact: the engines share their propagation kernels,
-    /// so agreement is bit-for-bit, not merely approximate.
+    /// comparisons are exact: the engines share their fold orders, so
+    /// agreement is bit-for-bit, not merely approximate.
     pub fn verify_matches_full(
         &self,
         network: &Network,
         library: &Library,
         placement: &Placement,
     ) -> Result<(), String> {
-        let full = Sta::analyze(network, library, placement, &self.config);
+        let full = Sta::analyze_reference(network, library, placement, &self.config);
         if full.critical_delay_ns != self.report.critical_delay_ns {
             return Err(format!(
                 "critical delay drifted: incremental {} vs full {}",
@@ -565,5 +691,35 @@ mod tests {
             n.gate_mut(g).size_class = c.size_class();
             inc.update(&n, &lib, &p, &[g]);
         }
+    }
+
+    #[test]
+    fn threaded_engine_is_bit_identical_to_serial() {
+        let mut n = diamond();
+        let (p, lib, cfg) = setup(&n);
+        let mut serial = IncrementalSta::new(&n, &lib, &p, &cfg);
+        let mut threaded = IncrementalSta::new_with_threads(&n, &lib, &p, &cfg, 4);
+        let classes = [DriveStrength::X8, DriveStrength::X2, DriveStrength::X4];
+        let gates: Vec<_> = n.iter_logic().collect();
+        for (step, &g) in gates.iter().enumerate() {
+            n.gate_mut(g).size_class = classes[step % classes.len()].size_class();
+            serial.update(&n, &lib, &p, &[g]);
+            threaded.update(&n, &lib, &p, &[g]);
+        }
+        for g in n.iter_live() {
+            assert_eq!(serial.report().arrival(g), threaded.report().arrival(g));
+            assert_eq!(serial.report().required(g), threaded.report().required(g));
+        }
+        assert_eq!(serial.stats(), threaded.stats());
+    }
+
+    #[test]
+    fn merged_stats_sum_componentwise() {
+        let a = IncrementalStats { full_refreshes: 1, incremental_updates: 5, gates_retimed: 40 };
+        let b = IncrementalStats { full_refreshes: 2, incremental_updates: 1, gates_retimed: 7 };
+        let m = a.merged(b);
+        assert_eq!(m.full_refreshes, 3);
+        assert_eq!(m.incremental_updates, 6);
+        assert_eq!(m.gates_retimed, 47);
     }
 }

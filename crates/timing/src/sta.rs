@@ -4,10 +4,13 @@
 //! network (inverting cells exchange the polarities), computes required
 //! times backward from the primary outputs, and reports per-gate slacks and
 //! the critical path.  The per-gate propagation kernels live here and are
-//! shared with the dirty-cone engine in [`crate::incremental`]: `Sta::analyze`
-//! runs them over the whole network, [`crate::IncrementalSta::update`] runs
-//! them over the affected fan-out/fan-in cones only, and both produce
-//! bit-identical [`TimingReport`]s.
+//! shared with the dirty-cone engine in [`crate::incremental`]:
+//! [`crate::IncrementalSta::update`] runs them over the affected
+//! fan-out/fan-in cones.  `Sta::analyze` routes through the batched
+//! levelized kernel ([`crate::levelized`]); the pointer-chasing full sweep
+//! is preserved as [`Sta::analyze_reference`], the executable specification
+//! everything else is verified against.  All three produce bit-identical
+//! [`TimingReport`]s.
 //!
 //! Required times keep the textbook min-propagation form (so results are
 //! bit-identical to the historical analyzer), stored twice: the *raw* value
@@ -234,10 +237,47 @@ pub struct Sta;
 impl Sta {
     /// Runs a full rise/fall static timing analysis of the placed network.
     ///
+    /// Since the levelized kernel landed this routes through
+    /// [`crate::levelized`]: a compiled struct-of-arrays view is built and
+    /// swept level by level.  The result is bit-identical to
+    /// [`Sta::analyze_reference`] (the seeded property suites and the
+    /// incremental self-check enforce this).
+    ///
     /// # Panics
     ///
     /// Panics if the network is cyclic.
     pub fn analyze(
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+        config: &TimingConfig,
+    ) -> TimingReport {
+        crate::levelized::analyze(network, library, placement, config, 1)
+    }
+
+    /// [`Sta::analyze`] with within-level parallelism.  Any `threads` value
+    /// produces bit-identical results — each gate's value is written to its
+    /// own slot, so no reduction order exists to vary (see
+    /// [`crate::levelized`]).
+    pub fn analyze_with_threads(
+        network: &Network,
+        library: &Library,
+        placement: &Placement,
+        config: &TimingConfig,
+        threads: usize,
+    ) -> TimingReport {
+        crate::levelized::analyze(network, library, placement, config, threads)
+    }
+
+    /// The reference analyzer: per-gate pointer-chasing sweeps over the
+    /// network's native adjacency, preserved verbatim as the executable
+    /// specification the levelized kernel is verified against (and as the
+    /// honest pre-kernel baseline for the `sta_kernel` micro-bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is cyclic.
+    pub fn analyze_reference(
         network: &Network,
         library: &Library,
         placement: &Placement,
