@@ -73,4 +73,29 @@ timeout 120 ./target/release/rapids-serve --fast --workers 2 --sort \
     alu2 c432 c499 --blif-dir ci/fixtures 2> /dev/null \
     | diff - ci/expected_serve_smoke.jsonl
 
+echo "==> fault-injection smoke (panic + transient I/O + deadline, pinned output)"
+# A three-job batch under a deterministic fault plan: one job panics, one
+# survives a transient read fault through the retry, and one is hung by an
+# injected 120 s delay but cut at its 2 s deadline.  The sorted JSONL must
+# match the pinned expectation byte for byte — failures included; panic
+# spew goes to stderr, which is discarded.  See docs/robustness.md.
+timeout 120 ./target/release/rapids-serve --jobs ci/fault_smoke.jobs.jsonl \
+    --workers 2 --sort \
+    --fault-plan 'job-run@c432=panic,blif-read@tiny_mux#0=io,job-run@c499=delay:120000' \
+    2> /dev/null | diff - ci/expected_fault_smoke.jsonl
+
+echo "==> result-store smoke (crash-safe disk cache: second run is compute-free)"
+# Two identical runs against a fresh --store directory: the second must be
+# answered entirely from disk (zero optimizer runs, every job a disk hit)
+# with byte-identical output.  The stderr stats line is part of the
+# contract; see docs/robustness.md.
+rm -rf target/ci_store
+timeout 120 ./target/release/rapids-serve --fast --sort alu2 c432 \
+    --store target/ci_store > target/ci_store_first.jsonl 2> /dev/null
+timeout 120 ./target/release/rapids-serve --fast --sort alu2 c432 \
+    --store target/ci_store > target/ci_store_second.jsonl 2> target/ci_store_second.stderr
+diff target/ci_store_first.jsonl target/ci_store_second.jsonl
+grep -q 'store: optimizer_runs=0 disk_hits=2 recovered_records=2 dropped_corrupt_records=0' \
+    target/ci_store_second.stderr
+
 echo "==> OK"

@@ -49,6 +49,7 @@ pub mod swap;
 pub mod symmetry;
 
 pub use optimizer::{OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind};
+pub use rapids_sizing::CancelToken;
 pub use report::{BenchmarkRow, SupergateStatistics};
 pub use supergate::{
     extract_supergates, Extraction, PinClass, Supergate, SupergateKind, SupergateLeaf,

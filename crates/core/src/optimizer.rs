@@ -55,7 +55,7 @@ use rapids_legalize::RowModel;
 use rapids_netlist::{GateId, Network};
 use rapids_placement::{gate_width_sites, Placement, Point};
 use rapids_sim::check_equivalence_random;
-use rapids_sizing::{neighborhood_eval, GateSizer, SizerConfig};
+use rapids_sizing::{neighborhood_eval, CancelToken, GateSizer, SizerConfig};
 use rapids_timing::{IncrementalSta, IncrementalStats, NetCache, TimingConfig, TimingReport};
 
 use crate::report::SupergateStatistics;
@@ -224,12 +224,24 @@ impl OptimizationOutcome {
 #[derive(Debug, Clone)]
 pub struct Optimizer {
     config: OptimizerConfig,
+    cancel: CancelToken,
 }
 
 impl Optimizer {
     /// Creates an optimizer with the given configuration.
     pub fn new(config: OptimizerConfig) -> Self {
-        Optimizer { config }
+        Optimizer { config, cancel: CancelToken::new() }
+    }
+
+    /// Attaches a cooperative cancellation token, polled at pass boundaries
+    /// of every optimization loop (rewiring, restricted sizing, and the
+    /// delegated [`GateSizer`]).  A cancelled run stops between passes and
+    /// reports the best result reached so far; it never tears the network.
+    /// The token lives on the optimizer, not the config, so config equality
+    /// and fingerprints are unaffected.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Runs the configured optimizer on `network` in place.  The caller's
@@ -301,8 +313,9 @@ impl Optimizer {
                     threads: self.config.sizer.threads.max(self.config.threads),
                     ..self.config.sizer.clone()
                 };
-                let outcome =
-                    GateSizer::new(sizer_config).optimize(network, library, placement, timing);
+                let outcome = GateSizer::new(sizer_config)
+                    .with_cancel(self.cancel.clone())
+                    .optimize(network, library, placement, timing);
                 gates_resized = outcome.resized_gates;
                 sizer_sta = outcome.sta;
                 // The sizer ran its own engine; re-time ours for the report.
@@ -409,6 +422,9 @@ impl Optimizer {
         let mut best_delay = f64::INFINITY;
         let mut extraction_slots = network.gate_count();
         for _ in 0..self.config.max_passes {
+            if self.cancel.is_cancelled() {
+                break;
+            }
             if inc.report().critical_delay_ns() + 1e-6 >= best_delay && total_swaps > 0 {
                 break;
             }
@@ -595,6 +611,9 @@ impl Optimizer {
     ) -> usize {
         let mut resized: HashSet<GateId> = HashSet::new();
         for _ in 0..self.config.sizer.max_passes {
+            if self.cancel.is_cancelled() {
+                break;
+            }
             let report = inc.report();
             let pass_start_delay = report.critical_delay_ns();
             let worst = report.worst_slack_ns();

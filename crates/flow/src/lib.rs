@@ -27,6 +27,7 @@ pub use pipeline::{
     CircuitSource, FlowComparison, LegalizationReport, Pipeline, PipelineConfig, PipelineError,
     PipelineReport, PreparedDesign, StageTimings,
 };
+pub use rapids_core::CancelToken;
 
 // Substrate crates, re-exported under stable short names.
 pub use rapids_bdd as bdd;

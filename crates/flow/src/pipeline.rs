@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use rapids_celllib::Library;
 use rapids_circuits::{benchmark, map_to_library};
-use rapids_core::{OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind};
+use rapids_core::{CancelToken, OptimizationOutcome, Optimizer, OptimizerConfig, OptimizerKind};
 use rapids_legalize::{
     legalize, refine_worst_slack, LegalizeConfig, LegalizeOutcome, RefineConfig, RefineOutcome,
     RowModel,
@@ -550,6 +550,22 @@ impl Pipeline {
         design: &PreparedDesign,
         kind: OptimizerKind,
     ) -> Result<PipelineReport, PipelineError> {
+        self.optimize_cancellable(design, kind, &CancelToken::new())
+    }
+
+    /// [`Pipeline::optimize`] with a cooperative cancellation token.
+    ///
+    /// The token is polled at optimizer pass boundaries; once cancelled, the
+    /// run stops starting new passes and returns the best result reached so
+    /// far (a valid, consistent network — just optimized with fewer passes).
+    /// Callers that need a hard deadline pair this with a watchdog thread
+    /// that cancels the token when the deadline expires.
+    pub fn optimize_cancellable(
+        &self,
+        design: &PreparedDesign,
+        kind: OptimizerKind,
+        cancel: &CancelToken,
+    ) -> Result<PipelineReport, PipelineError> {
         let mut working = design.network.clone();
         let optimizer_config = OptimizerConfig {
             kind,
@@ -557,13 +573,14 @@ impl Pipeline {
             ..self.config.optimizer.clone()
         };
         let rows = if self.config.legalize.nudge_es { design.rows.as_ref() } else { None };
-        let outcome = Optimizer::new(optimizer_config).optimize_with_rows(
-            &mut working,
-            &design.library,
-            &design.placement,
-            rows,
-            &self.config.timing,
-        );
+        let outcome =
+            Optimizer::new(optimizer_config).with_cancel(cancel.clone()).optimize_with_rows(
+                &mut working,
+                &design.library,
+                &design.placement,
+                rows,
+                &self.config.timing,
+            );
 
         if self.config.verify_equivalence {
             let verdict = check_equivalence_random(
@@ -643,22 +660,37 @@ impl Pipeline {
         &self,
         source: CircuitSource,
     ) -> Result<FlowComparison, PipelineError> {
+        self.compare_optimizers_cancellable(source, &CancelToken::new())
+    }
+
+    /// [`Pipeline::compare_optimizers`] with a cooperative cancellation
+    /// token shared by all three optimizer runs (see
+    /// [`Pipeline::optimize_cancellable`] for the cancellation semantics).
+    pub fn compare_optimizers_cancellable(
+        &self,
+        source: CircuitSource,
+        cancel: &CancelToken,
+    ) -> Result<FlowComparison, PipelineError> {
         let design = self.prepare(source)?;
         let (rewiring, sizing, combined) = if self.config.threads > 1 {
             let design_ref = &design;
             std::thread::scope(|s| {
-                let rewiring = s.spawn(|| self.optimize(design_ref, OptimizerKind::Rewiring));
-                let sizing = s.spawn(|| self.optimize(design_ref, OptimizerKind::Sizing));
-                let combined = self.optimize(design_ref, OptimizerKind::Combined);
+                let rewiring = s.spawn(|| {
+                    self.optimize_cancellable(design_ref, OptimizerKind::Rewiring, cancel)
+                });
+                let sizing = s
+                    .spawn(|| self.optimize_cancellable(design_ref, OptimizerKind::Sizing, cancel));
+                let combined =
+                    self.optimize_cancellable(design_ref, OptimizerKind::Combined, cancel);
                 let rewiring = rewiring.join().expect("rewiring optimizer thread panicked");
                 let sizing = sizing.join().expect("sizing optimizer thread panicked");
                 (rewiring, sizing, combined)
             })
         } else {
             (
-                self.optimize(&design, OptimizerKind::Rewiring),
-                self.optimize(&design, OptimizerKind::Sizing),
-                self.optimize(&design, OptimizerKind::Combined),
+                self.optimize_cancellable(&design, OptimizerKind::Rewiring, cancel),
+                self.optimize_cancellable(&design, OptimizerKind::Sizing, cancel),
+                self.optimize_cancellable(&design, OptimizerKind::Combined, cancel),
             )
         };
         Ok(FlowComparison {

@@ -35,11 +35,19 @@ fn io_error(path: &Path, e: std::io::Error) -> NetlistError {
 /// # Errors
 ///
 /// [`NetlistError::Io`] when the file cannot be read, otherwise whatever
-/// [`parse_string`] reports about its contents.
+/// [`parse_string`] reports about its contents.  Every error carries the
+/// offending path: I/O errors structurally, parse errors as a
+/// ``` `path`: ``` message prefix — a batch over hundreds of files must
+/// point at the file, not just a line number inside an unnamed one.
 pub fn parse_file(path: impl AsRef<Path>) -> Result<Network, NetlistError> {
     let path = path.as_ref();
     let text = std::fs::read_to_string(path).map_err(|e| io_error(path, e))?;
-    parse_string(&text)
+    parse_string(&text).map_err(|e| match e {
+        NetlistError::ParseBlif { line, message } => {
+            NetlistError::ParseBlif { line, message: format!("`{}`: {message}", path.display()) }
+        }
+        other => other,
+    })
 }
 
 /// Serializes a network with [`write_string`] and writes it to `path`.
@@ -382,6 +390,32 @@ mod tests {
         let missing = dir.join("nope.blif");
         assert!(matches!(parse_file(&missing).unwrap_err(), NetlistError::Io { .. }));
         assert!(matches!(write_file(&n, &missing).unwrap_err(), NetlistError::Io { .. }));
+    }
+
+    /// Every `parse_file` failure must point at the offending file: I/O
+    /// errors carry the path structurally, parse errors carry it as a
+    /// message prefix.
+    #[test]
+    fn parse_file_errors_carry_the_path() {
+        let dir = std::env::temp_dir().join(format!("rapids_blif_patherr_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // An unreadable "file": a directory path fails `read_to_string`
+        // with a real I/O error even for root, unlike permission bits.
+        let err = parse_file(&dir).unwrap_err();
+        match &err {
+            NetlistError::Io { path, .. } => assert_eq!(path, &dir.display().to_string()),
+            other => panic!("expected Io, got {other:?}"),
+        }
+        assert!(err.to_string().contains(&dir.display().to_string()));
+
+        // A present-but-malformed file: the parse error names it too.
+        let bad = dir.join("garbage.blif");
+        std::fs::write(&bad, "this is not blif\n").unwrap();
+        let err = parse_file(&bad).unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBlif { .. }));
+        assert!(err.to_string().contains("garbage.blif"), "parse error must carry the path: {err}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     /// Seeded property loop: random DAGs with tomb-stoned interior and

@@ -10,6 +10,8 @@
 //! rapids-serve --suite --legalize --es                 # row-legal placements + ES nudging
 //! rapids-serve --listen 127.0.0.1:7171                 # TCP line protocol (concurrent)
 //! rapids-serve --listen 127.0.0.1:7171 --cache-max-entries 64  # bounded LRU result cache
+//! rapids-serve --suite --store cache/ --timeout-s 300          # crash-safe disk cache + deadlines
+//! rapids-serve --listen 127.0.0.1:7171 --max-pending 8         # admission-controlled listener
 //! ```
 //!
 //! Reports stream to stdout (or `--out`) as JSONL, one line per design, as
@@ -24,7 +26,10 @@ use std::net::TcpListener;
 use rapids_circuits::suite_names;
 use rapids_flow::PipelineConfig;
 use rapids_serve::report::canonical_sort;
-use rapids_serve::{jobs_from_blif_dir, jobs_from_jsonl, suite_jobs, BatchServer, Engine, Job};
+use rapids_serve::{
+    jobs_from_blif_dir, jobs_from_jsonl, suite_jobs, BatchServer, Engine, FaultPlan, Job,
+    ResultStore,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,6 +47,10 @@ fn main() {
     let mut seed: Option<u64> = None;
     let mut threads: Option<usize> = None;
     let mut cache_max_entries: Option<usize> = None;
+    let mut store_dir: Option<String> = None;
+    let mut timeout_s: Option<f64> = None;
+    let mut max_pending = 0usize;
+    let mut fault_plan_spec: Option<String> = None;
 
     let mut iter = args.into_iter();
     let value_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
@@ -81,6 +90,23 @@ fn main() {
                 cache_max_entries = Some(value);
             }
             "--seed" => seed = Some(parse_num(&value_arg(&mut iter, "--seed"), "--seed")),
+            "--store" => store_dir = Some(value_arg(&mut iter, "--store")),
+            "--timeout-s" => {
+                let value = value_arg(&mut iter, "--timeout-s");
+                match value.parse::<f64>() {
+                    Ok(x) if x.is_finite() && x > 0.0 => timeout_s = Some(x),
+                    _ => {
+                        eprintln!("--timeout-s requires a positive number, got `{value}`");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--max-pending" => {
+                max_pending =
+                    parse_num(&value_arg(&mut iter, "--max-pending"), "--max-pending") as usize
+            }
+            // Hidden knob: deterministic fault injection (docs/robustness.md).
+            "--fault-plan" => fault_plan_spec = Some(value_arg(&mut iter, "--fault-plan")),
             "--threads" => {
                 threads = Some(parse_num(&value_arg(&mut iter, "--threads"), "--threads") as usize)
             }
@@ -145,10 +171,39 @@ fn main() {
         std::process::exit(2);
     }
 
-    let engine = match cache_max_entries {
+    // --timeout-s sets a default deadline; per-job `timeout_s` spec keys win.
+    if let Some(secs) = timeout_s {
+        for job in &mut jobs {
+            if job.timeout_s.is_none() {
+                job.timeout_s = Some(secs);
+            }
+        }
+    }
+
+    let mut engine = match cache_max_entries {
         Some(capacity) => Engine::with_cache_capacity(config, capacity),
         None => Engine::new(config),
     };
+    if let Some(dir) = &store_dir {
+        let store = ResultStore::open(dir).unwrap_or_else(|e| {
+            eprintln!("cannot open result store {dir}: {e}");
+            std::process::exit(2);
+        });
+        if store.dropped_corrupt_records() > 0 {
+            eprintln!(
+                "store: recovered {} record(s), truncated a torn/corrupt tail",
+                store.recovered_records()
+            );
+        }
+        engine = engine.with_store(store);
+    }
+    if let Some(spec) = &fault_plan_spec {
+        let plan = FaultPlan::parse(spec).unwrap_or_else(|e| {
+            eprintln!("bad --fault-plan: {e}");
+            std::process::exit(2);
+        });
+        engine = engine.with_fault_plan(plan);
+    }
     let server = BatchServer::new(engine, workers);
 
     let mut sink: Box<dyn std::io::Write> = match &out_path {
@@ -187,6 +242,16 @@ fn main() {
             start.elapsed().as_secs_f64(),
             server.workers(),
         );
+        if store_dir.is_some() {
+            // Deterministic shape so CI can grep it.
+            eprintln!(
+                "store: optimizer_runs={} disk_hits={} recovered_records={} dropped_corrupt_records={}",
+                server.engine().optimizer_runs(),
+                server.engine().disk_hits(),
+                server.engine().recovered_records(),
+                server.engine().dropped_corrupt_records(),
+            );
+        }
     }
 
     if let Some(addr) = listen_addr {
@@ -195,7 +260,8 @@ fn main() {
             std::process::exit(2);
         });
         eprintln!("listening on {addr} (send {{\"cmd\":\"shutdown\"}} to stop)");
-        match rapids_serve::net::serve_connections(server.engine(), &listener) {
+        match rapids_serve::net::serve_connections_bounded(server.engine(), &listener, max_pending)
+        {
             Ok(served) => eprintln!("served {served} job line(s); shutting down"),
             Err(e) => {
                 eprintln!("listener error: {e}");

@@ -16,14 +16,18 @@
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use rapids_flow::netlist::Network;
-use rapids_flow::{CircuitSource, Pipeline, PipelineConfig};
+use rapids_flow::{CancelToken, CircuitSource, Pipeline, PipelineConfig};
 
+use crate::faults::{FaultPlan, FaultPoint};
 use crate::fingerprint::{config_fingerprint, fnv1a, netlist_fingerprint};
 use crate::job::{Job, JobSource};
 use crate::report::{DesignQor, JobOutcome, JobReport};
+use crate::retry::{is_transient_io, with_backoff, BackoffPolicy};
+use crate::store::ResultStore;
 
 /// The bounded LRU result cache (unbounded when `capacity` is `None`).
 ///
@@ -85,6 +89,13 @@ pub struct Engine {
     /// inline text) are memoized — a `.blif` file's bytes can change
     /// between submissions, so file jobs always re-resolve.
     spec_memo: Mutex<HashMap<(u64, u64), u64>>,
+    /// Optional crash-safe on-disk spill of the result cache; consulted on
+    /// memory misses, appended to on fresh computes.
+    store: Option<ResultStore>,
+    /// The armed fault-injection plan (empty — a no-op — by default).
+    faults: Arc<FaultPlan>,
+    /// Retry budget for transient file I/O (BLIF reads, store appends).
+    backoff: BackoffPolicy,
     optimizer_runs: AtomicUsize,
     cache_hits: AtomicUsize,
     resolutions: AtomicUsize,
@@ -111,10 +122,54 @@ impl Engine {
             base,
             cache: Mutex::new(LruCache::new(capacity)),
             spec_memo: Mutex::new(HashMap::new()),
+            store: None,
+            faults: Arc::new(FaultPlan::default()),
+            backoff: BackoffPolicy::default(),
             optimizer_runs: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             resolutions: AtomicUsize::new(0),
         }
+    }
+
+    /// Attaches a crash-safe on-disk result store (see [`ResultStore`]):
+    /// memory-cache misses consult it before computing, fresh results are
+    /// appended to it, and restarts with the same store directory are
+    /// cache-warm.
+    pub fn with_store(mut self, store: ResultStore) -> Self {
+        self.store = Some(store);
+        self
+    }
+
+    /// Arms a fault-injection plan (tests, `--fault-plan`).  The default
+    /// plan is empty and never fires.
+    pub fn with_fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = Arc::new(faults);
+        self
+    }
+
+    /// The attached on-disk store, if any.
+    pub fn store(&self) -> Option<&ResultStore> {
+        self.store.as_ref()
+    }
+
+    /// The armed fault plan (the empty, never-firing plan by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Results served from the on-disk store (0 without a store).
+    pub fn disk_hits(&self) -> usize {
+        self.store.as_ref().map_or(0, ResultStore::disk_hits)
+    }
+
+    /// Records the attached store replayed at open (0 without a store).
+    pub fn recovered_records(&self) -> usize {
+        self.store.as_ref().map_or(0, ResultStore::recovered_records)
+    }
+
+    /// Torn/corrupt store records dropped at open (0 without a store).
+    pub fn dropped_corrupt_records(&self) -> usize {
+        self.store.as_ref().map_or(0, ResultStore::dropped_corrupt_records)
     }
 
     /// The configuration jobs are resolved against.
@@ -152,9 +207,40 @@ impl Engine {
         self.resolutions.load(Ordering::Relaxed)
     }
 
-    /// Runs one job to completion: resolve the source, consult the cache,
-    /// optimize on a miss, and return the report.  Infallible by design —
-    /// errors and panics become `Failed` reports.
+    /// Probes the two cache levels for `key`: the in-memory LRU first,
+    /// then the on-disk store (promoting a disk hit into memory so later
+    /// submissions stay hot).  A store-read fault degrades gracefully to a
+    /// miss — the job recomputes instead of failing.
+    fn probe_caches(&self, key: (u64, u64), name: &str) -> Option<DesignQor> {
+        if let Some(qor) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(qor);
+        }
+        let store = self.store.as_ref()?;
+        if self.faults.fire(FaultPoint::StoreRead, Some(name), None).is_err() {
+            return None;
+        }
+        let qor = store.lookup(key)?;
+        self.cache.lock().expect("cache lock poisoned").insert(key, qor.clone());
+        Some(qor)
+    }
+
+    /// Spills a freshly computed result to the on-disk store (when one is
+    /// attached), retrying transient write failures.  A permanently failed
+    /// append costs only durability — the job still reports `done` from
+    /// the in-memory result.
+    fn spill_to_store(&self, key: (u64, u64), qor: &DesignQor, name: &str) {
+        let Some(store) = self.store.as_ref() else { return };
+        let _ = with_backoff(&self.backoff, is_transient_io, || {
+            self.faults.fire(FaultPoint::StoreWrite, Some(name), None)?;
+            store.append(key, qor)
+        });
+    }
+
+    /// Runs one job to completion: resolve the source, consult the caches,
+    /// optimize on a miss (under the job's deadline, when it has one), and
+    /// return the report.  Infallible by design — errors, panics and
+    /// timeouts become `Failed` reports.
     pub fn execute(&self, job: &Job) -> JobReport {
         let fail = |error: String| JobReport {
             job: job.name.clone(),
@@ -177,10 +263,7 @@ impl Engine {
             let memoized =
                 self.spec_memo.lock().expect("spec memo lock poisoned").get(&spec_key).copied();
             if let Some(netlist_fp) = memoized {
-                let cached =
-                    self.cache.lock().expect("cache lock poisoned").get(&(netlist_fp, config_fp));
-                if let Some(qor) = cached {
-                    self.cache_hits.fetch_add(1, Ordering::Relaxed);
+                if let Some(qor) = self.probe_caches((netlist_fp, config_fp), &job.name) {
                     return hit(qor);
                 }
             }
@@ -188,13 +271,25 @@ impl Engine {
 
         // Resolve to the mapped network: the cache key is defined over
         // *content*, so equal designs hit regardless of how they were
-        // submitted (suite name, file path, inline text).
+        // submitted (suite name, file path, inline text).  File-backed
+        // jobs read their bytes here — through the blif-read fault point
+        // and the transient-I/O retry — so a flaky read is retried and a
+        // permanent one carries the offending path.
         self.resolutions.fetch_add(1, Ordering::Relaxed);
         let pipeline = Pipeline::new(job.config.clone());
         let source = match &job.source {
             JobSource::Suite(name) => CircuitSource::Suite(name.clone()),
             JobSource::BlifFile(path) => {
-                CircuitSource::BlifFile { path: path.clone(), max_fanin: job.config.map_max_fanin }
+                let read = with_backoff(&self.backoff, is_transient_io, || {
+                    self.faults.fire(FaultPoint::BlifRead, Some(&job.name), None)?;
+                    std::fs::read_to_string(path)
+                });
+                match read {
+                    Ok(text) => CircuitSource::Blif { text, max_fanin: job.config.map_max_fanin },
+                    Err(e) => {
+                        return fail(format!("i/o error on `{}`: {e}", path.display()));
+                    }
+                }
             }
             JobSource::BlifText(text) => {
                 CircuitSource::Blif { text: text.clone(), max_fanin: job.config.map_max_fanin }
@@ -202,7 +297,14 @@ impl Engine {
         };
         let network = match resolve_guarded(&pipeline, source) {
             Ok(network) => network,
-            Err(error) => return fail(error),
+            Err(error) => {
+                // Inline text made from a file has lost its origin; put the
+                // path back so parse/map failures stay attributable.
+                return fail(match &job.source {
+                    JobSource::BlifFile(path) => format!("`{}`: {error}", path.display()),
+                    _ => error,
+                });
+            }
         };
 
         let netlist_fp = netlist_fingerprint(&network);
@@ -210,20 +312,40 @@ impl Engine {
             self.spec_memo.lock().expect("spec memo lock poisoned").insert(spec_key, netlist_fp);
         }
         let key = (netlist_fp, config_fp);
-        if let Some(qor) = self.cache.lock().expect("cache lock poisoned").get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(qor) = self.probe_caches(key, &job.name) {
             return hit(qor);
         }
 
+        // Cache miss: run the optimizer flow, under a watchdog when the
+        // job carries a deadline.  The watchdog cancels the token at the
+        // deadline; the optimizer pass loops poll it cooperatively, so an
+        // over-deadline job stops at the next pass boundary (or mid-sleep
+        // for an injected hang) — never a wedged worker.
         self.optimizer_runs.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        let watchdog =
+            job.timeout_s.map(|secs| Watchdog::arm(token.clone(), Duration::from_secs_f64(secs)));
         let comparison = catch_unwind(AssertUnwindSafe(|| {
-            pipeline.compare_optimizers(CircuitSource::Mapped(network))
+            self.faults
+                .fire(FaultPoint::JobRun, Some(&job.name), Some(&token))
+                .map_err(|e| e.to_string())?;
+            pipeline
+                .compare_optimizers_cancellable(CircuitSource::Mapped(network), &token)
+                .map_err(|e| e.to_string())
         }));
+        drop(watchdog);
+        // The deadline verdict comes first: a cancelled run's result — even
+        // a structurally valid one the cooperative stop produced — was cut
+        // short, and reporting it as `done` would cache a truncated QoR.
+        if token.is_cancelled() {
+            let secs = job.timeout_s.unwrap_or(0.0);
+            return fail(format!("timeout after {secs}s"));
+        }
         let qor = match comparison {
             Ok(Ok(comparison)) => DesignQor::from_comparison(&comparison),
-            Ok(Err(e)) => return fail(e.to_string()),
+            Ok(Err(e)) => return fail(e),
             Err(payload) => {
-                return fail(format!("optimizer panicked: {}", panic_message(&payload)))
+                return fail(format!("optimizer panicked: {}", panic_message(payload.as_ref())))
             }
         };
 
@@ -231,7 +353,55 @@ impl Engine {
         // the values are identical by determinism, so last-write-wins is
         // benign and cheaper than holding the lock across the optimizer.
         self.cache.lock().expect("cache lock poisoned").insert(key, qor.clone());
+        self.spill_to_store(key, &qor, &job.name);
         JobReport { job: job.name.clone(), outcome: JobOutcome::Done(qor), cached: false }
+    }
+}
+
+/// A per-job deadline guard: a thread that cancels the job's token when
+/// the deadline passes, and exits promptly (on drop) when the job finishes
+/// first.  Purely time-based — it never inspects results, so it cannot
+/// change what a within-deadline job reports.
+#[derive(Debug)]
+struct Watchdog {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Watchdog {
+    fn arm(token: CancelToken, timeout: Duration) -> Watchdog {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let deadline = Instant::now() + timeout;
+            let (done, wake) = &*shared;
+            let mut done = done.lock().expect("watchdog lock poisoned");
+            loop {
+                if *done {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    token.cancel();
+                    return;
+                }
+                let (next, _) =
+                    wake.wait_timeout(done, deadline - now).expect("watchdog lock poisoned");
+                done = next;
+            }
+        });
+        Watchdog { state, handle: Some(handle) }
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        let (done, wake) = &*self.state;
+        *done.lock().expect("watchdog lock poisoned") = true;
+        wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
     }
 }
 
@@ -251,7 +421,9 @@ fn resolve_guarded(pipeline: &Pipeline, source: CircuitSource) -> Result<Network
     match catch_unwind(AssertUnwindSafe(|| pipeline.build_network(source))) {
         Ok(Ok(network)) => Ok(network),
         Ok(Err(e)) => Err(e.to_string()),
-        Err(payload) => Err(format!("circuit resolution panicked: {}", panic_message(&payload))),
+        Err(payload) => {
+            Err(format!("circuit resolution panicked: {}", panic_message(payload.as_ref())))
+        }
     }
 }
 
@@ -353,5 +525,126 @@ mod tests {
         assert!(!e.execute(&other).cached);
         assert_eq!(e.optimizer_runs(), 2);
         assert_eq!(e.cached_results(), 2);
+    }
+
+    use crate::faults::FaultAction;
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rapids_engine_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn tiny_mux_path() -> String {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/fixtures/tiny_mux.blif").to_string()
+    }
+
+    #[test]
+    fn injected_job_run_panic_becomes_a_failed_report() {
+        let plan = FaultPlan::single(FaultPoint::JobRun, Some("c432"), 0, FaultAction::Panic);
+        let e = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+        let report = e.execute(&Job::suite("c432", e.base_config()));
+        assert!(
+            matches!(&report.outcome,
+                JobOutcome::Failed(msg) if msg.contains("optimizer panicked")
+                    && msg.contains("injected panic at job-run")),
+            "unexpected outcome: {:?}",
+            report.outcome
+        );
+        // The engine is not wedged: an unfaulted job still runs.
+        assert!(e.execute(&Job::suite("alu2", e.base_config())).is_done());
+    }
+
+    #[test]
+    fn transient_blif_read_fault_is_retried_to_success() {
+        // One injected error on the first read attempt; the backoff retry
+        // absorbs it and the job completes as if nothing happened.
+        let plan = FaultPlan::single(FaultPoint::BlifRead, None, 0, FaultAction::IoError);
+        let e = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+        let report = e.execute(&Job::blif_file("tiny_mux", tiny_mux_path(), e.base_config()));
+        assert!(report.is_done(), "retry should absorb the injected error: {:?}", report.outcome);
+        assert_eq!(e.optimizer_runs(), 1);
+    }
+
+    #[test]
+    fn persistent_blif_read_faults_exhaust_the_retry_budget() {
+        // Every attempt fails → permanent failure carrying the path.
+        let plan = FaultPlan::parse("blif-read=io").unwrap();
+        let e = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+        let report = e.execute(&Job::blif_file("tiny_mux", tiny_mux_path(), e.base_config()));
+        assert!(matches!(&report.outcome,
+            JobOutcome::Failed(msg) if msg.contains("tiny_mux.blif")
+                && msg.contains("injected i/o error")));
+        assert_eq!(e.optimizer_runs(), 0);
+    }
+
+    #[test]
+    fn disk_store_survives_engine_restart() {
+        let dir = temp_dir("store");
+        let first_line;
+        {
+            let e =
+                Engine::new(PipelineConfig::fast()).with_store(ResultStore::open(&dir).unwrap());
+            let report = e.execute(&Job::suite("c432", e.base_config()));
+            assert!(report.is_done() && !report.cached);
+            assert_eq!(e.optimizer_runs(), 1);
+            first_line = report.to_jsonl();
+        }
+        // "Restart": a fresh engine, warm only from disk.
+        let e = Engine::new(PipelineConfig::fast()).with_store(ResultStore::open(&dir).unwrap());
+        assert_eq!(e.recovered_records(), 1);
+        let report = e.execute(&Job::suite("c432", e.base_config()));
+        assert!(report.cached, "second run must be served from the disk store");
+        assert_eq!(e.optimizer_runs(), 0);
+        assert_eq!(e.disk_hits(), 1);
+        assert_eq!(report.to_jsonl(), first_line, "disk round trip is byte-identical");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn store_write_faults_degrade_to_memory_only_operation() {
+        // A store append that keeps failing must not fail the job.
+        let dir = temp_dir("wfault");
+        let plan = FaultPlan::parse("store-write@c432=io").unwrap();
+        let e = Engine::new(PipelineConfig::fast())
+            .with_store(ResultStore::open(&dir).unwrap())
+            .with_fault_plan(plan);
+        assert!(e.execute(&Job::suite("c432", e.base_config())).is_done());
+        assert_eq!(e.store().unwrap().len(), 0, "append was suppressed by the fault");
+        // Memory cache still answers.
+        assert!(e.execute(&Job::suite("c432", e.base_config())).cached);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deadline_cuts_an_injected_hang() {
+        // A 60 s injected hang under a 0.2 s deadline: the watchdog cancels
+        // the token, the sliced delay loop notices, and the job is reported
+        // `Failed(timeout …)` — promptly, not after the full hang.
+        let plan =
+            FaultPlan::single(FaultPoint::JobRun, Some("c432"), 0, FaultAction::DelayMs(60_000));
+        let e = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+        let mut job = Job::suite("c432", e.base_config());
+        job.timeout_s = Some(0.2);
+        let start = Instant::now();
+        let report = e.execute(&job);
+        assert!(start.elapsed() < Duration::from_secs(30), "watchdog must cut the 60 s hang");
+        assert!(matches!(&report.outcome,
+            JobOutcome::Failed(msg) if msg == "timeout after 0.2s"));
+        assert!(!report.cached);
+        // The worker is healthy: the next job runs to completion.
+        assert!(e.execute(&Job::suite("alu2", e.base_config())).is_done());
+    }
+
+    #[test]
+    fn generous_deadline_does_not_perturb_the_result() {
+        let e = engine();
+        let baseline = e.execute(&Job::suite("c432", e.base_config()));
+        let e2 = engine();
+        let mut job = Job::suite("c432", e2.base_config());
+        job.timeout_s = Some(600.0);
+        let timed = e2.execute(&job);
+        assert!(timed.is_done() && !timed.cached);
+        assert_eq!(timed.to_jsonl(), baseline.to_jsonl());
     }
 }

@@ -1,0 +1,367 @@
+//! Deterministic fault injection for the serving stack.
+//!
+//! Every failure path in the service — unreadable BLIF files, torn store
+//! writes, optimizer panics, hangs, dropped connections — is reachable
+//! through a named **fault point**.  A [`FaultPlan`] (built in a test, or
+//! parsed from the hidden `--fault-plan` CLI knob) decides, purely from the
+//! plan itself, which hits of which points fail and how; nothing is random
+//! and nothing reads the clock, so an injected failure reproduces exactly,
+//! under any worker count, until the plan changes.
+//!
+//! Plan grammar (comma-separated rules):
+//!
+//! ```text
+//! point[@scope][#hit]=action[:ms]
+//! ```
+//!
+//! * `point` — one of `blif-read`, `store-read`, `store-write`, `job-run`,
+//!   `report-emit`, `connection-accept`;
+//! * `@scope` — only hits carrying this scope string (conventionally the
+//!   job name) match; omitted, every hit of the point matches.  Scoped
+//!   rules are what keep a plan deterministic under concurrency: unscoped
+//!   match counts depend on worker interleaving;
+//! * `#hit` — fire on the rule's *n*-th match (0-based); omitted, the rule
+//!   fires on **every** match (a permanently failing resource).  A single
+//!   hit index is how a *transient* fault is expressed —
+//!   `blif-read@mux#0=io` fails the first attempt and lets the retry
+//!   succeed, while `blif-read@mux=io` defeats every retry;
+//! * `action` — `io` (an injected I/O error), `panic`, or `delay:<ms>`
+//!   (sleep, in small slices that poll the job's cancellation token, so a
+//!   watchdog can cut an injected hang).
+//!
+//! Example — one panic, one transient read error, one hang:
+//!
+//! ```text
+//! job-run@c432=panic,blif-read@mux#0=io,job-run@c499=delay:120000
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+use rapids_flow::CancelToken;
+
+/// The named instrumentation points of the serving stack.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultPoint {
+    /// Reading a `.blif` job file from disk (retried on transient errors).
+    BlifRead,
+    /// Consulting the on-disk result store for a job.
+    StoreRead,
+    /// Appending a fresh result to the on-disk store (retried).
+    StoreWrite,
+    /// Running the optimizer flow for a job (inside the panic guard).
+    JobRun,
+    /// Writing a response line back to a TCP client.
+    ReportEmit,
+    /// Accepting a TCP connection.
+    ConnectionAccept,
+}
+
+impl FaultPoint {
+    /// The spelling used by the plan grammar and in injected messages.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultPoint::BlifRead => "blif-read",
+            FaultPoint::StoreRead => "store-read",
+            FaultPoint::StoreWrite => "store-write",
+            FaultPoint::JobRun => "job-run",
+            FaultPoint::ReportEmit => "report-emit",
+            FaultPoint::ConnectionAccept => "connection-accept",
+        }
+    }
+
+    fn parse(text: &str) -> Result<Self, String> {
+        Ok(match text {
+            "blif-read" => FaultPoint::BlifRead,
+            "store-read" => FaultPoint::StoreRead,
+            "store-write" => FaultPoint::StoreWrite,
+            "job-run" => FaultPoint::JobRun,
+            "report-emit" => FaultPoint::ReportEmit,
+            "connection-accept" => FaultPoint::ConnectionAccept,
+            other => return Err(format!("unknown fault point `{other}`")),
+        })
+    }
+}
+
+impl std::fmt::Display for FaultPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What an armed rule does when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Return an injected I/O error from the fault point.
+    IoError,
+    /// Panic (exercises the `catch_unwind` guards).
+    Panic,
+    /// Sleep this long — an injected hang.  The sleep is sliced so the
+    /// job's cancellation token (when one is live at the point) can cut it
+    /// short; the point then proceeds normally and the over-deadline
+    /// outcome is decided by the watchdog's timeout report.
+    DelayMs(u64),
+}
+
+/// The error an [`FaultAction::IoError`] rule surfaces.
+///
+/// The message is a pure function of the rule (point + scope) — never of
+/// hit counts or threads — so injected failures render identically under
+/// any scheduling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultError {
+    point: FaultPoint,
+    scope: Option<String>,
+}
+
+impl std::fmt::Display for FaultError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.scope {
+            Some(scope) => write!(f, "injected i/o error at {} for `{scope}`", self.point),
+            None => write!(f, "injected i/o error at {}", self.point),
+        }
+    }
+}
+
+impl std::error::Error for FaultError {}
+
+impl From<FaultError> for std::io::Error {
+    fn from(e: FaultError) -> Self {
+        // `Other` is classified as *transient* by `retry::is_transient_io`,
+        // so an injected single-hit read fault exercises the retry path.
+        std::io::Error::other(e.to_string())
+    }
+}
+
+/// One armed rule: which hits of which point fail, and how.
+#[derive(Debug)]
+struct FaultRule {
+    point: FaultPoint,
+    scope: Option<String>,
+    /// Fire on the rule's n-th match (0-based); `None` fires on *every*
+    /// match — the way to model a permanently failing resource.
+    hit: Option<usize>,
+    action: FaultAction,
+    /// How many hits have matched this rule so far.  Each rule counts its
+    /// own matches, so a scoped transient rule (`#0`) fails exactly the
+    /// first attempt of *its* job no matter what other jobs are doing.
+    matches: AtomicUsize,
+}
+
+/// A set of armed fault rules; the empty plan (the default) is a no-op.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Parses the `--fault-plan` grammar (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// A description of the first malformed rule.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        for raw in spec.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+            let (lhs, action) = raw
+                .split_once('=')
+                .ok_or_else(|| format!("fault rule `{raw}` needs `point=action`"))?;
+            let (lhs, hit) = match lhs.split_once('#') {
+                Some((lhs, hit)) => (
+                    lhs,
+                    Some(
+                        hit.parse::<usize>()
+                            .map_err(|_| format!("bad hit index `{hit}` in fault rule `{raw}`"))?,
+                    ),
+                ),
+                None => (lhs, None),
+            };
+            let (point, scope) = match lhs.split_once('@') {
+                Some((point, scope)) => (point, Some(scope.to_string())),
+                None => (lhs, None),
+            };
+            let action = match action.split_once(':') {
+                Some(("delay", ms)) => FaultAction::DelayMs(
+                    ms.parse::<u64>()
+                        .map_err(|_| format!("bad delay `{ms}` in fault rule `{raw}`"))?,
+                ),
+                None if action == "io" => FaultAction::IoError,
+                None if action == "panic" => FaultAction::Panic,
+                _ => return Err(format!("unknown fault action `{action}` in rule `{raw}`")),
+            };
+            rules.push(FaultRule {
+                point: FaultPoint::parse(point.trim())?,
+                scope,
+                hit,
+                action,
+                matches: AtomicUsize::new(0),
+            });
+        }
+        Ok(FaultPlan { rules })
+    }
+
+    /// Convenience for tests: a single-rule plan.
+    pub fn single(
+        point: FaultPoint,
+        scope: Option<&str>,
+        hit: usize,
+        action: FaultAction,
+    ) -> FaultPlan {
+        FaultPlan {
+            rules: vec![FaultRule {
+                point,
+                scope: scope.map(str::to_string),
+                hit: Some(hit),
+                action,
+                matches: AtomicUsize::new(0),
+            }],
+        }
+    }
+
+    /// Whether the plan has no rules (the hot-path short circuit).
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Reports one hit of `point` (carrying `scope`, conventionally the job
+    /// name) and applies whatever rule decides to fire on it.
+    ///
+    /// `cancel`, when given, lets a [`FaultAction::DelayMs`] hang be cut
+    /// short by the job's watchdog.
+    ///
+    /// # Errors
+    ///
+    /// The injected [`FaultError`] of a firing [`FaultAction::IoError`]
+    /// rule.
+    ///
+    /// # Panics
+    ///
+    /// When a firing rule's action is [`FaultAction::Panic`] — by design;
+    /// the surrounding `catch_unwind` guards are exactly what is under test.
+    pub fn fire(
+        &self,
+        point: FaultPoint,
+        scope: Option<&str>,
+        cancel: Option<&CancelToken>,
+    ) -> Result<(), FaultError> {
+        for rule in &self.rules {
+            if rule.point != point {
+                continue;
+            }
+            if let Some(want) = &rule.scope {
+                if scope != Some(want.as_str()) {
+                    continue;
+                }
+            }
+            let count = rule.matches.fetch_add(1, Ordering::Relaxed);
+            if rule.hit.is_some_and(|hit| hit != count) {
+                continue;
+            }
+            let scope_suffix = match &rule.scope {
+                Some(s) => format!(" for `{s}`"),
+                None => String::new(),
+            };
+            match rule.action {
+                FaultAction::IoError => {
+                    return Err(FaultError { point, scope: rule.scope.clone() })
+                }
+                FaultAction::Panic => panic!("injected panic at {point}{scope_suffix}"),
+                FaultAction::DelayMs(ms) => {
+                    let mut remaining = ms;
+                    while remaining > 0 {
+                        if cancel.is_some_and(CancelToken::is_cancelled) {
+                            break;
+                        }
+                        let slice = remaining.min(10);
+                        std::thread::sleep(Duration::from_millis(slice));
+                        remaining -= slice;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        for _ in 0..3 {
+            assert!(plan.fire(FaultPoint::JobRun, Some("x"), None).is_ok());
+        }
+    }
+
+    #[test]
+    fn parses_the_full_grammar() {
+        let plan = FaultPlan::parse(
+            "job-run@c432=panic, blif-read@mux#1=io, store-write=io, job-run@c499=delay:50",
+        )
+        .unwrap();
+        assert_eq!(plan.rules.len(), 4);
+        assert_eq!(plan.rules[0].action, FaultAction::Panic);
+        assert_eq!(plan.rules[1].hit, Some(1));
+        assert_eq!(plan.rules[0].hit, None, "no `#` means every match");
+        assert_eq!(plan.rules[1].scope.as_deref(), Some("mux"));
+        assert_eq!(plan.rules[2].scope, None);
+        assert_eq!(plan.rules[3].action, FaultAction::DelayMs(50));
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn rejects_malformed_rules() {
+        for bad in ["job-run", "nope=io", "job-run=explode", "job-run#x=io", "job-run=delay:abc"] {
+            assert!(FaultPlan::parse(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn scoped_rule_fires_only_on_its_scope_and_hit() {
+        let plan = FaultPlan::single(FaultPoint::BlifRead, Some("mux"), 1, FaultAction::IoError);
+        // Other scopes never match, and do not consume the rule's counter.
+        assert!(plan.fire(FaultPoint::BlifRead, Some("alu"), None).is_ok());
+        // First match of `mux` (hit 0) passes; the second (hit 1) fires.
+        assert!(plan.fire(FaultPoint::BlifRead, Some("mux"), None).is_ok());
+        let err = plan.fire(FaultPoint::BlifRead, Some("mux"), None).unwrap_err();
+        assert_eq!(err.to_string(), "injected i/o error at blif-read for `mux`");
+        // The rule fired once; later matches pass again.
+        assert!(plan.fire(FaultPoint::BlifRead, Some("mux"), None).is_ok());
+    }
+
+    #[test]
+    fn unindexed_rule_fires_on_every_match() {
+        let plan = FaultPlan::parse("store-write=io").unwrap();
+        for _ in 0..3 {
+            assert!(plan.fire(FaultPoint::StoreWrite, Some("any"), None).is_err());
+        }
+    }
+
+    #[test]
+    fn injected_io_error_converts_to_transient_io() {
+        let plan = FaultPlan::single(FaultPoint::StoreWrite, None, 0, FaultAction::IoError);
+        let err: std::io::Error = plan.fire(FaultPoint::StoreWrite, None, None).unwrap_err().into();
+        assert!(crate::retry::is_transient_io(&err));
+        assert_eq!(err.to_string(), "injected i/o error at store-write");
+    }
+
+    #[test]
+    fn delay_is_cut_short_by_cancellation() {
+        let plan = FaultPlan::single(FaultPoint::JobRun, None, 0, FaultAction::DelayMs(60_000));
+        let token = CancelToken::new();
+        token.cancel();
+        let start = std::time::Instant::now();
+        assert!(plan.fire(FaultPoint::JobRun, None, Some(&token)).is_ok());
+        assert!(start.elapsed() < Duration::from_secs(10), "cancelled hang must not run out");
+    }
+
+    #[test]
+    #[should_panic(expected = "injected panic at job-run for `c432`")]
+    fn panic_action_panics_with_a_deterministic_message() {
+        let plan = FaultPlan::single(FaultPoint::JobRun, Some("c432"), 0, FaultAction::Panic);
+        let _ = plan.fire(FaultPoint::JobRun, Some("c432"), None);
+    }
+}

@@ -45,13 +45,25 @@ pub struct Job {
     pub source: JobSource,
     /// Effective configuration (base + per-job overrides).
     pub config: PipelineConfig,
+    /// Optional per-job deadline, seconds.  An over-deadline run is cut at
+    /// the next optimizer pass boundary and reported
+    /// `Failed("timeout after …")`.  Deliberately *not* part of
+    /// [`Job::config`]: the deadline never changes what a within-deadline
+    /// job computes, so it must not perturb the config fingerprint that
+    /// keys the result cache.
+    pub timeout_s: Option<f64>,
 }
 
 impl Job {
     /// A suite-benchmark job under the given configuration.
     pub fn suite(name: impl Into<String>, config: &PipelineConfig) -> Self {
         let name = name.into();
-        Job { source: JobSource::Suite(name.clone()), name, config: config.clone() }
+        Job {
+            source: JobSource::Suite(name.clone()),
+            name,
+            config: config.clone(),
+            timeout_s: None,
+        }
     }
 
     /// A `.blif`-file job under the given configuration, named by `name`
@@ -62,7 +74,12 @@ impl Job {
         path: impl Into<PathBuf>,
         config: &PipelineConfig,
     ) -> Self {
-        Job { name: name.into(), source: JobSource::BlifFile(path.into()), config: config.clone() }
+        Job {
+            name: name.into(),
+            source: JobSource::BlifFile(path.into()),
+            config: config.clone(),
+            timeout_s: None,
+        }
     }
 
     /// An inline-BLIF job under the given configuration.
@@ -71,16 +88,21 @@ impl Job {
         text: impl Into<String>,
         config: &PipelineConfig,
     ) -> Self {
-        Job { name: name.into(), source: JobSource::BlifText(text.into()), config: config.clone() }
+        Job {
+            name: name.into(),
+            source: JobSource::BlifText(text.into()),
+            config: config.clone(),
+            timeout_s: None,
+        }
     }
 
     /// Parses one JSONL job-spec line against a base configuration.
     ///
     /// The schema (see `docs/serving.md`): exactly one source key —
     /// `"suite"`, `"blif"` (a file path) or `"blif_text"` — plus optional
-    /// `"name"` (report name override) and per-job knob overrides
-    /// `"fast"`, `"es"`, `"legalize"`, `"seed"`, `"max_fanin"`,
-    /// `"threads"`.
+    /// `"name"` (report name override), an optional `"timeout_s"` deadline
+    /// (positive seconds) and per-job knob overrides `"fast"`, `"es"`,
+    /// `"legalize"`, `"seed"`, `"max_fanin"`, `"threads"`.
     ///
     /// # Errors
     ///
@@ -92,6 +114,7 @@ impl Job {
         let mut name: Option<String> = None;
         let mut config = base.clone();
         let mut fast: Option<bool> = None;
+        let mut timeout_s: Option<f64> = None;
 
         let str_of = |v: &JsonValue, key: &str| -> Result<String, String> {
             v.as_str().map(str::to_string).ok_or_else(|| format!("`{key}` must be a string"))
@@ -126,6 +149,12 @@ impl Job {
                 }
                 "name" => name = Some(str_of(value, key)?),
                 "fast" => fast = Some(bool_of(value, key)?),
+                "timeout_s" => {
+                    timeout_s = Some(match value.as_num() {
+                        Some(x) if x.is_finite() && x > 0.0 => x,
+                        _ => return Err("`timeout_s` must be a positive number".into()),
+                    });
+                }
                 "es" => config.optimizer.include_inverting_swaps = bool_of(value, key)?,
                 "legalize" => config.legalize.enabled = bool_of(value, key)?,
                 "seed" => config.seed = uint_of(value, key)?,
@@ -151,7 +180,7 @@ impl Job {
 
         let source = source.ok_or("job spec needs a `suite`, `blif` or `blif_text` key")?;
         let name = name.unwrap_or_else(|| default_name(&source));
-        Ok(Job { name, source, config })
+        Ok(Job { name, source, config, timeout_s })
     }
 }
 
@@ -222,6 +251,20 @@ mod tests {
         let job =
             Job::from_spec_line(r#"{"blif_text":".model x\n.end","name":"x9"}"#, &base()).unwrap();
         assert_eq!(job.name, "x9");
+    }
+
+    #[test]
+    fn timeout_spec_parses_and_rejects_nonsense() {
+        let job = Job::from_spec_line(r#"{"suite":"c432","timeout_s":2.5}"#, &base()).unwrap();
+        assert_eq!(job.timeout_s, Some(2.5));
+        assert_eq!(Job::from_spec_line(r#"{"suite":"c432"}"#, &base()).unwrap().timeout_s, None);
+        for bad in [
+            r#"{"suite":"a","timeout_s":0}"#,
+            r#"{"suite":"a","timeout_s":-1}"#,
+            r#"{"suite":"a","timeout_s":"2"}"#,
+        ] {
+            assert!(Job::from_spec_line(bad, &base()).is_err(), "accepted: {bad}");
+        }
     }
 
     #[test]

@@ -130,10 +130,50 @@ impl Parser<'_> {
             Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
             Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
             Some(b'n') => self.parse_keyword("null", JsonValue::Null),
-            Some(b'{' | b'[') => Err("nested containers are not part of the protocol".into()),
+            Some(b'{' | b'[') => Err(self.reject_container()),
             Some(_) => self.parse_number(),
             None => Err(unexpected(None, "a value")),
         }
+    }
+
+    /// Nested containers are rejected either way; this scans the offending
+    /// container *iteratively* (a depth counter, not recursion — adversarial
+    /// input cannot grow the stack) only to pick the right message: a
+    /// shallow container is a protocol violation, a deeply nested one is
+    /// flagged as exceeding the depth bound.
+    fn reject_container(&mut self) -> String {
+        const MAX_DEPTH: usize = 32;
+        let mut depth = 0usize;
+        let mut in_string = false;
+        let mut escaped = false;
+        while let Some(b) = self.next() {
+            if in_string {
+                match b {
+                    _ if escaped => escaped = false,
+                    b'\\' => escaped = true,
+                    b'"' => in_string = false,
+                    _ => {}
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_string = true,
+                b'{' | b'[' => {
+                    depth += 1;
+                    if depth > MAX_DEPTH {
+                        return format!("nesting deeper than {MAX_DEPTH} levels");
+                    }
+                }
+                b'}' | b']' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        "nested containers are not part of the protocol".into()
     }
 
     fn parse_keyword(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, String> {
@@ -151,7 +191,15 @@ impl Parser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<f64>().map(JsonValue::Num).map_err(|_| format!("bad number `{text}`"))
+        let x = text.parse::<f64>().map_err(|_| format!("bad number `{text}`"))?;
+        // A literal like `1e999` parses to infinity; JSON has no spelling
+        // for non-finite values, and every downstream consumer (seeds,
+        // timeouts, QoR fields) would misbehave on one, so reject it here
+        // with the literal that caused it.
+        if !x.is_finite() {
+            return Err(format!("non-finite number `{text}`"));
+        }
+        Ok(JsonValue::Num(x))
     }
 
     fn parse_string(&mut self) -> Result<String, String> {
@@ -300,6 +348,32 @@ mod tests {
         ] {
             assert!(parse_flat_object(bad).is_err(), "accepted: {bad}");
         }
+    }
+
+    #[test]
+    fn rejects_non_finite_numbers() {
+        for bad in ["{\"a\":1e999}", "{\"a\":-1e999}", "{\"a\":1e308e3}"] {
+            let err = parse_flat_object(bad).unwrap_err();
+            assert!(err.contains("non-finite") || err.contains("bad number"), "{bad} -> {err}");
+        }
+        assert!(parse_flat_object("{\"a\":1e999}").unwrap_err().contains("non-finite"));
+        // The largest finite doubles still parse.
+        let pairs = parse_flat_object("{\"a\":1.7976931348623157e308}").unwrap();
+        assert_eq!(pairs[0].1.as_num(), Some(f64::MAX));
+    }
+
+    #[test]
+    fn container_rejection_is_depth_bounded() {
+        // Shallow nesting: the protocol-violation message.
+        let err = parse_flat_object("{\"a\":[1,2,{\"b\":3}]}").unwrap_err();
+        assert_eq!(err, "nested containers are not part of the protocol");
+        // Brackets inside strings do not confuse the scanner.
+        let err = parse_flat_object("{\"a\":[\"[[[\\\"]]]\"]}").unwrap_err();
+        assert_eq!(err, "nested containers are not part of the protocol");
+        // Adversarially deep input trips the bound (iteratively — no
+        // recursion, so no stack growth either way).
+        let deep = format!("{{\"a\":{}1{}}}", "[".repeat(100_000), "]".repeat(100_000));
+        assert_eq!(parse_flat_object(&deep).unwrap_err(), "nesting deeper than 32 levels");
     }
 
     #[test]

@@ -41,16 +41,22 @@
 //! ```
 
 pub mod engine;
+pub mod faults;
 pub mod fingerprint;
 pub mod ingest;
 pub mod job;
 pub mod json;
 pub mod net;
 pub mod report;
+pub mod retry;
 pub mod server;
+pub mod store;
 
 pub use engine::Engine;
+pub use faults::{FaultAction, FaultPlan, FaultPoint};
 pub use ingest::{discover_blif_files, jobs_from_blif_dir, jobs_from_jsonl, suite_jobs};
 pub use job::{Job, JobSource, JobStatus};
 pub use report::{DesignQor, JobOutcome, JobReport};
+pub use retry::{with_backoff, BackoffPolicy};
 pub use server::{BatchServer, BatchSummary, CancelFlag};
+pub use store::ResultStore;

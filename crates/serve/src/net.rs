@@ -12,8 +12,12 @@
 //! * `{"cmd":"shutdown"}` answers `{"ok":"shutdown"}` and stops the
 //!   server: no new connections are accepted, and connections already open
 //!   are drained before the listener returns;
-//! * a malformed line answers `{"status":"rejected","error":…}` — the
-//!   connection stays up.
+//! * a malformed line — bad JSON, invalid UTF-8, or longer than
+//!   [`MAX_LINE_BYTES`] — answers `{"status":"rejected","error":…}`; the
+//!   connection stays up;
+//! * when the server is at its admission cap (`--max-pending`), a job line
+//!   answers `{"status":"busy",…}` *without* running the job — backpressure
+//!   instead of unbounded queueing.
 //!
 //! Connections are served **concurrently**, one thread per connection over
 //! the shared [`Engine`] (whose cache and counters are thread-safe), so a
@@ -29,8 +33,14 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use crate::engine::Engine;
+use crate::faults::FaultPoint;
 use crate::job::Job;
 use crate::json::{escape_string, parse_flat_object};
+
+/// Hard cap on one protocol line (bytes, newline excluded).  A line past
+/// the cap is drained and rejected without buffering it, so a hostile
+/// client cannot balloon server memory.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Serves the line protocol on an already-bound listener until a client
 /// sends `{"cmd":"shutdown"}`.  Returns the number of job lines served
@@ -41,7 +51,26 @@ use crate::json::{escape_string, parse_flat_object};
 /// Only listener-level `accept` failures propagate; per-connection I/O
 /// errors just close that connection.
 pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Result<usize> {
+    serve_connections_bounded(engine, listener, 0)
+}
+
+/// [`serve_connections`] with an admission cap: at most `max_pending` job
+/// lines execute concurrently across all connections (`0` = unbounded).
+/// A job line arriving at the cap is answered `{"status":"busy",…}`
+/// without being run; control lines (`ping`, `stats`, `shutdown`) always
+/// get through.
+///
+/// # Errors
+///
+/// Only listener-level `accept` failures propagate; per-connection I/O
+/// errors just close that connection.
+pub fn serve_connections_bounded(
+    engine: &Engine,
+    listener: &TcpListener,
+    max_pending: usize,
+) -> std::io::Result<usize> {
     let served = AtomicUsize::new(0);
+    let pending = AtomicUsize::new(0);
     let shutdown = AtomicBool::new(false);
     // Read-half handles of the connections currently open, keyed by a
     // connection id and removed as each handler exits (so a long-running
@@ -49,6 +78,10 @@ pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Re
     // connections).  Shutdown uses them to unblock handlers parked in
     // `read_line` on idle clients.
     let open: Mutex<HashMap<u64, TcpStream>> = Mutex::new(HashMap::new());
+    // Set once the accept loop has exited; the shutdown waker retries its
+    // loopback poke until this flips, so a single lost poke cannot leave
+    // the loop parked in `accept` forever.
+    let accept_loop_exited = AtomicBool::new(false);
     let mut next_id = 0u64;
     let mut accept_error = None;
     std::thread::scope(|scope| {
@@ -66,6 +99,11 @@ pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Re
                     break;
                 }
             };
+            // Fault point: an injected accept failure refuses this one
+            // connection (dropping the stream closes it) and keeps serving.
+            if engine.fault_plan().fire(FaultPoint::ConnectionAccept, None, None).is_err() {
+                continue;
+            }
             let id = next_id;
             next_id += 1;
             // An untracked connection could park a handler past shutdown
@@ -77,35 +115,22 @@ pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Re
             };
             open.lock().expect("open-connection lock poisoned").insert(id, handle);
             let served = &served;
+            let pending = &pending;
             let shutdown = &shutdown;
             let open = &open;
+            let accept_loop_exited = &accept_loop_exited;
             scope.spawn(move || {
                 // A dropped client must not take the server down.
-                let requested_shutdown = handle_connection(engine, stream, served).unwrap_or(false);
+                let requested_shutdown =
+                    handle_connection(engine, stream, served, pending, max_pending)
+                        .unwrap_or(false);
                 open.lock().expect("open-connection lock poisoned").remove(&id);
                 if requested_shutdown && !shutdown.swap(true, Ordering::SeqCst) {
-                    // `incoming()` is blocked in accept: poke it awake so
-                    // the loop observes the flag.  A wildcard bind
-                    // (0.0.0.0 / ::) is not a connectable destination, so
-                    // aim at the loopback of the same family instead.
-                    // Failure is benign — the next real connection
-                    // unblocks the loop the same way.
-                    if let Ok(mut addr) = listener.local_addr() {
-                        if addr.ip().is_unspecified() {
-                            addr.set_ip(match addr {
-                                std::net::SocketAddr::V4(_) => {
-                                    std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST)
-                                }
-                                std::net::SocketAddr::V6(_) => {
-                                    std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST)
-                                }
-                            });
-                        }
-                        drop(TcpStream::connect(addr));
-                    }
+                    wake_acceptor(listener, accept_loop_exited);
                 }
             });
         }
+        accept_loop_exited.store(true, Ordering::SeqCst);
         // Drain, don't hang: close the *read* half of every connection
         // still open, so a handler parked on an idle client sees EOF and
         // exits, while a handler mid-job can still write its response on
@@ -121,22 +146,123 @@ pub fn serve_connections(engine: &Engine, listener: &TcpListener) -> std::io::Re
     }
 }
 
+/// Unblocks an accept loop parked in `accept` after the shutdown flag was
+/// set, by connecting to its own listener.  A wildcard bind (0.0.0.0 / ::)
+/// is not a connectable destination, so the poke aims at the loopback of
+/// the same family.
+///
+/// One fire-and-forget connect is not enough: the poke can fail
+/// transiently (ephemeral-port pressure under load), or the queued
+/// connection can be reaped before the loop wakes — and with no further
+/// client traffic the loop would park forever.  So the poke retries until
+/// the loop confirms it exited (or a generous retry budget runs out, after
+/// which the next real connection still unblocks the loop).
+fn wake_acceptor(listener: &TcpListener, accept_loop_exited: &AtomicBool) {
+    let Ok(mut addr) = listener.local_addr() else { return };
+    if addr.ip().is_unspecified() {
+        addr.set_ip(match addr {
+            std::net::SocketAddr::V4(_) => std::net::IpAddr::V4(std::net::Ipv4Addr::LOCALHOST),
+            std::net::SocketAddr::V6(_) => std::net::IpAddr::V6(std::net::Ipv6Addr::LOCALHOST),
+        });
+    }
+    for _ in 0..200 {
+        if accept_loop_exited.load(Ordering::SeqCst) {
+            return;
+        }
+        drop(TcpStream::connect_timeout(&addr, std::time::Duration::from_millis(100)));
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+}
+
+/// One bounded line read off a connection.
+enum LineRead {
+    /// A complete line within the cap.
+    Line(String),
+    /// The line exceeded [`MAX_LINE_BYTES`]; its bytes were drained, not
+    /// buffered.
+    TooLong,
+    /// The line was not valid UTF-8.
+    BadUtf8,
+    /// Clean end of stream.
+    Eof,
+}
+
+/// Reads one `\n`-terminated line, buffering at most `max` bytes.  Past
+/// the cap the rest of the line is consumed and discarded, so the
+/// connection re-synchronizes on the next newline.
+fn read_bounded_line(reader: &mut impl BufRead, max: usize) -> std::io::Result<LineRead> {
+    let mut buf: Vec<u8> = Vec::new();
+    let mut truncated = false;
+    loop {
+        let chunk = reader.fill_buf()?;
+        if chunk.is_empty() {
+            if buf.is_empty() && !truncated {
+                return Ok(LineRead::Eof);
+            }
+            break; // EOF terminates a final unterminated line.
+        }
+        match chunk.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if !truncated {
+                    buf.extend_from_slice(&chunk[..pos]);
+                }
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let n = chunk.len();
+                if !truncated {
+                    buf.extend_from_slice(chunk);
+                    if buf.len() > max {
+                        truncated = true;
+                        buf.clear();
+                    }
+                }
+                reader.consume(n);
+            }
+        }
+    }
+    if truncated || buf.len() > max {
+        return Ok(LineRead::TooLong);
+    }
+    match String::from_utf8(buf) {
+        Ok(line) => Ok(LineRead::Line(line)),
+        Err(_) => Ok(LineRead::BadUtf8),
+    }
+}
+
 /// Serves one connection to completion; `Ok(true)` when the client asked
 /// for a server shutdown.
 fn handle_connection(
     engine: &Engine,
     stream: TcpStream,
     served: &AtomicUsize,
+    pending: &AtomicUsize,
+    max_pending: usize,
 ) -> std::io::Result<bool> {
     let mut writer = stream.try_clone()?;
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        let line = line.trim();
-        if line.is_empty() {
-            continue;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let (response, requested_shutdown) = match read_bounded_line(&mut reader, MAX_LINE_BYTES)? {
+            LineRead::Eof => return Ok(false),
+            LineRead::TooLong => {
+                (reject_line(format!("line exceeds {MAX_LINE_BYTES} bytes")), false)
+            }
+            LineRead::BadUtf8 => (reject_line("line is not valid utf-8".to_string()), false),
+            LineRead::Line(line) => {
+                let line = line.trim();
+                if line.is_empty() {
+                    continue;
+                }
+                answer_line(engine, line, served, pending, max_pending)
+            }
+        };
+        // Fault point: an injected emit failure abandons this connection
+        // (the client sees it closed); the server and its other
+        // connections keep going.
+        if engine.fault_plan().fire(FaultPoint::ReportEmit, None, None).is_err() {
+            return Ok(false);
         }
-        let (response, requested_shutdown) = answer_line(engine, line, served);
         writer.write_all(response.as_bytes())?;
         writer.write_all(b"\n")?;
         writer.flush()?;
@@ -144,14 +270,21 @@ fn handle_connection(
             return Ok(true);
         }
     }
-    Ok(false)
+}
+
+fn reject_line(error: String) -> String {
+    format!("{{\"status\":\"rejected\",\"error\":{}}}", escape_string(&error))
 }
 
 /// Answers one protocol line; the flag is `true` for a shutdown request.
-fn answer_line(engine: &Engine, line: &str, served: &AtomicUsize) -> (String, bool) {
-    let reject = |error: String| {
-        (format!("{{\"status\":\"rejected\",\"error\":{}}}", escape_string(&error)), false)
-    };
+fn answer_line(
+    engine: &Engine,
+    line: &str,
+    served: &AtomicUsize,
+    pending: &AtomicUsize,
+    max_pending: usize,
+) -> (String, bool) {
+    let reject = |error: String| (reject_line(error), false);
     let command = match parse_flat_object(line) {
         Ok(pairs) => pairs
             .iter()
@@ -166,23 +299,57 @@ fn answer_line(engine: &Engine, line: &str, served: &AtomicUsize) -> (String, bo
             format!(
                 concat!(
                     "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},",
-                    "\"cached_results\":{},\"evictions\":{}}}"
+                    "\"cached_results\":{},\"evictions\":{},\"disk_hits\":{},",
+                    "\"recovered_records\":{},\"dropped_corrupt_records\":{}}}"
                 ),
                 engine.optimizer_runs(),
                 engine.cache_hits(),
                 engine.cached_results(),
                 engine.cache_evictions(),
+                engine.disk_hits(),
+                engine.recovered_records(),
+                engine.dropped_corrupt_records(),
             ),
             false,
         ),
         Some(other) => reject(format!("unknown command `{other}`")),
         None => match Job::from_spec_line(line, engine.base_config()) {
             Ok(job) => {
+                if !admit(pending, max_pending) {
+                    return (
+                        format!(
+                            "{{\"status\":\"busy\",\"error\":{}}}",
+                            escape_string(&format!(
+                                "server at capacity ({max_pending} pending jobs)"
+                            ))
+                        ),
+                        false,
+                    );
+                }
                 served.fetch_add(1, Ordering::Relaxed);
-                (engine.execute(&job).to_jsonl(), false)
+                let report = engine.execute(&job);
+                pending.fetch_sub(1, Ordering::AcqRel);
+                (report.to_jsonl(), false)
             }
             Err(e) => reject(e),
         },
+    }
+}
+
+/// Reserves one admission slot; `false` when the cap (`0` = unbounded) is
+/// already fully occupied.
+fn admit(pending: &AtomicUsize, max_pending: usize) -> bool {
+    loop {
+        let current = pending.load(Ordering::Acquire);
+        if max_pending > 0 && current >= max_pending {
+            return false;
+        }
+        if pending
+            .compare_exchange(current, current + 1, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+        {
+            return true;
+        }
     }
 }
 
@@ -303,6 +470,130 @@ mod tests {
             drop(slow);
             drop(fast);
             assert_eq!(server.join().unwrap(), 2);
+        });
+    }
+
+    /// An oversized line is drained and rejected with a structured error —
+    /// and the *same connection* keeps working afterwards.
+    #[test]
+    fn oversized_line_is_rejected_and_the_connection_survives() {
+        let engine = Engine::new(PipelineConfig::fast());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+            let mut client = Client::connect(addr);
+
+            let huge = "x".repeat(MAX_LINE_BYTES + 1);
+            let answer = client.ask(&huge);
+            assert!(
+                answer.contains("\"status\":\"rejected\"")
+                    && answer.contains("line exceeds 1048576 bytes"),
+                "{answer}"
+            );
+
+            // Invalid UTF-8 gets the same treatment.
+            client.writer.write_all(b"\"abc\xff\xfe\"\n").unwrap();
+            client.writer.flush().unwrap();
+            let mut answer = String::new();
+            client.reader.read_line(&mut answer).unwrap();
+            assert!(answer.contains("line is not valid utf-8"), "{answer}");
+
+            // The connection re-synchronized: a normal exchange still works.
+            assert_eq!(client.ask(r#"{"cmd":"ping"}"#), "{\"ok\":\"pong\"}");
+            assert_eq!(client.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            assert_eq!(server.join().unwrap(), 0, "no job lines ran");
+        });
+    }
+
+    /// Admission control: while one job occupies the single admission
+    /// slot (held open by an injected hang), a second job line answers
+    /// `busy` without running; control lines still get through; and once
+    /// the slot frees, jobs are admitted again.
+    #[test]
+    fn admission_cap_answers_busy_without_running_the_job() {
+        use crate::faults::FaultPlan;
+        // The hang is scoped to c432 and cut by the job's own 1 s deadline.
+        let engine = Engine::new(PipelineConfig::fast())
+            .with_fault_plan(FaultPlan::parse("job-run@c432=delay:60000").unwrap());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections_bounded(&engine, &listener, 1).unwrap());
+
+            // Client A submits the hanging job (answer comes ~1 s later).
+            let mut a = Client::connect(addr);
+            writeln!(a.writer, r#"{{"suite":"c432","fast":true,"timeout_s":1}}"#).unwrap();
+            a.writer.flush().unwrap();
+
+            // Client B waits until A's job is *definitely* executing (the
+            // run counter bumps before the injected hang), then probes.
+            let mut b = Client::connect(addr);
+            while !b.ask(r#"{"cmd":"stats"}"#).contains("\"optimizer_runs\":1") {
+                std::thread::yield_now();
+            }
+            let busy = b.ask(r#"{"suite":"c499","fast":true}"#);
+            assert!(
+                busy.contains("\"status\":\"busy\"")
+                    && busy.contains("server at capacity (1 pending jobs)"),
+                "{busy}"
+            );
+
+            // A's deadline fires: the hang is cut and reported as timeout.
+            let mut timed_out = String::new();
+            a.reader.read_line(&mut timed_out).unwrap();
+            assert!(
+                timed_out.contains("\"status\":\"failed\"")
+                    && timed_out.contains("timeout after 1s"),
+                "{timed_out}"
+            );
+
+            // The slot is free again: B's resubmission runs for real.
+            let done = b.ask(r#"{"suite":"c499","fast":true}"#);
+            assert!(done.contains("\"status\":\"done\""), "{done}");
+
+            assert_eq!(b.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            drop(a);
+            drop(b);
+            assert_eq!(server.join().unwrap(), 2, "the busy-rejected line is not counted");
+        });
+    }
+
+    /// An injected accept fault refuses exactly one connection; the next
+    /// connection is served normally.
+    #[test]
+    fn injected_accept_fault_refuses_one_connection() {
+        use crate::faults::{FaultAction, FaultPlan, FaultPoint};
+        let engine = Engine::new(PipelineConfig::fast()).with_fault_plan(FaultPlan::single(
+            FaultPoint::ConnectionAccept,
+            None,
+            0,
+            FaultAction::IoError,
+        ));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+
+            // First connection: refused (the server drops it unanswered).
+            // The refusal surfaces as a clean EOF when the server dropped
+            // the socket before our ping arrived, or as a connection reset
+            // when the ping was still unread at drop time — either way, no
+            // reply.
+            let mut refused = Client::connect(addr);
+            writeln!(refused.writer, r#"{{"cmd":"ping"}}"#).unwrap();
+            refused.writer.flush().unwrap();
+            let mut answer = String::new();
+            match refused.reader.read_line(&mut answer) {
+                Ok(n) => assert_eq!(n, 0, "refused connection must not reply: {answer}"),
+                Err(e) => assert_eq!(e.kind(), std::io::ErrorKind::ConnectionReset, "{e}"),
+            }
+
+            // Second connection: served.
+            let mut ok = Client::connect(addr);
+            assert_eq!(ok.ask(r#"{"cmd":"ping"}"#), "{\"ok\":\"pong\"}");
+            assert_eq!(ok.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            assert_eq!(server.join().unwrap(), 0);
         });
     }
 }

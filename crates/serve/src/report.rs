@@ -11,7 +11,7 @@
 
 use rapids_flow::FlowComparison;
 
-use crate::json::{escape_string, number};
+use crate::json::{escape_string, number, parse_flat_object, JsonValue};
 
 /// The deterministic per-design QoR record — the serve-side twin of the
 /// `table1 --qor-out` row, field for field.
@@ -78,6 +78,67 @@ impl DesignQor {
                 .legalization
                 .map_or(0.0, |legalization| legalization.max_displacement_um()),
         }
+    }
+
+    /// Serializes the record as one flat JSON object — the on-disk store's
+    /// payload format.  Uses the same float/escape conventions as the
+    /// report lines, so a record that round-trips through
+    /// [`DesignQor::from_json`] re-renders byte-identically.
+    pub fn to_json(&self) -> String {
+        format!("{{{}}}", self.json_fields())
+    }
+
+    /// Parses a [`DesignQor::to_json`] payload.  Strict: every field must
+    /// be present with the right type, so a corrupted store payload is
+    /// rejected (and its record dropped) instead of yielding a half-default
+    /// record.
+    ///
+    /// # Errors
+    ///
+    /// A description of the first missing or ill-typed field.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let pairs = parse_flat_object(text)?;
+        let field = |key: &str| -> Result<&JsonValue, String> {
+            pairs
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .ok_or_else(|| format!("missing field `{key}`"))
+        };
+        let str_of = |key: &str| -> Result<String, String> {
+            field(key)?.as_str().map(str::to_string).ok_or_else(|| format!("`{key}` not a string"))
+        };
+        let num_of = |key: &str| -> Result<f64, String> {
+            field(key)?.as_num().ok_or_else(|| format!("`{key}` not a number"))
+        };
+        let count_of = |key: &str| -> Result<usize, String> {
+            match field(key)?.as_num() {
+                Some(x) if x >= 0.0 && x.fract() == 0.0 && x < (1u64 << 53) as f64 => {
+                    Ok(x as usize)
+                }
+                _ => Err(format!("`{key}` not a count")),
+            }
+        };
+        let bool_of = |key: &str| -> Result<bool, String> {
+            field(key)?.as_bool().ok_or_else(|| format!("`{key}` not a boolean"))
+        };
+        Ok(DesignQor {
+            name: str_of("name")?,
+            gate_count: count_of("gate_count")?,
+            initial_delay_ns: num_of("initial_delay_ns")?,
+            gsg_final_delay_ns: num_of("gsg_final_delay_ns")?,
+            gs_final_delay_ns: num_of("gs_final_delay_ns")?,
+            combined_final_delay_ns: num_of("combined_final_delay_ns")?,
+            gs_final_area_um2: num_of("gs_final_area_um2")?,
+            combined_final_area_um2: num_of("combined_final_area_um2")?,
+            gsg_swaps: count_of("gsg_swaps")?,
+            gsg_es_swaps: count_of("gsg_es_swaps")?,
+            combined_es_swaps: count_of("combined_es_swaps")?,
+            gs_resized: count_of("gs_resized")?,
+            legalized: bool_of("legalized")?,
+            hpwl_um: num_of("hpwl_um")?,
+            max_displacement_um: num_of("max_displacement_um")?,
+        })
     }
 
     fn json_fields(&self) -> String {
@@ -251,6 +312,26 @@ mod tests {
         let pairs = parse_flat_object(&report.to_jsonl()).unwrap();
         assert_eq!(pairs[1].1.as_str(), Some("failed"));
         assert!(pairs[2].1.as_str().unwrap().contains("line 1"));
+    }
+
+    #[test]
+    fn qor_json_round_trips_byte_identically() {
+        let original = qor();
+        let payload = original.to_json();
+        let decoded = DesignQor::from_json(&payload).unwrap();
+        assert_eq!(decoded, original);
+        assert_eq!(decoded.to_json(), payload, "re-render is byte-identical");
+    }
+
+    #[test]
+    fn qor_from_json_is_strict() {
+        let good = qor().to_json();
+        assert!(DesignQor::from_json("not json").is_err());
+        assert!(DesignQor::from_json("{}").is_err(), "missing fields rejected");
+        let wrong_type = good.replace("\"gate_count\":321", "\"gate_count\":\"many\"");
+        assert!(DesignQor::from_json(&wrong_type).is_err());
+        let fractional = good.replace("\"gsg_swaps\":17", "\"gsg_swaps\":17.5");
+        assert!(DesignQor::from_json(&fractional).is_err(), "counts must be integers");
     }
 
     #[test]

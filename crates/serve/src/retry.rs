@@ -1,0 +1,142 @@
+//! Bounded retry with deterministic exponential backoff.
+//!
+//! Transient file I/O (a BLIF read hit by an interrupted syscall, a store
+//! append racing a flaky filesystem) is retried a fixed number of times
+//! with exponentially growing, capped delays.  Every *decision* — whether
+//! to retry, and how long to wait — is a pure function of the attempt
+//! number and the error kind; nothing reads the wall clock, so a run under
+//! fault injection retries identically every time.
+
+use std::time::Duration;
+
+/// The retry budget: attempt count and the delay ladder between attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Total attempts (the first try included); at least 1.
+    pub max_attempts: u32,
+    /// Delay after the first failed attempt, ms.
+    pub base_delay_ms: u64,
+    /// Upper bound on any single delay, ms.
+    pub max_delay_ms: u64,
+}
+
+impl Default for BackoffPolicy {
+    fn default() -> Self {
+        BackoffPolicy { max_attempts: 3, base_delay_ms: 10, max_delay_ms: 100 }
+    }
+}
+
+impl BackoffPolicy {
+    /// The delay slept after failed attempt `attempt` (1-based):
+    /// `min(base << (attempt - 1), max)`.
+    pub fn delay_for_attempt(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(63);
+        let delay = self
+            .base_delay_ms
+            .saturating_mul(1u64.checked_shl(exp).unwrap_or(u64::MAX))
+            .min(self.max_delay_ms);
+        Duration::from_millis(delay)
+    }
+}
+
+/// Whether an I/O error is worth retrying.  Interrupted syscalls, timeouts
+/// and uncategorized (`Other`) errors — the kind injected faults carry —
+/// are transient; missing files and permission errors are permanent and
+/// fail immediately.
+pub fn is_transient_io(e: &std::io::Error) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        e.kind(),
+        ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut | ErrorKind::Other
+    )
+}
+
+/// Runs `op` until it succeeds, the error is classified permanent by
+/// `retryable`, or the policy's attempt budget runs out; returns the last
+/// error in the latter two cases.
+///
+/// # Errors
+///
+/// The error of the final (non-retried) attempt.
+pub fn with_backoff<T, E>(
+    policy: &BackoffPolicy,
+    retryable: impl Fn(&E) -> bool,
+    mut op: impl FnMut() -> Result<T, E>,
+) -> Result<T, E> {
+    let attempts = policy.max_attempts.max(1);
+    let mut attempt = 1;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(e) => {
+                if attempt >= attempts || !retryable(&e) {
+                    return Err(e);
+                }
+                std::thread::sleep(policy.delay_for_attempt(attempt));
+                attempt += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Error, ErrorKind};
+
+    #[test]
+    fn delay_ladder_is_exponential_and_capped() {
+        let p = BackoffPolicy::default();
+        assert_eq!(p.delay_for_attempt(1), Duration::from_millis(10));
+        assert_eq!(p.delay_for_attempt(2), Duration::from_millis(20));
+        assert_eq!(p.delay_for_attempt(3), Duration::from_millis(40));
+        assert_eq!(p.delay_for_attempt(5), Duration::from_millis(100), "capped at max");
+        assert_eq!(p.delay_for_attempt(64), Duration::from_millis(100), "no shift overflow");
+    }
+
+    #[test]
+    fn succeeds_after_transient_failures() {
+        let mut calls = 0;
+        let result: Result<u32, Error> = with_backoff(
+            &BackoffPolicy { base_delay_ms: 0, ..BackoffPolicy::default() },
+            is_transient_io,
+            || {
+                calls += 1;
+                if calls < 3 {
+                    Err(Error::new(ErrorKind::Interrupted, "flaky"))
+                } else {
+                    Ok(7)
+                }
+            },
+        );
+        assert_eq!(result.unwrap(), 7);
+        assert_eq!(calls, 3);
+    }
+
+    #[test]
+    fn gives_up_after_the_attempt_budget() {
+        let mut calls = 0;
+        let result: Result<(), Error> = with_backoff(
+            &BackoffPolicy { base_delay_ms: 0, ..BackoffPolicy::default() },
+            is_transient_io,
+            || {
+                calls += 1;
+                Err(Error::other("always down"))
+            },
+        );
+        assert!(result.is_err());
+        assert_eq!(calls, 3, "default policy tries exactly 3 times");
+    }
+
+    #[test]
+    fn permanent_errors_fail_immediately() {
+        let mut calls = 0;
+        let result: Result<(), Error> =
+            with_backoff(&BackoffPolicy::default(), is_transient_io, || {
+                calls += 1;
+                Err(Error::new(ErrorKind::NotFound, "no such file"))
+            });
+        assert!(result.is_err());
+        assert_eq!(calls, 1, "a missing file is not retried");
+    }
+}

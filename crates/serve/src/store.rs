@@ -1,0 +1,326 @@
+//! The crash-safe on-disk result store (`rapids-serve --store DIR`).
+//!
+//! Cache entries spill to an append-only log so a restarted service is
+//! **cache-warm**: a job whose (netlist, config) fingerprints match a
+//! stored record answers from disk without an optimizer run, byte-identical
+//! to the in-memory path (the payload is the [`DesignQor::to_json`]
+//! rendering, which round-trips exactly).
+//!
+//! ## Record format
+//!
+//! `DIR/store.log` is a sequence of length-prefixed, checksummed records,
+//! all integers little-endian:
+//!
+//! ```text
+//! u32 payload_len | u64 netlist_fp | u64 config_fp | payload | u64 checksum
+//! ```
+//!
+//! where `payload` is the QoR record as flat JSON and `checksum` is FNV-1a
+//! over every preceding byte of the record (length prefix and key
+//! included).
+//!
+//! ## Recovery rules
+//!
+//! A crash mid-append leaves a torn record *at the tail* — never in the
+//! middle, because records are written with a single `write_all` and the
+//! log is append-only.  Startup replays the log and stops at the first
+//! record that is incomplete (EOF inside the record), checksum-mismatched,
+//! or semantically unparsable; the file is truncated back to the last
+//! valid boundary so the next append starts clean.  Every record before
+//! the tear survives ([`ResultStore::recovered_records`]); the torn tail
+//! is counted in [`ResultStore::dropped_corrupt_records`].
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::fingerprint::fnv1a;
+use crate::report::DesignQor;
+
+/// The log's file name inside the store directory.
+pub const STORE_FILE: &str = "store.log";
+
+/// A content-addressed, crash-safe result store over an append-only log.
+#[derive(Debug)]
+pub struct ResultStore {
+    path: PathBuf,
+    /// Append handle, serialized so concurrent workers' records never
+    /// interleave.
+    file: Mutex<File>,
+    /// Every valid record replayed at open plus everything appended since.
+    entries: Mutex<HashMap<(u64, u64), DesignQor>>,
+    recovered: usize,
+    dropped: usize,
+    disk_hits: AtomicUsize,
+}
+
+impl ResultStore {
+    /// Opens (creating if needed) the store under `dir` and replays its
+    /// log, truncating a torn or corrupt tail back to the last valid
+    /// record boundary.
+    ///
+    /// # Errors
+    ///
+    /// Directory creation or log open/read/truncate failures.
+    pub fn open(dir: impl AsRef<Path>) -> std::io::Result<ResultStore> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(STORE_FILE);
+        let file = OpenOptions::new().create(true).read(true).append(true).open(&path)?;
+        let bytes = std::fs::read(&path)?;
+        let (entries, valid_len, recovered) = replay(&bytes);
+        let dropped = usize::from(valid_len < bytes.len());
+        if dropped == 1 {
+            // Drop the torn tail so the next append starts at a record
+            // boundary; without this the log would stay unparsable past
+            // this point forever.
+            file.set_len(valid_len as u64)?;
+        }
+        Ok(ResultStore {
+            path,
+            file: Mutex::new(file),
+            entries: Mutex::new(entries),
+            recovered,
+            dropped,
+            disk_hits: AtomicUsize::new(0),
+        })
+    }
+
+    /// The log file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of records currently held (replayed + appended).
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("store lock poisoned").len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Valid records replayed from the log at open.
+    pub fn recovered_records(&self) -> usize {
+        self.recovered
+    }
+
+    /// Whether a torn/corrupt tail was dropped at open (0 or 1: tears are
+    /// only ever at the tail of an append-only log).
+    pub fn dropped_corrupt_records(&self) -> usize {
+        self.dropped
+    }
+
+    /// Lookups served from the store since open.
+    pub fn disk_hits(&self) -> usize {
+        self.disk_hits.load(Ordering::Relaxed)
+    }
+
+    /// The stored result for a (netlist, config) fingerprint pair, if any;
+    /// hits are counted in [`ResultStore::disk_hits`].
+    pub fn lookup(&self, key: (u64, u64)) -> Option<DesignQor> {
+        let hit = self.entries.lock().expect("store lock poisoned").get(&key).cloned();
+        if hit.is_some() {
+            self.disk_hits.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Appends one result record (no-op if the key is already stored — the
+    /// log never grows duplicate records for re-computed identical work).
+    ///
+    /// # Errors
+    ///
+    /// Log write/flush failures; the in-memory side is only updated once
+    /// the record is durably written.
+    pub fn append(&self, key: (u64, u64), qor: &DesignQor) -> std::io::Result<()> {
+        let mut entries = self.entries.lock().expect("store lock poisoned");
+        if entries.contains_key(&key) {
+            return Ok(());
+        }
+        let record = encode_record(key, qor);
+        {
+            let mut file = self.file.lock().expect("store file lock poisoned");
+            file.write_all(&record)?;
+            file.flush()?;
+        }
+        entries.insert(key, qor.clone());
+        Ok(())
+    }
+}
+
+/// Fixed per-record overhead: length prefix + key + checksum.
+const HEADER_LEN: usize = 4 + 8 + 8;
+const CHECKSUM_LEN: usize = 8;
+
+/// Encodes one record (see the module docs for the layout).
+fn encode_record(key: (u64, u64), qor: &DesignQor) -> Vec<u8> {
+    let payload = qor.to_json().into_bytes();
+    let mut record = Vec::with_capacity(HEADER_LEN + payload.len() + CHECKSUM_LEN);
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(&key.0.to_le_bytes());
+    record.extend_from_slice(&key.1.to_le_bytes());
+    record.extend_from_slice(&payload);
+    let checksum = fnv1a(&record);
+    record.extend_from_slice(&checksum.to_le_bytes());
+    record
+}
+
+/// Replays a log image: `(entries, valid prefix length, record count)`.
+/// Stops at the first incomplete, checksum-mismatched or unparsable
+/// record; everything before it is kept.
+fn replay(bytes: &[u8]) -> (HashMap<(u64, u64), DesignQor>, usize, usize) {
+    let mut entries = HashMap::new();
+    let mut pos = 0usize;
+    let mut records = 0usize;
+    while let Some(header) = bytes.get(pos..pos + HEADER_LEN) {
+        let payload_len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let netlist_fp = u64::from_le_bytes(header[4..12].try_into().expect("8 bytes"));
+        let config_fp = u64::from_le_bytes(header[12..20].try_into().expect("8 bytes"));
+        let body_end = pos + HEADER_LEN + payload_len;
+        let record_end = body_end + CHECKSUM_LEN;
+        let Some(stored) = bytes.get(body_end..record_end) else { break };
+        let checksum = u64::from_le_bytes(stored.try_into().expect("8 bytes"));
+        if fnv1a(&bytes[pos..body_end]) != checksum {
+            break;
+        }
+        let Ok(payload) = std::str::from_utf8(&bytes[pos + HEADER_LEN..body_end]) else { break };
+        let Ok(qor) = DesignQor::from_json(payload) else { break };
+        entries.insert((netlist_fp, config_fp), qor);
+        records += 1;
+        pos = record_end;
+    }
+    (entries, pos, records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qor(name: &str, delay: f64) -> DesignQor {
+        DesignQor {
+            name: name.into(),
+            gate_count: 100,
+            initial_delay_ns: delay,
+            gsg_final_delay_ns: delay - 1.0,
+            gs_final_delay_ns: delay - 0.5,
+            combined_final_delay_ns: delay - 1.25,
+            gs_final_area_um2: 4000.0,
+            combined_final_area_um2: 4100.25,
+            gsg_swaps: 17,
+            gsg_es_swaps: 2,
+            combined_es_swaps: 3,
+            gs_resized: 40,
+            legalized: false,
+            hpwl_um: 123456.75,
+            max_displacement_um: 0.0,
+        }
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rapids_store_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        {
+            let store = ResultStore::open(&dir).unwrap();
+            assert!(store.is_empty());
+            store.append((1, 2), &qor("a", 10.0)).unwrap();
+            store.append((3, 4), &qor("b", 20.0)).unwrap();
+            // Duplicate key: no growth.
+            store.append((1, 2), &qor("a", 10.0)).unwrap();
+            assert_eq!(store.len(), 2);
+            assert_eq!(store.disk_hits(), 0);
+        }
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.recovered_records(), 2);
+        assert_eq!(store.dropped_corrupt_records(), 0);
+        assert_eq!(store.lookup((1, 2)).unwrap(), qor("a", 10.0));
+        assert_eq!(store.lookup((9, 9)), None);
+        assert_eq!(store.disk_hits(), 1, "only the hit counts");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// The acceptance-criteria property test: truncate the log at *every*
+    /// byte boundary inside the trailing record, and separately corrupt
+    /// every byte of it; recovery must keep all earlier records and drop
+    /// exactly the torn one.
+    #[test]
+    fn recovery_survives_every_trailing_tear_and_corruption() {
+        let dir = temp_dir("tear");
+        let store = ResultStore::open(&dir).unwrap();
+        store.append((1, 1), &qor("a", 10.0)).unwrap();
+        store.append((2, 2), &qor("b", 20.0)).unwrap();
+        let keep_len = std::fs::metadata(store.path()).unwrap().len() as usize;
+        store.append((3, 3), &qor("c", 30.0)).unwrap();
+        let full = std::fs::read(store.path()).unwrap();
+        let path = store.path().to_path_buf();
+        drop(store);
+
+        // Truncation at every boundary of the trailing record (keep_len
+        // itself is the clean two-record log; full.len() is untorn).
+        for cut in keep_len..full.len() {
+            std::fs::write(&path, &full[..cut]).unwrap();
+            let store = ResultStore::open(&dir).unwrap();
+            assert_eq!(store.recovered_records(), 2, "truncated at byte {cut}");
+            assert_eq!(
+                store.dropped_corrupt_records(),
+                usize::from(cut != keep_len),
+                "truncated at byte {cut}"
+            );
+            assert_eq!(store.lookup((1, 1)).unwrap(), qor("a", 10.0));
+            assert_eq!(store.lookup((2, 2)).unwrap(), qor("b", 20.0));
+            assert_eq!(store.lookup((3, 3)), None, "torn record must be dropped");
+            // The truncated tail is gone from disk: a fresh append lands on
+            // a clean boundary and survives another reopen.
+            store.append((4, 4), &qor("d", 40.0)).unwrap();
+            drop(store);
+            let store = ResultStore::open(&dir).unwrap();
+            assert_eq!(store.recovered_records(), 3, "after re-append at byte {cut}");
+            assert_eq!(store.lookup((4, 4)).unwrap(), qor("d", 40.0));
+        }
+
+        // Bit-rot: flip one byte at every offset of the trailing record.
+        // The checksum (or, for the length prefix, the framing) must
+        // reject it without touching the first two records.
+        for offset in keep_len..full.len() {
+            let mut image = full.clone();
+            image[offset] ^= 0xff;
+            std::fs::write(&path, &image).unwrap();
+            let store = ResultStore::open(&dir).unwrap();
+            assert_eq!(store.recovered_records(), 2, "corrupted byte {offset}");
+            assert_eq!(store.dropped_corrupt_records(), 1, "corrupted byte {offset}");
+            assert_eq!(store.lookup((2, 2)).unwrap(), qor("b", 20.0));
+            assert_eq!(store.lookup((3, 3)), None);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_as_a_tear() {
+        let dir = temp_dir("badlen");
+        let store = ResultStore::open(&dir).unwrap();
+        store.append((1, 1), &qor("a", 10.0)).unwrap();
+        let path = store.path().to_path_buf();
+        drop(store);
+        // Claim a payload far past EOF: replay must stop cleanly.
+        let mut image = std::fs::read(&path).unwrap();
+        let keep = image.len();
+        image.extend_from_slice(&u32::MAX.to_le_bytes());
+        image.extend_from_slice(&[0u8; 16]);
+        std::fs::write(&path, &image).unwrap();
+        let store = ResultStore::open(&dir).unwrap();
+        assert_eq!(store.recovered_records(), 1);
+        assert_eq!(store.dropped_corrupt_records(), 1);
+        assert_eq!(std::fs::metadata(store.path()).unwrap().len() as usize, keep);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,59 @@
+//! Cooperative cancellation for long-running optimization loops.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between an optimizer
+//! and whoever wants to stop it early (a per-job watchdog, a signal handler,
+//! a test).  Cancellation is *cooperative*: the pass loops in
+//! [`GateSizer`](crate::GateSizer) (and, one crate up, the rewiring
+//! optimizer) poll the token at pass boundaries and return their current
+//! best result instead of starting another pass.  Nothing is torn down
+//! mid-pass, so a cancelled run still leaves the network in a consistent
+//! state — it is simply a result computed with fewer passes.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag polled at optimization pass boundaries.
+///
+/// Clones observe the same flag; `cancel` is idempotent and never blocks.
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation (idempotent).
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_clear_and_latches() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+        t.cancel();
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn clones_share_the_flag() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        u.cancel();
+        assert!(t.is_cancelled());
+    }
+}

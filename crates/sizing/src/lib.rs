@@ -31,10 +31,12 @@
 //! assert!(outcome.final_delay_ns <= outcome.initial_delay_ns);
 //! ```
 
+pub mod cancel;
 pub mod neighborhood;
 pub mod parallel;
 pub mod sizer;
 
+pub use cancel::CancelToken;
 pub use neighborhood::{
     estimated_arrival_cached, estimated_arrival_ns, fanin_min_slack_ns, neighborhood_eval,
     neighborhood_slack_ns, NeighborhoodEval,

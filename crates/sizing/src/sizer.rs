@@ -16,6 +16,7 @@ use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
 use rapids_timing::{IncrementalSta, IncrementalStats, NetCache, TimingConfig, TimingReport};
 
+use crate::cancel::CancelToken;
 use crate::neighborhood::neighborhood_eval;
 use crate::parallel::visit_in_disjoint_batches;
 
@@ -106,12 +107,22 @@ type SizeJournal = Vec<(GateId, u8)>;
 #[derive(Debug, Clone)]
 pub struct GateSizer {
     config: SizerConfig,
+    cancel: CancelToken,
 }
 
 impl GateSizer {
     /// Creates a sizer with the given configuration.
     pub fn new(config: SizerConfig) -> Self {
-        GateSizer { config }
+        GateSizer { config, cancel: CancelToken::new() }
+    }
+
+    /// Attaches a cooperative cancellation token: the pass loop polls it at
+    /// pass boundaries and stops early (returning the best result so far)
+    /// once it is cancelled.  The token lives on the sizer, not the config,
+    /// so it never participates in config equality or fingerprints.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Runs sizing on `network` in place (only `size_class` fields change;
@@ -145,6 +156,9 @@ impl GateSizer {
         let mut best_delay = initial_delay_ns;
         let mut passes = 0;
         for _ in 0..self.config.max_passes {
+            if self.cancel.is_cancelled() {
+                break;
+            }
             passes += 1;
             // The min-slack phase and the relaxation phase are checkpointed
             // independently: a relaxation step that turns out to hurt the

@@ -1,0 +1,178 @@
+//! Integration coverage for the fault-tolerant serving tier: the on-disk
+//! result store (cache-warm restarts, byte-identity, torn-tail recovery),
+//! per-job deadlines under injected hangs, deterministic fault injection
+//! (panics and transient I/O faults), and the interplay of all three with
+//! the batch server — the acceptance scenarios of the robustness PR.
+
+use rapids_flow::PipelineConfig;
+use rapids_serve::report::canonical_sort;
+use rapids_serve::{BatchServer, Engine, FaultPlan, Job, JobOutcome, ResultStore};
+
+fn batch(config: &PipelineConfig) -> Vec<Job> {
+    vec![Job::suite("c432", config), Job::suite("alu2", config), Job::suite("c499", config)]
+}
+
+fn sorted_lines(server: &BatchServer, jobs: &[Job]) -> Vec<String> {
+    let mut lines = Vec::new();
+    server.run_streaming(jobs, |report| lines.push(report.to_jsonl()));
+    canonical_sort(&mut lines);
+    lines
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("rapids_robustness_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The store acceptance scenario: run a batch with `--store`, "restart"
+/// (a fresh engine warm only from disk), run the identical batch again —
+/// zero optimizer runs, every job a disk hit, and the sorted JSONL output
+/// byte-identical to the first run's.
+#[test]
+fn store_restart_replays_the_batch_without_recompute() {
+    let dir = temp_dir("restart");
+    let config = PipelineConfig::fast();
+
+    let first = {
+        let engine = Engine::new(config.clone()).with_store(ResultStore::open(&dir).unwrap());
+        let server = BatchServer::new(engine, 2);
+        let jobs = batch(server.engine().base_config());
+        let lines = sorted_lines(&server, &jobs);
+        assert_eq!(server.engine().optimizer_runs(), 3);
+        assert_eq!(server.engine().store().unwrap().len(), 3);
+        lines
+    };
+
+    let engine = Engine::new(config).with_store(ResultStore::open(&dir).unwrap());
+    let server = BatchServer::new(engine, 2);
+    assert_eq!(server.engine().recovered_records(), 3);
+    let jobs = batch(server.engine().base_config());
+    let second = sorted_lines(&server, &jobs);
+
+    assert_eq!(server.engine().optimizer_runs(), 0, "restart must be fully cache-warm");
+    assert_eq!(server.engine().disk_hits(), 3);
+    assert_eq!(second, first, "disk-served replies must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Torn-tail recovery end to end: chop the store log mid-way through its
+/// final record (a simulated crash during an append), reopen — the prior
+/// records survive, the torn one is dropped — and re-running the batch
+/// recomputes exactly the dropped design, converging on byte-identical
+/// output.
+#[test]
+fn torn_store_tail_recovers_and_reconverges() {
+    let dir = temp_dir("torn");
+    let config = PipelineConfig::fast();
+
+    let (first, store_path, full_len, last_record_start) = {
+        let engine = Engine::new(config.clone()).with_store(ResultStore::open(&dir).unwrap());
+        let server = BatchServer::new(engine, 1);
+        let jobs = batch(server.engine().base_config());
+        let lines = sorted_lines(&server, &jobs);
+        let store = server.engine().store().unwrap();
+        let path = store.path().to_path_buf();
+        let full = std::fs::metadata(&path).unwrap().len();
+        // Locate the last record's start by replaying lengths: each record
+        // is 20 header bytes + payload + 8 checksum bytes.
+        let bytes = std::fs::read(&path).unwrap();
+        let mut pos = 0usize;
+        let mut last_start = 0usize;
+        while pos < bytes.len() {
+            last_start = pos;
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            pos += 20 + len + 8;
+        }
+        (lines, path, full, last_start)
+    };
+
+    // Crash simulation: the final append only half-landed.
+    let cut = last_record_start as u64 + (full_len - last_record_start as u64) / 2;
+    let file = std::fs::OpenOptions::new().write(true).open(&store_path).unwrap();
+    file.set_len(cut).unwrap();
+    drop(file);
+
+    let engine = Engine::new(config).with_store(ResultStore::open(&dir).unwrap());
+    let server = BatchServer::new(engine, 1);
+    assert_eq!(server.engine().recovered_records(), 2, "the two whole records survive");
+    assert_eq!(server.engine().dropped_corrupt_records(), 1);
+    let jobs = batch(server.engine().base_config());
+    let second = sorted_lines(&server, &jobs);
+    assert_eq!(server.engine().optimizer_runs(), 1, "only the torn design recomputes");
+    assert_eq!(server.engine().disk_hits(), 2);
+    assert_eq!(second, first, "recovery must reconverge on byte-identical output");
+    // The store is whole again for the next restart.
+    assert_eq!(ResultStore::open(&dir).unwrap().recovered_records(), 3);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The deadline acceptance scenario: one job in the batch is hung by an
+/// injected 60 s delay but carries a 1 s deadline — it is cut at the
+/// deadline and reported `failed` with a timeout message, while every
+/// *other* job's report line is byte-identical to a fault-free run.
+#[test]
+fn deadline_cuts_hung_job_and_leaves_the_rest_byte_identical() {
+    let config = PipelineConfig::fast();
+
+    let clean = {
+        let server = BatchServer::new(Engine::new(config.clone()), 2);
+        let jobs = batch(server.engine().base_config());
+        sorted_lines(&server, &jobs)
+    };
+
+    let engine =
+        Engine::new(config).with_fault_plan(FaultPlan::parse("job-run@alu2=delay:60000").unwrap());
+    let server = BatchServer::new(engine, 2);
+    let mut jobs = batch(server.engine().base_config());
+    jobs[1].timeout_s = Some(1.0);
+    let start = std::time::Instant::now();
+    let faulted = sorted_lines(&server, &jobs);
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(30),
+        "the watchdog must cut the 60 s hang"
+    );
+
+    let hung: Vec<&String> = faulted.iter().filter(|l| l.contains("\"job\":\"alu2\"")).collect();
+    assert_eq!(hung.len(), 1);
+    assert!(
+        hung[0].contains("\"status\":\"failed\"") && hung[0].contains("timeout after 1s"),
+        "{}",
+        hung[0]
+    );
+    let rest = |lines: &[String]| -> Vec<String> {
+        lines.iter().filter(|l| !l.contains("\"job\":\"alu2\"")).cloned().collect()
+    };
+    assert_eq!(rest(&faulted), rest(&clean), "unfaulted jobs are unperturbed");
+}
+
+/// Deterministic chaos in one batch: a panic on one job and a transient
+/// read fault on another — the panic is contained to its job, the
+/// transient fault is absorbed by the retry, and the whole batch still
+/// answers every job.
+#[test]
+fn injected_panic_and_transient_fault_are_contained_to_their_jobs() {
+    let blif = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/fixtures/tiny_mux.blif");
+    let plan = FaultPlan::parse("job-run@c432=panic,blif-read@tiny_mux#0=io").unwrap();
+    let engine = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+    let server = BatchServer::new(engine, 2);
+    let config = server.engine().base_config().clone();
+    let jobs = vec![
+        Job::suite("c432", &config),
+        Job::blif_file("tiny_mux", blif, &config),
+        Job::suite("c499", &config),
+    ];
+    let mut outcomes = std::collections::HashMap::new();
+    server.run_streaming(&jobs, |report| {
+        outcomes.insert(report.job.clone(), report.outcome.clone());
+    });
+    assert!(matches!(&outcomes["c432"],
+        JobOutcome::Failed(msg) if msg.contains("optimizer panicked")
+            && msg.contains("injected panic at job-run for `c432`")));
+    assert!(
+        matches!(&outcomes["tiny_mux"], JobOutcome::Done(_)),
+        "the retry absorbs the transient read fault: {:?}",
+        outcomes["tiny_mux"]
+    );
+    assert!(matches!(&outcomes["c499"], JobOutcome::Done(_)));
+}
