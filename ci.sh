@@ -11,6 +11,18 @@ cd "$(dirname "$0")"
 echo "==> cargo fmt --check"
 cargo fmt --check
 
+echo "==> test-target registration guard (every tests/*.rs must be a [[test]] target)"
+# The workspace-level tests/ directory belongs to rapids-flow via explicit
+# [[test]] path entries; a new test file that is not registered would be
+# silently skipped by cargo test, so its absence fails the gate.
+for t in tests/*.rs; do
+    name=$(basename "$t" .rs)
+    if ! grep -q "name = \"$name\"" crates/flow/Cargo.toml; then
+        echo "error: $t is not registered as a [[test]] target in crates/flow/Cargo.toml" >&2
+        exit 1
+    fi
+done
+
 echo "==> cargo clippy (all targets, warnings are errors)"
 # No allowlist flags here: the few intentional lint exceptions are local
 # #[allow]s with justifying comments at the exact sites (eq_op oracle in
@@ -39,6 +51,14 @@ echo "==> STA kernel smoke (levelized vs scalar, bit-identity + speed gate)"
 # the point is catching a kernel that silently fell off the fast path, not
 # benchmarking).  See docs/benchmarking.md, "The sta_kernel micro-benchmark".
 timeout 120 ./target/release/sta_kernel --smoke > /dev/null
+
+echo "==> SAT solver + CEC micro-smoke (pigeonhole UNSAT, planted SAT, miter refutation)"
+# The hand-rolled CDCL solver on a known-UNSAT pigeonhole instance and a
+# planted-satisfiable 3-SAT instance (model re-checked), then a corrupted
+# DeMorgan miter whose counterexample must replay on the simulator.  A few
+# milliseconds in release; the budget guards against a propagation/learning
+# regression blowing up the conflict count.  See docs/equivalence.md.
+timeout 60 ./target/release/cec_smoke > /dev/null
 
 echo "==> timing-regression smoke (mid-size suite under a wall-clock budget)"
 # Deterministic QoR (delay/area/decision counts) of three mid-size rows must
@@ -83,6 +103,15 @@ timeout 120 ./target/release/rapids-serve --jobs ci/fault_smoke.jobs.jsonl \
     --workers 2 --sort \
     --fault-plan 'job-run@c432=panic,blif-read@tiny_mux#0=io,job-run@c499=delay:120000' \
     2> /dev/null | diff - ci/expected_fault_smoke.jsonl
+
+echo "==> verify smoke (SAT equivalence jobs through rapids-serve, pinned output)"
+# Four verify jobs: a known-equivalent pair (tiny_mux vs its DeMorgan
+# rewrite), a known-mutated pair (single AND→OR corruption, refuted with a
+# simulator-confirmed counterexample), a self-pair, and a resubmission of
+# the first pair served from the verdict cache.  The sorted JSONL must
+# match the pinned expectation byte for byte.  See docs/equivalence.md.
+timeout 120 ./target/release/rapids-serve --jobs ci/verify_smoke.jobs.jsonl \
+    --workers 2 --sort 2> /dev/null | diff - ci/expected_verify_smoke.jsonl
 
 echo "==> result-store smoke (crash-safe disk cache: second run is compute-free)"
 # Two identical runs against a fresh --store directory: the second must be

@@ -1,0 +1,140 @@
+//! Solver and checker micro-smoke, pinned by ci.sh under a time budget.
+//!
+//! Three checks, each printing one stable `PASS` line on stdout (stats go
+//! to stderr so the stdout contract stays diffable):
+//!
+//! 1. pigeonhole UNSAT — `php(6)` (7 pigeons, 6 holes) is the classic
+//!    resolution-hard family; a learning solver must still finish it fast;
+//! 2. planted 3-SAT — a seeded satisfiable instance; the model is
+//!    re-checked against every clause;
+//! 3. a tiny equivalence pair — a De Morgan rewrite is proven equivalent,
+//!    and a single corrupted gate yields a simulator-confirmed
+//!    counterexample.
+//!
+//! Exits non-zero on any wrong answer.
+
+use rapids_cec::{check_equivalence, CecConfig, CecResult, Lit, SolveResult, Solver};
+use rapids_netlist::{GateType, Network, NetworkBuilder};
+use rapids_sim::Simulator;
+
+fn pigeonhole(s: &mut Solver, holes: usize) {
+    let pigeons = holes + 1;
+    let p: Vec<Vec<Lit>> =
+        (0..pigeons).map(|_| (0..holes).map(|_| Lit::pos(s.new_var())).collect()).collect();
+    for row in &p {
+        s.add_clause(row);
+    }
+    for h in 0..holes {
+        for (i, pi) in p.iter().enumerate() {
+            for pj in &p[i + 1..] {
+                s.add_clause(&[!pi[h], !pj[h]]);
+            }
+        }
+    }
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Random 3-SAT clauses filtered against a planted assignment, so the
+/// instance is satisfiable by construction.
+fn planted_3sat(s: &mut Solver, n: usize, m: usize, seed: u64) -> Vec<Vec<Lit>> {
+    let mut st = seed;
+    let planted: Vec<bool> = (0..n).map(|_| splitmix(&mut st) & 1 == 1).collect();
+    let vars: Vec<Lit> = (0..n).map(|_| Lit::pos(s.new_var())).collect();
+    let mut clauses = Vec::with_capacity(m);
+    while clauses.len() < m {
+        let mut clause = Vec::with_capacity(3);
+        let mut satisfied = false;
+        for _ in 0..3 {
+            let v = (splitmix(&mut st) % n as u64) as usize;
+            let neg = splitmix(&mut st) & 1 == 1;
+            clause.push(Lit::new(vars[v].var(), neg));
+            satisfied |= planted[v] != neg;
+        }
+        if satisfied {
+            s.add_clause(&clause);
+            clauses.push(clause);
+        }
+    }
+    clauses
+}
+
+fn demorgan_pair() -> (Network, Network) {
+    let a = NetworkBuilder::new("a")
+        .input("x")
+        .input("y")
+        .input("z")
+        .gate("u", GateType::Nand, &["x", "y"])
+        .gate("v", GateType::Xor, &["u", "z"])
+        .output("v")
+        .finish()
+        .unwrap();
+    let b = NetworkBuilder::new("b")
+        .input("x")
+        .input("y")
+        .input("z")
+        .gate("nx", GateType::Inv, &["x"])
+        .gate("ny", GateType::Inv, &["y"])
+        .gate("u", GateType::Or, &["nx", "ny"])
+        .gate("v", GateType::Xnor, &["u", "z"])
+        .gate("w", GateType::Inv, &["v"])
+        .output("w")
+        .finish()
+        .unwrap();
+    (a, b)
+}
+
+fn main() {
+    // 1. Pigeonhole: 7 pigeons into 6 holes must be refuted.
+    let mut s = Solver::new();
+    pigeonhole(&mut s, 6);
+    assert_eq!(s.solve(), SolveResult::Unsat, "php(6) must be UNSAT");
+    eprintln!(
+        "cec_smoke: php(6) conflicts={} decisions={} propagations={}",
+        s.stats.conflicts, s.stats.decisions, s.stats.propagations
+    );
+    println!("PASS pigeonhole-unsat");
+
+    // 2. Planted 3-SAT: satisfiable, and the model satisfies every clause.
+    let mut s = Solver::new();
+    let clauses = planted_3sat(&mut s, 150, 600, 0xD1CE);
+    assert_eq!(s.solve(), SolveResult::Sat, "planted 3-SAT must be SAT");
+    for c in &clauses {
+        assert!(c.iter().any(|&l| s.model_value(l.var()) != l.is_neg()), "model violates a clause");
+    }
+    eprintln!(
+        "cec_smoke: 3sat conflicts={} decisions={} propagations={}",
+        s.stats.conflicts, s.stats.decisions, s.stats.propagations
+    );
+    println!("PASS planted-3sat");
+
+    // 3. Equivalence: a De Morgan rewrite proves; a corrupted gate refutes
+    //    with a counterexample the simulator confirms.
+    let (a, b) = demorgan_pair();
+    assert_eq!(
+        check_equivalence(&a, &b, &CecConfig::default()),
+        CecResult::EquivalentProven,
+        "De Morgan rewrite must be proven equivalent"
+    );
+    let mut broken = b.clone();
+    let g = broken.find_by_name("u").expect("gate u exists");
+    broken.set_gate_type(g, GateType::And).expect("kind flip is legal");
+    match check_equivalence(&a, &broken, &CecConfig::default()) {
+        CecResult::NotEquivalent(cex) => {
+            let sa = Simulator::new(&a).simulate_bools(&a, &cex.inputs);
+            let sb = Simulator::new(&broken).simulate_bools(&broken, &cex.inputs);
+            assert_ne!(
+                sa[cex.output_index], sb[cex.output_index],
+                "counterexample must replay on the simulator"
+            );
+        }
+        other => panic!("corrupted pair must yield a counterexample, got {other:?}"),
+    }
+    println!("PASS miter-counterexample");
+}

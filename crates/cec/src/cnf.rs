@@ -1,0 +1,202 @@
+//! Tseitin clause schemas, one per gate kind.
+//!
+//! [`CnfBuilder::gate_clauses`] emits the defining clauses for
+//! `out ↔ kind(fanins)` over arbitrary literals.  Because every schema takes
+//! the output as a *literal* (not a variable), the inverted-output kinds are
+//! the same schema applied to the complemented output — NAND is the AND
+//! schema on `¬out` — which is exactly how the structural front end
+//! ([`crate::dag`]) shares one SAT variable between a gate and its inverted
+//! form.
+//!
+//! The schemas (`out = o`, fanins `a, b, …`):
+//!
+//! | kind    | clauses                                                  |
+//! |---------|----------------------------------------------------------|
+//! | BUF     | `(¬o ∨ a)  (o ∨ ¬a)`                                     |
+//! | INV     | BUF schema on `¬o`                                       |
+//! | AND     | `(¬o ∨ a) (¬o ∨ b) …  (o ∨ ¬a ∨ ¬b ∨ …)`                 |
+//! | NAND    | AND schema on `¬o`                                       |
+//! | OR      | `(o ∨ ¬a) (o ∨ ¬b) …  (¬o ∨ a ∨ b ∨ …)`                  |
+//! | NOR     | OR schema on `¬o`                                        |
+//! | XOR     | binary: `(¬o ∨ a ∨ b) (¬o ∨ ¬a ∨ ¬b) (o ∨ ¬a ∨ b) (o ∨ a ∨ ¬b)`; n-ary: a chain of binary XORs through fresh variables |
+//! | XNOR    | XOR schema on `¬o`                                       |
+//! | CONST0  | unit `¬o`                                                |
+//! | CONST1  | unit `o`                                                 |
+//! | INPUT   | no clauses (a free variable)                             |
+//!
+//! Every schema is verified against [`GateType::eval_bool`] over all input
+//! assignments in this module's tests, so the encoding is checked against
+//! the same truth tables the simulator uses.
+
+use rapids_netlist::GateType;
+
+use crate::solver::{Lit, Solver};
+
+/// Emits gate-defining clauses into a [`Solver`] and counts them.
+pub struct CnfBuilder<'a> {
+    solver: &'a mut Solver,
+    /// Clauses emitted through this builder.
+    pub clauses: u64,
+}
+
+impl<'a> CnfBuilder<'a> {
+    /// Wraps a solver.
+    pub fn new(solver: &'a mut Solver) -> Self {
+        CnfBuilder { solver, clauses: 0 }
+    }
+
+    /// The wrapped solver (for allocating output/auxiliary variables).
+    pub fn solver_mut(&mut self) -> &mut Solver {
+        self.solver
+    }
+
+    fn add(&mut self, lits: &[Lit]) {
+        self.clauses += 1;
+        self.solver.add_clause(lits);
+    }
+
+    /// Emits the clause schema for `out ↔ kind(fanins)`.
+    ///
+    /// `fanins` must respect the kind's arity (1 for BUF/INV, ≥ 2 for the
+    /// binary kinds, 0 for constants).  `Input` emits nothing.
+    pub fn gate_clauses(&mut self, out: Lit, kind: GateType, fanins: &[Lit]) {
+        match kind {
+            GateType::Input => {}
+            GateType::Const0 => self.add(&[!out]),
+            GateType::Const1 => self.add(&[out]),
+            GateType::Buf => self.buf(out, fanins[0]),
+            GateType::Inv => self.buf(!out, fanins[0]),
+            GateType::And => self.and(out, fanins),
+            GateType::Nand => self.and(!out, fanins),
+            GateType::Or => self.or(out, fanins),
+            GateType::Nor => self.or(!out, fanins),
+            GateType::Xor => self.xor(out, fanins),
+            GateType::Xnor => self.xor(!out, fanins),
+        }
+    }
+
+    fn buf(&mut self, out: Lit, a: Lit) {
+        self.add(&[!out, a]);
+        self.add(&[out, !a]);
+    }
+
+    fn and(&mut self, out: Lit, ins: &[Lit]) {
+        let mut last: Vec<Lit> = Vec::with_capacity(ins.len() + 1);
+        last.push(out);
+        for &a in ins {
+            self.add(&[!out, a]);
+            last.push(!a);
+        }
+        self.add(&last);
+    }
+
+    fn or(&mut self, out: Lit, ins: &[Lit]) {
+        let mut last: Vec<Lit> = Vec::with_capacity(ins.len() + 1);
+        last.push(!out);
+        for &a in ins {
+            self.add(&[out, !a]);
+            last.push(a);
+        }
+        self.add(&last);
+    }
+
+    /// `out ↔ a ⊕ b` (the four-clause binary schema).
+    fn xor2(&mut self, out: Lit, a: Lit, b: Lit) {
+        self.add(&[!out, a, b]);
+        self.add(&[!out, !a, !b]);
+        self.add(&[out, !a, b]);
+        self.add(&[out, a, !b]);
+    }
+
+    /// N-ary XOR: a left-to-right chain of binary XORs through fresh
+    /// auxiliary variables (XOR has no compact single-level CNF — the direct
+    /// encoding needs 2^(n-1) clauses).
+    fn xor(&mut self, out: Lit, ins: &[Lit]) {
+        debug_assert!(ins.len() >= 2);
+        let mut acc = ins[0];
+        for (i, &b) in ins.iter().enumerate().skip(1) {
+            let stage = if i + 1 == ins.len() { out } else { Lit::pos(self.solver.new_var()) };
+            self.xor2(stage, acc, b);
+            acc = stage;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::SolveResult;
+
+    /// Exhaustively checks a schema against `GateType::eval_bool`: for every
+    /// input assignment and output value, the clauses must be satisfiable
+    /// exactly when the output value matches the gate's truth table.
+    fn assert_schema_matches_truth_table(kind: GateType, arity: usize) {
+        let mut s = Solver::new();
+        let ins: Vec<Lit> = (0..arity).map(|_| Lit::pos(s.new_var())).collect();
+        let out = Lit::pos(s.new_var());
+        {
+            let mut b = CnfBuilder::new(&mut s);
+            b.gate_clauses(out, kind, &ins);
+            assert!(b.clauses > 0 || kind == GateType::Input);
+        }
+        for pattern in 0..(1u32 << arity) {
+            let values: Vec<bool> = (0..arity).map(|i| pattern >> i & 1 == 1).collect();
+            let expect = kind.eval_bool(&values);
+            for out_value in [false, true] {
+                let mut assumptions: Vec<Lit> =
+                    ins.iter().zip(&values).map(|(&l, &v)| if v { l } else { !l }).collect();
+                assumptions.push(if out_value { out } else { !out });
+                let got = s.solve_with(&assumptions);
+                let want = if out_value == expect { SolveResult::Sat } else { SolveResult::Unsat };
+                assert_eq!(got, want, "{kind:?}({values:?}) = {out_value} should be {want:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unary_schemas_match_truth_tables() {
+        assert_schema_matches_truth_table(GateType::Buf, 1);
+        assert_schema_matches_truth_table(GateType::Inv, 1);
+    }
+
+    #[test]
+    fn binary_schemas_match_truth_tables() {
+        for kind in [
+            GateType::And,
+            GateType::Or,
+            GateType::Xor,
+            GateType::Nand,
+            GateType::Nor,
+            GateType::Xnor,
+        ] {
+            assert_schema_matches_truth_table(kind, 2);
+        }
+    }
+
+    #[test]
+    fn wide_schemas_match_truth_tables() {
+        for kind in [
+            GateType::And,
+            GateType::Or,
+            GateType::Xor,
+            GateType::Nand,
+            GateType::Nor,
+            GateType::Xnor,
+        ] {
+            for arity in [3, 4, 5] {
+                assert_schema_matches_truth_table(kind, arity);
+            }
+        }
+    }
+
+    #[test]
+    fn constant_schemas_pin_the_literal() {
+        for (kind, value) in [(GateType::Const0, false), (GateType::Const1, true)] {
+            let mut s = Solver::new();
+            let out = Lit::pos(s.new_var());
+            CnfBuilder::new(&mut s).gate_clauses(out, kind, &[]);
+            assert_eq!(s.solve(), SolveResult::Sat);
+            assert_eq!(s.model_value(out.var()), value);
+        }
+    }
+}

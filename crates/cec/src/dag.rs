@@ -1,0 +1,402 @@
+//! Structural front end: both networks are folded into one hash-consed DAG.
+//!
+//! Every gate is normalized to a *signed reference* ([`Slit`]) over shared
+//! AND/XOR nodes:
+//!
+//! - BUF/INV collapse to a (possibly complemented) fan-in reference, so
+//!   inverter chains cost nothing;
+//! - NAND/NOR/XNOR are the complement of their base function
+//!   ([`GateType::output_inverted`]);
+//! - OR is De Morgan'd into a complemented AND over complemented fan-ins;
+//! - XOR pulls fan-in complements into the output phase and cancels
+//!   duplicate operands (`a ⊕ a = 0`);
+//! - fan-ins of the symmetric functions are sorted and deduplicated, and
+//!   constants are folded.
+//!
+//! Structurally identical logic in the two networks then maps to the *same*
+//! node — and therefore later to the same SAT variable — so the CNF the
+//! checker solves only grows with the region where the networks disagree.
+//! The DAG also evaluates itself bit-parallel over 64-bit pattern words,
+//! which drives the signature-based candidate detection for SAT sweeping.
+
+use std::collections::HashMap;
+
+use rapids_netlist::topo::topological_order;
+use rapids_netlist::{GateType, Network};
+
+/// A signed node reference, packed as `node << 1 | complemented`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Slit(u32);
+
+impl Slit {
+    /// Constant true (the complement of [`Slit::FALSE`]).
+    pub const TRUE: Slit = Slit(0);
+    /// Constant false.
+    pub const FALSE: Slit = Slit(1);
+
+    fn node_ref(node: u32, complemented: bool) -> Slit {
+        Slit(node << 1 | u32::from(complemented))
+    }
+
+    /// The node index this reference points at.
+    pub fn node(self) -> u32 {
+        self.0 >> 1
+    }
+
+    /// Whether the reference is complemented.
+    pub fn is_complement(self) -> bool {
+        self.0 & 1 == 1
+    }
+
+    /// Whether this is one of the two constant references.
+    pub fn is_const(self) -> bool {
+        self.node() == 0
+    }
+}
+
+impl std::ops::Not for Slit {
+    type Output = Slit;
+    fn not(self) -> Slit {
+        Slit(self.0 ^ 1)
+    }
+}
+
+impl std::fmt::Debug for Slit {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}n{}", if self.is_complement() { "!" } else { "" }, self.node())
+    }
+}
+
+/// The function of a DAG node over its canonical fan-in references.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeFn {
+    /// Node 0: constant true.
+    ConstTrue,
+    /// Primary input by interface index.
+    Input(usize),
+    /// Conjunction of the (sorted, deduplicated) fan-in references.
+    And(Box<[Slit]>),
+    /// Parity of the (sorted, complement-free) fan-in references.
+    Xor(Box<[Slit]>),
+}
+
+#[derive(PartialEq, Eq, Hash)]
+enum NodeKey {
+    And(Box<[Slit]>),
+    Xor(Box<[Slit]>),
+}
+
+/// A hash-consed AND/XOR DAG shared by any number of mapped networks.
+pub struct Dag {
+    nodes: Vec<NodeFn>,
+    cons: HashMap<NodeKey, u32>,
+    inputs: Vec<u32>,
+}
+
+/// One network mapped onto a [`Dag`]: the canonical reference of each
+/// output, in output-port order.
+pub struct MappedOutputs {
+    /// Canonical reference per output port.
+    pub outputs: Vec<Slit>,
+}
+
+impl Dag {
+    /// An empty DAG over `num_inputs` shared primary inputs.
+    ///
+    /// Input `i` of every mapped network is identified with input `i` of the
+    /// DAG — interface correspondence is by index, matching the simulator's
+    /// equivalence checks.
+    pub fn new(num_inputs: usize) -> Self {
+        let mut dag =
+            Dag { nodes: vec![NodeFn::ConstTrue], cons: HashMap::new(), inputs: Vec::new() };
+        for i in 0..num_inputs {
+            let id = dag.push(NodeFn::Input(i));
+            dag.inputs.push(id);
+        }
+        dag
+    }
+
+    fn push(&mut self, f: NodeFn) -> u32 {
+        let id = self.nodes.len() as u32;
+        self.nodes.push(f);
+        id
+    }
+
+    /// Number of nodes (constant and inputs included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the DAG holds only the constant node.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// The node function of `id`.  Node ids are topologically ordered:
+    /// fan-ins always have smaller ids.
+    pub fn node(&self, id: u32) -> &NodeFn {
+        &self.nodes[id as usize]
+    }
+
+    /// The positive reference of primary input `i`.
+    pub fn input(&self, i: usize) -> Slit {
+        Slit::node_ref(self.inputs[i], false)
+    }
+
+    /// Number of shared primary inputs.
+    pub fn num_inputs(&self) -> usize {
+        self.inputs.len()
+    }
+
+    /// Whether node `id` is a primary-input node.
+    pub fn input_node(&self, id: u32) -> bool {
+        matches!(self.nodes[id as usize], NodeFn::Input(_))
+    }
+
+    /// Canonical AND of `ins` (sorts, deduplicates, folds constants and
+    /// complement pairs; never builds 0- or 1-ary nodes).
+    pub fn mk_and(&mut self, mut ins: Vec<Slit>) -> Slit {
+        ins.sort();
+        ins.dedup();
+        let mut ops: Vec<Slit> = Vec::with_capacity(ins.len());
+        for &l in &ins {
+            if l == Slit::FALSE {
+                return Slit::FALSE;
+            }
+            if l == Slit::TRUE {
+                continue;
+            }
+            // Sorted order puts `x` immediately before `!x`.
+            if let Some(&prev) = ops.last() {
+                if prev == !l {
+                    return Slit::FALSE;
+                }
+            }
+            ops.push(l);
+        }
+        match ops.len() {
+            0 => Slit::TRUE,
+            1 => ops[0],
+            _ => {
+                let key = NodeKey::And(ops.clone().into_boxed_slice());
+                if let Some(&id) = self.cons.get(&key) {
+                    return Slit::node_ref(id, false);
+                }
+                let id = self.push(NodeFn::And(ops.into_boxed_slice()));
+                self.cons.insert(key, id);
+                Slit::node_ref(id, false)
+            }
+        }
+    }
+
+    /// Canonical OR via De Morgan: `or(xs) = ¬and(¬xs)`.
+    pub fn mk_or(&mut self, ins: Vec<Slit>) -> Slit {
+        let neg: Vec<Slit> = ins.into_iter().map(|l| !l).collect();
+        !self.mk_and(neg)
+    }
+
+    /// Canonical XOR (pulls complements into the output phase, cancels
+    /// duplicate operands, folds constants).
+    pub fn mk_xor(&mut self, ins: Vec<Slit>) -> Slit {
+        let mut phase = false;
+        let mut ops: Vec<Slit> = Vec::with_capacity(ins.len());
+        for l in ins {
+            if l.is_const() {
+                phase ^= l == Slit::TRUE;
+                continue;
+            }
+            let base = if l.is_complement() {
+                phase = !phase;
+                !l
+            } else {
+                l
+            };
+            ops.push(base);
+        }
+        ops.sort();
+        // a ⊕ a = 0: drop cancelling pairs.
+        let mut kept: Vec<Slit> = Vec::with_capacity(ops.len());
+        for l in ops {
+            if kept.last() == Some(&l) {
+                kept.pop();
+            } else {
+                kept.push(l);
+            }
+        }
+        let base = match kept.len() {
+            0 => Slit::FALSE,
+            1 => kept[0],
+            _ => {
+                let key = NodeKey::Xor(kept.clone().into_boxed_slice());
+                if let Some(&id) = self.cons.get(&key) {
+                    Slit::node_ref(id, false)
+                } else {
+                    let id = self.push(NodeFn::Xor(kept.into_boxed_slice()));
+                    self.cons.insert(key, id);
+                    Slit::node_ref(id, false)
+                }
+            }
+        };
+        if phase {
+            !base
+        } else {
+            base
+        }
+    }
+
+    /// Maps a network onto the DAG, returning the canonical reference per
+    /// output port and per live gate slot (dead slots map to `FALSE`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the network is cyclic or its input count differs from the
+    /// DAG's.
+    pub fn map_network(&mut self, network: &Network) -> (MappedOutputs, Vec<Slit>) {
+        assert_eq!(network.inputs().len(), self.num_inputs(), "input count mismatch");
+        let order = topological_order(network).expect("CEC requires an acyclic network");
+        let mut gate_map: Vec<Slit> = vec![Slit::FALSE; network.gate_count()];
+        let mut input_index: HashMap<usize, usize> = HashMap::new();
+        for (i, &g) in network.inputs().iter().enumerate() {
+            input_index.insert(g.index(), i);
+        }
+        for &g in &order {
+            let gate = network.gate(g);
+            let fanins: Vec<Slit> = gate.fanins.iter().map(|f| gate_map[f.index()]).collect();
+            let slit = match gate.gtype {
+                GateType::Input => self.input(input_index[&g.index()]),
+                GateType::Const0 => Slit::FALSE,
+                GateType::Const1 => Slit::TRUE,
+                GateType::Buf => fanins[0],
+                GateType::Inv => !fanins[0],
+                GateType::And => self.mk_and(fanins),
+                GateType::Nand => !self.mk_and(fanins),
+                GateType::Or => self.mk_or(fanins),
+                GateType::Nor => !self.mk_or(fanins),
+                GateType::Xor => self.mk_xor(fanins),
+                GateType::Xnor => !self.mk_xor(fanins),
+            };
+            gate_map[g.index()] = slit;
+        }
+        let outputs = network.outputs().iter().map(|port| gate_map[port.driver.index()]).collect();
+        (MappedOutputs { outputs }, gate_map)
+    }
+
+    /// Bit-parallel evaluation: given one pattern word per input, returns
+    /// one word per node.  Bit `k` of a node's word is its value under the
+    /// `k`-th pattern.
+    pub fn simulate_words(&self, input_words: &[u64]) -> Vec<u64> {
+        assert_eq!(input_words.len(), self.num_inputs());
+        let mut words = vec![0u64; self.nodes.len()];
+        for (id, node) in self.nodes.iter().enumerate() {
+            words[id] = match node {
+                NodeFn::ConstTrue => !0u64,
+                NodeFn::Input(i) => input_words[*i],
+                NodeFn::And(ins) => ins.iter().fold(!0u64, |acc, l| acc & word_of(&words, *l)),
+                NodeFn::Xor(ins) => ins.iter().fold(0u64, |acc, l| acc ^ word_of(&words, *l)),
+            };
+        }
+        words
+    }
+
+    /// Scalar evaluation of every node under one input assignment.
+    pub fn evaluate(&self, inputs: &[bool]) -> Vec<bool> {
+        let words: Vec<u64> = inputs.iter().map(|&b| u64::from(b)).collect();
+        self.simulate_words(&words).into_iter().map(|w| w & 1 == 1).collect()
+    }
+}
+
+/// The pattern word of a signed reference.
+pub fn word_of(words: &[u64], l: Slit) -> u64 {
+    let w = words[l.node() as usize];
+    if l.is_complement() {
+        !w
+    } else {
+        w
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rapids_netlist::NetworkBuilder;
+
+    fn two_input_dag() -> Dag {
+        Dag::new(2)
+    }
+
+    #[test]
+    fn and_canonicalizes_order_duplicates_and_constants() {
+        let mut d = two_input_dag();
+        let (a, b) = (d.input(0), d.input(1));
+        let ab = d.mk_and(vec![a, b]);
+        assert_eq!(d.mk_and(vec![b, a]), ab);
+        assert_eq!(d.mk_and(vec![a, b, a]), ab);
+        assert_eq!(d.mk_and(vec![a, b, Slit::TRUE]), ab);
+        assert_eq!(d.mk_and(vec![a, b, Slit::FALSE]), Slit::FALSE);
+        assert_eq!(d.mk_and(vec![a, !a]), Slit::FALSE);
+        assert_eq!(d.mk_and(vec![a]), a);
+        assert_eq!(d.mk_and(vec![]), Slit::TRUE);
+    }
+
+    #[test]
+    fn or_is_demorgan_of_and() {
+        let mut d = two_input_dag();
+        let (a, b) = (d.input(0), d.input(1));
+        let or = d.mk_or(vec![a, b]);
+        let nand_of_negs = !d.mk_and(vec![!a, !b]);
+        assert_eq!(or, nand_of_negs);
+        // One shared node serves AND(!a,!b), OR(a,b), NOR(a,b).
+        assert_eq!(d.len(), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn xor_pulls_phase_and_cancels() {
+        let mut d = two_input_dag();
+        let (a, b) = (d.input(0), d.input(1));
+        let x = d.mk_xor(vec![a, b]);
+        assert_eq!(d.mk_xor(vec![!a, b]), !x);
+        assert_eq!(d.mk_xor(vec![!a, !b]), x);
+        assert_eq!(d.mk_xor(vec![a, a]), Slit::FALSE);
+        assert_eq!(d.mk_xor(vec![a, a, b]), b);
+        assert_eq!(d.mk_xor(vec![a, Slit::TRUE]), !a);
+    }
+
+    #[test]
+    fn demorgan_pair_maps_to_identical_references() {
+        // NAND(a, b) vs OR(INV a, INV b): equal after normalization.
+        let n1 = NetworkBuilder::new("n1")
+            .input("a")
+            .input("b")
+            .gate("g", GateType::Nand, &["a", "b"])
+            .output("g")
+            .finish()
+            .unwrap();
+        let n2 = NetworkBuilder::new("n2")
+            .input("a")
+            .input("b")
+            .gate("na", GateType::Inv, &["a"])
+            .gate("nb", GateType::Inv, &["b"])
+            .gate("g", GateType::Or, &["na", "nb"])
+            .output("g")
+            .finish()
+            .unwrap();
+
+        let mut d = two_input_dag();
+        let (m1, _) = d.map_network(&n1);
+        let (m2, _) = d.map_network(&n2);
+        assert_eq!(m1.outputs, m2.outputs);
+    }
+
+    #[test]
+    fn word_simulation_matches_truth_tables() {
+        let mut d = two_input_dag();
+        let (a, b) = (d.input(0), d.input(1));
+        let and = d.mk_and(vec![a, b]);
+        let xor = d.mk_xor(vec![a, b]);
+        // Patterns 00, 01, 10, 11 in bits 0..4.
+        let words = d.simulate_words(&[0b0101, 0b0011]);
+        assert_eq!(word_of(&words, and) & 0xF, 0b0001);
+        assert_eq!(word_of(&words, xor) & 0xF, 0b0110);
+        assert_eq!(word_of(&words, !and) & 0xF, 0b1110);
+    }
+}

@@ -25,12 +25,13 @@ pub mod pipeline;
 
 pub use pipeline::{
     CircuitSource, FlowComparison, LegalizationReport, Pipeline, PipelineConfig, PipelineError,
-    PipelineReport, PreparedDesign, StageTimings,
+    PipelineReport, PreparedDesign, SafetyNet, StageTimings,
 };
 pub use rapids_core::CancelToken;
 
 // Substrate crates, re-exported under stable short names.
 pub use rapids_bdd as bdd;
+pub use rapids_cec as cec;
 pub use rapids_celllib as celllib;
 pub use rapids_circuits as circuits;
 pub use rapids_core as core;

@@ -93,13 +93,29 @@ pub enum PipelineError {
     UnknownBenchmark(String),
     /// Parsing or mapping the input netlist failed.
     Netlist(NetlistError),
-    /// The post-optimization simulation cross-check found a functional
-    /// difference — the rewiring/sizing engine produced a wrong network.
+    /// The post-optimization safety net found a functional difference — the
+    /// rewiring/sizing engine produced a wrong network.
     EquivalenceBroken {
         /// Design name.
         name: String,
         /// The optimizer that broke it.
         kind: OptimizerKind,
+        /// The failing input vector, when the net that fired produces one
+        /// (both nets do: the SAT net extracts it from the miter model and
+        /// cross-confirms it on the simulator; the simulation net surfaces
+        /// the failing pattern directly).
+        counterexample: Option<rapids_cec::Counterexample>,
+    },
+    /// The SAT safety net could not decide the check (cancelled or over its
+    /// conflict budget) — the result network is *not* known wrong, but the
+    /// pipeline refuses to hand it out unverified.
+    EquivalenceUnresolved {
+        /// Design name.
+        name: String,
+        /// The optimizer whose result was being checked.
+        kind: OptimizerKind,
+        /// Why the check stopped.
+        reason: String,
     },
 }
 
@@ -110,8 +126,22 @@ impl std::fmt::Display for PipelineError {
                 write!(f, "unknown suite benchmark `{name}`")
             }
             PipelineError::Netlist(e) => write!(f, "netlist error: {e}"),
-            PipelineError::EquivalenceBroken { name, kind } => {
-                write!(f, "optimizer {kind} broke functional equivalence on `{name}`")
+            PipelineError::EquivalenceBroken { name, kind, counterexample } => {
+                write!(f, "optimizer {kind} broke functional equivalence on `{name}`")?;
+                if let Some(cex) = counterexample {
+                    write!(
+                        f,
+                        " (inputs {} drive output {} to {} instead of {})",
+                        cex.input_bits(),
+                        cex.output_index,
+                        u8::from(cex.output_b),
+                        u8::from(cex.output_a),
+                    )?;
+                }
+                Ok(())
+            }
+            PipelineError::EquivalenceUnresolved { name, kind, reason } => {
+                write!(f, "equivalence of optimizer {kind} on `{name}` undecided: {reason}")
             }
         }
     }
@@ -123,6 +153,20 @@ impl From<NetlistError> for PipelineError {
     fn from(e: NetlistError) -> Self {
         PipelineError::Netlist(e)
     }
+}
+
+/// Which equivalence oracle guards the optimizer's output when
+/// [`PipelineConfig::verify_equivalence`] is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SafetyNet {
+    /// Random-vector simulation (`rapids-sim`): fast, but only samples the
+    /// input space — a low-probability discrepancy can slip through.
+    Simulation,
+    /// SAT-based proof (`rapids-cec`): Tseitin-encode original and
+    /// optimized network into a miter and decide it.  UNSAT *proves*
+    /// equivalence on every input; SAT yields a concrete counterexample
+    /// that is cross-confirmed on the simulator before being surfaced.
+    Sat,
 }
 
 /// Configuration of the whole flow; one struct drives every stage.
@@ -153,10 +197,16 @@ pub struct PipelineConfig {
     pub seed: u64,
     /// Fan-in bound used when a [`CircuitSource`] needs technology mapping.
     pub map_max_fanin: usize,
-    /// Run a random-vector equivalence check after every optimization and
-    /// fail the pipeline if it is violated.
+    /// Run an equivalence check after every optimization and fail the
+    /// pipeline if it is violated.  Which check runs is picked by
+    /// [`PipelineConfig::safety_net`].
     pub verify_equivalence: bool,
-    /// Number of random vectors for the equivalence check.
+    /// Which safety net guards the optimizer when `verify_equivalence` is
+    /// on: random-vector simulation (fast, probabilistic) or a SAT proof
+    /// (`rapids-cec`; UNSAT is a proof of equivalence, SAT surfaces a
+    /// simulator-confirmed counterexample).
+    pub safety_net: SafetyNet,
+    /// Number of random vectors for the simulation safety net.
     pub verification_vectors: usize,
     /// Worker threads (1 = fully sequential).  Forwarded to the optimizer's
     /// candidate scoring, and [`Pipeline::compare_optimizers`] additionally
@@ -179,6 +229,7 @@ impl Default for PipelineConfig {
             seed: 2000,
             map_max_fanin: 4,
             verify_equivalence: false,
+            safety_net: SafetyNet::Simulation,
             verification_vectors: 1024,
             threads: 1,
         }
@@ -287,6 +338,9 @@ pub struct PipelineReport {
     /// Whether the post-optimization equivalence check ran (and passed —
     /// a failed check aborts the pipeline instead).
     pub equivalence_verified: bool,
+    /// Whether equivalence was *proven* (the [`SafetyNet::Sat`] net ran and
+    /// returned UNSAT), as opposed to sampled by random simulation.
+    pub equivalence_proven: bool,
     /// What the legalize stage did to the shared placement (`None` while
     /// the stage is disabled).
     pub legalization: Option<LegalizationReport>,
@@ -582,15 +636,87 @@ impl Pipeline {
                 &self.config.timing,
             );
 
+        let mut equivalence_proven = false;
         if self.config.verify_equivalence {
-            let verdict = check_equivalence_random(
-                &design.network,
-                &working,
-                self.config.verification_vectors,
-                self.config.seed ^ 0x5eed_cafe,
-            );
-            if !verdict.is_equivalent() {
-                return Err(PipelineError::EquivalenceBroken { name: design.name.clone(), kind });
+            match self.config.safety_net {
+                SafetyNet::Simulation => {
+                    let verdict = check_equivalence_random(
+                        &design.network,
+                        &working,
+                        self.config.verification_vectors,
+                        self.config.seed ^ 0x5eed_cafe,
+                    );
+                    if let rapids_sim::EquivalenceResult::Mismatch {
+                        output_index,
+                        inputs,
+                        output_a,
+                        output_b,
+                        ..
+                    } = verdict
+                    {
+                        return Err(PipelineError::EquivalenceBroken {
+                            name: design.name.clone(),
+                            kind,
+                            counterexample: Some(rapids_cec::Counterexample {
+                                inputs,
+                                output_index,
+                                output_a,
+                                output_b,
+                            }),
+                        });
+                    } else if !verdict.is_equivalent() {
+                        return Err(PipelineError::EquivalenceBroken {
+                            name: design.name.clone(),
+                            kind,
+                            counterexample: None,
+                        });
+                    }
+                }
+                SafetyNet::Sat => {
+                    let cec_config = rapids_cec::CecConfig {
+                        seed: self.config.seed ^ 0x5eed_cafe,
+                        cancel: Some(cancel.clone()),
+                        ..rapids_cec::CecConfig::default()
+                    };
+                    match rapids_cec::check_equivalence(&design.network, &working, &cec_config) {
+                        rapids_cec::CecResult::EquivalentProven => equivalence_proven = true,
+                        rapids_cec::CecResult::NotEquivalent(cex) => {
+                            // The checker already replayed the vector on the
+                            // simulator to locate the differing output;
+                            // cross-confirm once more against the whole
+                            // output vector before surfacing it.
+                            let sim_verdict = rapids_sim::Simulator::new(&design.network)
+                                .simulate_bools(&design.network, &cex.inputs);
+                            let sim_opt = rapids_sim::Simulator::new(&working)
+                                .simulate_bools(&working, &cex.inputs);
+                            debug_assert_ne!(
+                                sim_verdict[cex.output_index], sim_opt[cex.output_index],
+                                "CEC counterexample must replay on the simulator"
+                            );
+                            return Err(PipelineError::EquivalenceBroken {
+                                name: design.name.clone(),
+                                kind,
+                                counterexample: Some(cex),
+                            });
+                        }
+                        rapids_cec::CecResult::InterfaceMismatch { inputs, outputs } => {
+                            return Err(PipelineError::EquivalenceUnresolved {
+                                name: design.name.clone(),
+                                kind,
+                                reason: format!(
+                                    "optimizer changed the interface: inputs {inputs:?}, outputs {outputs:?}"
+                                ),
+                            });
+                        }
+                        rapids_cec::CecResult::Aborted(reason) => {
+                            return Err(PipelineError::EquivalenceUnresolved {
+                                name: design.name.clone(),
+                                kind,
+                                reason,
+                            });
+                        }
+                    }
+                }
             }
             // Physical side of the safety net: a legalized flow must stay
             // overlap-free through optimization — the base placement is
@@ -623,6 +749,7 @@ impl Pipeline {
             network: working,
             outcome,
             equivalence_verified: self.config.verify_equivalence,
+            equivalence_proven,
             legalization: design.legalization,
             stage_timings: design.timings,
         })

@@ -25,7 +25,7 @@ use rapids_flow::{CancelToken, CircuitSource, Pipeline, PipelineConfig};
 use crate::faults::{FaultPlan, FaultPoint};
 use crate::fingerprint::{config_fingerprint, fnv1a, netlist_fingerprint};
 use crate::job::{Job, JobSource};
-use crate::report::{DesignQor, JobOutcome, JobReport};
+use crate::report::{DesignQor, JobOutcome, JobReport, VerifyVerdict};
 use crate::retry::{is_transient_io, with_backoff, BackoffPolicy};
 use crate::store::ResultStore;
 
@@ -96,7 +96,12 @@ pub struct Engine {
     faults: Arc<FaultPlan>,
     /// Retry budget for transient file I/O (BLIF reads, store appends).
     backoff: BackoffPolicy,
+    /// Verdicts of `verify` jobs, keyed by the *(fingerprint A,
+    /// fingerprint B)* netlist pair — resubmitting the same pair answers
+    /// from here, byte-identically, without re-running the SAT check.
+    verify_cache: Mutex<HashMap<(u64, u64), VerifyVerdict>>,
     optimizer_runs: AtomicUsize,
+    verify_runs: AtomicUsize,
     cache_hits: AtomicUsize,
     resolutions: AtomicUsize,
 }
@@ -125,7 +130,9 @@ impl Engine {
             store: None,
             faults: Arc::new(FaultPlan::default()),
             backoff: BackoffPolicy::default(),
+            verify_cache: Mutex::new(HashMap::new()),
             optimizer_runs: AtomicUsize::new(0),
+            verify_runs: AtomicUsize::new(0),
             cache_hits: AtomicUsize::new(0),
             resolutions: AtomicUsize::new(0),
         }
@@ -182,6 +189,17 @@ impl Engine {
     /// cache leaves it unchanged.
     pub fn optimizer_runs(&self) -> usize {
         self.optimizer_runs.load(Ordering::Relaxed)
+    }
+
+    /// How many times the SAT equivalence checker actually ran (verify-job
+    /// cache misses).
+    pub fn verify_runs(&self) -> usize {
+        self.verify_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct netlist pairs with a cached verify verdict.
+    pub fn cached_verifications(&self) -> usize {
+        self.verify_cache.lock().expect("verify cache lock poisoned").len()
     }
 
     /// How many jobs were served from the cache without recompute.
@@ -248,6 +266,10 @@ impl Engine {
             cached: false,
         };
 
+        if job.verify_with.is_some() {
+            return self.execute_verify(job);
+        }
+
         let config_fp = config_fingerprint(&job.config);
         let hit = |qor: DesignQor| JobReport {
             job: job.name.clone(),
@@ -271,40 +293,11 @@ impl Engine {
 
         // Resolve to the mapped network: the cache key is defined over
         // *content*, so equal designs hit regardless of how they were
-        // submitted (suite name, file path, inline text).  File-backed
-        // jobs read their bytes here — through the blif-read fault point
-        // and the transient-I/O retry — so a flaky read is retried and a
-        // permanent one carries the offending path.
-        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        // submitted (suite name, file path, inline text).
         let pipeline = Pipeline::new(job.config.clone());
-        let source = match &job.source {
-            JobSource::Suite(name) => CircuitSource::Suite(name.clone()),
-            JobSource::BlifFile(path) => {
-                let read = with_backoff(&self.backoff, is_transient_io, || {
-                    self.faults.fire(FaultPoint::BlifRead, Some(&job.name), None)?;
-                    std::fs::read_to_string(path)
-                });
-                match read {
-                    Ok(text) => CircuitSource::Blif { text, max_fanin: job.config.map_max_fanin },
-                    Err(e) => {
-                        return fail(format!("i/o error on `{}`: {e}", path.display()));
-                    }
-                }
-            }
-            JobSource::BlifText(text) => {
-                CircuitSource::Blif { text: text.clone(), max_fanin: job.config.map_max_fanin }
-            }
-        };
-        let network = match resolve_guarded(&pipeline, source) {
+        let network = match self.resolve_source(&pipeline, &job.name, &job.source) {
             Ok(network) => network,
-            Err(error) => {
-                // Inline text made from a file has lost its origin; put the
-                // path back so parse/map failures stay attributable.
-                return fail(match &job.source {
-                    JobSource::BlifFile(path) => format!("`{}`: {error}", path.display()),
-                    _ => error,
-                });
-            }
+            Err(error) => return fail(error),
         };
 
         let netlist_fp = netlist_fingerprint(&network);
@@ -355,6 +348,129 @@ impl Engine {
         self.cache.lock().expect("cache lock poisoned").insert(key, qor.clone());
         self.spill_to_store(key, &qor, &job.name);
         JobReport { job: job.name.clone(), outcome: JobOutcome::Done(qor), cached: false }
+    }
+
+    /// Resolves one job source to its mapped network — shared by the
+    /// optimize and verify paths.  File reads go through the blif-read
+    /// fault point and the transient-I/O retry, and parse/map failures
+    /// carry the offending path.
+    fn resolve_source(
+        &self,
+        pipeline: &Pipeline,
+        job_name: &str,
+        source: &JobSource,
+    ) -> Result<Network, String> {
+        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        let max_fanin = pipeline.config().map_max_fanin;
+        let circuit = match source {
+            JobSource::Suite(name) => CircuitSource::Suite(name.clone()),
+            JobSource::BlifFile(path) => {
+                let read = with_backoff(&self.backoff, is_transient_io, || {
+                    self.faults.fire(FaultPoint::BlifRead, Some(job_name), None)?;
+                    std::fs::read_to_string(path)
+                });
+                match read {
+                    Ok(text) => CircuitSource::Blif { text, max_fanin },
+                    Err(e) => return Err(format!("i/o error on `{}`: {e}", path.display())),
+                }
+            }
+            JobSource::BlifText(text) => CircuitSource::Blif { text: text.clone(), max_fanin },
+        };
+        resolve_guarded(pipeline, circuit).map_err(|error| {
+            // Inline text made from a file has lost its origin; put the
+            // path back so parse/map failures stay attributable.
+            match source {
+                JobSource::BlifFile(path) => format!("`{}`: {error}", path.display()),
+                _ => error,
+            }
+        })
+    }
+
+    /// Runs a `verify` job: resolve both sources, consult the verdict
+    /// cache keyed by the netlist fingerprint *pair*, and on a miss decide
+    /// equivalence with the SAT prover (under the job's deadline, when it
+    /// has one).  A refuting model is cross-confirmed on the independent
+    /// simulator before it is reported.
+    fn execute_verify(&self, job: &Job) -> JobReport {
+        let fail = |error: String| JobReport {
+            job: job.name.clone(),
+            outcome: JobOutcome::Failed(error),
+            cached: false,
+        };
+        let against = job.verify_with.as_ref().expect("verify job has a second source");
+        let pipeline = Pipeline::new(job.config.clone());
+        let a = match self.resolve_source(&pipeline, &job.name, &job.source) {
+            Ok(network) => network,
+            Err(error) => return fail(error),
+        };
+        let b = match self.resolve_source(&pipeline, &job.name, against) {
+            Ok(network) => network,
+            Err(error) => return fail(error),
+        };
+
+        let key = (netlist_fingerprint(&a), netlist_fingerprint(&b));
+        let cached =
+            self.verify_cache.lock().expect("verify cache lock poisoned").get(&key).cloned();
+        if let Some(verdict) = cached {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return JobReport {
+                job: job.name.clone(),
+                outcome: JobOutcome::Verified(verdict),
+                cached: true,
+            };
+        }
+
+        self.verify_runs.fetch_add(1, Ordering::Relaxed);
+        let token = CancelToken::new();
+        let watchdog =
+            job.timeout_s.map(|secs| Watchdog::arm(token.clone(), Duration::from_secs_f64(secs)));
+        let cec_config = rapids_flow::cec::CecConfig {
+            cancel: Some(token.clone()),
+            ..rapids_flow::cec::CecConfig::default()
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            self.faults
+                .fire(FaultPoint::Cec, Some(&job.name), Some(&token))
+                .map_err(|e| e.to_string())?;
+            Ok::<_, String>(rapids_flow::cec::check_equivalence(&a, &b, &cec_config))
+        }));
+        drop(watchdog);
+        if token.is_cancelled() {
+            let secs = job.timeout_s.unwrap_or(0.0);
+            return fail(format!("timeout after {secs}s"));
+        }
+        use rapids_flow::cec::CecResult;
+        let verdict = match result {
+            Ok(Ok(CecResult::EquivalentProven)) => VerifyVerdict::equivalent(),
+            Ok(Ok(CecResult::NotEquivalent(cex))) => {
+                // Cross-confirm the refuting vector on the simulator before
+                // answering; a model that does not replay would be a solver
+                // bug and must surface as a failure, not a bogus verdict.
+                let sim_a = rapids_flow::sim::Simulator::new(&a);
+                let sim_b = rapids_flow::sim::Simulator::new(&b);
+                let ya = sim_a.simulate_bools(&a, &cex.inputs);
+                let yb = sim_b.simulate_bools(&b, &cex.inputs);
+                if ya[cex.output_index] == yb[cex.output_index] {
+                    return fail(
+                        "internal error: counterexample does not replay on the simulator".into(),
+                    );
+                }
+                VerifyVerdict::counterexample(cex.input_bits(), cex.output_index)
+            }
+            Ok(Ok(CecResult::InterfaceMismatch { inputs, outputs })) => {
+                return fail(format!(
+                    "interface mismatch: {}x{} vs {}x{} inputs/outputs",
+                    inputs.0, outputs.0, inputs.1, outputs.1
+                ))
+            }
+            Ok(Ok(CecResult::Aborted(reason))) => return fail(format!("cec aborted: {reason}")),
+            Ok(Err(e)) => return fail(e),
+            Err(payload) => {
+                return fail(format!("cec panicked: {}", panic_message(payload.as_ref())))
+            }
+        };
+        self.verify_cache.lock().expect("verify cache lock poisoned").insert(key, verdict.clone());
+        JobReport { job: job.name.clone(), outcome: JobOutcome::Verified(verdict), cached: false }
     }
 }
 
@@ -634,6 +750,108 @@ mod tests {
         assert!(!report.cached);
         // The worker is healthy: the next job runs to completion.
         assert!(e.execute(&Job::suite("alu2", e.base_config())).is_done());
+    }
+
+    fn fixture_path(name: &str) -> String {
+        format!(concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/fixtures/{}"), name)
+    }
+
+    fn verify_job(name: &str, b: &str, config: &PipelineConfig) -> Job {
+        Job::verify(
+            name,
+            JobSource::BlifFile(fixture_path("tiny_mux.blif").into()),
+            JobSource::BlifFile(fixture_path(b).into()),
+            config,
+        )
+    }
+
+    #[test]
+    fn verify_job_proves_equivalent_pair_and_caches_the_verdict() {
+        let e = engine();
+        let job = verify_job("pair", "tiny_mux_demorgan.blif", e.base_config());
+        let first = e.execute(&job);
+        assert!(first.is_done() && !first.cached);
+        assert_eq!(
+            first.to_jsonl(),
+            "{\"job\":\"pair\",\"status\":\"verified\",\"equivalent\":true}"
+        );
+        assert_eq!(e.verify_runs(), 1);
+        assert_eq!(e.optimizer_runs(), 0, "verify jobs never run the optimizer");
+
+        // Resubmission: the fingerprint-pair cache answers byte-identically
+        // without re-running the SAT check.
+        let second = e.execute(&job);
+        assert!(second.cached);
+        assert_eq!(second.to_jsonl(), first.to_jsonl());
+        assert_eq!(e.verify_runs(), 1);
+        assert_eq!(e.cached_verifications(), 1);
+        assert_eq!(e.cache_hits(), 1);
+    }
+
+    #[test]
+    fn verify_job_refutes_a_mutated_pair_with_a_counterexample() {
+        let e = engine();
+        let report = e.execute(&verify_job("pair", "tiny_mux_mutated.blif", e.base_config()));
+        match &report.outcome {
+            JobOutcome::Verified(verdict) => {
+                assert!(!verdict.equivalent);
+                // The mutation flips AND→OR on output g (index 1); the
+                // counterexample is simulator-confirmed by the engine
+                // before it is reported.
+                assert_eq!(verdict.output_index, Some(1));
+                let bits = verdict.counterexample.as_deref().unwrap();
+                assert_eq!(bits.len(), 4, "one bit per primary input");
+                assert!(bits.chars().all(|c| c == '0' || c == '1'));
+            }
+            other => panic!("expected a refuted verdict, got {other:?}"),
+        }
+        let line = report.to_jsonl();
+        assert!(line.contains("\"status\":\"verified\"") && line.contains("\"equivalent\":false"));
+        assert!(line.contains("\"counterexample\":") && line.contains("\"output_index\":1"));
+    }
+
+    #[test]
+    fn verify_job_with_mismatched_interfaces_fails_cleanly() {
+        let e = engine();
+        let job = Job::verify(
+            "bad-pair",
+            JobSource::BlifFile(fixture_path("tiny_mux.blif").into()),
+            JobSource::BlifText(".model t\n.inputs x\n.outputs y\n.gate inv y x\n.end".into()),
+            e.base_config(),
+        );
+        let report = e.execute(&job);
+        assert!(matches!(&report.outcome,
+            JobOutcome::Failed(msg) if msg.contains("interface mismatch")));
+    }
+
+    #[test]
+    fn injected_cec_panic_becomes_a_failed_report() {
+        let plan = FaultPlan::single(FaultPoint::Cec, Some("pair"), 0, FaultAction::Panic);
+        let e = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+        let report = e.execute(&verify_job("pair", "tiny_mux_demorgan.blif", e.base_config()));
+        assert!(matches!(&report.outcome,
+            JobOutcome::Failed(msg) if msg.contains("cec panicked")
+                && msg.contains("injected panic at cec")));
+        // The engine is not wedged, and the failure was not cached: an
+        // unfaulted resubmission verifies for real.
+        let retry = e.execute(&verify_job("pair", "tiny_mux_demorgan.blif", e.base_config()));
+        assert!(retry.is_done() && !retry.cached);
+        assert_eq!(e.verify_runs(), 2);
+    }
+
+    #[test]
+    fn verify_deadline_cuts_an_injected_hang() {
+        let plan =
+            FaultPlan::single(FaultPoint::Cec, Some("pair"), 0, FaultAction::DelayMs(60_000));
+        let e = Engine::new(PipelineConfig::fast()).with_fault_plan(plan);
+        let mut job = verify_job("pair", "tiny_mux_demorgan.blif", e.base_config());
+        job.timeout_s = Some(0.2);
+        let start = Instant::now();
+        let report = e.execute(&job);
+        assert!(start.elapsed() < Duration::from_secs(30), "watchdog must cut the hang");
+        assert!(matches!(&report.outcome,
+            JobOutcome::Failed(msg) if msg == "timeout after 0.2s"));
+        assert_eq!(e.cached_verifications(), 0, "a timed-out check is not cached");
     }
 
     #[test]

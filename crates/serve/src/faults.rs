@@ -15,7 +15,7 @@
 //! ```
 //!
 //! * `point` — one of `blif-read`, `store-read`, `store-write`, `job-run`,
-//!   `report-emit`, `connection-accept`;
+//!   `cec`, `report-emit`, `connection-accept`;
 //! * `@scope` — only hits carrying this scope string (conventionally the
 //!   job name) match; omitted, every hit of the point matches.  Scoped
 //!   rules are what keep a plan deterministic under concurrency: unscoped
@@ -51,6 +51,8 @@ pub enum FaultPoint {
     StoreWrite,
     /// Running the optimizer flow for a job (inside the panic guard).
     JobRun,
+    /// Running the SAT equivalence check of a `verify` job.
+    Cec,
     /// Writing a response line back to a TCP client.
     ReportEmit,
     /// Accepting a TCP connection.
@@ -65,6 +67,7 @@ impl FaultPoint {
             FaultPoint::StoreRead => "store-read",
             FaultPoint::StoreWrite => "store-write",
             FaultPoint::JobRun => "job-run",
+            FaultPoint::Cec => "cec",
             FaultPoint::ReportEmit => "report-emit",
             FaultPoint::ConnectionAccept => "connection-accept",
         }
@@ -76,6 +79,7 @@ impl FaultPoint {
             "store-read" => FaultPoint::StoreRead,
             "store-write" => FaultPoint::StoreWrite,
             "job-run" => FaultPoint::JobRun,
+            "cec" => FaultPoint::Cec,
             "report-emit" => FaultPoint::ReportEmit,
             "connection-accept" => FaultPoint::ConnectionAccept,
             other => return Err(format!("unknown fault point `{other}`")),

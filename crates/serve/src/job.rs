@@ -52,6 +52,14 @@ pub struct Job {
     /// job computes, so it must not perturb the config fingerprint that
     /// keys the result cache.
     pub timeout_s: Option<f64>,
+    /// When set, this is a **verify** job: instead of optimizing
+    /// [`Job::source`], the engine checks it for combinational equivalence
+    /// against this second source with the SAT prover (`rapids-cec`) and
+    /// answers `{"status":"verified","equivalent":…}` — with a
+    /// simulator-confirmed counterexample input vector when the answer is
+    /// "not equivalent".  Spec keys: `verify_suite`, `verify_blif`,
+    /// `verify_blif_text`.
+    pub verify_with: Option<JobSource>,
 }
 
 impl Job {
@@ -63,6 +71,7 @@ impl Job {
             name,
             config: config.clone(),
             timeout_s: None,
+            verify_with: None,
         }
     }
 
@@ -79,6 +88,7 @@ impl Job {
             source: JobSource::BlifFile(path.into()),
             config: config.clone(),
             timeout_s: None,
+            verify_with: None,
         }
     }
 
@@ -93,6 +103,25 @@ impl Job {
             source: JobSource::BlifText(text.into()),
             config: config.clone(),
             timeout_s: None,
+            verify_with: None,
+        }
+    }
+
+    /// An equivalence-check job: verify `source` against `against` under
+    /// the given configuration (the config only affects how the sources
+    /// are resolved and mapped).
+    pub fn verify(
+        name: impl Into<String>,
+        source: JobSource,
+        against: JobSource,
+        config: &PipelineConfig,
+    ) -> Self {
+        Job {
+            name: name.into(),
+            source,
+            config: config.clone(),
+            timeout_s: None,
+            verify_with: Some(against),
         }
     }
 
@@ -102,7 +131,10 @@ impl Job {
     /// `"suite"`, `"blif"` (a file path) or `"blif_text"` — plus optional
     /// `"name"` (report name override), an optional `"timeout_s"` deadline
     /// (positive seconds) and per-job knob overrides `"fast"`, `"es"`,
-    /// `"legalize"`, `"seed"`, `"max_fanin"`, `"threads"`.
+    /// `"legalize"`, `"seed"`, `"max_fanin"`, `"threads"`.  At most one
+    /// second-source key — `"verify_suite"`, `"verify_blif"` or
+    /// `"verify_blif_text"` — turns the job into an equivalence check of
+    /// the primary source against the second one.
     ///
     /// # Errors
     ///
@@ -111,6 +143,7 @@ impl Job {
     pub fn from_spec_line(line: &str, base: &PipelineConfig) -> Result<Job, String> {
         let pairs = parse_flat_object(line)?;
         let mut source: Option<JobSource> = None;
+        let mut verify_with: Option<JobSource> = None;
         let mut name: Option<String> = None;
         let mut config = base.clone();
         let mut fast: Option<bool> = None;
@@ -147,6 +180,17 @@ impl Job {
                         _ => JobSource::BlifText(payload),
                     });
                 }
+                "verify_suite" | "verify_blif" | "verify_blif_text" => {
+                    if verify_with.is_some() {
+                        return Err("more than one verify-source key in job spec".into());
+                    }
+                    let payload = str_of(value, key)?;
+                    verify_with = Some(match key.as_str() {
+                        "verify_suite" => JobSource::Suite(payload),
+                        "verify_blif" => JobSource::BlifFile(PathBuf::from(payload)),
+                        _ => JobSource::BlifText(payload),
+                    });
+                }
                 "name" => name = Some(str_of(value, key)?),
                 "fast" => fast = Some(bool_of(value, key)?),
                 "timeout_s" => {
@@ -180,7 +224,7 @@ impl Job {
 
         let source = source.ok_or("job spec needs a `suite`, `blif` or `blif_text` key")?;
         let name = name.unwrap_or_else(|| default_name(&source));
-        Ok(Job { name, source, config, timeout_s })
+        Ok(Job { name, source, config, timeout_s, verify_with })
     }
 }
 
@@ -262,6 +306,40 @@ mod tests {
             r#"{"suite":"a","timeout_s":0}"#,
             r#"{"suite":"a","timeout_s":-1}"#,
             r#"{"suite":"a","timeout_s":"2"}"#,
+        ] {
+            assert!(Job::from_spec_line(bad, &base()).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn verify_spec_parses_every_second_source_kind() {
+        let job =
+            Job::from_spec_line(r#"{"suite":"c432","verify_suite":"c432"}"#, &base()).unwrap();
+        assert!(matches!(job.verify_with, Some(JobSource::Suite(ref s)) if s == "c432"));
+        let job =
+            Job::from_spec_line(r#"{"suite":"c432","verify_blif":"x.blif"}"#, &base()).unwrap();
+        assert!(matches!(job.verify_with, Some(JobSource::BlifFile(_))));
+        let job = Job::from_spec_line(
+            r#"{"blif_text":".model m\n.end","verify_blif_text":".model m\n.end","timeout_s":5}"#,
+            &base(),
+        )
+        .unwrap();
+        assert!(matches!(job.verify_with, Some(JobSource::BlifText(_))));
+        assert_eq!(job.timeout_s, Some(5.0));
+        // No verify key → a plain optimize job.
+        let job = Job::from_spec_line(r#"{"suite":"c432"}"#, &base()).unwrap();
+        assert!(job.verify_with.is_none());
+    }
+
+    #[test]
+    fn verify_spec_rejects_ambiguity_and_missing_primary() {
+        for bad in [
+            // Two verify sources.
+            r#"{"suite":"a","verify_suite":"b","verify_blif":"c.blif"}"#,
+            // A verify source without a primary source.
+            r#"{"verify_suite":"b"}"#,
+            // Ill-typed payload.
+            r#"{"suite":"a","verify_suite":7}"#,
         ] {
             assert!(Job::from_spec_line(bad, &base()).is_err(), "accepted: {bad}");
         }

@@ -56,7 +56,7 @@ pub use engine::Engine;
 pub use faults::{FaultAction, FaultPlan, FaultPoint};
 pub use ingest::{discover_blif_files, jobs_from_blif_dir, jobs_from_jsonl, suite_jobs};
 pub use job::{Job, JobSource, JobStatus};
-pub use report::{DesignQor, JobOutcome, JobReport};
+pub use report::{DesignQor, JobOutcome, JobReport, VerifyVerdict};
 pub use retry::{with_backoff, BackoffPolicy};
 pub use server::{BatchServer, BatchSummary, CancelFlag};
 pub use store::ResultStore;

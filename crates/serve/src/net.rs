@@ -300,7 +300,8 @@ fn answer_line(
                 concat!(
                     "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},",
                     "\"cached_results\":{},\"evictions\":{},\"disk_hits\":{},",
-                    "\"recovered_records\":{},\"dropped_corrupt_records\":{}}}"
+                    "\"recovered_records\":{},\"dropped_corrupt_records\":{},",
+                    "\"verify_runs\":{},\"cached_verifications\":{}}}"
                 ),
                 engine.optimizer_runs(),
                 engine.cache_hits(),
@@ -309,6 +310,8 @@ fn answer_line(
                 engine.disk_hits(),
                 engine.recovered_records(),
                 engine.dropped_corrupt_records(),
+                engine.verify_runs(),
+                engine.cached_verifications(),
             ),
             false,
         ),
@@ -413,6 +416,54 @@ mod tests {
             assert_eq!(second[2], "{\"ok\":\"shutdown\"}");
 
             assert_eq!(server.join().unwrap(), 2, "two job lines were served");
+        });
+    }
+
+    /// A `verify` job over the wire: proven-equivalent and refuted pairs
+    /// both answer structured verdict lines, and a resubmitted pair is
+    /// served from the verdict cache byte-identically.
+    #[test]
+    fn verify_jobs_over_loopback() {
+        let engine = Engine::new(PipelineConfig::fast());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let fixtures = concat!(env!("CARGO_MANIFEST_DIR"), "/../../ci/fixtures");
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+            let mut client = Client::connect(addr);
+
+            let equivalent = client.ask(&format!(
+                r#"{{"blif":"{fixtures}/tiny_mux.blif","verify_blif":"{fixtures}/tiny_mux_demorgan.blif","name":"eq"}}"#
+            ));
+            assert_eq!(equivalent, "{\"job\":\"eq\",\"status\":\"verified\",\"equivalent\":true}");
+
+            let refuted = client.ask(&format!(
+                r#"{{"blif":"{fixtures}/tiny_mux.blif","verify_blif":"{fixtures}/tiny_mux_mutated.blif","name":"ne"}}"#
+            ));
+            assert!(
+                refuted.contains("\"equivalent\":false")
+                    && refuted.contains("\"counterexample\":")
+                    && refuted.contains("\"output_index\":1"),
+                "{refuted}"
+            );
+
+            // Resubmission on a *new* connection: the verdict cache answers
+            // byte-identically without re-running the SAT check.
+            let mut second = Client::connect(addr);
+            let replay = second.ask(&format!(
+                r#"{{"blif":"{fixtures}/tiny_mux.blif","verify_blif":"{fixtures}/tiny_mux_demorgan.blif","name":"eq"}}"#
+            ));
+            assert_eq!(replay, equivalent, "cached verify replay must be byte-identical");
+            let stats = second.ask(r#"{"cmd":"stats"}"#);
+            assert!(
+                stats.contains("\"verify_runs\":2") && stats.contains("\"cached_verifications\":2"),
+                "{stats}"
+            );
+            assert_eq!(second.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            drop(client);
+            drop(second);
+            assert_eq!(server.join().unwrap(), 3, "three job lines were served");
         });
     }
 

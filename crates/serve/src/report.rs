@@ -170,11 +170,60 @@ impl DesignQor {
     }
 }
 
+/// The answer of a `verify` job: a SAT-proven equivalence verdict.
+///
+/// Deterministic and minimal by design — the report line it renders to is
+/// a pure function of this record, so a cached replay of the same netlist
+/// pair is byte-identical to the fresh computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyVerdict {
+    /// `true` when the SAT check returned UNSAT — a *proof* that the two
+    /// networks compute identical primary-output functions.
+    pub equivalent: bool,
+    /// For a non-equivalent pair: the distinguishing input vector as a bit
+    /// string (`'0'`/`'1'`, primary-input order), simulator-confirmed.
+    pub counterexample: Option<String>,
+    /// For a non-equivalent pair: the index of a primary output the
+    /// counterexample drives to different values.
+    pub output_index: Option<usize>,
+}
+
+impl VerifyVerdict {
+    /// The proven-equivalent verdict.
+    pub fn equivalent() -> Self {
+        VerifyVerdict { equivalent: true, counterexample: None, output_index: None }
+    }
+
+    /// A refuted verdict carrying its counterexample.
+    pub fn counterexample(inputs: String, output_index: usize) -> Self {
+        VerifyVerdict {
+            equivalent: false,
+            counterexample: Some(inputs),
+            output_index: Some(output_index),
+        }
+    }
+
+    fn json_fields(&self) -> String {
+        match (&self.counterexample, self.output_index) {
+            (Some(inputs), Some(output_index)) => format!(
+                "\"equivalent\":{},\"counterexample\":{},\"output_index\":{}",
+                self.equivalent,
+                escape_string(inputs),
+                output_index
+            ),
+            _ => format!("\"equivalent\":{}", self.equivalent),
+        }
+    }
+}
+
 /// Terminal result of one job.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JobOutcome {
     /// The flow completed; the QoR record is attached.
     Done(DesignQor),
+    /// A `verify` job completed with an equivalence verdict (either way —
+    /// "not equivalent" is a successful check, not a failure).
+    Verified(VerifyVerdict),
     /// The job failed (parse error, flow error, or captured panic).
     Failed(String),
 }
@@ -194,22 +243,25 @@ pub struct JobReport {
 }
 
 impl JobReport {
-    /// `true` when the job completed with a QoR record.
+    /// `true` when the job completed — with a QoR record, or (for a
+    /// `verify` job) with an equivalence verdict of either polarity.
     pub fn is_done(&self) -> bool {
-        matches!(self.outcome, JobOutcome::Done(_))
+        matches!(self.outcome, JobOutcome::Done(_) | JobOutcome::Verified(_))
     }
 
     /// The QoR record of a completed job.
     pub fn qor(&self) -> Option<&DesignQor> {
         match &self.outcome {
             JobOutcome::Done(qor) => Some(qor),
-            JobOutcome::Failed(_) => None,
+            JobOutcome::Verified(_) | JobOutcome::Failed(_) => None,
         }
     }
 
     /// Serializes the report as one JSONL line (no trailing newline).
     ///
     /// `{"job":…,"status":"done",…qor fields…}` on success,
+    /// `{"job":…,"status":"verified","equivalent":…}` for a verify job
+    /// (plus `counterexample` and `output_index` when not equivalent),
     /// `{"job":…,"status":"failed","error":…}` on failure.
     pub fn to_jsonl(&self) -> String {
         match &self.outcome {
@@ -217,6 +269,11 @@ impl JobReport {
                 "{{\"job\":{},\"status\":\"done\",{}}}",
                 escape_string(&self.job),
                 qor.json_fields()
+            ),
+            JobOutcome::Verified(verdict) => format!(
+                "{{\"job\":{},\"status\":\"verified\",{}}}",
+                escape_string(&self.job),
+                verdict.json_fields()
             ),
             JobOutcome::Failed(error) => format!(
                 "{{\"job\":{},\"status\":\"failed\",\"error\":{}}}",
@@ -300,6 +357,38 @@ mod tests {
         let fresh = JobReport { job: "a".into(), outcome: JobOutcome::Done(qor()), cached: false };
         let cached = JobReport { cached: true, ..fresh.clone() };
         assert_eq!(fresh.to_jsonl(), cached.to_jsonl());
+    }
+
+    #[test]
+    fn verified_lines_are_minimal_and_deterministic() {
+        let equivalent = JobReport {
+            job: "pair".into(),
+            outcome: JobOutcome::Verified(VerifyVerdict::equivalent()),
+            cached: false,
+        };
+        assert_eq!(
+            equivalent.to_jsonl(),
+            "{\"job\":\"pair\",\"status\":\"verified\",\"equivalent\":true}"
+        );
+        assert!(equivalent.is_done());
+        assert!(equivalent.qor().is_none());
+
+        let refuted = JobReport {
+            job: "pair".into(),
+            outcome: JobOutcome::Verified(VerifyVerdict::counterexample("0110".into(), 2)),
+            cached: false,
+        };
+        assert_eq!(
+            refuted.to_jsonl(),
+            concat!(
+                "{\"job\":\"pair\",\"status\":\"verified\",\"equivalent\":false,",
+                "\"counterexample\":\"0110\",\"output_index\":2}"
+            )
+        );
+        assert!(refuted.is_done(), "a refuted check still *completed*");
+        // The cached flag never leaks into the line.
+        let cached = JobReport { cached: true, ..refuted.clone() };
+        assert_eq!(cached.to_jsonl(), refuted.to_jsonl());
     }
 
     #[test]

@@ -20,6 +20,13 @@ pub enum EquivalenceResult {
         output_index: usize,
         /// Index of the first differing pattern.
         pattern_index: usize,
+        /// The failing input vector, one value per primary input in input
+        /// order — directly comparable to a CEC counterexample.
+        inputs: Vec<bool>,
+        /// The differing output bit of network `a` under that vector.
+        output_a: bool,
+        /// The differing output bit of network `b` under that vector.
+        output_b: bool,
     },
     /// The two networks have different interfaces and cannot be compared.
     InterfaceMismatch,
@@ -57,9 +64,15 @@ fn compare_with_patterns(a: &Network, b: &Network, patterns: &PatternSet) -> Equ
             if wa != wb {
                 let diff = wa ^ wb;
                 let bit = diff.trailing_zeros() as usize;
+                let pattern_index = w * 64 + bit;
+                let inputs =
+                    (0..a.inputs().len()).map(|i| patterns.bit(i, pattern_index)).collect();
                 return EquivalenceResult::Mismatch {
                     output_index: oi,
-                    pattern_index: w * 64 + bit,
+                    pattern_index,
+                    inputs,
+                    output_a: wa >> bit & 1 == 1,
+                    output_b: wb >> bit & 1 == 1,
                 };
             }
         }
@@ -168,10 +181,21 @@ mod tests {
         y.output("f");
         let y = y.finish().unwrap();
         match check_equivalence_exhaustive(&x, &y) {
-            EquivalenceResult::Mismatch { output_index, pattern_index } => {
+            EquivalenceResult::Mismatch {
+                output_index,
+                pattern_index,
+                inputs,
+                output_a,
+                output_b,
+            } => {
                 assert_eq!(output_index, 0);
                 // AND and OR differ exactly on patterns 01 and 10.
                 assert!(pattern_index == 1 || pattern_index == 2);
+                // The surfaced input vector is the failing pattern itself…
+                assert_eq!(inputs, vec![pattern_index == 1, pattern_index == 2]);
+                // …and the output bits replay it: AND gives 0, OR gives 1.
+                assert!(!output_a);
+                assert!(output_b);
             }
             other => panic!("expected mismatch, got {other:?}"),
         }

@@ -1,0 +1,337 @@
+//! Adversarial tests for the SAT-based combinational equivalence checker
+//! (`rapids-cec`).
+//!
+//! Three angles of attack:
+//!
+//! 1. **Mutation campaign** — every generator family is corrupted with
+//!    random single-gate mutations (kind flip, input swap, polarity flip);
+//!    a function-changing mutant MUST come back `NotEquivalent` with a
+//!    counterexample the plain simulator confirms, and a benign mutant
+//!    (`EquivalentProven`) is cross-checked exhaustively so no mutant can
+//!    escape through a bogus UNSAT proof.
+//! 2. **CEC vs simulation on real optimizer output** — seeded gsg / GS /
+//!    gsg+GS runs (with ES swaps) over suite designs; the prover and the
+//!    random-vector oracle must never disagree in the equivalent direction.
+//! 3. **Pipeline safety net** — `SafetyNet::Sat` must produce
+//!    `equivalence_proven` reports end to end.
+//!
+//! The full 19-design acceptance sweep is `#[ignore]`d (run with
+//! `cargo test --release --test integration_cec -- --ignored`).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rapids_cec::{check_equivalence, CecConfig, CecResult};
+use rapids_circuits::generators::alu::alu;
+use rapids_circuits::generators::multiplier::array_multiplier;
+use rapids_circuits::generators::parity::error_corrector;
+use rapids_circuits::generators::random_logic::{random_logic, RandomLogicConfig};
+use rapids_circuits::{map_to_library, suite_names};
+use rapids_core::OptimizerKind;
+use rapids_flow::{CircuitSource, Pipeline, PipelineConfig, SafetyNet};
+use rapids_netlist::{GateId, GateType, Network, PinRef};
+use rapids_sim::{check_equivalence_exhaustive, check_equivalence_random, Simulator};
+
+// ---------------------------------------------------------------------------
+// Mutation machinery
+// ---------------------------------------------------------------------------
+
+/// One mapped, smallish representative per generator family.  Input counts
+/// stay ≤ 16 so benign mutants can be cross-checked *exhaustively*.
+fn families() -> Vec<(&'static str, Network)> {
+    let raw = vec![
+        ("alu", alu(4)),
+        ("multiplier", array_multiplier(4)),
+        ("error-corrector", error_corrector(2, 5)),
+        (
+            "random-logic",
+            random_logic(
+                &RandomLogicConfig {
+                    inputs: 12,
+                    outputs: 8,
+                    gates: 90,
+                    xor_fraction: 0.25,
+                    inverter_fraction: 0.15,
+                    max_fanin: 4,
+                    locality: 12.0,
+                },
+                0xFA_CE,
+            ),
+        ),
+    ];
+    raw.into_iter()
+        .map(|(name, net)| {
+            let mapped = map_to_library(&net, 4).expect("family maps cleanly");
+            assert!(mapped.inputs().len() <= 16, "{name} must stay exhaustively checkable");
+            (name, mapped)
+        })
+        .collect()
+}
+
+fn pick<T: Copy>(items: &[T], rng: &mut StdRng) -> T {
+    items[rng.gen::<u64>() as usize % items.len()]
+}
+
+/// Applies one random single-gate corruption to a clone of `base`.  Returns
+/// `None` when the drawn mutation is inapplicable (e.g. it would create a
+/// combinational cycle); the campaign loop just redraws.
+fn mutate(base: &Network, rng: &mut StdRng) -> Option<(Network, &'static str)> {
+    let mut net = base.clone();
+    let logic: Vec<GateId> = net.iter_logic().collect();
+    if logic.is_empty() {
+        return None;
+    }
+    match rng.gen::<u64>() % 3 {
+        // Kind flip: replace the gate's function with a different one of the
+        // same arity.
+        0 => {
+            let g = pick(&logic, rng);
+            let arity = net.fanins(g).len();
+            let current = net.gate(g).gtype;
+            let candidates: Vec<GateType> = [
+                GateType::Buf,
+                GateType::Inv,
+                GateType::And,
+                GateType::Or,
+                GateType::Xor,
+                GateType::Nand,
+                GateType::Nor,
+                GateType::Xnor,
+            ]
+            .into_iter()
+            .filter(|&t| t != current && t.accepts_fanin_count(arity))
+            .collect();
+            if candidates.is_empty() {
+                return None;
+            }
+            let flipped = pick(&candidates, rng);
+            net.set_gate_type(g, flipped).ok()?;
+            Some((net, "kind-flip"))
+        }
+        // Input swap: exchange the drivers of two pins (possibly on two
+        // different gates — a mis-wire, the fault rewiring could introduce).
+        1 => {
+            let mut pins = Vec::new();
+            for &g in &logic {
+                for p in 0..net.fanins(g).len() {
+                    pins.push(PinRef::new(g, p));
+                }
+            }
+            if pins.len() < 2 {
+                return None;
+            }
+            let a = pick(&pins, rng);
+            let b = pick(&pins, rng);
+            let da = net.fanins(a.gate)[a.index];
+            let db = net.fanins(b.gate)[b.index];
+            if da == db {
+                return None;
+            }
+            // Reject swaps whose new edges db→a.gate / da→b.gate would close
+            // a combinational cycle.
+            if net.reaches(a.gate, db) || net.reaches(b.gate, da) {
+                return None;
+            }
+            net.swap_pin_drivers(a, b).ok()?;
+            Some((net, "input-swap"))
+        }
+        // Polarity flip: invert the gate's output (AND→NAND, XOR→XNOR, …).
+        _ => {
+            let g = pick(&logic, rng);
+            let current = net.gate(g).gtype;
+            if current.is_source() {
+                return None;
+            }
+            net.set_gate_type(g, current.inverted_form()).ok()?;
+            Some((net, "polarity-flip"))
+        }
+    }
+}
+
+/// Runs the kill-or-cross-check protocol for one family.  Every CEC `SAT`
+/// answer must replay on the simulator; every CEC `UNSAT` answer must
+/// survive an exhaustive simulation cross-check (an exhaustive mismatch
+/// after a "proof" would be an escaped mutant — the one unforgivable bug).
+fn run_campaign(name: &str, reference: &Network, seed: u64, target_kills: usize) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut killed = 0usize;
+    let mut benign = 0usize;
+    let mut attempts = 0usize;
+    let sim_ref = Simulator::new(reference);
+    while killed < target_kills {
+        attempts += 1;
+        assert!(
+            attempts < 64 * target_kills,
+            "{name}: only {killed} mutants killed in {attempts} attempts"
+        );
+        let Some((mutant, op)) = mutate(reference, &mut rng) else { continue };
+        match check_equivalence(reference, &mutant, &CecConfig::default()) {
+            CecResult::NotEquivalent(cex) => {
+                // The counterexample must replay on the independent simulator.
+                let ya = sim_ref.simulate_bools(reference, &cex.inputs);
+                let yb = Simulator::new(&mutant).simulate_bools(&mutant, &cex.inputs);
+                assert_eq!(
+                    ya[cex.output_index],
+                    cex.output_a,
+                    "{name}/{op}: reference output mismatch replaying {}",
+                    cex.input_bits()
+                );
+                assert_eq!(
+                    yb[cex.output_index],
+                    cex.output_b,
+                    "{name}/{op}: mutant output mismatch replaying {}",
+                    cex.input_bits()
+                );
+                assert_ne!(
+                    ya[cex.output_index], yb[cex.output_index],
+                    "{name}/{op}: counterexample does not distinguish the networks"
+                );
+                killed += 1;
+            }
+            CecResult::EquivalentProven => {
+                // A benign mutation (symmetric-pin swap, dead logic…).  The
+                // proof must agree with ground truth: zero escaped mutants.
+                benign += 1;
+                assert!(
+                    check_equivalence_exhaustive(reference, &mutant).is_equivalent(),
+                    "{name}/{op}: ESCAPED MUTANT — CEC proved UNSAT but exhaustive \
+                     simulation found a difference"
+                );
+            }
+            other => panic!("{name}/{op}: unexpected CEC outcome {other:?}"),
+        }
+    }
+    // Sanity: the campaign actually exercised the SAT path heavily.
+    assert_eq!(killed, target_kills, "{name}: campaign under-ran ({benign} benign)");
+}
+
+#[test]
+fn mutation_campaign_alu() {
+    let fams = families();
+    run_campaign(fams[0].0, &fams[0].1, 0xA1, 12);
+}
+
+#[test]
+fn mutation_campaign_multiplier() {
+    let fams = families();
+    run_campaign(fams[1].0, &fams[1].1, 0xB2, 12);
+}
+
+#[test]
+fn mutation_campaign_error_corrector() {
+    let fams = families();
+    run_campaign(fams[2].0, &fams[2].1, 0xC3, 12);
+}
+
+#[test]
+fn mutation_campaign_random_logic() {
+    let fams = families();
+    run_campaign(fams[3].0, &fams[3].1, 0xD4, 12);
+}
+
+// ---------------------------------------------------------------------------
+// CEC vs simulation on real optimizer output
+// ---------------------------------------------------------------------------
+
+/// Optimizes `name` with `kind` (ES swaps on) and requires (a) a SAT proof
+/// of equivalence and (b) agreement with the random-vector oracle.  The two
+/// must never disagree in the equivalent direction.
+fn optimize_and_prove(name: &str, kind: OptimizerKind) {
+    let mut config = PipelineConfig { seed: 17, ..PipelineConfig::fast() };
+    config.optimizer.include_inverting_swaps = true;
+    let pipeline = Pipeline::new(config);
+    let design = pipeline.prepare(CircuitSource::suite(name)).unwrap();
+    let report = pipeline.optimize(&design, kind).unwrap();
+
+    let cec = check_equivalence(&design.network, &report.network, &CecConfig::default());
+    assert!(
+        matches!(cec, CecResult::EquivalentProven),
+        "{name}/{kind}: optimizer output not proven equivalent: {cec:?}"
+    );
+    assert!(
+        check_equivalence_random(&design.network, &report.network, 2048, 0x5EED).is_equivalent(),
+        "{name}/{kind}: CEC proved UNSAT but random simulation disagrees"
+    );
+}
+
+#[test]
+fn cec_agrees_with_simulation_gsg() {
+    optimize_and_prove("alu2", OptimizerKind::Rewiring);
+}
+
+#[test]
+fn cec_agrees_with_simulation_gs() {
+    optimize_and_prove("alu2", OptimizerKind::Sizing);
+}
+
+#[test]
+fn cec_agrees_with_simulation_combined() {
+    optimize_and_prove("c432", OptimizerKind::Combined);
+}
+
+#[test]
+fn cec_agrees_with_simulation_xor_heavy() {
+    optimize_and_prove("c499", OptimizerKind::Combined);
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline SafetyNet::Sat
+// ---------------------------------------------------------------------------
+
+#[test]
+fn sat_safety_net_proves_equivalence_end_to_end() {
+    let mut config = PipelineConfig {
+        seed: 17,
+        verify_equivalence: true,
+        safety_net: SafetyNet::Sat,
+        ..PipelineConfig::fast()
+    };
+    config.optimizer.include_inverting_swaps = true;
+    let pipeline = Pipeline::new(config);
+    let report = pipeline.run(CircuitSource::suite("alu2")).unwrap();
+    assert!(report.equivalence_verified, "safety net did not run");
+    assert!(report.equivalence_proven, "SAT net ran but did not prove equivalence");
+}
+
+#[test]
+fn simulation_safety_net_does_not_claim_proof() {
+    let pipeline = Pipeline::new(PipelineConfig {
+        seed: 17,
+        verify_equivalence: true,
+        safety_net: SafetyNet::Simulation,
+        ..PipelineConfig::fast()
+    });
+    let report = pipeline.run(CircuitSource::suite("alu2")).unwrap();
+    assert!(report.equivalence_verified);
+    assert!(!report.equivalence_proven, "simulation must not be reported as a proof");
+}
+
+// ---------------------------------------------------------------------------
+// Full-suite acceptance sweep (release-mode, run explicitly)
+// ---------------------------------------------------------------------------
+
+/// Acceptance criterion: CEC proves UNSAT for every design in the 19-entry
+/// Table 1 suite after the full gsg+GS optimization with ES swaps.
+#[test]
+#[ignore = "whole-suite proof sweep; run with --release -- --ignored"]
+fn cec_proves_full_suite_after_combined_es() {
+    let mut config = PipelineConfig { seed: 17, ..PipelineConfig::fast() };
+    config.optimizer.include_inverting_swaps = true;
+    let pipeline = Pipeline::new(config);
+    for name in suite_names() {
+        let design = pipeline.prepare(CircuitSource::suite(name)).unwrap();
+        let report = pipeline.optimize(&design, OptimizerKind::Combined).unwrap();
+        let (result, stats) = rapids_cec::check_equivalence_with_stats(
+            &design.network,
+            &report.network,
+            &CecConfig::default(),
+        );
+        assert!(
+            matches!(result, CecResult::EquivalentProven),
+            "{name}: not proven ({result:?}; {stats:?})"
+        );
+        println!(
+            "{name}: proven ({} dag nodes, {} solved pairs, {} conflicts)",
+            stats.dag_nodes, stats.solved_pairs, stats.conflicts
+        );
+    }
+}
