@@ -127,4 +127,20 @@ diff target/ci_store_first.jsonl target/ci_store_second.jsonl
 grep -q 'store: optimizer_runs=0 disk_hits=2 recovered_records=2 dropped_corrupt_records=0' \
     target/ci_store_second.stderr
 
+echo "==> observability smoke (trace validity + metrics pin, byte-identical output)"
+# The serve smoke rerun with the tracer and metrics dump armed: stdout must
+# stay byte-identical to the same pinned expectation (observability never
+# perturbs reports), the Chrome trace must parse and contain the expected
+# span hierarchy, and the deterministic `counters` section of the metrics
+# snapshot must match the committed pin exactly (histograms carry wall-clock
+# and are excluded).  See docs/observability.md.
+timeout 120 ./target/release/rapids-serve --fast --workers 2 --sort \
+    alu2 c432 c499 --blif-dir ci/fixtures \
+    --trace-out target/ci_trace.json --metrics-out target/ci_metrics.json \
+    2> /dev/null | diff - ci/expected_serve_smoke.jsonl
+./target/release/trace_check target/ci_trace.json \
+    serve.job serve.resolve serve.run stage.sta sta.full optimizer.pass > /dev/null
+sed -n '/^  "counters": {$/,/^  },$/p' target/ci_metrics.json \
+    | diff - ci/expected_metrics_smoke.json
+
 echo "==> OK"

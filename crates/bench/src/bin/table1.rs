@@ -15,6 +15,7 @@
 //! cargo run -p rapids-bench --release --bin table1 -- --es     # allow inverting (ES) swaps
 //! cargo run -p rapids-bench --release --bin table1 -- --legalize # row-legal placements
 //! cargo run -p rapids-bench --release --bin table1 -- --blif-dir designs/  # real netlists
+//! cargo run -p rapids-bench --release --bin table1 -- --trace-out trace.json # Chrome trace
 //! ```
 
 use std::io::Write as _;
@@ -36,6 +37,7 @@ fn main() {
     let mut include_inverting = false;
     let mut legalize = false;
     let mut blif_dirs: Vec<String> = Vec::new();
+    let mut trace_path: Option<String> = None;
     let mut names: Vec<String> = Vec::new();
     let mut iter = args.into_iter();
     let path_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
@@ -55,6 +57,7 @@ fn main() {
             "--qor-out" => qor_path = Some(path_arg(&mut iter, "--qor-out")),
             "--check" => check_path = Some(path_arg(&mut iter, "--check")),
             "--blif-dir" => blif_dirs.push(path_arg(&mut iter, "--blif-dir")),
+            "--trace-out" => trace_path = Some(path_arg(&mut iter, "--trace-out")),
             "--threads" => {
                 let value = path_arg(&mut iter, "--threads");
                 threads = value.parse().unwrap_or_else(|_| {
@@ -69,6 +72,11 @@ fn main() {
             }
             name => names.push(name.to_string()),
         }
+    }
+    // Span recording is opt-in: without the sink installed every span in
+    // the flow is a no-op.
+    if trace_path.is_some() {
+        rapids_obs::trace::install();
     }
     // Applied after parsing so `--es --fast` and `--fast --es` agree.
     config.optimizer.include_inverting_swaps = include_inverting;
@@ -130,6 +138,11 @@ fn main() {
     if let Some(path) = qor_path {
         std::fs::write(&path, results_to_qor_json(&results)).expect("write QoR report");
         println!("QoR report written to {path}");
+    }
+    if let Some(path) = trace_path {
+        rapids_obs::trace::write_chrome_trace(std::path::Path::new(&path))
+            .unwrap_or_else(|e| panic!("write trace {path}: {e}"));
+        println!("Chrome trace written to {path}");
     }
     if let Some(path) = check_path {
         let expected = std::fs::read_to_string(&path)

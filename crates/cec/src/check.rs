@@ -219,6 +219,7 @@ pub fn check_equivalence_with_stats(
     }
 
     // Tseitin-encode the needed cones, one clause schema per gate kind.
+    let encode_span = rapids_obs::span("cec.encode");
     let mut clauses = 0u64;
     for net in [a, b] {
         let gate_map = if std::ptr::eq(net, a) { &gates_a } else { &gates_b };
@@ -256,12 +257,14 @@ pub fn check_equivalence_with_stats(
         }
         clauses += builder.clauses;
     }
+    drop(encode_span);
 
     let cancel = config.cancel.clone();
     let mut interrupted = move || cancel.as_ref().is_some_and(CancelToken::is_cancelled);
 
     // Signature-guided SAT sweeping over the encoded cone.
     if config.sweep {
+        let _sweep_span = rapids_obs::span("cec.sweep");
         sweep(&mut solver, &dag, &node_var, &input_vars, config, &mut stats, &mut interrupted);
         if interrupted() {
             stats_from_solver(&mut stats, &solver, clauses);
@@ -284,7 +287,9 @@ pub fn check_equivalence_with_stats(
     }
     solver.add_clause(&miter_lits);
 
+    let solve_span = rapids_obs::span("cec.solve");
     let verdict = solver.solve_limited(&[], config.final_conflict_budget, &mut interrupted);
+    drop(solve_span);
     stats_from_solver(&mut stats, &solver, clauses);
     match verdict {
         SolveResult::Unsat => (CecResult::EquivalentProven, stats),
@@ -318,6 +323,15 @@ fn stats_from_solver(stats: &mut CecStats, solver: &Solver, clauses: u64) {
     stats.conflicts = solver.stats.conflicts;
     stats.decisions = solver.stats.decisions;
     stats.propagations = solver.stats.propagations;
+    // Every check passes through here exactly once with the final solver
+    // state, so this is the one place the global registry is fed.
+    let registry = rapids_obs::global();
+    registry.counter("cec.conflicts").add(solver.stats.conflicts);
+    registry.counter("cec.decisions").add(solver.stats.decisions);
+    registry.counter("cec.propagations").add(solver.stats.propagations);
+    registry.counter("cec.restarts").add(solver.stats.restarts);
+    registry.counter("cec.sweep_candidates").add(stats.sweep_candidates);
+    registry.counter("cec.sweep_proven").add(stats.sweep_proven);
 }
 
 /// The solver literal of a canonical reference.

@@ -306,20 +306,19 @@ impl Optimizer {
         let mut swaps_applied = 0usize;
         let mut inverting_swaps_applied = 0usize;
         let mut gates_resized = 0usize;
-        let mut sizer_sta = IncrementalStats::default();
         match self.config.kind {
             OptimizerKind::Sizing => {
                 let sizer_config = SizerConfig {
                     threads: self.config.sizer.threads.max(self.config.threads),
                     ..self.config.sizer.clone()
                 };
+                // The sizer drives our own engine, which therefore ends the
+                // run current — no second engine, no redundant full
+                // re-analysis, no stats plumb-through to merge back.
                 let outcome = GateSizer::new(sizer_config)
                     .with_cancel(self.cancel.clone())
-                    .optimize(network, library, placement, timing);
+                    .optimize_with(network, library, placement, timing, &mut inc);
                 gates_resized = outcome.resized_gates;
-                sizer_sta = outcome.sta;
-                // The sizer ran its own engine; re-time ours for the report.
-                inc.full(network, library, placement);
             }
             OptimizerKind::Rewiring => {
                 (swaps_applied, inverting_swaps_applied) = self.rewiring_loop(
@@ -394,7 +393,7 @@ impl Optimizer {
             nudge_fallbacks: rows.as_ref().map_or(0, RowModel::nudge_misses),
             cpu_seconds: start.elapsed().as_secs_f64(),
             statistics,
-            sta: inc.stats().merged(sizer_sta),
+            sta: inc.stats(),
         }
     }
 
@@ -417,6 +416,12 @@ impl Optimizer {
         cache: &mut NetCache,
         extraction: &mut Extraction,
     ) -> (usize, usize) {
+        let registry = rapids_obs::global();
+        let pass_counter = registry.counter("optimizer.passes");
+        let swap_counter = registry.counter("optimizer.swaps_applied");
+        let es_counter = registry.counter("optimizer.es_swaps");
+        let rollback_counter = registry.counter("optimizer.rollbacks");
+        let rolled_back_swaps = registry.counter("optimizer.swaps_rolled_back");
         let mut total_swaps = 0usize;
         let mut total_inverting = 0usize;
         let mut best_delay = f64::INFINITY;
@@ -428,6 +433,8 @@ impl Optimizer {
             if inc.report().critical_delay_ns() + 1e-6 >= best_delay && total_swaps > 0 {
                 break;
             }
+            pass_counter.inc();
+            let _pass_span = rapids_obs::span("optimizer.pass");
             best_delay = best_delay.min(inc.report().critical_delay_ns());
             let pass_start_delay = inc.report().critical_delay_ns();
             if network.topo_hint().is_none() {
@@ -534,10 +541,14 @@ impl Optimizer {
                 }
                 placement.truncate_slots(network.gate_count());
                 inc.update(network, library, placement, &touched);
+                rollback_counter.inc();
+                rolled_back_swaps.add(pass_swaps as u64);
                 break;
             }
             total_swaps += pass_swaps;
             total_inverting += pass_inverting;
+            swap_counter.add(pass_swaps as u64);
+            es_counter.add(pass_inverting as u64);
         }
         (total_swaps, total_inverting)
     }
@@ -614,6 +625,8 @@ impl Optimizer {
             if self.cancel.is_cancelled() {
                 break;
             }
+            rapids_obs::metrics::counter("optimizer.sizing_passes").inc();
+            let _pass_span = rapids_obs::span("optimizer.sizing_pass");
             let report = inc.report();
             let pass_start_delay = report.critical_delay_ns();
             let worst = report.worst_slack_ns();
@@ -668,9 +681,11 @@ impl Optimizer {
                     }
                 }
                 inc.update(network, library, placement, &touched);
+                rapids_obs::metrics::counter("optimizer.rollbacks").inc();
                 break;
             }
         }
+        rapids_obs::metrics::counter("sizer.gates_resized").add(resized.len() as u64);
         resized.len()
     }
 }

@@ -524,7 +524,9 @@ impl Pipeline {
         let library = Library::standard_035um();
 
         let start = Instant::now();
+        let place_span = rapids_obs::span("stage.place");
         let mut placement = place(&network, &library, &self.config.placer, self.config.seed);
+        drop(place_span);
         timings.place_s = start.elapsed().as_secs_f64();
 
         // The legalize stage: Abacus full legalization onto the row/site
@@ -536,6 +538,7 @@ impl Pipeline {
         let mut rows = None;
         if self.config.legalize.enabled {
             let start = Instant::now();
+            let _legalize_span = rapids_obs::span("stage.legalize");
             let outcome = legalize(&network, &library, &mut placement);
             let mut model = RowModel::build(&network, &library, &placement);
             let refine = (self.config.legalize.refine_worst_k > 0).then(|| {
@@ -561,6 +564,7 @@ impl Pipeline {
         }
 
         let start = Instant::now();
+        let sta_span = rapids_obs::span("stage.sta");
         let initial_timing = Sta::analyze_with_threads(
             &network,
             &library,
@@ -568,6 +572,7 @@ impl Pipeline {
             &self.config.timing,
             self.config.threads.max(1),
         );
+        drop(sta_span);
         timings.sta_s = start.elapsed().as_secs_f64();
 
         Ok(PreparedDesign {
@@ -627,6 +632,7 @@ impl Pipeline {
             ..self.config.optimizer.clone()
         };
         let rows = if self.config.legalize.nudge_es { design.rows.as_ref() } else { None };
+        let optimize_span = rapids_obs::span("stage.optimize");
         let outcome =
             Optimizer::new(optimizer_config).with_cancel(cancel.clone()).optimize_with_rows(
                 &mut working,
@@ -635,9 +641,11 @@ impl Pipeline {
                 rows,
                 &self.config.timing,
             );
+        drop(optimize_span);
 
         let mut equivalence_proven = false;
         if self.config.verify_equivalence {
+            let _safety_span = rapids_obs::span("stage.safety_net");
             match self.config.safety_net {
                 SafetyNet::Simulation => {
                     let verdict = check_equivalence_random(

@@ -182,10 +182,12 @@ impl RowModel {
         match self.nearest_free_slot(desired, width) {
             Some((row, site)) => {
                 self.occupy(gate, row, site, width);
+                rapids_obs::metrics::counter("legalize.nudges").inc();
                 Some(self.slot_point(row, site))
             }
             None => {
                 self.nudge_misses += 1;
+                rapids_obs::metrics::counter("legalize.nudge_fallbacks").inc();
                 None
             }
         }

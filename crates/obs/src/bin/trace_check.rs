@@ -1,0 +1,415 @@
+//! Offline validator for exported Chrome trace-event files.
+//!
+//! ```text
+//! trace_check FILE [required-span-name ...]
+//! ```
+//!
+//! Checks, exiting nonzero with a message on the first failure:
+//!
+//! 1. `FILE` parses as JSON and is `{"traceEvents": [...]}`;
+//! 2. every event is a complete (`"ph":"X"`) event with a string `name`
+//!    and numeric `ts`/`dur`/`pid`/`tid`;
+//! 3. per `tid`, events form a proper nesting — every pair of intervals
+//!    is either disjoint or fully contained, never partially overlapping
+//!    (the invariant that makes the trace render as a sane flame graph);
+//! 4. every required span name given on the command line occurs at least
+//!    once.
+//!
+//! The parser is a ~100-line recursive-descent JSON reader: the CI gate
+//! must run offline with no Python/jq assumption, and the workspace is
+//! serde-free by design.
+
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Debug, PartialEq)]
+enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { bytes: text.as_bytes(), pos: 0 }
+    }
+
+    fn err(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", c as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Value) -> Result<Value, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(pairs));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            pairs.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(pairs));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8 sequences pass through untouched.
+                    let len = match b {
+                        0x00..=0x7f => 1,
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let chunk = self
+                        .bytes
+                        .get(self.pos..self.pos + len)
+                        .ok_or_else(|| self.err("truncated UTF-8"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk).map_err(|_| self.err("invalid UTF-8"))?,
+                    );
+                    self.pos += len;
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+}
+
+fn parse(text: &str) -> Result<Value, String> {
+    let mut p = Parser::new(text);
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing garbage after JSON value"));
+    }
+    Ok(v)
+}
+
+struct Interval {
+    name: String,
+    ts: f64,
+    end: f64,
+}
+
+/// Sub-nanosecond slack for float comparison; exported timestamps carry
+/// exactly three decimals (nanosecond resolution), so this never flips a
+/// real overlap into containment.
+const EPS: f64 = 1e-6;
+
+fn check(trace: &Value, required: &[String]) -> Result<(usize, usize), String> {
+    let Some(Value::Arr(events)) = trace.get("traceEvents") else {
+        return Err("top-level object has no `traceEvents` array".to_string());
+    };
+    let mut by_tid: BTreeMap<u64, Vec<Interval>> = BTreeMap::new();
+    let mut names_seen: Vec<String> = Vec::new();
+    for (i, event) in events.iter().enumerate() {
+        let field =
+            |key: &str| event.get(key).ok_or_else(|| format!("event {i}: missing field `{key}`"));
+        let name =
+            field("name")?.as_str().ok_or_else(|| format!("event {i}: `name` is not a string"))?;
+        let ph = field("ph")?.as_str().ok_or_else(|| format!("event {i}: `ph` is not a string"))?;
+        if ph != "X" {
+            return Err(format!("event {i} (`{name}`): ph is `{ph}`, expected complete `X`"));
+        }
+        let num = |key: &str| -> Result<f64, String> {
+            field(key)?.as_num().ok_or_else(|| format!("event {i}: `{key}` is not a number"))
+        };
+        let ts = num("ts")?;
+        let dur = num("dur")?;
+        num("pid")?;
+        let tid = num("tid")? as u64;
+        if ts < 0.0 || dur < 0.0 {
+            return Err(format!("event {i} (`{name}`): negative ts/dur"));
+        }
+        names_seen.push(name.to_string());
+        by_tid.entry(tid).or_default().push(Interval { name: name.to_string(), ts, end: ts + dur });
+    }
+
+    // Nesting check per thread: sweep intervals by (start asc, longest
+    // first) with a stack of open ancestors.  Each interval must close
+    // inside the innermost still-open one or the nesting is broken.
+    let tid_count = by_tid.len();
+    for (tid, intervals) in by_tid.iter_mut() {
+        intervals.sort_by(|a, b| {
+            a.ts.partial_cmp(&b.ts)
+                .unwrap()
+                .then(b.end.partial_cmp(&a.end).unwrap())
+                .then(a.name.cmp(&b.name))
+        });
+        let mut stack: Vec<&Interval> = Vec::new();
+        for iv in intervals.iter() {
+            while let Some(top) = stack.last() {
+                if top.end <= iv.ts + EPS {
+                    stack.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(top) = stack.last() {
+                if iv.end > top.end + EPS {
+                    return Err(format!(
+                        "tid {tid}: span `{}` [{:.3}, {:.3}] partially overlaps \
+                         enclosing `{}` [{:.3}, {:.3}] — not a proper nesting",
+                        iv.name, iv.ts, iv.end, top.name, top.ts, top.end
+                    ));
+                }
+            }
+            stack.push(iv);
+        }
+    }
+
+    for want in required {
+        if !names_seen.iter().any(|n| n == want) {
+            return Err(format!("required span name `{want}` never appears in the trace"));
+        }
+    }
+    Ok((names_seen.len(), tid_count))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check FILE [required-span-name ...]");
+        return ExitCode::FAILURE;
+    };
+    let required: Vec<String> = args.collect();
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match parse(&text).and_then(|v| check(&v, &required)) {
+        Ok((events, tids)) => {
+            println!("trace_check: {path}: {events} event(s) across {tids} thread(s), nesting OK");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(name: &str, tid: u64, ts: f64, dur: f64) -> String {
+        format!(
+            "{{\"name\":\"{name}\",\"cat\":\"t\",\"ph\":\"X\",\"ts\":{ts},\"dur\":{dur},\
+             \"pid\":1,\"tid\":{tid}}}"
+        )
+    }
+
+    fn trace(events: &[String]) -> Value {
+        parse(&format!("{{\"traceEvents\":[{}]}}", events.join(","))).unwrap()
+    }
+
+    #[test]
+    fn accepts_proper_nesting_and_finds_required_names() {
+        let t = trace(&[
+            ev("job", 1, 0.0, 100.0),
+            ev("stage", 1, 10.0, 50.0),
+            ev("pass", 1, 12.0, 8.0),
+            ev("pass", 1, 30.0, 8.0),
+            ev("job", 2, 5.0, 40.0),
+        ]);
+        let (events, tids) = check(&t, &["job".to_string(), "pass".to_string()]).unwrap();
+        assert_eq!((events, tids), (5, 2));
+    }
+
+    #[test]
+    fn rejects_partial_overlap() {
+        let t = trace(&[ev("a", 1, 0.0, 10.0), ev("b", 1, 5.0, 10.0)]);
+        let err = check(&t, &[]).unwrap_err();
+        assert!(err.contains("partially overlaps"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_required_name() {
+        let t = trace(&[ev("a", 1, 0.0, 10.0)]);
+        let err = check(&t, &["stage.sta".to_string()]).unwrap_err();
+        assert!(err.contains("stage.sta"), "{err}");
+    }
+
+    #[test]
+    fn rejects_malformed_events_and_garbage() {
+        assert!(parse("{\"traceEvents\":[{}]").is_err(), "truncated");
+        assert!(parse("{} junk").is_err(), "trailing garbage");
+        let t = parse(
+            "{\"traceEvents\":[{\"name\":\"x\",\"ph\":\"B\",\"ts\":0,\"dur\":0,\
+                        \"pid\":1,\"tid\":1}]}",
+        )
+        .unwrap();
+        assert!(check(&t, &[]).unwrap_err().contains("expected complete"));
+        let t = parse("{\"nope\":[]}").unwrap();
+        assert!(check(&t, &[]).unwrap_err().contains("traceEvents"));
+    }
+
+    #[test]
+    fn parses_escapes_and_numbers() {
+        let v = parse("{\"a\":\"q\\\"\\u0041\\n\",\"b\":[-1.5e2,true,null]}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_str().unwrap(), "q\"A\n");
+        let Some(Value::Arr(items)) = v.get("b") else { panic!() };
+        assert_eq!(items[0].as_num().unwrap(), -150.0);
+        assert_eq!(items[1], Value::Bool(true));
+        assert_eq!(items[2], Value::Null);
+    }
+}

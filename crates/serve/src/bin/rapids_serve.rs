@@ -19,9 +19,17 @@
 //! instead (byte-identical for every `--workers` count).  The summary goes
 //! to stderr so stdout stays machine-readable.  See `docs/serving.md` for
 //! the job schema, report fields, cache key and determinism guarantees.
+//!
+//! Observability (`docs/observability.md`): `--trace-out FILE` writes a
+//! Chrome trace-event JSON of the run's span tree, `--metrics-out FILE`
+//! writes the final metrics snapshot, `--heartbeat-s N` prints a progress
+//! line to stderr every N seconds, and `--quiet` suppresses everything on
+//! stderr except errors.  None of these change a single stdout byte.
 
 use std::io::Write as _;
 use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use rapids_circuits::suite_names;
 use rapids_flow::PipelineConfig;
@@ -51,6 +59,10 @@ fn main() {
     let mut timeout_s: Option<f64> = None;
     let mut max_pending = 0usize;
     let mut fault_plan_spec: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
+    let mut heartbeat_s: Option<u64> = None;
+    let mut quiet = false;
 
     let mut iter = args.into_iter();
     let value_arg = |iter: &mut std::vec::IntoIter<String>, flag: &str| -> String {
@@ -107,6 +119,17 @@ fn main() {
             }
             // Hidden knob: deterministic fault injection (docs/robustness.md).
             "--fault-plan" => fault_plan_spec = Some(value_arg(&mut iter, "--fault-plan")),
+            "--trace-out" => trace_out = Some(value_arg(&mut iter, "--trace-out")),
+            "--metrics-out" => metrics_out = Some(value_arg(&mut iter, "--metrics-out")),
+            "--heartbeat-s" => {
+                let value = parse_num(&value_arg(&mut iter, "--heartbeat-s"), "--heartbeat-s");
+                if value == 0 {
+                    eprintln!("--heartbeat-s must be at least 1");
+                    std::process::exit(2);
+                }
+                heartbeat_s = Some(value);
+            }
+            "--quiet" => quiet = true,
             "--threads" => {
                 threads = Some(parse_num(&value_arg(&mut iter, "--threads"), "--threads") as usize)
             }
@@ -116,6 +139,16 @@ fn main() {
             }
             name => names.push(name.to_string()),
         }
+    }
+
+    // Observability setup, before any work runs: `--quiet` drops the
+    // stderr level to errors only, `--trace-out` installs the span sink
+    // (spans are no-ops without it).
+    if quiet {
+        rapids_obs::log::set_max_level(rapids_obs::log::Level::Error);
+    }
+    if trace_out.is_some() {
+        rapids_obs::trace::install();
     }
 
     let mut config = if fast { PipelineConfig::fast() } else { PipelineConfig::default() };
@@ -133,13 +166,13 @@ fn main() {
     let mut jobs: Vec<Job> = Vec::new();
     if let Some(path) = &jobs_path {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-            eprintln!("cannot read job file {path}: {e}");
+            rapids_obs::error!("cannot read job file {path}: {e}");
             std::process::exit(2);
         });
         match jobs_from_jsonl(&text, &config) {
             Ok(parsed) => jobs.extend(parsed),
             Err((line, error)) => {
-                eprintln!("{path}:{line}: bad job spec: {error}");
+                rapids_obs::error!("{path}:{line}: bad job spec: {error}");
                 std::process::exit(2);
             }
         }
@@ -153,19 +186,19 @@ fn main() {
         match jobs_from_blif_dir(dir, &config) {
             Ok(discovered) => {
                 if discovered.is_empty() {
-                    eprintln!("note: no .blif files under {dir}");
+                    rapids_obs::info!("note: no .blif files under {dir}");
                 }
                 jobs.extend(discovered);
             }
             Err(e) => {
-                eprintln!("cannot scan {dir}: {e}");
+                rapids_obs::error!("cannot scan {dir}: {e}");
                 std::process::exit(2);
             }
         }
     }
 
     if jobs.is_empty() && listen_addr.is_none() {
-        eprintln!(
+        rapids_obs::error!(
             "nothing to do: pass suite names, --suite, --jobs FILE, --blif-dir DIR or --listen ADDR"
         );
         std::process::exit(2);
@@ -186,11 +219,11 @@ fn main() {
     };
     if let Some(dir) = &store_dir {
         let store = ResultStore::open(dir).unwrap_or_else(|e| {
-            eprintln!("cannot open result store {dir}: {e}");
+            rapids_obs::error!("cannot open result store {dir}: {e}");
             std::process::exit(2);
         });
         if store.dropped_corrupt_records() > 0 {
-            eprintln!(
+            rapids_obs::warn!(
                 "store: recovered {} record(s), truncated a torn/corrupt tail",
                 store.recovered_records()
             );
@@ -199,7 +232,7 @@ fn main() {
     }
     if let Some(spec) = &fault_plan_spec {
         let plan = FaultPlan::parse(spec).unwrap_or_else(|e| {
-            eprintln!("bad --fault-plan: {e}");
+            rapids_obs::error!("bad --fault-plan: {e}");
             std::process::exit(2);
         });
         engine = engine.with_fault_plan(plan);
@@ -208,7 +241,7 @@ fn main() {
 
     let mut sink: Box<dyn std::io::Write> = match &out_path {
         Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("cannot create {path}: {e}");
+            rapids_obs::error!("cannot create {path}: {e}");
             std::process::exit(2);
         })),
         None => Box::new(std::io::stdout()),
@@ -216,8 +249,34 @@ fn main() {
 
     if !jobs.is_empty() {
         let start = std::time::Instant::now();
+        // Heartbeat: a watcher thread summarizing progress on stderr every
+        // N seconds.  Purely observational — it reads a counter the result
+        // callback bumps and never touches jobs or reports.
+        let completed = Arc::new(AtomicUsize::new(0));
+        let batch_done = Arc::new(AtomicBool::new(false));
+        let heartbeat = heartbeat_s.map(|secs| {
+            let completed = Arc::clone(&completed);
+            let batch_done = Arc::clone(&batch_done);
+            let total = jobs.len();
+            std::thread::spawn(move || {
+                let period = std::time::Duration::from_secs(secs);
+                let mut next = std::time::Instant::now() + period;
+                while !batch_done.load(Ordering::Relaxed) {
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    if std::time::Instant::now() >= next {
+                        rapids_obs::info!(
+                            "heartbeat: {}/{} jobs done",
+                            completed.load(Ordering::Relaxed),
+                            total
+                        );
+                        next += period;
+                    }
+                }
+            })
+        });
         let mut buffered: Vec<String> = Vec::new();
         let summary = server.run_streaming(&jobs, |report| {
+            completed.fetch_add(1, Ordering::Relaxed);
             let line = report.to_jsonl();
             if sort {
                 buffered.push(line);
@@ -226,6 +285,10 @@ fn main() {
                 sink.flush().expect("flush report line");
             }
         });
+        batch_done.store(true, Ordering::Relaxed);
+        if let Some(handle) = heartbeat {
+            let _ = handle.join();
+        }
         if sort {
             canonical_sort(&mut buffered);
             for line in &buffered {
@@ -233,7 +296,7 @@ fn main() {
             }
             sink.flush().expect("flush report lines");
         }
-        eprintln!(
+        rapids_obs::info!(
             "serve: {} jobs — {} done ({} cached), {} failed — {:.1} s with {} worker(s)",
             jobs.len(),
             summary.done,
@@ -243,8 +306,9 @@ fn main() {
             server.workers(),
         );
         if store_dir.is_some() {
-            // Deterministic shape so CI can grep it.
-            eprintln!(
+            // Deterministic shape so CI can grep it (byte-identical at the
+            // default log level — `obs::log` adds no prefix).
+            rapids_obs::info!(
                 "store: optimizer_runs={} disk_hits={} recovered_records={} dropped_corrupt_records={}",
                 server.engine().optimizer_runs(),
                 server.engine().disk_hits(),
@@ -256,17 +320,30 @@ fn main() {
 
     if let Some(addr) = listen_addr {
         let listener = TcpListener::bind(&addr).unwrap_or_else(|e| {
-            eprintln!("cannot bind {addr}: {e}");
+            rapids_obs::error!("cannot bind {addr}: {e}");
             std::process::exit(2);
         });
-        eprintln!("listening on {addr} (send {{\"cmd\":\"shutdown\"}} to stop)");
+        rapids_obs::info!("listening on {addr} (send {{\"cmd\":\"shutdown\"}} to stop)");
         match rapids_serve::net::serve_connections_bounded(server.engine(), &listener, max_pending)
         {
-            Ok(served) => eprintln!("served {served} job line(s); shutting down"),
+            Ok(served) => rapids_obs::info!("served {served} job line(s); shutting down"),
             Err(e) => {
-                eprintln!("listener error: {e}");
+                rapids_obs::error!("listener error: {e}");
                 std::process::exit(1);
             }
+        }
+    }
+
+    if let Some(path) = &trace_out {
+        if let Err(e) = rapids_obs::trace::write_chrome_trace(std::path::Path::new(path)) {
+            rapids_obs::error!("cannot write trace {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(path) = &metrics_out {
+        if let Err(e) = std::fs::write(path, server.engine().metrics_snapshot().to_json_pretty()) {
+            rapids_obs::error!("cannot write metrics {path}: {e}");
+            std::process::exit(1);
         }
     }
 }

@@ -15,7 +15,6 @@
 
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -72,6 +71,7 @@ impl LruCache {
                     .expect("a full cache has entries");
                 self.entries.remove(&oldest);
                 self.evictions += 1;
+                rapids_obs::metrics::counter("serve.evictions").inc();
             }
         }
     }
@@ -100,10 +100,17 @@ pub struct Engine {
     /// fingerprint B)* netlist pair — resubmitting the same pair answers
     /// from here, byte-identically, without re-running the SAT check.
     verify_cache: Mutex<HashMap<(u64, u64), VerifyVerdict>>,
-    optimizer_runs: AtomicUsize,
-    verify_runs: AtomicUsize,
-    cache_hits: AtomicUsize,
-    resolutions: AtomicUsize,
+    /// Per-engine metrics registry: run/hit counters and the per-job
+    /// latency histogram live here (not in the process-global registry),
+    /// so each engine's tallies stay exact under concurrent engines — the
+    /// cache tests assert exact counts.  [`Engine::metrics_snapshot`]
+    /// merges this registry over the global one.
+    metrics: rapids_obs::Registry,
+    optimizer_runs: rapids_obs::Counter,
+    verify_runs: rapids_obs::Counter,
+    cache_hits: rapids_obs::Counter,
+    resolutions: rapids_obs::Counter,
+    job_us: rapids_obs::Histogram,
 }
 
 impl Engine {
@@ -123,6 +130,7 @@ impl Engine {
     }
 
     fn with_capacity(base: PipelineConfig, capacity: Option<usize>) -> Self {
+        let metrics = rapids_obs::Registry::new();
         Engine {
             base,
             cache: Mutex::new(LruCache::new(capacity)),
@@ -131,10 +139,12 @@ impl Engine {
             faults: Arc::new(FaultPlan::default()),
             backoff: BackoffPolicy::default(),
             verify_cache: Mutex::new(HashMap::new()),
-            optimizer_runs: AtomicUsize::new(0),
-            verify_runs: AtomicUsize::new(0),
-            cache_hits: AtomicUsize::new(0),
-            resolutions: AtomicUsize::new(0),
+            optimizer_runs: metrics.counter("serve.optimizer_runs"),
+            verify_runs: metrics.counter("serve.verify_runs"),
+            cache_hits: metrics.counter("serve.cache_hits"),
+            resolutions: metrics.counter("serve.resolutions"),
+            job_us: metrics.histogram("serve.job_us"),
+            metrics,
         }
     }
 
@@ -188,13 +198,13 @@ impl Engine {
     /// the probe the cache tests assert on: a resubmission that hits the
     /// cache leaves it unchanged.
     pub fn optimizer_runs(&self) -> usize {
-        self.optimizer_runs.load(Ordering::Relaxed)
+        self.optimizer_runs.get() as usize
     }
 
     /// How many times the SAT equivalence checker actually ran (verify-job
     /// cache misses).
     pub fn verify_runs(&self) -> usize {
-        self.verify_runs.load(Ordering::Relaxed)
+        self.verify_runs.get() as usize
     }
 
     /// Number of distinct netlist pairs with a cached verify verdict.
@@ -204,7 +214,7 @@ impl Engine {
 
     /// How many jobs were served from the cache without recompute.
     pub fn cache_hits(&self) -> usize {
-        self.cache_hits.load(Ordering::Relaxed)
+        self.cache_hits.get() as usize
     }
 
     /// Number of distinct (netlist, config) results currently cached.
@@ -222,7 +232,22 @@ impl Engine {
     /// and mapped).  Repeat suite/inline submissions skip this via the
     /// spec memo; `.blif` file jobs never do.
     pub fn resolutions(&self) -> usize {
-        self.resolutions.load(Ordering::Relaxed)
+        self.resolutions.get() as usize
+    }
+
+    /// Per-job wall-clock latency distribution (microseconds), over every
+    /// [`Engine::execute`] call — hits and misses alike.
+    pub fn job_latency_us(&self) -> rapids_obs::metrics::HistogramSnapshot {
+        self.job_us.snapshot()
+    }
+
+    /// One merged metrics snapshot: the process-global registry (timing,
+    /// sizing, legalize, cec, serve-wide counters) overlaid with this
+    /// engine's per-instance counters and latency histogram.
+    pub fn metrics_snapshot(&self) -> rapids_obs::Snapshot {
+        let mut snapshot = rapids_obs::global().snapshot();
+        snapshot.merge(&self.metrics.snapshot());
+        snapshot
     }
 
     /// Probes the two cache levels for `key`: the in-memory LRU first,
@@ -231,7 +256,7 @@ impl Engine {
     /// miss — the job recomputes instead of failing.
     fn probe_caches(&self, key: (u64, u64), name: &str) -> Option<DesignQor> {
         if let Some(qor) = self.cache.lock().expect("cache lock poisoned").get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.inc();
             return Some(qor);
         }
         let store = self.store.as_ref()?;
@@ -249,6 +274,7 @@ impl Engine {
     /// the in-memory result.
     fn spill_to_store(&self, key: (u64, u64), qor: &DesignQor, name: &str) {
         let Some(store) = self.store.as_ref() else { return };
+        let _store_span = rapids_obs::span("serve.store");
         let _ = with_backoff(&self.backoff, is_transient_io, || {
             self.faults.fire(FaultPoint::StoreWrite, Some(name), None)?;
             store.append(key, qor)
@@ -260,6 +286,14 @@ impl Engine {
     /// return the report.  Infallible by design — errors, panics and
     /// timeouts become `Failed` reports.
     pub fn execute(&self, job: &Job) -> JobReport {
+        let _job_span = rapids_obs::span("serve.job");
+        let start = Instant::now();
+        let report = self.execute_inner(job);
+        self.job_us.record(start.elapsed().as_micros() as u64);
+        report
+    }
+
+    fn execute_inner(&self, job: &Job) -> JobReport {
         let fail = |error: String| JobReport {
             job: job.name.clone(),
             outcome: JobOutcome::Failed(error),
@@ -314,7 +348,8 @@ impl Engine {
         // deadline; the optimizer pass loops poll it cooperatively, so an
         // over-deadline job stops at the next pass boundary (or mid-sleep
         // for an injected hang) — never a wedged worker.
-        self.optimizer_runs.fetch_add(1, Ordering::Relaxed);
+        self.optimizer_runs.inc();
+        let run_span = rapids_obs::span("serve.run");
         let token = CancelToken::new();
         let watchdog =
             job.timeout_s.map(|secs| Watchdog::arm(token.clone(), Duration::from_secs_f64(secs)));
@@ -327,10 +362,12 @@ impl Engine {
                 .map_err(|e| e.to_string())
         }));
         drop(watchdog);
+        drop(run_span);
         // The deadline verdict comes first: a cancelled run's result — even
         // a structurally valid one the cooperative stop produced — was cut
         // short, and reporting it as `done` would cache a truncated QoR.
         if token.is_cancelled() {
+            rapids_obs::metrics::counter("serve.deadline_cuts").inc();
             let secs = job.timeout_s.unwrap_or(0.0);
             return fail(format!("timeout after {secs}s"));
         }
@@ -360,7 +397,8 @@ impl Engine {
         job_name: &str,
         source: &JobSource,
     ) -> Result<Network, String> {
-        self.resolutions.fetch_add(1, Ordering::Relaxed);
+        self.resolutions.inc();
+        let _resolve_span = rapids_obs::span("serve.resolve");
         let max_fanin = pipeline.config().map_max_fanin;
         let circuit = match source {
             JobSource::Suite(name) => CircuitSource::Suite(name.clone()),
@@ -412,7 +450,7 @@ impl Engine {
         let cached =
             self.verify_cache.lock().expect("verify cache lock poisoned").get(&key).cloned();
         if let Some(verdict) = cached {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.cache_hits.inc();
             return JobReport {
                 job: job.name.clone(),
                 outcome: JobOutcome::Verified(verdict),
@@ -420,7 +458,8 @@ impl Engine {
             };
         }
 
-        self.verify_runs.fetch_add(1, Ordering::Relaxed);
+        self.verify_runs.inc();
+        let run_span = rapids_obs::span("serve.run");
         let token = CancelToken::new();
         let watchdog =
             job.timeout_s.map(|secs| Watchdog::arm(token.clone(), Duration::from_secs_f64(secs)));
@@ -435,7 +474,9 @@ impl Engine {
             Ok::<_, String>(rapids_flow::cec::check_equivalence(&a, &b, &cec_config))
         }));
         drop(watchdog);
+        drop(run_span);
         if token.is_cancelled() {
+            rapids_obs::metrics::counter("serve.deadline_cuts").inc();
             let secs = job.timeout_s.unwrap_or(0.0);
             return fail(format!("timeout after {secs}s"));
         }

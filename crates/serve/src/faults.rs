@@ -261,6 +261,7 @@ impl FaultPlan {
             if rule.hit.is_some_and(|hit| hit != count) {
                 continue;
             }
+            rapids_obs::metrics::counter("serve.fault_fires").inc();
             let scope_suffix = match &rule.scope {
                 Some(s) => format!(" for `{s}`"),
                 None => String::new(),

@@ -8,7 +8,12 @@
 //!   recompute, and the cache persists across connections;
 //! * `{"cmd":"ping"}` answers `{"ok":"pong"}` (liveness probe);
 //! * `{"cmd":"stats"}` answers the engine counters (optimizer runs, cache
-//!   hits, cached results, LRU evictions);
+//!   hits, cached results, LRU evictions) plus the per-job latency
+//!   percentiles (`job_p50_us`, `job_p99_us`);
+//! * `{"cmd":"metrics"}` answers the full metrics snapshot — the
+//!   process-global registry (timing, sizing, legalize, cec counters)
+//!   merged with this engine's per-instance counters and latency
+//!   histogram — as one JSON object line;
 //! * `{"cmd":"shutdown"}` answers `{"ok":"shutdown"}` and stops the
 //!   server: no new connections are accepted, and connections already open
 //!   are drained before the listener returns;
@@ -295,26 +300,34 @@ fn answer_line(
     match command.as_deref() {
         Some("ping") => ("{\"ok\":\"pong\"}".to_string(), false),
         Some("shutdown") => ("{\"ok\":\"shutdown\"}".to_string(), true),
-        Some("stats") => (
-            format!(
-                concat!(
-                    "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},",
-                    "\"cached_results\":{},\"evictions\":{},\"disk_hits\":{},",
-                    "\"recovered_records\":{},\"dropped_corrupt_records\":{},",
-                    "\"verify_runs\":{},\"cached_verifications\":{}}}"
+        Some("stats") => {
+            let latency = engine.job_latency_us();
+            (
+                format!(
+                    concat!(
+                        "{{\"ok\":\"stats\",\"optimizer_runs\":{},\"cache_hits\":{},",
+                        "\"cached_results\":{},\"evictions\":{},\"disk_hits\":{},",
+                        "\"recovered_records\":{},\"dropped_corrupt_records\":{},",
+                        "\"verify_runs\":{},\"cached_verifications\":{},",
+                        "\"jobs_timed\":{},\"job_p50_us\":{},\"job_p99_us\":{}}}"
+                    ),
+                    engine.optimizer_runs(),
+                    engine.cache_hits(),
+                    engine.cached_results(),
+                    engine.cache_evictions(),
+                    engine.disk_hits(),
+                    engine.recovered_records(),
+                    engine.dropped_corrupt_records(),
+                    engine.verify_runs(),
+                    engine.cached_verifications(),
+                    latency.count,
+                    latency.p50(),
+                    latency.p99(),
                 ),
-                engine.optimizer_runs(),
-                engine.cache_hits(),
-                engine.cached_results(),
-                engine.cache_evictions(),
-                engine.disk_hits(),
-                engine.recovered_records(),
-                engine.dropped_corrupt_records(),
-                engine.verify_runs(),
-                engine.cached_verifications(),
-            ),
-            false,
-        ),
+                false,
+            )
+        }
+        Some("metrics") => (engine.metrics_snapshot().to_json_line(), false),
         Some(other) => reject(format!("unknown command `{other}`")),
         None => match Job::from_spec_line(line, engine.base_config()) {
             Ok(job) => {

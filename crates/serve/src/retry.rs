@@ -72,6 +72,7 @@ pub fn with_backoff<T, E>(
                 if attempt >= attempts || !retryable(&e) {
                     return Err(e);
                 }
+                rapids_obs::metrics::counter("serve.retry_attempts").inc();
                 std::thread::sleep(policy.delay_for_attempt(attempt));
                 attempt += 1;
             }

@@ -14,7 +14,7 @@ use std::collections::HashSet;
 use rapids_celllib::{DriveStrength, Library};
 use rapids_netlist::{GateId, Network};
 use rapids_placement::Placement;
-use rapids_timing::{IncrementalSta, IncrementalStats, NetCache, TimingConfig, TimingReport};
+use rapids_timing::{IncrementalSta, NetCache, TimingConfig, TimingReport};
 
 use crate::cancel::CancelToken;
 use crate::neighborhood::neighborhood_eval;
@@ -75,9 +75,6 @@ pub struct SizingOutcome {
     pub resized_gates: usize,
     /// Number of optimization passes executed.
     pub passes: usize,
-    /// Work counters of the timing engine that drove the run (full
-    /// re-analyses, dirty-cone updates, gates re-timed).
-    pub sta: IncrementalStats,
 }
 
 impl SizingOutcome {
@@ -140,14 +137,35 @@ impl GateSizer {
         // inserted inverters; sizing never touches it, so a private copy
         // keeps the caller's placement provably frozen.
         let mut placement = placement.clone();
-        let placement = &mut placement;
         let mut inc = IncrementalSta::new_with_threads(
             network,
             library,
-            placement,
+            &placement,
             timing,
             self.config.threads,
         );
+        self.optimize_with(network, library, &mut placement, timing, &mut inc)
+    }
+
+    /// Runs sizing against a caller-owned timing engine, leaving `inc`
+    /// current for the final network state.
+    ///
+    /// This is the path the rewiring optimizer uses: it already owns an
+    /// [`IncrementalSta`] for the network, so sizing re-uses it instead of
+    /// building a second engine and forcing a redundant full re-analysis
+    /// afterwards.  `inc` must be current for (`network`, `placement`) on
+    /// entry.  Because a dirty-cone update converges bit-identically to a
+    /// full analysis, the decisions — and the resulting QoR — are exactly
+    /// those of [`GateSizer::optimize`].
+    pub fn optimize_with(
+        &self,
+        network: &mut Network,
+        library: &Library,
+        placement: &mut Placement,
+        timing: &TimingConfig,
+        inc: &mut IncrementalSta,
+    ) -> SizingOutcome {
+        let pass_counter = rapids_obs::metrics::counter("sizer.passes");
         let mut cache = NetCache::for_network(network);
         let initial_delay_ns = inc.report().critical_delay_ns();
         let initial_area_um2 = library.network_area_um2(network);
@@ -160,6 +178,8 @@ impl GateSizer {
                 break;
             }
             passes += 1;
+            pass_counter.inc();
+            let _pass_span = rapids_obs::span("sizer.pass");
             // The min-slack phase and the relaxation phase are checkpointed
             // independently: a relaxation step that turns out to hurt the
             // global critical path is rolled back without discarding the
@@ -213,6 +233,7 @@ impl GateSizer {
             }
         }
 
+        rapids_obs::metrics::counter("sizer.gates_resized").add(resized.len() as u64);
         let final_report = inc.report();
         SizingOutcome {
             initial_delay_ns,
@@ -221,7 +242,6 @@ impl GateSizer {
             final_area_um2: library.network_area_um2(network),
             resized_gates: resized.len(),
             passes,
-            sta: inc.stats(),
         }
     }
 
@@ -560,7 +580,6 @@ mod tests {
             final_area_um2: 980.0,
             resized_gates: 5,
             passes: 2,
-            sta: IncrementalStats::default(),
         };
         assert!((outcome.delay_improvement_percent() - 10.0).abs() < 1e-9);
         assert!((outcome.area_change_percent() + 2.0).abs() < 1e-9);
@@ -575,7 +594,6 @@ mod tests {
             final_area_um2: 0.0,
             resized_gates: 0,
             passes: 0,
-            sta: IncrementalStats::default(),
         };
         assert_eq!(outcome.delay_improvement_percent(), 0.0);
         assert_eq!(outcome.area_change_percent(), 0.0);

@@ -67,14 +67,27 @@ pub struct IncrementalStats {
     pub gates_retimed: usize,
 }
 
-impl IncrementalStats {
-    /// Component-wise sum (used when an optimizer aggregates the counters
-    /// of helper engines, e.g. the sizer's, into its own).
-    pub fn merged(self, other: IncrementalStats) -> IncrementalStats {
-        IncrementalStats {
-            full_refreshes: self.full_refreshes + other.full_refreshes,
-            incremental_updates: self.incremental_updates + other.incremental_updates,
-            gates_retimed: self.gates_retimed + other.gates_retimed,
+/// Handles into the process-global metrics registry mirroring
+/// [`IncrementalStats`].  The per-engine struct stays the public API (it
+/// isolates one engine's work, which `merged` and the bench JSON rely
+/// on); the global counters aggregate every engine in the process for
+/// the `rapids-obs` snapshot.  Mirroring at the increment site — rather
+/// than making the struct fields registry views — keeps per-engine
+/// equality assertions (`serial.stats() == threaded.stats()`) exact.
+#[derive(Debug, Clone)]
+struct TimingCounters {
+    full_refreshes: rapids_obs::Counter,
+    incremental_updates: rapids_obs::Counter,
+    gates_retimed: rapids_obs::Counter,
+}
+
+impl TimingCounters {
+    fn from_global() -> Self {
+        let registry = rapids_obs::global();
+        TimingCounters {
+            full_refreshes: registry.counter("timing.full_refreshes"),
+            incremental_updates: registry.counter("timing.incremental_updates"),
+            gates_retimed: registry.counter("timing.gates_retimed"),
         }
     }
 }
@@ -110,6 +123,7 @@ pub struct IncrementalSta {
     /// recompiled versus reused.
     view: LevelizedView,
     stats: IncrementalStats,
+    counters: TimingCounters,
     self_check: Option<SelfCheck>,
 }
 
@@ -138,13 +152,19 @@ impl IncrementalSta {
         let mut view =
             LevelizedView::build(network).expect("incremental timing requires an acyclic network");
         let threads = threads.max(1);
-        let report = analyze_with_view(&mut view, network, library, placement, config, threads);
+        let counters = TimingCounters::from_global();
+        let report = {
+            let _span = rapids_obs::span("sta.full");
+            analyze_with_view(&mut view, network, library, placement, config, threads)
+        };
+        counters.full_refreshes.inc();
         IncrementalSta {
             config: *config,
             threads,
             report,
             view,
             stats: IncrementalStats { full_refreshes: 1, ..IncrementalStats::default() },
+            counters,
             self_check: None,
         }
     }
@@ -199,6 +219,7 @@ impl IncrementalSta {
     /// large or too irregular to describe as a touched set (e.g. redirected
     /// output ports).
     pub fn full(&mut self, network: &Network, library: &Library, placement: &Placement) {
+        let _span = rapids_obs::span("sta.full");
         self.rebuild_view(network);
         self.report = analyze_with_view(
             &mut self.view,
@@ -209,6 +230,7 @@ impl IncrementalSta {
             self.threads,
         );
         self.stats.full_refreshes += 1;
+        self.counters.full_refreshes.inc();
     }
 
     /// `true` if the compiled levels are still a valid schedule around the
@@ -273,6 +295,7 @@ impl IncrementalSta {
             "compiled view must be valid on the incremental path"
         );
         self.stats.incremental_updates += 1;
+        self.counters.incremental_updates.inc();
         let slots = self.view.slots();
 
         // Seeds: the touched gates plus their fan-in drivers, whose nets see
@@ -370,8 +393,9 @@ impl IncrementalSta {
                     )
                 }));
             }
+            self.stats.gates_retimed += bucket.len();
+            self.counters.gates_retimed.add(bucket.len() as u64);
             for (&g, &fresh) in bucket.iter().zip(&scratch) {
-                self.stats.gates_retimed += 1;
                 let slot = &mut self.report.arrival[g.index()];
                 if fresh != *slot {
                     *slot = fresh;
@@ -711,15 +735,5 @@ mod tests {
             assert_eq!(serial.report().required(g), threaded.report().required(g));
         }
         assert_eq!(serial.stats(), threaded.stats());
-    }
-
-    #[test]
-    fn merged_stats_sum_componentwise() {
-        let a = IncrementalStats { full_refreshes: 1, incremental_updates: 5, gates_retimed: 40 };
-        let b = IncrementalStats { full_refreshes: 2, incremental_updates: 1, gates_retimed: 7 };
-        let m = a.merged(b);
-        assert_eq!(m.full_refreshes, 3);
-        assert_eq!(m.incremental_updates, 6);
-        assert_eq!(m.gates_retimed, 47);
     }
 }

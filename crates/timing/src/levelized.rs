@@ -434,6 +434,7 @@ pub(crate) fn analyze_with_view(
 
     // 1. Net parasitics + cell delays, one star evaluation per gate.  The
     //    kernel is a pure per-slot function, so the whole pass chunks freely.
+    let parasitics_span = rapids_obs::span("sta.parasitics");
     let mut nets: Vec<Option<NetDelays>> = vec![None; slots];
     let mut gate_delays: Vec<CellDelay> = vec![CellDelay::default(); slots];
     if threads <= 1 || view.order.len() < MIN_PARALLEL_ITEMS {
@@ -469,10 +470,13 @@ pub(crate) fn analyze_with_view(
 
     // 2. Per-edge wire delays: every sink list walked once.
     view.scatter_wire_delays(&nets);
+    drop(parasitics_span);
 
     // 3. Forward level sweep (arrivals).
+    let forward_span = rapids_obs::span("sta.forward");
     let mut arrival = vec![ArrivalTime::default(); slots];
     propagate_arrivals(view, &gate_delays, &mut arrival, threads);
+    drop(forward_span);
 
     // 4. Critical delay and required-time budget: same fold as the
     //    reference analyzer.
@@ -481,10 +485,12 @@ pub(crate) fn analyze_with_view(
     let required_time_ns = config.required_time_ns.unwrap_or(critical_delay_ns);
 
     // 5. Backward level sweep (raw required times), then the servable clamp.
+    let backward_span = rapids_obs::span("sta.backward");
     let mut required_raw = vec![f64::INFINITY; slots];
     propagate_required(view, &gate_delays, &mut required_raw, required_time_ns, threads);
     let required: Vec<f64> =
         required_raw.iter().map(|&r| clamp_required(r, required_time_ns)).collect();
+    drop(backward_span);
 
     TimingReport {
         arrival,
@@ -542,6 +548,7 @@ fn propagate_arrivals(
             std::thread::scope(|s| {
                 for (gates, out) in slice.chunks(chunk).zip(scratch.chunks_mut(chunk)) {
                     s.spawn(move || {
+                        let _chunk_span = rapids_obs::span("sta.level_chunk");
                         for (&g, slot) in gates.iter().zip(out.iter_mut()) {
                             *slot = view.arrival_of_flat(g.index(), gate_delays, frozen);
                         }
@@ -554,6 +561,9 @@ fn propagate_arrivals(
         }
     }
     LAST_DEDUP_REUSED.with(|c| c.set(dedup_reused));
+    // Mirror into the global registry (one lookup per full sweep, which is
+    // rare next to incremental updates).
+    rapids_obs::metrics::counter("timing.dedup_reused").add(dedup_reused as u64);
 }
 
 /// Backward sweep: one batched pass per level, highest first, mirroring
@@ -584,6 +594,7 @@ fn propagate_required(
             std::thread::scope(|s| {
                 for (gates, out) in slice.chunks(chunk).zip(scratch.chunks_mut(chunk)) {
                     s.spawn(move || {
+                        let _chunk_span = rapids_obs::span("sta.level_chunk");
                         for (&g, slot) in gates.iter().zip(out.iter_mut()) {
                             *slot = view.required_raw_of_flat(
                                 g.index(),
