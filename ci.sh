@@ -143,4 +143,24 @@ timeout 120 ./target/release/rapids-serve --fast --workers 2 --sort \
 sed -n '/^  "counters": {$/,/^  },$/p' target/ci_metrics.json \
     | diff - ci/expected_metrics_smoke.json
 
+echo "==> telemetry smoke (manual-tick series + detectors, pinned journal)"
+# The fault smoke rerun with the telemetry plane armed in manual mode: one
+# tick per job at the post-job quiescent point, a CUSUM on the deadline-cut
+# counter (fires on the injected 120 s hang being cut), and a 0.25
+# timeout-burn SLO.  stdout must stay byte-identical to the same pinned
+# expectation (telemetry never perturbs reports), and the tick journal —
+# stripped of the wall-clock `latency` section and the line checksums —
+# must match its pin byte for byte.  One worker pins the tick order; the
+# journal is removed first because a replayed journal appends.  See
+# docs/observability.md.
+rm -f target/ci_telemetry.jsonl
+timeout 120 ./target/release/rapids-serve --jobs ci/fault_smoke.jobs.jsonl \
+    --workers 1 --sort \
+    --fault-plan 'job-run@c432=panic,blif-read@tiny_mux#0=io,job-run@c499=delay:120000' \
+    --telemetry-s 0 --telemetry-out target/ci_telemetry.jsonl \
+    --cusum serve.deadline_cuts:0.5:0:0 --slo-timeout-frac 0.25 \
+    2> /dev/null | diff - ci/expected_fault_smoke.jsonl
+sed -E 's/,"latency":\{[^}]*\}//; s/,"ck":"[0-9a-f]{16}"//' target/ci_telemetry.jsonl \
+    | diff - ci/expected_telemetry_smoke.jsonl
+
 echo "==> OK"

@@ -18,13 +18,28 @@
 //! * [`log`] routes diagnostics through one process-wide level filter so
 //!   `--quiet` can silence a library's chatter without touching pinned
 //!   stderr contract lines (which print verbatim at the default level).
+//! * [`timeseries`] samples registry snapshots into fixed-capacity ring
+//!   buffers (counter deltas, gauge levels, quantile tracks) under a
+//!   **manual-tick** contract: the sampler has no clock of its own, so
+//!   tests and CI drive time deterministically and production arms a
+//!   wall-clock thread around it.
+//! * [`detect`] runs one-sided CUSUM change detectors and SLO burn
+//!   trackers over those series, emitting structured [`Alert`] records —
+//!   pure functions of the tick sequence, never of the wall clock.
+//! * [`json`] is the one full (nested) JSON reader in the workspace,
+//!   shared by the obs binaries (`trace_check`, `rapids-top`).
 //!
 //! See `docs/observability.md` for the metric catalog, the span
-//! hierarchy, and the determinism contract.
+//! hierarchy, the series/alert model, and the determinism contract.
 
+pub mod detect;
+pub mod json;
 pub mod log;
 pub mod metrics;
+pub mod timeseries;
 pub mod trace;
 
+pub use detect::{Alert, AlertKind, Baseline, Cusum, CusumConfig, SloConfig, SloTracker};
 pub use metrics::{global, Counter, Gauge, Histogram, Registry, Snapshot};
+pub use timeseries::{Sampler, SamplerConfig, TickSample};
 pub use trace::{span, span_owned, Span};

@@ -101,9 +101,11 @@ impl HistogramInner {
 
 /// A log₂-bucketed histogram handle with percentile readout.
 ///
-/// Values land in power-of-two buckets, so a reported quantile is the
-/// *upper bound* of the bucket containing that rank — within 2× of the
-/// true value, which is the right fidelity for latency triage ("did p99
+/// Values land in power-of-two buckets; a reported quantile linearly
+/// interpolates within the bucket containing that rank (assuming the
+/// bucket's observations spread evenly across its span), so it is never
+/// above the bucket upper bound and tightens toward the true value as
+/// buckets fill — the right fidelity for latency triage ("did p99
 /// double?") at the cost of three relaxed atomics per record.
 #[derive(Clone, Debug)]
 pub struct Histogram(Arc<HistogramInner>);
@@ -133,6 +135,15 @@ fn bucket_upper_bound(idx: usize) -> u64 {
     }
 }
 
+/// The smallest value that lands in `buckets[idx]`.
+fn bucket_lower_bound(idx: usize) -> u64 {
+    if idx == 0 {
+        0
+    } else {
+        1u64 << (idx - 1)
+    }
+}
+
 impl Histogram {
     /// A histogram not attached to any registry.
     pub fn detached() -> Self {
@@ -158,8 +169,8 @@ impl Histogram {
         self.0.sum.load(Ordering::Relaxed)
     }
 
-    /// The bucket upper bound at quantile `q` in `[0, 1]`; 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// The interpolated value at quantile `q` in `[0, 1]`; 0 when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
         self.snapshot().quantile(q)
     }
 
@@ -187,34 +198,42 @@ pub struct HistogramSnapshot {
 }
 
 impl HistogramSnapshot {
-    /// The bucket upper bound at quantile `q` in `[0, 1]`; 0 when empty.
-    pub fn quantile(&self, q: f64) -> u64 {
+    /// The value at quantile `q` in `[0, 1]`, linearly interpolated within
+    /// the log₂ bucket holding that rank (the bucket's observations are
+    /// assumed evenly spread over its span, so rank `k` of `n` in-bucket
+    /// observations maps to `lo + (k/n)·(hi − lo)`); 0 when empty.  The
+    /// result never exceeds the bucket upper bound, and a full-rank hit
+    /// (`k = n`) degrades to exactly that bound.
+    pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
-            return 0;
+            return 0.0;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
         for (idx, &n) in self.buckets.iter().enumerate() {
-            seen += n;
-            if seen >= rank {
-                return bucket_upper_bound(idx);
+            if n > 0 && seen + n >= rank {
+                let lo = bucket_lower_bound(idx) as f64;
+                let hi = bucket_upper_bound(idx) as f64;
+                let frac = (rank - seen) as f64 / n as f64;
+                return lo + frac * (hi - lo);
             }
+            seen += n;
         }
-        bucket_upper_bound(BUCKETS - 1)
+        bucket_upper_bound(BUCKETS - 1) as f64
     }
 
-    /// Median (bucket upper bound).
-    pub fn p50(&self) -> u64 {
+    /// Median (within-bucket interpolated).
+    pub fn p50(&self) -> f64 {
         self.quantile(0.50)
     }
 
-    /// 90th percentile (bucket upper bound).
-    pub fn p90(&self) -> u64 {
+    /// 90th percentile (within-bucket interpolated).
+    pub fn p90(&self) -> f64 {
         self.quantile(0.90)
     }
 
-    /// 99th percentile (bucket upper bound).
-    pub fn p99(&self) -> u64 {
+    /// 99th percentile (within-bucket interpolated).
+    pub fn p99(&self) -> f64 {
         self.quantile(0.99)
     }
 
@@ -428,6 +447,49 @@ impl Snapshot {
         out.push_str("}\n}\n");
         out
     }
+
+    /// Prometheus text exposition (version 0.0.4) of the snapshot, for
+    /// external scrapers via the serve `{"cmd":"prom"}` verb.  Dotted
+    /// metric names are mangled to `rapids_<name_with_underscores>`;
+    /// histograms render as summaries (interpolated quantiles + `_sum` +
+    /// `_count`).  Lines come out name-sorted per section, so the text is
+    /// deterministic for a deterministic snapshot.
+    pub fn to_prometheus_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, v) in &self.gauges {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (k, h) in &self.histograms {
+            let name = prom_name(k);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for (q, v) in [("0.5", h.p50()), ("0.9", h.p90()), ("0.99", h.p99())] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum);
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Mangles a dotted metric name into a Prometheus-legal one:
+/// `serve.job_us` → `rapids_serve_job_us` (every character outside
+/// `[A-Za-z0-9_]` becomes `_`).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 7);
+    out.push_str("rapids_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() || c == '_' { c } else { '_' });
+    }
+    out
 }
 
 /// Escapes a metric name for embedding in a JSON string literal.
@@ -485,19 +547,39 @@ mod tests {
     }
 
     #[test]
-    fn histogram_percentiles_bound_the_rank() {
+    fn histogram_percentiles_interpolate_within_the_bucket() {
         let h = Histogram::detached();
         for v in 1..=100u64 {
             h.record(v);
         }
         assert_eq!(h.count(), 100);
         assert_eq!(h.sum(), 5050);
-        // Rank 50 is value 50, bucket [32,64) → upper bound 63.
-        assert_eq!(h.quantile(0.50), 63);
-        // Rank 90 and 99 both land in [64,128) → upper bound 127.
-        assert_eq!(h.quantile(0.90), 127);
-        assert_eq!(h.quantile(0.99), 127);
-        assert_eq!(Histogram::detached().quantile(0.99), 0, "empty histogram");
+        // Rank 50 (true value 50) lands in bucket [32,63] as in-bucket rank
+        // 19 of 32: 32 + 19/32·31 = 50.40625 — versus 63 pre-interpolation.
+        assert_eq!(h.quantile(0.50), 32.0 + 19.0 / 32.0 * 31.0);
+        // Ranks 90 and 99 land in bucket [64,127], which holds ranks 64..=100
+        // (37 observations): 64 + k/37·63 for k = 27 and 36.
+        assert_eq!(h.quantile(0.90), 64.0 + 27.0 / 37.0 * 63.0);
+        assert_eq!(h.quantile(0.99), 64.0 + 36.0 / 37.0 * 63.0);
+        // Interpolated quantiles bound the true rank value from above far
+        // tighter than the old bucket upper bound (127 for both here).
+        assert!(h.quantile(0.90) >= 90.0 && h.quantile(0.90) < 111.0);
+        assert_eq!(Histogram::detached().quantile(0.99), 0.0, "empty histogram");
+    }
+
+    #[test]
+    fn full_rank_interpolation_degrades_to_the_bucket_upper_bound() {
+        // A single observation is in-bucket rank 1 of 1 (frac = 1), so the
+        // quantile is exactly the bucket upper bound — the pre-interpolation
+        // behavior, and why single-shot pins like `json_exports_are_well_formed`
+        // are unchanged.
+        let h = Histogram::detached();
+        h.record(1000);
+        assert_eq!(h.quantile(0.50), 1023.0);
+        // Zeros stay exactly zero (degenerate bucket, lo == hi == 0).
+        let z = Histogram::detached();
+        z.record(0);
+        assert_eq!(z.quantile(0.99), 0.0);
     }
 
     #[test]
@@ -543,6 +625,29 @@ mod tests {
     fn empty_snapshot_pretty_json_has_all_sections() {
         let pretty = Registry::new().snapshot().to_json_pretty();
         assert_eq!(pretty, "{\n  \"counters\": {},\n  \"gauges\": {},\n  \"histograms\": {}\n}\n");
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_sections() {
+        let r = Registry::new();
+        r.counter("serve.jobs").add(3);
+        r.gauge("serve.queue_depth").set(-1);
+        r.histogram("serve.job_us").record(1000);
+        let text = r.snapshot().to_prometheus_text();
+        assert_eq!(
+            text,
+            "# TYPE rapids_serve_jobs counter\n\
+             rapids_serve_jobs 3\n\
+             # TYPE rapids_serve_queue_depth gauge\n\
+             rapids_serve_queue_depth -1\n\
+             # TYPE rapids_serve_job_us summary\n\
+             rapids_serve_job_us{quantile=\"0.5\"} 1023\n\
+             rapids_serve_job_us{quantile=\"0.9\"} 1023\n\
+             rapids_serve_job_us{quantile=\"0.99\"} 1023\n\
+             rapids_serve_job_us_sum 1000\n\
+             rapids_serve_job_us_count 1\n"
+        );
+        assert_eq!(prom_name("a.b-c.d_e"), "rapids_a_b_c_d_e");
     }
 
     #[test]

@@ -25,18 +25,31 @@
 //! writes the final metrics snapshot, `--heartbeat-s N` prints a progress
 //! line to stderr every N seconds, and `--quiet` suppresses everything on
 //! stderr except errors.  None of these change a single stdout byte.
+//!
+//! Telemetry (same doc): `--telemetry-s N` arms the time-series plane —
+//! `0` means **manual tick** (one sample per completed job; deterministic,
+//! what tests and CI use), `N > 0` spawns a wall-clock sampler thread.
+//! `--telemetry-out FILE` appends one checksummed JSONL line per tick
+//! (crash-safe; torn tails are truncated on restart), `--cusum
+//! SERIES:DRIFT:THRESHOLD[:BASELINE]` (repeatable) arms a change detector
+//! (baseline omitted = learned from the first 8 ticks), and
+//! `--slo-timeout-frac F` tracks the fraction of jobs cut by their
+//! deadline against target `F`.  A `--listen` server then answers the
+//! `series` / `alerts` / `prom` verbs — `rapids-top ADDR` renders them.
 
 use std::io::Write as _;
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use rapids_circuits::suite_names;
 use rapids_flow::PipelineConfig;
+use rapids_obs::{CusumConfig, SloConfig};
 use rapids_serve::report::canonical_sort;
 use rapids_serve::{
-    jobs_from_blif_dir, jobs_from_jsonl, suite_jobs, BatchServer, Engine, FaultPlan, Job,
-    ResultStore,
+    jobs_from_blif_dir, jobs_from_jsonl, suite_jobs, BatchServer, Engine, FaultPlan, Heartbeat,
+    Job, Journal, ResultStore, TelemetryConfig, TelemetryPlane, WallClockSampler,
 };
 
 fn main() {
@@ -62,6 +75,10 @@ fn main() {
     let mut trace_out: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut heartbeat_s: Option<u64> = None;
+    let mut telemetry_s: Option<u64> = None;
+    let mut telemetry_out: Option<String> = None;
+    let mut cusum_specs: Vec<String> = Vec::new();
+    let mut slo_timeout_frac: Option<f64> = None;
     let mut quiet = false;
 
     let mut iter = args.into_iter();
@@ -128,6 +145,22 @@ fn main() {
                     std::process::exit(2);
                 }
                 heartbeat_s = Some(value);
+            }
+            "--telemetry-s" => {
+                telemetry_s =
+                    Some(parse_num(&value_arg(&mut iter, "--telemetry-s"), "--telemetry-s"))
+            }
+            "--telemetry-out" => telemetry_out = Some(value_arg(&mut iter, "--telemetry-out")),
+            "--cusum" => cusum_specs.push(value_arg(&mut iter, "--cusum")),
+            "--slo-timeout-frac" => {
+                let value = value_arg(&mut iter, "--slo-timeout-frac");
+                match value.parse::<f64>() {
+                    Ok(x) if x.is_finite() && (0.0..1.0).contains(&x) => slo_timeout_frac = Some(x),
+                    _ => {
+                        eprintln!("--slo-timeout-frac requires a fraction in [0,1), got `{value}`");
+                        std::process::exit(2);
+                    }
+                }
             }
             "--quiet" => quiet = true,
             "--threads" => {
@@ -237,7 +270,62 @@ fn main() {
         });
         engine = engine.with_fault_plan(plan);
     }
+
+    // Telemetry plane: armed by --telemetry-s (0 = manual tick per
+    // completed job, N > 0 = wall-clock sampling).  The dependent flags
+    // are meaningless without it, so reject them early.
+    if telemetry_s.is_none()
+        && (telemetry_out.is_some() || !cusum_specs.is_empty() || slo_timeout_frac.is_some())
+    {
+        rapids_obs::error!(
+            "--telemetry-out/--cusum/--slo-timeout-frac need --telemetry-s N (0 = manual)"
+        );
+        std::process::exit(2);
+    }
+    let telemetry_plane = telemetry_s.map(|secs| {
+        let mut tconfig = TelemetryConfig { manual: secs == 0, ..TelemetryConfig::default() };
+        for spec in &cusum_specs {
+            tconfig.cusum.push(parse_cusum_spec(spec));
+        }
+        if let Some(target) = slo_timeout_frac {
+            tconfig.slos.push(SloConfig {
+                name: "timeouts".to_string(),
+                bad_series: "serve.deadline_cuts".to_string(),
+                total_series: "serve.job_us.count".to_string(),
+                target,
+            });
+        }
+        let mut plane = TelemetryPlane::new(engine.metrics_registry(), tconfig);
+        if let Some(path) = &telemetry_out {
+            let journal = Journal::open(path).unwrap_or_else(|e| {
+                rapids_obs::error!("cannot open telemetry journal {path}: {e}");
+                std::process::exit(2);
+            });
+            if journal.dropped_tail_bytes() > 0 {
+                rapids_obs::warn!(
+                    "telemetry journal: recovered {} line(s), truncated a torn/corrupt tail",
+                    journal.recovered_lines()
+                );
+            }
+            plane = plane.with_journal(journal);
+        }
+        // Baseline at arm time: the first tick reports deltas, not the
+        // absolutes accumulated before telemetry existed.
+        plane.prime();
+        Arc::new(plane)
+    });
+    if let Some(plane) = &telemetry_plane {
+        engine = engine.with_telemetry(Arc::clone(plane));
+    }
     let server = BatchServer::new(engine, workers);
+    // Production cadence: a sampler thread ticks the plane every N
+    // seconds until main exits (manual mode never spawns it).
+    let _wall_clock = match (&telemetry_plane, telemetry_s) {
+        (Some(plane), Some(secs)) if secs > 0 => {
+            Some(WallClockSampler::spawn(Arc::clone(plane), Duration::from_secs(secs)))
+        }
+        _ => None,
+    };
 
     let mut sink: Box<dyn std::io::Write> = match &out_path {
         Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
@@ -253,26 +341,13 @@ fn main() {
         // N seconds.  Purely observational — it reads a counter the result
         // callback bumps and never touches jobs or reports.
         let completed = Arc::new(AtomicUsize::new(0));
-        let batch_done = Arc::new(AtomicBool::new(false));
         let heartbeat = heartbeat_s.map(|secs| {
-            let completed = Arc::clone(&completed);
-            let batch_done = Arc::clone(&batch_done);
-            let total = jobs.len();
-            std::thread::spawn(move || {
-                let period = std::time::Duration::from_secs(secs);
-                let mut next = std::time::Instant::now() + period;
-                while !batch_done.load(Ordering::Relaxed) {
-                    std::thread::sleep(std::time::Duration::from_millis(50));
-                    if std::time::Instant::now() >= next {
-                        rapids_obs::info!(
-                            "heartbeat: {}/{} jobs done",
-                            completed.load(Ordering::Relaxed),
-                            total
-                        );
-                        next += period;
-                    }
-                }
-            })
+            Heartbeat::arm(
+                Duration::from_secs(secs),
+                jobs.len(),
+                Arc::clone(&completed),
+                |done, total| rapids_obs::info!("heartbeat: {done}/{total} jobs done"),
+            )
         });
         let mut buffered: Vec<String> = Vec::new();
         let summary = server.run_streaming(&jobs, |report| {
@@ -285,10 +360,7 @@ fn main() {
                 sink.flush().expect("flush report line");
             }
         });
-        batch_done.store(true, Ordering::Relaxed);
-        if let Some(handle) = heartbeat {
-            let _ = handle.join();
-        }
+        drop(heartbeat); // stop and join the beat thread before the summary
         if sort {
             canonical_sort(&mut buffered);
             for line in &buffered {
@@ -323,7 +395,10 @@ fn main() {
             rapids_obs::error!("cannot bind {addr}: {e}");
             std::process::exit(2);
         });
-        rapids_obs::info!("listening on {addr} (send {{\"cmd\":\"shutdown\"}} to stop)");
+        // Report the *bound* address: with `--listen 127.0.0.1:0` the OS
+        // picks the port, and scripts need the real one.
+        let bound = listener.local_addr().map(|a| a.to_string()).unwrap_or(addr);
+        rapids_obs::info!("listening on {bound} (send {{\"cmd\":\"shutdown\"}} to stop)");
         match rapids_serve::net::serve_connections_bounded(server.engine(), &listener, max_pending)
         {
             Ok(served) => rapids_obs::info!("served {served} job line(s); shutting down"),
@@ -332,6 +407,12 @@ fn main() {
                 std::process::exit(1);
             }
         }
+    }
+
+    if let Some(plane) = &telemetry_plane {
+        // Deterministic shape so CI can grep it (manual-tick runs have
+        // workload-determined tick/alert counts).
+        rapids_obs::info!("telemetry: ticks={} alerts={}", plane.ticks(), plane.alerts().len());
     }
 
     if let Some(path) = &trace_out {
@@ -345,5 +426,31 @@ fn main() {
             rapids_obs::error!("cannot write metrics {path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+/// Parses one `--cusum SERIES:DRIFT:THRESHOLD[:BASELINE]` spec (baseline
+/// omitted = learned from the first 8 ticks).  Series names never contain
+/// `:`, so a plain split is unambiguous.
+fn parse_cusum_spec(spec: &str) -> CusumConfig {
+    let bail = |why: &str| -> ! {
+        eprintln!("bad --cusum `{spec}`: {why} (want SERIES:DRIFT:THRESHOLD[:BASELINE])");
+        std::process::exit(2);
+    };
+    let parts: Vec<&str> = spec.split(':').collect();
+    if !(3..=4).contains(&parts.len()) || parts[0].is_empty() {
+        bail("expected 3 or 4 `:`-separated fields");
+    }
+    let num = |text: &str, what: &str| -> f64 {
+        match text.parse::<f64>() {
+            Ok(x) if x.is_finite() => x,
+            _ => bail(&format!("{what} `{text}` is not a finite number")),
+        }
+    };
+    let drift = num(parts[1], "drift");
+    let threshold = num(parts[2], "threshold");
+    match parts.get(3) {
+        Some(baseline) => CusumConfig::fixed(parts[0], num(baseline, "baseline"), drift, threshold),
+        None => CusumConfig::warmup(parts[0], 8, drift, threshold),
     }
 }

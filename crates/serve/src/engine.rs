@@ -111,6 +111,15 @@ pub struct Engine {
     cache_hits: rapids_obs::Counter,
     resolutions: rapids_obs::Counter,
     job_us: rapids_obs::Histogram,
+    /// Jobs claimed by a batch worker but not yet started (set by the
+    /// scheduler; see `BatchServer`).
+    queue_depth: rapids_obs::Gauge,
+    /// Jobs currently inside [`Engine::execute`], across all threads.
+    inflight: rapids_obs::Gauge,
+    /// The armed telemetry plane, if any (see [`crate::telemetry`]).
+    /// `None` — the default — keeps the job hot path allocation-free:
+    /// [`Engine::telemetry_tick`] is a single branch.
+    telemetry: Option<Arc<crate::telemetry::TelemetryPlane>>,
 }
 
 impl Engine {
@@ -144,8 +153,19 @@ impl Engine {
             cache_hits: metrics.counter("serve.cache_hits"),
             resolutions: metrics.counter("serve.resolutions"),
             job_us: metrics.histogram("serve.job_us"),
+            queue_depth: metrics.gauge("serve.queue_depth"),
+            inflight: metrics.gauge("serve.inflight_jobs"),
+            telemetry: None,
             metrics,
         }
+    }
+
+    /// Arms a telemetry plane (see [`crate::telemetry::TelemetryPlane`]):
+    /// in manual mode the serve layer ticks it after each completed job
+    /// via [`Engine::telemetry_tick`].
+    pub fn with_telemetry(mut self, plane: Arc<crate::telemetry::TelemetryPlane>) -> Self {
+        self.telemetry = Some(plane);
+        self
     }
 
     /// Attaches a crash-safe on-disk result store (see [`ResultStore`]):
@@ -250,6 +270,39 @@ impl Engine {
         snapshot
     }
 
+    /// This engine's per-instance registry (a cheap shared handle) — what
+    /// a [`TelemetryPlane`](crate::telemetry::TelemetryPlane) merges over
+    /// the global registry each tick.
+    pub fn metrics_registry(&self) -> rapids_obs::Registry {
+        self.metrics.clone()
+    }
+
+    /// The armed telemetry plane, if any.
+    pub fn telemetry(&self) -> Option<&Arc<crate::telemetry::TelemetryPlane>> {
+        self.telemetry.as_ref()
+    }
+
+    /// Takes one **manual** telemetry tick, when a plane is armed in
+    /// manual mode.  The serve layer calls this at quiescent points —
+    /// after a job finishes, before its report is handed on — so the tick
+    /// sequence is a pure function of the workload.  A no-op (one branch,
+    /// zero allocations) without a plane; a no-op in wall-clock mode,
+    /// where the [`WallClockSampler`](crate::telemetry::WallClockSampler)
+    /// thread owns the cadence.
+    pub fn telemetry_tick(&self) {
+        if let Some(plane) = &self.telemetry {
+            if plane.is_manual() {
+                plane.tick_now();
+            }
+        }
+    }
+
+    /// Publishes the batch scheduler's unclaimed-job count to the
+    /// `serve.queue_depth` gauge.
+    pub fn set_queue_depth(&self, depth: i64) {
+        self.queue_depth.set(depth);
+    }
+
     /// Probes the two cache levels for `key`: the in-memory LRU first,
     /// then the on-disk store (promoting a disk hit into memory so later
     /// submissions stay hot).  A store-read fault degrades gracefully to a
@@ -288,7 +341,9 @@ impl Engine {
     pub fn execute(&self, job: &Job) -> JobReport {
         let _job_span = rapids_obs::span("serve.job");
         let start = Instant::now();
+        self.inflight.add(1);
         let report = self.execute_inner(job);
+        self.inflight.add(-1);
         self.job_us.record(start.elapsed().as_micros() as u64);
         report
     }

@@ -1,0 +1,107 @@
+//! The batch-mode liveness heartbeat (`--heartbeat-s N`): a thread that
+//! reports progress every period while a long batch runs.
+//!
+//! Extracted from the `rapids-serve` binary so the cadence logic is
+//! testable and shared.  Like `Engine`'s deadline watchdog and the
+//! telemetry [`WallClockSampler`](crate::telemetry::WallClockSampler),
+//! the thread sleeps on a condvar deadline rather than poll-sleeping, so
+//! dropping the handle wakes and joins it immediately — even mid-period
+//! with an hour-long cadence.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// A live heartbeat thread; dropping it stops and joins the thread.
+#[derive(Debug)]
+pub struct Heartbeat {
+    state: Arc<(Mutex<bool>, Condvar)>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Heartbeat {
+    /// Spawns a heartbeat that calls `emit(done, total)` every `period`
+    /// (first beat one period from now) until dropped, reading progress
+    /// from `completed`.
+    pub fn arm(
+        period: Duration,
+        total: usize,
+        completed: Arc<AtomicUsize>,
+        mut emit: impl FnMut(usize, usize) + Send + 'static,
+    ) -> Heartbeat {
+        let period = period.max(Duration::from_millis(1));
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let shared = Arc::clone(&state);
+        let handle = std::thread::spawn(move || {
+            let (stop, wake) = &*shared;
+            let mut next = Instant::now() + period;
+            let mut stop = stop.lock().expect("heartbeat lock poisoned");
+            loop {
+                if *stop {
+                    return;
+                }
+                let now = Instant::now();
+                if now >= next {
+                    emit(completed.load(Ordering::Relaxed), total);
+                    next += period;
+                    continue;
+                }
+                let (next_guard, _) =
+                    wake.wait_timeout(stop, next - now).expect("heartbeat lock poisoned");
+                stop = next_guard;
+            }
+        });
+        Heartbeat { state, handle: Some(handle) }
+    }
+}
+
+impl Drop for Heartbeat {
+    fn drop(&mut self) {
+        let (stop, wake) = &*self.state;
+        *stop.lock().expect("heartbeat lock poisoned") = true;
+        wake.notify_all();
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beats_carry_progress_and_stop_on_drop() {
+        let completed = Arc::new(AtomicUsize::new(0));
+        let beats = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&beats);
+        let heartbeat = Heartbeat::arm(
+            Duration::from_millis(15),
+            10,
+            Arc::clone(&completed),
+            move |done, total| sink.lock().unwrap().push((done, total)),
+        );
+        completed.store(4, Ordering::Relaxed);
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while beats.lock().unwrap().is_empty() && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(heartbeat);
+        let beats = beats.lock().unwrap();
+        assert!(!beats.is_empty(), "at least one beat must fire");
+        assert!(beats.iter().all(|&(done, total)| done <= 10 && total == 10));
+    }
+
+    #[test]
+    fn drop_joins_promptly_even_with_a_long_period() {
+        let heartbeat =
+            Heartbeat::arm(Duration::from_secs(3600), 1, Arc::new(AtomicUsize::new(0)), |_, _| {});
+        std::thread::sleep(Duration::from_millis(20));
+        let start = Instant::now();
+        drop(heartbeat);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "drop must wake the condvar, not wait out the period"
+        );
+    }
+}

@@ -19,7 +19,12 @@
 //!   cancellation, streaming completion-order results to the caller;
 //! * **front ends** ([`net`] and the `rapids-serve` binary) — a CLI that
 //!   writes streaming JSONL reports and an optional TCP line-protocol mode
-//!   for true long-running use.
+//!   for true long-running use;
+//! * **telemetry** ([`telemetry`], [`heartbeat`]) — a manual-tick
+//!   time-series plane over the engine's metrics (CUSUM change detection,
+//!   SLO burn tracking, a crash-safe JSONL journal, Prometheus-style
+//!   exposition) plus the batch liveness heartbeat.  See
+//!   `docs/observability.md`.
 //!
 //! Determinism: a job's report depends only on its netlist and config —
 //! never on the worker count or completion order — so batch output is
@@ -43,6 +48,7 @@
 pub mod engine;
 pub mod faults;
 pub mod fingerprint;
+pub mod heartbeat;
 pub mod ingest;
 pub mod job;
 pub mod json;
@@ -51,12 +57,15 @@ pub mod report;
 pub mod retry;
 pub mod server;
 pub mod store;
+pub mod telemetry;
 
 pub use engine::Engine;
 pub use faults::{FaultAction, FaultPlan, FaultPoint};
+pub use heartbeat::Heartbeat;
 pub use ingest::{discover_blif_files, jobs_from_blif_dir, jobs_from_jsonl, suite_jobs};
 pub use job::{Job, JobSource, JobStatus};
 pub use report::{DesignQor, JobOutcome, JobReport, VerifyVerdict};
 pub use retry::{with_backoff, BackoffPolicy};
 pub use server::{BatchServer, BatchSummary, CancelFlag};
 pub use store::ResultStore;
+pub use telemetry::{Journal, TelemetryConfig, TelemetryPlane, WallClockSampler};

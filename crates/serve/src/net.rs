@@ -14,6 +14,17 @@
 //!   process-global registry (timing, sizing, legalize, cec counters)
 //!   merged with this engine's per-instance counters and latency
 //!   histogram — as one JSON object line;
+//! * `{"cmd":"series","name":…,"last":K}` answers a telemetry series
+//!   window — `{"ok":"series","name":…,"points":[[tick,value],…]}` — from
+//!   the armed [`TelemetryPlane`](crate::telemetry::TelemetryPlane)
+//!   (`last` 0 or absent = all retained points); rejected when telemetry
+//!   is off or the series is unknown;
+//! * `{"cmd":"alerts"}` answers `{"ok":"alerts","alerts":[…],"slo":[…]}` —
+//!   recent change-detection alerts plus SLO status (rejected when
+//!   telemetry is off);
+//! * `{"cmd":"prom"}` answers the merged metrics snapshot in
+//!   Prometheus-style text exposition — the one **multi-line** reply,
+//!   terminated by a line reading `# EOF`;
 //! * `{"cmd":"shutdown"}` answers `{"ok":"shutdown"}` and stops the
 //!   server: no new connections are accepted, and connections already open
 //!   are drained before the listener returns;
@@ -290,13 +301,12 @@ fn answer_line(
     max_pending: usize,
 ) -> (String, bool) {
     let reject = |error: String| (reject_line(error), false);
-    let command = match parse_flat_object(line) {
-        Ok(pairs) => pairs
-            .iter()
-            .find(|(k, _)| k == "cmd")
-            .map(|(_, v)| v.as_str().unwrap_or("").to_string()),
+    let pairs = match parse_flat_object(line) {
+        Ok(pairs) => pairs,
         Err(e) => return reject(e),
     };
+    let field = |key: &str| pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let command = field("cmd").map(|v| v.as_str().unwrap_or("").to_string());
     match command.as_deref() {
         Some("ping") => ("{\"ok\":\"pong\"}".to_string(), false),
         Some("shutdown") => ("{\"ok\":\"shutdown\"}".to_string(), true),
@@ -328,6 +338,28 @@ fn answer_line(
             )
         }
         Some("metrics") => (engine.metrics_snapshot().to_json_line(), false),
+        Some("prom") => {
+            // The one multi-line reply: exposition text, then a `# EOF`
+            // terminator line so stream clients know where it ends.
+            (format!("{}# EOF", engine.metrics_snapshot().to_prometheus_text()), false)
+        }
+        Some("series") => {
+            let Some(plane) = engine.telemetry() else {
+                return reject("telemetry is not armed (start with --telemetry-s)".to_string());
+            };
+            let Some(name) = field("name").and_then(|v| v.as_str()).map(str::to_string) else {
+                return reject("series needs a string `name`".to_string());
+            };
+            let last = field("last").and_then(|v| v.as_num()).unwrap_or(0.0).max(0.0) as usize;
+            match plane.series_json(&name, last) {
+                Some(reply) => (reply, false),
+                None => reject(format!("unknown series `{name}`")),
+            }
+        }
+        Some("alerts") => match engine.telemetry() {
+            Some(plane) => (plane.alerts_json(), false),
+            None => reject("telemetry is not armed (start with --telemetry-s)".to_string()),
+        },
         Some(other) => reject(format!("unknown command `{other}`")),
         None => match Job::from_spec_line(line, engine.base_config()) {
             Ok(job) => {
@@ -345,6 +377,9 @@ fn answer_line(
                 served.fetch_add(1, Ordering::Relaxed);
                 let report = engine.execute(&job);
                 pending.fetch_sub(1, Ordering::AcqRel);
+                // Manual-tick telemetry samples after each served job —
+                // the listener-mode quiescent point.
+                engine.telemetry_tick();
                 (report.to_jsonl(), false)
             }
             Err(e) => reject(e),
@@ -620,6 +655,101 @@ mod tests {
             drop(a);
             drop(b);
             assert_eq!(server.join().unwrap(), 2, "the busy-rejected line is not counted");
+        });
+    }
+
+    /// The telemetry verbs over a real socket: each served job ticks the
+    /// manual plane, `series` answers ring windows, `alerts` answers the
+    /// detector state, and `prom` streams multi-line exposition text
+    /// terminated by `# EOF`.
+    #[test]
+    fn telemetry_verbs_over_loopback() {
+        use crate::telemetry::{TelemetryConfig, TelemetryPlane};
+        use std::sync::Arc;
+        let mut engine = Engine::new(PipelineConfig::fast());
+        let config = TelemetryConfig { manual: true, ..TelemetryConfig::default() };
+        let plane = Arc::new(TelemetryPlane::new(engine.metrics_registry(), config));
+        plane.prime();
+        engine = engine.with_telemetry(Arc::clone(&plane));
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+            let mut client = Client::connect(addr);
+
+            // No tick has happened yet: the series rings are empty.
+            let early = client.ask(r#"{"cmd":"series","name":"serve.cache_hits"}"#);
+            assert!(early.contains("unknown series `serve.cache_hits`"), "{early}");
+
+            // Two jobs — the repeat is a cache hit — tick the plane once
+            // each at the post-job quiescent point.
+            client.ask(r#"{"suite":"c432","fast":true}"#);
+            client.ask(r#"{"suite":"c432","fast":true}"#);
+
+            let series = client.ask(r#"{"cmd":"series","name":"serve.cache_hits"}"#);
+            assert_eq!(
+                series,
+                "{\"ok\":\"series\",\"name\":\"serve.cache_hits\",\"points\":[[0,0],[1,1]]}"
+            );
+            let windowed = client.ask(r#"{"cmd":"series","name":"serve.cache_hits","last":1}"#);
+            assert!(windowed.ends_with("\"points\":[[1,1]]}"), "{windowed}");
+            let unnamed = client.ask(r#"{"cmd":"series"}"#);
+            assert!(unnamed.contains("series needs a string `name`"), "{unnamed}");
+
+            // No detectors were configured, so the alert log is empty.
+            assert_eq!(
+                client.ask(r#"{"cmd":"alerts"}"#),
+                "{\"ok\":\"alerts\",\"alerts\":[],\"slo\":[]}"
+            );
+
+            // `prom` is the one multi-line reply: read until `# EOF`.
+            writeln!(client.writer, r#"{{"cmd":"prom"}}"#).unwrap();
+            client.writer.flush().unwrap();
+            let mut prom = String::new();
+            loop {
+                let mut line = String::new();
+                client.reader.read_line(&mut line).unwrap();
+                let done = line.trim() == "# EOF";
+                prom.push_str(&line);
+                if done {
+                    break;
+                }
+            }
+            assert!(prom.contains("# TYPE rapids_serve_cache_hits counter"), "{prom}");
+            assert!(prom.contains("rapids_serve_cache_hits 1\n"), "{prom}");
+            assert!(prom.contains("# TYPE rapids_serve_job_us summary"), "{prom}");
+
+            // The connection stays line-synchronized after the multi-line
+            // reply.
+            assert_eq!(client.ask(r#"{"cmd":"ping"}"#), "{\"ok\":\"pong\"}");
+            assert_eq!(plane.ticks(), 2, "one manual tick per served job");
+            assert_eq!(client.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            drop(client);
+            assert_eq!(server.join().unwrap(), 2);
+        });
+    }
+
+    /// Without an armed plane, the telemetry verbs answer a structured
+    /// rejection pointing at the arming flag; `prom` still works (the
+    /// registry always exists).
+    #[test]
+    fn telemetry_verbs_reject_when_unarmed() {
+        let engine = Engine::new(PipelineConfig::fast());
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|s| {
+            let server = s.spawn(|| serve_connections(&engine, &listener).unwrap());
+            let mut client = Client::connect(addr);
+            for verb in [r#"{"cmd":"series","name":"x"}"#, r#"{"cmd":"alerts"}"#] {
+                let answer = client.ask(verb);
+                assert!(
+                    answer.contains("telemetry is not armed (start with --telemetry-s)"),
+                    "{answer}"
+                );
+            }
+            assert_eq!(client.ask(r#"{"cmd":"shutdown"}"#), "{\"ok\":\"shutdown\"}");
+            assert_eq!(server.join().unwrap(), 0);
         });
     }
 

@@ -113,10 +113,16 @@ impl BatchServer {
                     if i >= jobs.len() {
                         break;
                     }
+                    // Unclaimed jobs behind this one (a level, not a rate).
+                    self.engine.set_queue_depth(jobs.len().saturating_sub(i + 1) as i64);
                     *statuses[i].lock().expect("status lock poisoned") = JobStatus::Running;
                     let report = self.engine.execute(&jobs[i]);
                     *statuses[i].lock().expect("status lock poisoned") =
                         if report.is_done() { JobStatus::Done } else { JobStatus::Failed };
+                    // Manual-tick telemetry samples here — a quiescent
+                    // point with respect to this job: its metrics are
+                    // fully recorded, its report not yet handed on.
+                    self.engine.telemetry_tick();
                     if tx.send(report).is_err() {
                         break;
                     }

@@ -1,0 +1,24 @@
+//! End-to-end coverage of `--heartbeat-s` through the real binary: the
+//! progress line must appear on stderr while a batch is running, and the
+//! process must exit cleanly afterwards (the heartbeat thread joins on
+//! drop — a leaked thread would hang the exit).
+
+use std::process::Command;
+
+#[test]
+fn heartbeat_line_appears_and_the_process_exits_cleanly() {
+    // An injected 1.5 s cooperative delay guarantees the batch outlives
+    // the 1 s heartbeat period; without it a --fast job can finish before
+    // the first beat.
+    let output = Command::new(env!("CARGO_BIN_EXE_rapids-serve"))
+        .args(["--fast", "c432", "--heartbeat-s", "1", "--fault-plan", "job-run@c432=delay:1500"])
+        .output()
+        .expect("rapids-serve runs");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+
+    assert!(output.status.success(), "clean exit, got {:?}\n{stderr}", output.status);
+    assert!(stderr.contains("heartbeat: 0/1 jobs done"), "no heartbeat line in:\n{stderr}");
+    // The batch summary prints after the heartbeat thread was dropped:
+    // its presence plus the clean exit is the join-on-shutdown proof.
+    assert!(stderr.contains("1 done"), "batch summary missing in:\n{stderr}");
+}

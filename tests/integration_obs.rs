@@ -195,6 +195,38 @@ fn disabled_tracer_adds_no_allocations() {
     );
 }
 
+/// The telemetry extension of the zero-overhead guarantee: with no plane
+/// armed, the engine's per-job tick is a single branch on a `None` — no
+/// allocations — and the instrument handles it would otherwise sample
+/// stay allocation-free on the hot path too.
+#[test]
+fn disarmed_telemetry_adds_no_allocations() {
+    let _guard = obs_lock();
+    rapids_obs::trace::disable();
+
+    let engine = Engine::new(PipelineConfig::fast());
+    assert!(engine.telemetry().is_none(), "no plane was armed");
+    // Pre-create the handles: instrument *lookup* interns names, the hot
+    // path only touches atomics.
+    let counter = rapids_obs::global().counter("obs.test.telemetry_hot");
+    let gauge = rapids_obs::global().gauge("obs.test.telemetry_depth");
+    let histogram = rapids_obs::global().histogram("obs.test.telemetry_us");
+
+    let mut min_allocs = u64::MAX;
+    for _ in 0..5 {
+        let before = ALLOCATIONS.load(Ordering::SeqCst);
+        for i in 0..10_000u64 {
+            engine.telemetry_tick();
+            counter.inc();
+            gauge.set(i as i64);
+            histogram.record(i);
+        }
+        let after = ALLOCATIONS.load(Ordering::SeqCst);
+        min_allocs = min_allocs.min(after - before);
+    }
+    assert_eq!(min_allocs, 0, "a disarmed telemetry tick must not allocate");
+}
+
 /// Metrics and tracing are observational only: a run with the tracer on
 /// and the registry polluted produces byte-identical report lines, and
 /// the cache fingerprints ignore metric state entirely.

@@ -1,0 +1,249 @@
+//! Integration coverage for the time-series telemetry plane
+//! (`serve::telemetry` over `obs::timeseries` / `obs::detect`): the
+//! manual-tick determinism contract (same workload ⇒ byte-identical
+//! series and alert JSON), worker-count invariance of deterministic
+//! counter series sampled at batch boundaries, CUSUM behaviour on an
+//! injected latency step vs a flat series, report-byte neutrality of an
+//! armed plane, and crash-safe journal replay across a torn tail.
+
+use std::sync::{Arc, Mutex, MutexGuard};
+
+use rapids_flow::PipelineConfig;
+use rapids_obs::{CusumConfig, Sampler, SamplerConfig, SloConfig};
+use rapids_serve::report::canonical_sort;
+use rapids_serve::{BatchServer, Engine, FaultPlan, Job, Journal, TelemetryConfig, TelemetryPlane};
+
+/// The global registry is process-wide; every test in this binary
+/// serializes on this lock so per-tick deltas observe only its own
+/// workload.
+static TELEMETRY_LOCK: Mutex<()> = Mutex::new(());
+
+fn telemetry_lock() -> MutexGuard<'static, ()> {
+    TELEMETRY_LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+fn suite_batch(config: &PipelineConfig, names: &[&str]) -> Vec<Job> {
+    names.iter().map(|name| Job::suite(*name, config)).collect()
+}
+
+/// Series derived from wall-clock data (latency quantile tracks); every
+/// other series is a pure function of the workload.
+fn is_wall_clock(name: &str) -> bool {
+    name.ends_with(".p50") || name.ends_with(".p99")
+}
+
+/// One manually-ticked batch under a fully armed plane; returns every
+/// deterministic series window plus the alerts reply, as JSON lines.
+fn armed_run() -> (Vec<String>, String) {
+    let mut engine = Engine::new(PipelineConfig::fast());
+    let config = TelemetryConfig {
+        manual: true,
+        // Repeat submissions step the cache-hit rate off zero.
+        cusum: vec![CusumConfig::fixed("serve.cache_hits", 0.0, 0.0, 0.5)],
+        // "Misses per job" burns against a 0.5 target: breaches while
+        // every job computes, recovers once half the batch is cache hits.
+        slos: vec![SloConfig {
+            name: "cache-misses".to_string(),
+            bad_series: "serve.optimizer_runs".to_string(),
+            total_series: "serve.job_us.count".to_string(),
+            target: 0.5,
+        }],
+        ..TelemetryConfig::default()
+    };
+    let plane = Arc::new(TelemetryPlane::new(engine.metrics_registry(), config));
+    plane.prime();
+    engine = engine.with_telemetry(Arc::clone(&plane));
+    let server = BatchServer::new(engine, 1);
+    let jobs = suite_batch(server.engine().base_config(), &["c432", "alu2", "c432", "c432"]);
+    server.run_streaming(&jobs, |_| {});
+
+    let mut series = Vec::new();
+    for name in plane.series_names() {
+        if !is_wall_clock(&name) {
+            series.push(plane.series_json(&name, 0).expect("listed series exists"));
+        }
+    }
+    (series, plane.alerts_json())
+}
+
+/// The determinism contract: the same workload, manually ticked at the
+/// same quiescent points, yields byte-identical series and alert JSON —
+/// alerts, SLO burn and every counter/gauge series included.
+#[test]
+fn manual_ticks_yield_byte_identical_series_and_alerts() {
+    let _guard = telemetry_lock();
+    // Warm the global registry: the measured runs must both see every
+    // counter name from their first tick.
+    armed_run();
+
+    let (series_a, alerts_a) = armed_run();
+    let (series_b, alerts_b) = armed_run();
+    assert_eq!(series_a, series_b, "series must be byte-reproducible");
+    assert_eq!(alerts_a, alerts_b, "alerts must be byte-reproducible");
+
+    // Content sanity: ticks 0..=3 are the four jobs, the two repeat
+    // submissions are cache hits, and both detector families fired.
+    let cache_hits = series_a
+        .iter()
+        .find(|line| line.contains("\"name\":\"serve.cache_hits\""))
+        .expect("cache-hit series exists");
+    assert!(cache_hits.contains("\"points\":[[0,0],[1,0],[2,1],[3,1]]"), "{cache_hits}");
+    assert!(alerts_a.contains("\"kind\":\"cusum\""), "{alerts_a}");
+    assert!(alerts_a.contains("\"kind\":\"slo\""), "{alerts_a}");
+    assert!(alerts_a.contains("\"name\":\"cache-misses\""), "{alerts_a}");
+    assert!(
+        alerts_a.contains("\"breached\":false"),
+        "burn 2/4 recovered to the 0.5 target: {alerts_a}"
+    );
+}
+
+/// Deterministic counter series sampled at batch boundaries (the
+/// quiescent points the manual-tick contract names) are invariant under
+/// the worker count.
+#[test]
+fn batch_boundary_series_are_worker_count_invariant() {
+    let _guard = telemetry_lock();
+    const DETERMINISTIC: [&str; 4] =
+        ["serve.optimizer_runs", "serve.cache_hits", "serve.resolutions", "serve.job_us.count"];
+    let run = |workers: usize| -> Vec<String> {
+        let engine = Engine::new(PipelineConfig::fast());
+        let sampler = Sampler::new(SamplerConfig::default());
+        sampler.prime(&engine.metrics_snapshot());
+        let server = BatchServer::new(engine, workers);
+        let jobs = suite_batch(server.engine().base_config(), &["c432", "alu2", "c499"]);
+        server.run_streaming(&jobs, |_| {});
+        sampler.tick(&server.engine().metrics_snapshot());
+        DETERMINISTIC
+            .iter()
+            .map(|name| sampler.window_json(name, 0).expect("engine series exists"))
+            .collect()
+    };
+    let single = run(1);
+    let pooled = run(8);
+    assert_eq!(single, pooled, "worker count must not change a deterministic series");
+    assert!(
+        single[0].contains("\"points\":[[0,3]]"),
+        "three distinct designs, three optimizer runs: {}",
+        single[0]
+    );
+}
+
+/// A CUSUM on the deadline-cut series fires exactly when an injected
+/// delay fault pushes a job over its deadline, and stays silent on the
+/// same batch without the fault.
+#[test]
+fn cusum_fires_on_an_injected_latency_step_and_stays_silent_on_flat() {
+    let _guard = telemetry_lock();
+    let run = |fault: bool| {
+        let mut engine = Engine::new(PipelineConfig::fast());
+        if fault {
+            engine = engine.with_fault_plan(
+                FaultPlan::parse("job-run@c499=delay:120000").expect("valid plan"),
+            );
+        }
+        let config = TelemetryConfig {
+            manual: true,
+            cusum: vec![CusumConfig::fixed("serve.deadline_cuts", 0.0, 0.5, 0.0)],
+            ..TelemetryConfig::default()
+        };
+        let plane = Arc::new(TelemetryPlane::new(engine.metrics_registry(), config));
+        plane.prime();
+        engine = engine.with_telemetry(Arc::clone(&plane));
+        let server = BatchServer::new(engine, 1);
+        let mut jobs = suite_batch(server.engine().base_config(), &["c432", "alu2", "c499"]);
+        if fault {
+            // The injected 120 s hang is cut by a short deadline; the
+            // unfaulted run carries no deadline at all, so a slow CI box
+            // cannot produce a spurious cut.
+            jobs[2].timeout_s = Some(0.3);
+        }
+        server.run_streaming(&jobs, |_| {});
+        plane.alerts()
+    };
+
+    let fired = run(true);
+    assert_eq!(fired.len(), 1, "{fired:?}");
+    let alert = &fired[0];
+    assert_eq!(alert.kind, rapids_obs::AlertKind::Cusum);
+    assert_eq!(alert.series, "serve.deadline_cuts");
+    assert_eq!(alert.tick, 2, "the faulted job is the third tick");
+    assert_eq!(alert.statistic, 0.5, "delta 1 over baseline 0 with drift 0.5");
+
+    let silent = run(false);
+    assert!(silent.is_empty(), "a flat series must never alarm: {silent:?}");
+}
+
+/// An armed plane is observational only: report lines are byte-identical
+/// with telemetry on and off.
+#[test]
+fn telemetry_does_not_perturb_report_bytes() {
+    let _guard = telemetry_lock();
+    let run = |telemetry: bool| -> Vec<String> {
+        let mut engine = Engine::new(PipelineConfig::fast());
+        if telemetry {
+            let config = TelemetryConfig {
+                manual: true,
+                cusum: vec![CusumConfig::fixed("serve.cache_hits", 0.0, 0.0, 0.5)],
+                ..TelemetryConfig::default()
+            };
+            let plane = Arc::new(TelemetryPlane::new(engine.metrics_registry(), config));
+            plane.prime();
+            engine = engine.with_telemetry(plane);
+        }
+        let server = BatchServer::new(engine, 2);
+        let jobs = suite_batch(server.engine().base_config(), &["c432", "alu2", "c499"]);
+        let mut lines = Vec::new();
+        server.run_streaming(&jobs, |report| lines.push(report.to_jsonl()));
+        canonical_sort(&mut lines);
+        lines
+    };
+    assert_eq!(run(false), run(true), "telemetry must not change a single report byte");
+}
+
+/// The journal written by a manually-ticked batch replays across a
+/// restart, and a torn tail (a crash mid-append) is truncated, keeping
+/// every whole line.
+#[test]
+fn telemetry_journal_survives_restart_and_truncates_a_torn_tail() {
+    let _guard = telemetry_lock();
+    let path = std::env::temp_dir()
+        .join(format!("rapids_integration_telemetry_{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    {
+        let mut engine = Engine::new(PipelineConfig::fast());
+        let journal = Journal::open(&path).expect("fresh journal opens");
+        let config = TelemetryConfig { manual: true, ..TelemetryConfig::default() };
+        let plane = TelemetryPlane::new(engine.metrics_registry(), config).with_journal(journal);
+        plane.prime();
+        engine = engine.with_telemetry(Arc::new(plane));
+        let server = BatchServer::new(engine, 1);
+        let jobs = suite_batch(server.engine().base_config(), &["c432", "alu2", "c499"]);
+        server.run_streaming(&jobs, |_| {});
+    }
+
+    let full = std::fs::read(&path).expect("journal exists");
+    let text = String::from_utf8(full.clone()).expect("journal is utf-8");
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 3, "one line per manual tick");
+    for (i, line) in lines.iter().enumerate() {
+        assert!(line.starts_with(&format!("{{\"tick\":{i},\"counters\":{{")), "{line}");
+        for section in ["\"gauges\":{", "\"latency\":{", "\"alerts\":[", "\"slo\":[", "\"ck\":\""] {
+            assert!(line.contains(section), "missing {section} in {line}");
+        }
+    }
+
+    // "Restart" after a clean shutdown: every line replays.
+    assert_eq!(Journal::open(&path).expect("replay").recovered_lines(), 3);
+
+    // "Crash" mid-append of the last line: the torn tail is dropped and
+    // the two whole lines survive.
+    std::fs::write(&path, &full[..full.len() - 7]).expect("tear the tail");
+    let journal = Journal::open(&path).expect("replay after tear");
+    assert_eq!(journal.recovered_lines(), 2);
+    assert!(journal.dropped_tail_bytes() > 0);
+    let kept = std::fs::read_to_string(&path).expect("truncated journal");
+    assert_eq!(kept.lines().count(), 2);
+    assert!(full.starts_with(kept.as_bytes()), "replay only truncates, never rewrites");
+    let _ = std::fs::remove_file(&path);
+}
